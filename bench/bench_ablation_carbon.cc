@@ -1,0 +1,120 @@
+// Ablation A3 — Carbon-aware budget tilting (the paper's §V future work:
+// "CO2 reductions methods with algorithms geared towards the environment").
+//
+// The same total energy budget is reshaped within each day toward
+// clean-grid hours (alpha = tilt strength). Sweeps alpha on the flat
+// dataset and reports the CO2 footprint next to F_CE / F_E: emissions
+// should fall with alpha at (nearly) constant energy, with only a mild
+// convenience cost from shifting when — not whether — rules run.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "energy/load_scheduler.h"
+
+namespace imcf {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintHeader("Ablation A3 — Carbon-aware budget tilt (EP, alpha sweep)",
+              "paper §V future work: CO2-aware planning");
+
+  const trace::DatasetSpec spec = trace::FlatSpec();
+  std::printf("\n--- dataset: flat, budget %.0f kWh ---\n", spec.budget_kwh);
+  std::printf("%-7s %14s %20s %18s\n", "alpha", "F_CE [%]", "F_E [kWh]",
+              "CO2 [kg]");
+  double baseline_co2 = 0.0;
+  for (double alpha : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    sim::SimulationOptions options;
+    options.spec = spec;
+    options.carbon_alpha = alpha;
+    sim::Simulator simulator(options);
+    CheckOk(simulator.Prepare());
+    const sim::RepeatedReport cell =
+        RunCell(simulator, sim::Policy::kEnergyPlanner);
+    if (alpha == 0.0) baseline_co2 = cell.co2_kg.mean();
+    std::printf("%-7.2f %14s %20s %14s (%+.1f%%)\n", alpha,
+                Cell(cell.fce_pct).c_str(), Cell(cell.fe_kwh, 1).c_str(),
+                Cell(cell.co2_kg, 1).c_str(),
+                100.0 * (cell.co2_kg.mean() - baseline_co2) / baseline_co2);
+  }
+
+  // With the default deep net-metering bank, slot budgets rarely bind and
+  // the tilt has little leverage; a shallow bank makes budget *timing*
+  // matter and the tilt bite.
+  std::printf("\n--- shallow bank (carryover cap 6 h) ---\n");
+  std::printf("%-7s %14s %20s %18s\n", "alpha", "F_CE [%]", "F_E [kWh]",
+              "CO2 [kg]");
+  double shallow_baseline = 0.0;
+  for (double alpha : {0.0, 0.5, 1.0}) {
+    sim::SimulationOptions options;
+    options.spec = spec;
+    options.carbon_alpha = alpha;
+    options.carryover_cap_hours = 6.0;
+    sim::Simulator simulator(options);
+    CheckOk(simulator.Prepare());
+    const sim::RepeatedReport cell =
+        RunCell(simulator, sim::Policy::kEnergyPlanner);
+    if (alpha == 0.0) shallow_baseline = cell.co2_kg.mean();
+    std::printf("%-7.2f %14s %20s %14s (%+.1f%%)\n", alpha,
+                Cell(cell.fce_pct).c_str(), Cell(cell.fe_kwh, 1).c_str(),
+                Cell(cell.co2_kg, 1).c_str(),
+                100.0 * (cell.co2_kg.mean() - shallow_baseline) /
+                    shallow_baseline);
+  }
+
+  // Shiftable workloads are where carbon-awareness has real leverage:
+  // rules can only be kept or dropped, but a washer run or an EV charge
+  // can *move* to the cleanest hours of the day ("reschedule those
+  // workloads in an environmental friendly manner", §V). One year of the
+  // default household fleet, naive vs carbon-aware placement:
+  std::printf("\n--- shiftable workloads, one year (washer / dishwasher / "
+              "EV / boiler) ---\n");
+  energy::CarbonProfile profile;
+  const auto fleet = energy::DefaultShiftableLoads();
+  double naive_co2 = 0.0, aware_co2 = 0.0, energy_kwh = 0.0;
+  int unplaced = 0;
+  const SimTime year_start = FromCivil(2015, 1, 1);
+  for (int day = 0; day < 365; ++day) {
+    const SimTime day_start = year_start + static_cast<SimTime>(day) *
+                                               kSecondsPerDay;
+    std::vector<double> headroom_naive(24, 6.0);
+    std::vector<double> headroom_aware(24, 6.0);
+    auto naive = energy::ScheduleDay(fleet, profile, day_start,
+                                     energy::PlacementPolicy::kEarliest,
+                                     &headroom_naive);
+    auto aware = energy::ScheduleDay(fleet, profile, day_start,
+                                     energy::PlacementPolicy::kCarbonAware,
+                                     &headroom_aware);
+    CheckOk(naive.status());
+    CheckOk(aware.status());
+    naive_co2 += energy::TotalCo2G(*naive);
+    aware_co2 += energy::TotalCo2G(*aware);
+    for (const energy::Placement& p : *aware) {
+      energy_kwh += p.energy_kwh;
+      if (p.start_hour < 0) ++unplaced;
+    }
+  }
+  std::printf("%-14s %14s %16s\n", "placement", "CO2 [kg]", "vs naive");
+  std::printf("%-14s %14.1f %16s\n", "earliest", naive_co2 / 1000.0, "--");
+  std::printf("%-14s %14.1f %14.1f%%\n", "carbon-aware", aware_co2 / 1000.0,
+              100.0 * (aware_co2 - naive_co2) / naive_co2);
+  std::printf("(%.0f kWh of shiftable demand served, %d runs unplaced)\n",
+              energy_kwh, unplaced);
+
+  std::printf("\nexpected shape: CO2 falls with alpha at nearly constant "
+              "F_E; F_CE rises mildly. The tilt effect is structurally "
+              "small (rules can be kept or dropped, not moved); the real "
+              "carbon leverage is in rescheduling shiftable workloads, "
+              "where the same energy emits 10-25%% less.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace imcf
+
+int main() {
+  imcf::bench::Run();
+  return 0;
+}

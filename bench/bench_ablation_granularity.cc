@@ -1,0 +1,56 @@
+// Ablation A4 — Planning-slot granularity (Algorithm 1's time-granularity
+// input t: "hourly, daily, monthly, yearly preference").
+//
+// One adopt/drop decision per slot, priced at the slot's mean ambient
+// conditions; execution and accounting stay hourly against ground truth.
+// Sweeps the slot width on the flat dataset: coarser slots are cheaper to
+// plan but less accurate — and at daily width the mean-ambient estimate
+// hides the HVAC deadband entirely, so the planner adopts everything and
+// busts the budget. This quantifies why the paper's running examples use
+// hourly E_h slots.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace imcf {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintHeader("Ablation A4 — Planning granularity (EP, slot width sweep)",
+              "Algorithm 1 input t (time granularity)");
+
+  const trace::DatasetSpec spec = trace::FlatSpec();
+  std::printf("\n--- dataset: flat, budget %.0f kWh ---\n", spec.budget_kwh);
+  std::printf("%-10s %14s %20s %14s %10s\n", "slot [h]", "F_CE [%]",
+              "F_E [kWh]", "F_T [s]", "inBudget");
+  for (int span : {1, 3, 6, 12, 24}) {
+    sim::SimulationOptions options;
+    options.spec = spec;
+    options.slot_hours = span;
+    sim::Simulator simulator(options);
+    CheckOk(simulator.Prepare());
+    const sim::RepeatedReport cell =
+        RunCell(simulator, sim::Policy::kEnergyPlanner);
+    const bool within =
+        cell.fe_kwh.mean() <= simulator.total_budget_kwh() + 1e-6;
+    std::printf("%-10d %14s %20s %14s %10s\n", span,
+                Cell(cell.fce_pct).c_str(), Cell(cell.fe_kwh, 1).c_str(),
+                Cell(cell.ft_seconds, 3).c_str(), within ? "yes" : "NO");
+  }
+
+  std::printf("\nexpected shape: hourly-to-12h slots stay within budget at "
+              "similar F_CE with falling planner cost; 24h slots misprice "
+              "the HVAC deadband (mean gap looks free), adopt everything "
+              "and bust the budget.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace imcf
+
+int main() {
+  imcf::bench::Run();
+  return 0;
+}

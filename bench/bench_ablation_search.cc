@@ -1,0 +1,71 @@
+// Ablation A2 — Search strategy and iteration budget.
+//
+// The paper claims "any heuristic or meta-heuristic approach can be
+// utilized in the EP optimization step" and terminates on τ_max. This
+// bench compares the hill climber against the simulated-annealing planner
+// and sweeps τ_max, on the flat dataset: F_CE should fall monotonically
+// with τ_max and SA should match HC within noise on this rule-table size.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace imcf {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintHeader("Ablation A2 — Hill climbing vs simulated annealing, tau_max",
+              "EP optimization-step variants (paper §II-B, §IV-C)");
+
+  const trace::DatasetSpec spec = trace::FlatSpec();
+  sim::SimulationOptions options;
+  options.spec = spec;
+  sim::Simulator simulator(options);
+  CheckOk(simulator.Prepare());
+
+  std::printf("\n--- tau_max sweep (hill climbing, flat) ---\n");
+  std::printf("%-9s %16s %22s %16s\n", "tau_max", "F_CE [%]", "F_E [kWh]",
+              "F_T [s]");
+  for (int tau : {5, 10, 25, 50, 100, 200}) {
+    core::EpOptions ep;
+    ep.tau_max = tau;
+    simulator.set_ep_options(ep);
+    const sim::RepeatedReport cell =
+        RunCell(simulator, sim::Policy::kEnergyPlanner);
+    std::printf("%-9d %16s %22s %16s\n", tau, Cell(cell.fce_pct).c_str(),
+                Cell(cell.fe_kwh, 1).c_str(),
+                Cell(cell.ft_seconds, 3).c_str());
+  }
+
+  std::printf("\n--- hill climbing vs simulated annealing vs genetic "
+              "(flat) ---\n");
+  std::printf("%-9s %16s %22s %16s\n", "planner", "F_CE [%]", "F_E [kWh]",
+              "F_T [s]");
+  simulator.set_ep_options(core::EpOptions{});
+  const sim::RepeatedReport hc =
+      RunCell(simulator, sim::Policy::kEnergyPlanner);
+  std::printf("%-9s %16s %22s %16s\n", "HC", Cell(hc.fce_pct).c_str(),
+              Cell(hc.fe_kwh, 1).c_str(), Cell(hc.ft_seconds, 3).c_str());
+  const sim::RepeatedReport sa = RunCell(simulator, sim::Policy::kAnnealer);
+  std::printf("%-9s %16s %22s %16s\n", "SA", Cell(sa.fce_pct).c_str(),
+              Cell(sa.fe_kwh, 1).c_str(), Cell(sa.ft_seconds, 3).c_str());
+  const sim::RepeatedReport ga = RunCell(simulator, sim::Policy::kGenetic);
+  std::printf("%-9s %16s %22s %16s\n", "GA", Cell(ga.fce_pct).c_str(),
+              Cell(ga.fe_kwh, 1).c_str(), Cell(ga.ft_seconds, 3).c_str());
+
+  std::printf("\nexpected shape: F_T grows linearly in tau_max while F_CE "
+              "stays nearly flat — the greedy repair already lands "
+              "near-optimal slot plans, and marginal slot-level gains are "
+              "offset by the budget carry-over they consume. SA is within "
+              "noise of HC on this problem size.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace imcf
+
+int main() {
+  imcf::bench::Run();
+  return 0;
+}

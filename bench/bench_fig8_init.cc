@@ -1,0 +1,60 @@
+// Fig. 8 — Initialization Evaluation: F_CE and F_E of the Energy Planner
+// under the three initial-solution strategies (all-1s / random / all-0s).
+//
+// Paper reference: moving from all-1s to random to all-0s *increases* F_CE
+// (flat: ~2.6% → ~3.1%) and *decreases* F_E (flat: ~9500 → ~8600 kWh) —
+// starting with everything deactivated requires more iterations to climb
+// to the optimum, so the planner ends lower on both objectives.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace imcf {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintHeader(
+      "Fig. 8 — Initialization Evaluation (EP, all-1s / random / all-0s)",
+      "IMCF paper §III-D, Figure 8");
+
+  const core::InitStrategy strategies[] = {core::InitStrategy::kAllOnes,
+                                           core::InitStrategy::kRandom,
+                                           core::InitStrategy::kAllZeros};
+  for (const trace::DatasetSpec& spec : BenchSpecs()) {
+    sim::SimulationOptions options;
+    options.spec = spec;
+    // Modest iteration budget: with unlimited search every start converges
+    // to the same solution and the figure flattens.
+    options.ep.tau_max =
+        spec.units > 10 ? 700 : (spec.units > 1 ? 12 : 4);
+    sim::Simulator simulator(options);
+    CheckOk(simulator.Prepare());
+
+    std::printf("\n--- dataset: %-5s (tau_max = %d) ---\n", spec.name.c_str(),
+                options.ep.tau_max);
+    std::printf("%-8s %16s %22s\n", "init", "F_CE [%]", "F_E [kWh]");
+    for (core::InitStrategy strategy : strategies) {
+      core::EpOptions ep = options.ep;
+      ep.init = strategy;
+      simulator.set_ep_options(ep);
+      const sim::RepeatedReport cell =
+          RunCell(simulator, sim::Policy::kEnergyPlanner);
+      std::printf("%-8s %16s %22s\n", core::InitStrategyName(strategy),
+                  Cell(cell.fce_pct).c_str(), Cell(cell.fe_kwh, 1).c_str());
+    }
+  }
+
+  std::printf("\npaper reference: all-1s -> random -> all-0s raises F_CE "
+              "(flat ~2.6->3.1%%) and lowers F_E (flat ~9500->8600 kWh).\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace imcf
+
+int main() {
+  imcf::bench::Run();
+  return 0;
+}

@@ -1,0 +1,60 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace imcf {
+namespace bench {
+
+int Repetitions() {
+  const char* env = std::getenv("IMCF_BENCH_REPS");
+  if (env != nullptr) {
+    const auto parsed = ParseInt(env);
+    if (parsed.ok() && *parsed > 0 && *parsed <= 100) {
+      return static_cast<int>(*parsed);
+    }
+  }
+  return 5;
+}
+
+bool QuickMode() {
+  const char* env = std::getenv("IMCF_BENCH_QUICK");
+  return env != nullptr && std::string(env) == "1";
+}
+
+void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::printf("=================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("repetitions per cell: %d (paper: 10; set IMCF_BENCH_REPS)\n",
+              Repetitions());
+  std::printf("=================================================================\n");
+}
+
+std::string Cell(const RunningStat& stat, int precision) {
+  return stat.ToString(precision);
+}
+
+void CheckOk(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench failed: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+sim::RepeatedReport RunCell(const sim::Simulator& simulator,
+                            sim::Policy policy) {
+  auto result = simulator.RunRepeated(policy, Repetitions());
+  CheckOk(result.status());
+  return std::move(result).value();
+}
+
+std::vector<trace::DatasetSpec> BenchSpecs() {
+  if (QuickMode()) return {trace::FlatSpec()};
+  return trace::AllSpecs();
+}
+
+}  // namespace bench
+}  // namespace imcf

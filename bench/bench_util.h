@@ -1,0 +1,48 @@
+// Shared helpers for the figure/table reproduction benchmarks.
+//
+// Each bench binary regenerates one table or figure of the paper's
+// evaluation section, printing the measured series next to the values the
+// paper reports. Repetition count defaults to 5 for speed and can be set to
+// the paper's 10 via IMCF_BENCH_REPS.
+
+#ifndef IMCF_BENCH_BENCH_UTIL_H_
+#define IMCF_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sim/simulation.h"
+
+namespace imcf {
+namespace bench {
+
+/// Repetitions per experimental cell (env IMCF_BENCH_REPS, default 5; the
+/// paper uses 10).
+int Repetitions();
+
+/// Quick mode (env IMCF_BENCH_QUICK=1): restricts sweeps to the flat
+/// dataset for smoke runs.
+bool QuickMode();
+
+/// Prints the standard header for a bench binary.
+void PrintHeader(const std::string& title, const std::string& paper_ref);
+
+/// Prints one "mean ± stddev" cell.
+std::string Cell(const RunningStat& stat, int precision = 2);
+
+/// Dies with a message if `status` is not OK (benches have no error
+/// recovery path worth writing).
+void CheckOk(const Status& status);
+
+/// Runs one (policy, simulator) cell with the standard repetitions.
+sim::RepeatedReport RunCell(const sim::Simulator& simulator,
+                            sim::Policy policy);
+
+/// The datasets a sweep covers (flat only in quick mode).
+std::vector<trace::DatasetSpec> BenchSpecs();
+
+}  // namespace bench
+}  // namespace imcf
+
+#endif  // IMCF_BENCH_BENCH_UTIL_H_

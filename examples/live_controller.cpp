@@ -1,0 +1,77 @@
+// Live Local-Controller demo: the paper's prototype deployment (§III-F)
+// end to end on virtual time. Three residents configure their preferences,
+// the configuration is persisted in the embedded table store (the MariaDB
+// stand-in), the cron scheduler runs the Energy Planner hourly for a week,
+// and every actuation command passes the meta-control firewall. Prints
+// Tables IV/V plus a tail of the firewall audit log.
+//
+//   ./examples/live_controller [store_dir]
+
+#include <cstdio>
+
+#include "controller/prototype.h"
+#include "rules/conflict.h"
+#include "rules/parser.h"
+
+using namespace imcf;
+
+int main(int argc, char** argv) {
+  controller::PrototypeOptions options;
+  if (argc > 1) options.store_dir = argv[1];
+
+  const auto family = controller::DefaultFamily();
+  std::printf("Residents and their meta-rules:\n");
+  for (const controller::Resident& resident : family) {
+    std::printf("  %s:\n", resident.name.c_str());
+    for (const rules::MetaRule& rule : resident.rules) {
+      std::printf("    %s\n", rules::FormatMetaRule(rule).c_str());
+    }
+  }
+  std::printf("weekly energy cap: %.0f kWh  (EP cron: '0 * * * *', sensor "
+              "refresh: '*/15 * * * *')\n\n",
+              options.weekly_budget_kwh);
+
+  // Pre-deployment conflict audit of the merged rule table.
+  const auto merged = controller::MergeResidents(family);
+  if (merged.ok()) {
+    std::printf("conflict audit: %s\n",
+                rules::FormatConflicts(rules::FindWindowConflicts(*merged))
+                    .c_str());
+  }
+
+  controller::PrototypeStudy study(options);
+  const auto report = study.Run(family);
+  if (!report.ok()) {
+    std::fprintf(stderr, "prototype run failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Table IV — one week of live operation\n");
+  std::printf("  energy consumption F_E : %8.2f kWh (cap %.0f, %s)\n",
+              report->fe_kwh, report->budget_kwh,
+              report->within_budget ? "within budget" : "EXCEEDED");
+  std::printf("  convenience error F_CE : %8.2f %%\n", report->fce_pct);
+  std::printf("  planner cron firings   : %8d\n", report->planner_runs);
+  std::printf("  sensor refreshes       : %8d\n", report->sensor_refreshes);
+  std::printf("  commands issued        : %8lld\n",
+              static_cast<long long>(report->commands_issued));
+  std::printf("  dropped by firewall    : %8lld\n",
+              static_cast<long long>(report->commands_dropped));
+  std::printf("  config footprint       : %8.1f bytes/user%s\n",
+              report->config_bytes_per_user,
+              options.store_dir.empty() ? " (in-memory)" : "");
+  if (!options.store_dir.empty()) {
+    std::printf("  persisted to           : %s/resident_rules.tlog\n",
+                options.store_dir.c_str());
+  }
+
+  std::printf("\nTable V — per-resident convenience\n");
+  for (const controller::ResidentReport& rr : report->residents) {
+    std::printf("  %-10s F_CE %6.3f%%  (satisfaction %.2f%%, %lld rule "
+                "activations)\n",
+                rr.name.c_str(), rr.fce_pct, 100.0 - rr.fce_pct,
+                static_cast<long long>(rr.activations));
+  }
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Quickstart: the IMCF public API in one page.
+//
+// Builds the paper's Table II rule set and Table I consumption profile,
+// derives an hourly energy budget with the ECP-based amortization formula,
+// and runs the Energy Planner on a single winter-evening slot — printing
+// which rules survive the meta-control firewall.
+//
+//   ./examples/quickstart
+
+#include <cstdio>
+
+#include "core/evaluator.h"
+#include "core/hill_climber.h"
+#include "devices/energy_model.h"
+#include "energy/amortization.h"
+#include "firewall/imcf_firewall.h"
+#include "rules/meta_rule.h"
+#include "trace/dataset.h"
+
+using namespace imcf;
+
+int main() {
+  // 1. The user's preference profile (Table II) and energy history
+  //    (Table I), plus the long-term budget: 11000 kWh for three years.
+  const rules::MetaRuleTable mrt = rules::FlatMrt(/*budget_kwh=*/11000.0);
+  const energy::Ecp ecp = energy::FlatEcp();
+  std::printf("Meta-Rule-Table: %zu rules (%zu convenience)\n", mrt.size(),
+              mrt.convenience_count());
+
+  // 2. Amortize the budget over the period with the ECP-based formula.
+  energy::AmortizationOptions amort;
+  amort.kind = energy::AmortizationKind::kEaf;
+  amort.total_budget_kwh = *mrt.TotalKwhLimit();
+  amort.period_start = trace::EvaluationStart();
+  amort.period_end =
+      amort.period_start +
+      static_cast<SimTime>(trace::EvaluationHours()) * kSecondsPerHour;
+  const auto plan = energy::AmortizationPlan::Create(amort, ecp);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "amortization failed: %s\n",
+                 plan.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. A January evening slot: what can the flat afford at 19:00?
+  const SimTime slot = FromCivil(2014, 1, 20, 19, 30);
+  const double hourly_budget = plan->HourlyBudget(slot);
+  std::printf("slot %s  budget E_p = %.3f kWh\n", FormatTime(slot).c_str(),
+              hourly_budget);
+
+  // Ambient conditions from the flat's trace model.
+  const trace::DatasetSpec spec = trace::FlatSpec();
+  const trace::HourlyAmbient ambient = trace::BuildHourlyAmbient(
+      spec, slot - (slot % kSecondsPerHour), 1);
+  devices::UnitEnergyModels models;
+  models.hvac = devices::HvacEnergyModel(spec.hvac);
+  models.light = devices::LightEnergyModel(spec.light);
+  std::printf("ambient: %.1f degC, light level %.0f\n", ambient.temp(0, 0),
+              ambient.light(0, 0));
+
+  // 4. Build the slot problem and run the Energy Planner.
+  core::SlotProblem problem;
+  problem.n_rules = static_cast<int>(mrt.convenience_count());
+  problem.budget_kwh = hourly_budget;
+  problem.groups = {{ambient.temp(0, 0), devices::CommandType::kSetTemperature},
+                    {ambient.light(0, 0), devices::CommandType::kSetLight}};
+  for (int index : mrt.ActiveAt(slot)) {
+    const rules::MetaRule& rule =
+        mrt.ConvenienceRule(static_cast<size_t>(index));
+    core::ActiveRule active;
+    active.rule_index = index;
+    active.group =
+        rule.TargetKind() == devices::DeviceKind::kLight ? 1 : 0;
+    active.desired = rule.value;
+    active.type = rule.TargetCommand();
+    const double amb =
+        problem.groups[static_cast<size_t>(active.group)].ambient;
+    active.energy_kwh =
+        models.CommandEnergyKwh(active.type, rule.value, amb, 1.0);
+    active.drop_error = core::NormalizedError(active.type, rule.value, amb);
+    problem.active.push_back(active);
+  }
+
+  core::SlotEvaluator evaluator(&problem);
+  core::HillClimbingPlanner planner;
+  Rng rng(42);
+  const core::PlanOutcome outcome = planner.PlanSlot(evaluator, &rng);
+  std::printf("plan: s* = %s  (F_E %.3f kWh, feasible: %s)\n",
+              outcome.solution.ToString().c_str(),
+              outcome.objectives.energy_kwh,
+              outcome.feasible ? "yes" : "no");
+
+  // 5. The firewall enforces the plan on the command stream.
+  devices::DeviceRegistry registry;
+  const auto ac = *registry.Add("living_room_ac", devices::DeviceKind::kHvac,
+                                0, "192.168.0.5");
+  const auto light = *registry.Add("living_room_light",
+                                   devices::DeviceKind::kLight, 0);
+  firewall::MetaControlFirewall fw(&registry);
+  std::vector<int> dropped;
+  for (const core::ActiveRule& active : problem.active) {
+    if (!outcome.solution.adopted(static_cast<size_t>(active.rule_index))) {
+      dropped.push_back(
+          mrt.convenience_ids()[static_cast<size_t>(active.rule_index)]);
+    }
+  }
+  fw.SetDroppedRules(dropped);
+
+  for (const core::ActiveRule& active : problem.active) {
+    const rules::MetaRule& rule =
+        mrt.ConvenienceRule(static_cast<size_t>(active.rule_index));
+    devices::ActuationCommand cmd;
+    cmd.device =
+        rule.TargetKind() == devices::DeviceKind::kHvac ? ac : light;
+    cmd.type = active.type;
+    cmd.value = active.desired;
+    cmd.rule_id = rule.id;
+    cmd.time = slot;
+    cmd.source = "mrt";
+    const firewall::Decision decision = fw.Filter(cmd);
+    std::printf("  %-18s -> %s %-6g : %s (%s)\n", rule.description.c_str(),
+                devices::CommandTypeName(cmd.type), cmd.value,
+                firewall::VerdictName(decision.verdict),
+                firewall::DecisionReasonName(decision.reason));
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Smart-dorms scenario (the paper's second motivational example): the
+// SAVES inter-dormitory competition aimed at 8% electricity savings, but
+// students reached only 4.44% by manual effort. This example shows what
+// the Energy Planner achieves on the 50-apartment dorms dataset for a
+// range of savings targets: the firewall enforces the reduced budget while
+// convenience degrades only mildly.
+//
+//   ./examples/smart_dorms [--quick]
+
+#include <cstdio>
+#include <cstring>
+
+#include "sim/simulation.h"
+
+using namespace imcf;
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+
+  sim::SimulationOptions options;
+  options.spec = trace::DormsSpec();
+  if (quick) {
+    // One year instead of three for a fast demo run.
+    options.hours = 365 * 24;
+    options.budget_kwh = options.spec.budget_kwh / 3.0;
+  }
+  sim::Simulator simulator(options);
+  if (Status s = simulator.Prepare(); !s.ok()) {
+    std::fprintf(stderr, "prepare failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Smart-dorms (SAVES): %d dorm units, base budget %.0f kWh\n\n",
+              options.spec.units, simulator.total_budget_kwh());
+  std::printf("%-14s %12s %16s %14s\n", "savings goal", "F_CE [%]",
+              "F_E [kWh]", "achieved");
+
+  const double base_budget = simulator.total_budget_kwh();
+  double base_consumption = 0.0;
+  for (double target : {0.0, 0.0444, 0.08, 0.15}) {
+    if (Status s = simulator.Reconfigure(target,
+                                         energy::AmortizationKind::kEaf);
+        !s.ok()) {
+      std::fprintf(stderr, "reconfigure failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    const auto report = simulator.Run(sim::Policy::kEnergyPlanner);
+    if (!report.ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    if (target == 0.0) base_consumption = report->fe_kwh;
+    const double achieved =
+        100.0 * (1.0 - report->fe_kwh / base_consumption);
+    std::printf("%12.2f%% %12.2f %16.1f %13.2f%%\n", 100.0 * target,
+                report->fce_pct, report->fe_kwh, achieved);
+  }
+
+  std::printf("\nSAVES context: students reached 4.44%% savings manually; "
+              "the 8%% programme target needs planner-enforced budgets "
+              "(base allocation %.0f kWh).\n",
+              base_budget);
+  return 0;
+}

@@ -1,0 +1,30 @@
+// CRC-32C (Castagnoli) checksums, used by the storage layer to detect
+// corruption of trace-file blocks and table-store records.
+
+#ifndef IMCF_COMMON_CRC32_H_
+#define IMCF_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace imcf {
+
+/// Extends `crc` with `data` (pass 0 to start a fresh checksum).
+uint32_t Crc32c(uint32_t crc, const void* data, size_t n);
+
+/// Checksum of a byte string, starting from 0.
+inline uint32_t Crc32c(std::string_view data) {
+  return Crc32c(0, data.data(), data.size());
+}
+
+/// Masked CRC, as in LevelDB/RocksDB: storing the CRC of data that itself
+/// contains CRCs can defeat the checksum, so stored values are masked.
+uint32_t MaskCrc(uint32_t crc);
+
+/// Inverse of MaskCrc.
+uint32_t UnmaskCrc(uint32_t masked);
+
+}  // namespace imcf
+
+#endif  // IMCF_COMMON_CRC32_H_

@@ -1,0 +1,60 @@
+// Minimal leveled logging to stderr.
+//
+// IMCF runs inside benchmarks and long trace-driven simulations, so logging
+// defaults to WARNING and is cheap when disabled. The macro captures file and
+// line for the message prefix.
+
+#ifndef IMCF_COMMON_LOGGING_H_
+#define IMCF_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace imcf {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted (thread-unsafe setter; call once
+/// at startup).
+void SetLogLevel(LogLevel level);
+
+/// Returns the current minimum level.
+LogLevel GetLogLevel();
+
+/// Writes one formatted log line to stderr.
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message);
+
+namespace internal {
+
+/// Stream-collecting helper behind IMCF_LOG; emits on destruction.
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace imcf
+
+/// Usage: IMCF_LOG(kInfo) << "loaded " << n << " rules";
+#define IMCF_LOG(level)                                             \
+  if (::imcf::LogLevel::level < ::imcf::GetLogLevel()) {            \
+  } else                                                            \
+    ::imcf::internal::LogStream(::imcf::LogLevel::level, __FILE__,  \
+                                __LINE__)
+
+#endif  // IMCF_COMMON_LOGGING_H_

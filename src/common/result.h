@@ -1,0 +1,88 @@
+// Result<T>: value-or-Status, the return type of fallible producers.
+//
+// Result<T> either holds a T (status is OK) or a non-OK Status. It is the
+// IMCF analogue of arrow::Result / absl::StatusOr. Accessing the value of an
+// errored Result aborts, so callers must check ok() (or use the
+// IMCF_ASSIGN_OR_RETURN macro) first.
+
+#ifndef IMCF_COMMON_RESULT_H_
+#define IMCF_COMMON_RESULT_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace imcf {
+
+template <typename T>
+class Result {
+ public:
+  /// Constructs an OK result holding a copy/move of `value`.
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+
+  /// Constructs an errored result. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      std::fprintf(stderr, "Result constructed from OK status without value\n");
+      std::abort();
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the held value; aborts if this Result is an error.
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result is an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!status_.ok()) {
+      std::fprintf(stderr, "Accessing value of errored Result: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace imcf
+
+// Internal helpers for unique temporary names inside the macro below.
+#define IMCF_MACRO_CONCAT_INNER(x, y) x##y
+#define IMCF_MACRO_CONCAT(x, y) IMCF_MACRO_CONCAT_INNER(x, y)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns its Status from the
+/// enclosing function, otherwise move-assigns the value into `lhs`.
+#define IMCF_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  auto IMCF_MACRO_CONCAT(_imcf_result_, __LINE__) = (rexpr);         \
+  if (!IMCF_MACRO_CONCAT(_imcf_result_, __LINE__).ok())              \
+    return IMCF_MACRO_CONCAT(_imcf_result_, __LINE__).status();      \
+  lhs = std::move(IMCF_MACRO_CONCAT(_imcf_result_, __LINE__)).value()
+
+#endif  // IMCF_COMMON_RESULT_H_

@@ -1,0 +1,86 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace imcf {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t v;
+  do {
+    v = Next();
+  } while (v >= limit);
+  return lo + static_cast<int64_t>(v % range);
+}
+
+double Rng::UniformDouble() {
+  // 53 high-quality bits -> [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+double Rng::Gaussian() {
+  // Box–Muller; u1 in (0, 1] to avoid log(0).
+  double u1 = 1.0 - UniformDouble();
+  double u2 = UniformDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+uint64_t MixHash(uint64_t x) {
+  uint64_t state = x;
+  return SplitMix64(&state);
+}
+
+uint64_t MixHash(uint64_t a, uint64_t b) {
+  return MixHash(a ^ (MixHash(b) + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace imcf

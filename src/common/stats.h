@@ -1,0 +1,55 @@
+// Streaming statistics accumulators.
+//
+// The paper reports "the mean and standard deviation of the results ... with
+// error bars in all experimental studies ... based on ten repetitions". These
+// accumulators back those summaries (Welford's online algorithm, numerically
+// stable for long trace runs).
+
+#ifndef IMCF_COMMON_STATS_H_
+#define IMCF_COMMON_STATS_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace imcf {
+
+/// Single-pass mean / variance / min / max accumulator.
+class RunningStat {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Merges another accumulator into this one.
+  void Merge(const RunningStat& other);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  /// "mean ± stddev" with the requested precision.
+  std::string ToString(int precision = 2) const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Computes mean of a sample vector (0 for empty input).
+double Mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1); 0 for fewer than two samples.
+double StdDev(const std::vector<double>& xs);
+
+}  // namespace imcf
+
+#endif  // IMCF_COMMON_STATS_H_

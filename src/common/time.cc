@@ -1,0 +1,175 @@
+#include "common/time.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace imcf {
+
+bool IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month) {
+  static constexpr int kDays[] = {31, 28, 31, 30, 31, 30,
+                                  31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[month - 1];
+}
+
+const char* MonthName(int month) {
+  static constexpr const char* kNames[] = {
+      "January", "February", "March",     "April",   "May",      "June",
+      "July",    "August",   "September", "October", "November", "December"};
+  return kNames[month - 1];
+}
+
+// Howard Hinnant's days-from-civil algorithm (public domain).
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);           // [0, 399]
+  const unsigned doy = (153u * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1; // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0, 146096]
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+namespace {
+
+// Inverse of DaysFromCivil (Hinnant's civil-from-days).
+void CivilFromDays(int64_t z, int* year, int* month, int* day) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);  // [0, 146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;     // [0, 399]
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                       // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;               // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                    // [1, 12]
+  *year = static_cast<int>(y + (m <= 2));
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+// Floor division/modulus for possibly-negative times.
+int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+int64_t FloorMod(int64_t a, int64_t b) { return a - FloorDiv(a, b) * b; }
+
+}  // namespace
+
+SimTime FromCivil(const CivilTime& ct) {
+  return DaysFromCivil(ct.year, ct.month, ct.day) * kSecondsPerDay +
+         ct.hour * kSecondsPerHour + ct.minute * kSecondsPerMinute + ct.second;
+}
+
+SimTime FromCivil(int year, int month, int day, int hour, int minute,
+                  int second) {
+  return FromCivil(CivilTime{year, month, day, hour, minute, second});
+}
+
+CivilTime ToCivil(SimTime t) {
+  const int64_t days = FloorDiv(t, kSecondsPerDay);
+  int64_t rem = FloorMod(t, kSecondsPerDay);
+  CivilTime ct;
+  CivilFromDays(days, &ct.year, &ct.month, &ct.day);
+  ct.hour = static_cast<int>(rem / kSecondsPerHour);
+  rem %= kSecondsPerHour;
+  ct.minute = static_cast<int>(rem / kSecondsPerMinute);
+  ct.second = static_cast<int>(rem % kSecondsPerMinute);
+  return ct;
+}
+
+int DayOfWeek(SimTime t) {
+  // 1970-01-01 was a Thursday (= 4 with Sunday = 0).
+  const int64_t days = FloorDiv(t, kSecondsPerDay);
+  return static_cast<int>(FloorMod(days + 4, 7));
+}
+
+int DayOfYear(SimTime t) {
+  const CivilTime ct = ToCivil(t);
+  return static_cast<int>(DaysFromCivil(ct.year, ct.month, ct.day) -
+                          DaysFromCivil(ct.year, 1, 1)) +
+         1;
+}
+
+double YearFraction(SimTime t) {
+  const CivilTime ct = ToCivil(t);
+  const SimTime year_start = FromCivil(ct.year, 1, 1);
+  const SimTime next_year = FromCivil(ct.year + 1, 1, 1);
+  return static_cast<double>(t - year_start) /
+         static_cast<double>(next_year - year_start);
+}
+
+int64_t HourIndex(SimTime t) { return FloorDiv(t, kSecondsPerHour); }
+
+std::string FormatTime(SimTime t) {
+  const CivilTime ct = ToCivil(t);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d", ct.year,
+                ct.month, ct.day, ct.hour, ct.minute, ct.second);
+  return buf;
+}
+
+Result<SimTime> ParseTime(const std::string& text) {
+  CivilTime ct;
+  int fields = std::sscanf(text.c_str(), "%d-%d-%d %d:%d:%d", &ct.year,
+                           &ct.month, &ct.day, &ct.hour, &ct.minute,
+                           &ct.second);
+  if (fields != 3 && fields != 6) {
+    return Status::InvalidArgument("cannot parse time: '" + text + "'");
+  }
+  if (ct.month < 1 || ct.month > 12 || ct.day < 1 ||
+      ct.day > DaysInMonth(ct.year, ct.month) || ct.hour < 0 || ct.hour > 23 ||
+      ct.minute < 0 || ct.minute > 59 || ct.second < 0 || ct.second > 59) {
+    return Status::OutOfRange("time out of range: '" + text + "'");
+  }
+  return FromCivil(ct);
+}
+
+int MinuteOfDay(SimTime t) {
+  return static_cast<int>(FloorMod(t, kSecondsPerDay) / kSecondsPerMinute);
+}
+
+bool TimeWindow::ContainsMinute(int minute_of_day) const {
+  if (start_minute < end_minute) {
+    return minute_of_day >= start_minute && minute_of_day < end_minute;
+  }
+  // Wrapping window (e.g. 22:00 - 06:00) or empty (start == end => wraps to
+  // full day only when start == end == 0/1440; treat equal bounds as empty).
+  if (start_minute == end_minute) return false;
+  return minute_of_day >= start_minute || minute_of_day < end_minute;
+}
+
+int TimeWindow::DurationMinutes() const {
+  if (start_minute <= end_minute) return end_minute - start_minute;
+  return kMinutesPerDay - start_minute + end_minute;
+}
+
+std::string TimeWindow::ToString() const {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%02d:%02d - %02d:%02d", start_minute / 60,
+                start_minute % 60, end_minute / 60, end_minute % 60);
+  return buf;
+}
+
+Result<TimeWindow> ParseTimeWindow(const std::string& text) {
+  int h1 = 0, m1 = 0, h2 = 0, m2 = 0;
+  if (std::sscanf(text.c_str(), "%d:%d - %d:%d", &h1, &m1, &h2, &m2) != 4 &&
+      std::sscanf(text.c_str(), "%d:%d-%d:%d", &h1, &m1, &h2, &m2) != 4) {
+    return Status::InvalidArgument("cannot parse time window: '" + text + "'");
+  }
+  if (h1 < 0 || h1 > 23 || m1 < 0 || m1 > 59 || h2 < 0 || h2 > 24 || m2 < 0 ||
+      m2 > 59 || (h2 == 24 && m2 != 0)) {
+    return Status::OutOfRange("time window out of range: '" + text + "'");
+  }
+  return TimeWindow{h1 * 60 + m1, h2 * 60 + m2};
+}
+
+}  // namespace imcf

@@ -1,0 +1,113 @@
+// Simulation time and calendar arithmetic.
+//
+// IMCF's evaluation is trace-driven over multi-year periods at hourly (or
+// finer) granularity, and its rules and amortization plans are defined over
+// calendar concepts (months, seasons, time-of-day windows like
+// "17:00-24:00"). This header provides a deterministic proleptic-Gregorian
+// calendar with no timezone/DST complications: simulation time is a plain
+// count of seconds and all conversions are pure functions.
+
+#ifndef IMCF_COMMON_TIME_H_
+#define IMCF_COMMON_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace imcf {
+
+/// Seconds since the Unix epoch (1970-01-01 00:00:00), proleptic Gregorian,
+/// no leap seconds. All simulation clocks use this type.
+using SimTime = int64_t;
+
+inline constexpr int64_t kSecondsPerMinute = 60;
+inline constexpr int64_t kSecondsPerHour = 3600;
+inline constexpr int64_t kSecondsPerDay = 86400;
+inline constexpr int64_t kMinutesPerDay = 1440;
+
+/// A broken-down calendar date-time (local civil time of the smart space).
+struct CivilTime {
+  int year = 1970;
+  int month = 1;  ///< 1..12
+  int day = 1;    ///< 1..31
+  int hour = 0;   ///< 0..23
+  int minute = 0; ///< 0..59
+  int second = 0; ///< 0..59
+
+  friend bool operator==(const CivilTime&, const CivilTime&) = default;
+};
+
+/// True iff `year` is a Gregorian leap year.
+bool IsLeapYear(int year);
+
+/// Number of days in `month` (1..12) of `year`.
+int DaysInMonth(int year, int month);
+
+/// English month name ("January".."December"); month in 1..12.
+const char* MonthName(int month);
+
+/// Days since 1970-01-01 for the given civil date (may be negative).
+int64_t DaysFromCivil(int year, int month, int day);
+
+/// Converts a civil date-time to simulation time.
+SimTime FromCivil(const CivilTime& ct);
+
+/// Convenience overload.
+SimTime FromCivil(int year, int month, int day, int hour = 0, int minute = 0,
+                  int second = 0);
+
+/// Converts simulation time back to a civil date-time.
+CivilTime ToCivil(SimTime t);
+
+/// Day of week for a simulation time; 0 = Sunday .. 6 = Saturday.
+int DayOfWeek(SimTime t);
+
+/// Day of year, 1-based (Jan 1 => 1).
+int DayOfYear(SimTime t);
+
+/// Fraction of the calendar year elapsed at `t`, in [0, 1).
+double YearFraction(SimTime t);
+
+/// Hour index (floor(t / 3600)); adjacent hours differ by 1.
+int64_t HourIndex(SimTime t);
+
+/// Formats as "YYYY-MM-DD HH:MM:SS".
+std::string FormatTime(SimTime t);
+
+/// Parses "YYYY-MM-DD" or "YYYY-MM-DD HH:MM:SS".
+Result<SimTime> ParseTime(const std::string& text);
+
+/// Minutes since midnight, in [0, 1440).
+int MinuteOfDay(SimTime t);
+
+/// A daily time-of-day window, e.g. the "17:00 - 24:00" of a meta-rule.
+/// Stored as minutes since midnight; `end` may be 1440 ("24:00"). Windows
+/// where end <= start wrap past midnight (e.g. 22:00 - 06:00). The window is
+/// half-open: [start, end).
+struct TimeWindow {
+  int start_minute = 0;
+  int end_minute = kMinutesPerDay;
+
+  /// True iff the given minute-of-day falls inside the window.
+  bool ContainsMinute(int minute_of_day) const;
+
+  /// True iff the instant `t` falls inside the window.
+  bool Contains(SimTime t) const { return ContainsMinute(MinuteOfDay(t)); }
+
+  /// Window length in minutes (wrapping windows measure across midnight).
+  int DurationMinutes() const;
+
+  /// Formats as "HH:MM - HH:MM".
+  std::string ToString() const;
+
+  friend bool operator==(const TimeWindow&, const TimeWindow&) = default;
+};
+
+/// Parses "HH:MM - HH:MM" (also accepts "HH:MM-HH:MM"); "24:00" is a valid
+/// end bound.
+Result<TimeWindow> ParseTimeWindow(const std::string& text);
+
+}  // namespace imcf
+
+#endif  // IMCF_COMMON_TIME_H_

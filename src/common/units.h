@@ -1,0 +1,37 @@
+// Physical units and conversion helpers used throughout IMCF.
+//
+// Quantities are carried as plain doubles with unit-suffixed names
+// (energy_kwh, power_kw, temp_c, light_pct); this header centralises the few
+// conversions and the EU tariff constant the paper quotes ("1 kWh costs
+// around 0.20 Euros in EU").
+
+#ifndef IMCF_COMMON_UNITS_H_
+#define IMCF_COMMON_UNITS_H_
+
+namespace imcf {
+
+/// Average EU electricity price the paper uses to map money <-> energy.
+inline constexpr double kEuroPerKwh = 0.20;
+
+/// Converts a monetary budget in euros to an energy budget in kWh.
+inline double EurosToKwh(double euros) { return euros / kEuroPerKwh; }
+
+/// Converts an energy amount in kWh to euros.
+inline double KwhToEuros(double kwh) { return kwh * kEuroPerKwh; }
+
+/// Energy (kWh) drawn by a constant load of `power_kw` over `hours`.
+inline double EnergyKwh(double power_kw, double hours) {
+  return power_kw * hours;
+}
+
+/// Clamps a value into [lo, hi].
+inline double Clamp(double v, double lo, double hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/// Linear interpolation between a and b by t in [0,1].
+inline double Lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+}  // namespace imcf
+
+#endif  // IMCF_COMMON_UNITS_H_

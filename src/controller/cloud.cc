@@ -1,0 +1,202 @@
+#include "controller/cloud.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/strings.h"
+
+namespace imcf {
+namespace controller {
+
+const char* AllocationPolicyName(AllocationPolicy policy) {
+  switch (policy) {
+    case AllocationPolicy::kEqualShare:
+      return "equal-share";
+    case AllocationPolicy::kDemandProportional:
+      return "demand-proportional";
+    case AllocationPolicy::kUtilitarian:
+      return "utilitarian";
+  }
+  return "?";
+}
+
+struct CloudMetaController::Household {
+  std::string name;
+  trace::DatasetSpec spec;
+  std::unique_ptr<sim::Simulator> simulator;
+  double demand_kwh = 0.0;  ///< MR forecast, filled by ForecastDemands()
+};
+
+CloudMetaController::CloudMetaController(CloudOptions options)
+    : options_(std::move(options)) {}
+
+CloudMetaController::~CloudMetaController() = default;
+
+Status CloudMetaController::AddHousehold(std::string name,
+                                         trace::DatasetSpec spec) {
+  for (const auto& h : households_) {
+    if (h->name == name) {
+      return Status::AlreadyExists("household exists: " + name);
+    }
+  }
+  auto household = std::make_unique<Household>();
+  household->name = std::move(name);
+  household->spec = std::move(spec);
+
+  sim::SimulationOptions sim_options;
+  sim_options.spec = household->spec;
+  sim_options.start =
+      options_.start != 0 ? options_.start : trace::EvaluationStart();
+  sim_options.hours = options_.hours != 0 ? options_.hours : 365 * 24;
+  // Placeholder budget; Run() overrides it with the allocation.
+  sim_options.budget_kwh = household->spec.budget_kwh;
+  sim_options.seed = MixHash(options_.seed, households_.size() + 1);
+  household->simulator = std::make_unique<sim::Simulator>(sim_options);
+  IMCF_RETURN_IF_ERROR(household->simulator->Prepare());
+  households_.push_back(std::move(household));
+  return Status::Ok();
+}
+
+Status CloudMetaController::ForecastDemands() {
+  for (auto& household : households_) {
+    if (household->demand_kwh > 0.0) continue;  // cached
+    IMCF_ASSIGN_OR_RETURN(
+        sim::SimulationReport report,
+        household->simulator->Run(sim::Policy::kMetaRule));
+    household->demand_kwh = report.fe_kwh;
+  }
+  return Status::Ok();
+}
+
+Result<sim::SimulationReport> CloudMetaController::RunHousehold(
+    Household* household, double allocation_kwh) {
+  IMCF_RETURN_IF_ERROR(household->simulator->SetBudget(allocation_kwh));
+  return household->simulator->Run(sim::Policy::kEnergyPlanner);
+}
+
+Result<std::vector<double>> CloudMetaController::Allocate() {
+  const size_t n = households_.size();
+  std::vector<double> shares(n, 0.0);
+  switch (options_.policy) {
+    case AllocationPolicy::kEqualShare: {
+      const double each = options_.community_budget_kwh / static_cast<double>(n);
+      std::fill(shares.begin(), shares.end(), each);
+      return shares;
+    }
+    case AllocationPolicy::kDemandProportional:
+    case AllocationPolicy::kUtilitarian: {
+      IMCF_RETURN_IF_ERROR(ForecastDemands());
+      double total_demand = 0.0;
+      for (const auto& h : households_) total_demand += h->demand_kwh;
+      if (total_demand <= 0.0) {
+        return Status::FailedPrecondition("no household demand");
+      }
+      for (size_t i = 0; i < n; ++i) {
+        shares[i] = options_.community_budget_kwh * households_[i]->demand_kwh /
+                    total_demand;
+      }
+      if (options_.policy == AllocationPolicy::kDemandProportional) {
+        return shares;
+      }
+      // Utilitarian refinement: move budget from the household that loses
+      // least to the one that gains most, judged by probe runs.
+      for (int round = 0; round < options_.utilitarian_rounds; ++round) {
+        double best_gain = 0.0, best_loss = 1e18;
+        int gainer = -1, donor = -1;
+        for (size_t i = 0; i < n; ++i) {
+          const double a = shares[i];
+          const double delta = a * options_.transfer_fraction;
+          IMCF_ASSIGN_OR_RETURN(sim::SimulationReport at,
+                                RunHousehold(households_[i].get(), a));
+          IMCF_ASSIGN_OR_RETURN(
+              sim::SimulationReport more,
+              RunHousehold(households_[i].get(), a + delta));
+          IMCF_ASSIGN_OR_RETURN(
+              sim::SimulationReport less,
+              RunHousehold(households_[i].get(), std::max(1.0, a - delta)));
+          const double gain = at.fce_pct - more.fce_pct;   // F_CE saved
+          const double loss = less.fce_pct - at.fce_pct;   // F_CE lost
+          if (gain > best_gain) {
+            best_gain = gain;
+            gainer = static_cast<int>(i);
+          }
+          if (loss < best_loss) {
+            best_loss = loss;
+            donor = static_cast<int>(i);
+          }
+        }
+        if (gainer < 0 || donor < 0 || gainer == donor ||
+            best_gain <= best_loss) {
+          break;  // no strictly improving transfer
+        }
+        const double delta =
+            shares[static_cast<size_t>(donor)] * options_.transfer_fraction;
+        shares[static_cast<size_t>(donor)] -= delta;
+        shares[static_cast<size_t>(gainer)] += delta;
+      }
+      return shares;
+    }
+  }
+  return Status::Internal("unknown allocation policy");
+}
+
+Result<CloudReport> CloudMetaController::Run() {
+  if (households_.empty()) {
+    return Status::FailedPrecondition("no households registered");
+  }
+  if (options_.community_budget_kwh <= 0.0) {
+    return Status::InvalidArgument("community budget must be positive");
+  }
+  IMCF_ASSIGN_OR_RETURN(std::vector<double> shares, Allocate());
+
+  CloudReport report;
+  report.policy = AllocationPolicyName(options_.policy);
+  report.community_budget_kwh = options_.community_budget_kwh;
+
+  RunningStat fce;
+  for (size_t i = 0; i < households_.size(); ++i) {
+    Household* household = households_[i].get();
+    IMCF_ASSIGN_OR_RETURN(sim::SimulationReport sim_report,
+                          RunHousehold(household, shares[i]));
+    HouseholdReport hr;
+    hr.name = household->name;
+    hr.allocation_kwh = shares[i];
+    hr.demand_kwh = household->demand_kwh;
+    hr.fce_pct = sim_report.fce_pct;
+    hr.fe_kwh = sim_report.fe_kwh;
+    report.households.push_back(hr);
+    report.total_fe_kwh += sim_report.fe_kwh;
+    fce.Add(sim_report.fce_pct);
+  }
+  report.mean_fce_pct = fce.mean();
+  report.fairness_stddev = fce.stddev();
+  report.within_budget =
+      report.total_fe_kwh <= report.community_budget_kwh + 1e-6;
+  return report;
+}
+
+Result<std::unique_ptr<CloudMetaController>> DefaultNeighborhood(
+    int n, double community_budget_kwh, CloudOptions options) {
+  if (n <= 0) return Status::InvalidArgument("need at least one household");
+  options.community_budget_kwh = community_budget_kwh;
+  auto cmc = std::make_unique<CloudMetaController>(options);
+  Rng rng(options.seed);
+  for (int i = 0; i < n; ++i) {
+    trace::DatasetSpec spec = trace::FlatSpec();
+    spec.name = StrFormat("home%02d", i);
+    spec.seed = MixHash(options.seed, static_cast<uint64_t>(i));
+    // Conflicting interests: households differ in rule tables and
+    // appetite (device sizes vary ±30%).
+    spec.mrt_variation = 0.4;
+    const double appetite = rng.UniformDouble(0.7, 1.3);
+    spec.hvac.kw_per_degree *= appetite;
+    spec.light.max_power_kw *= appetite;
+    IMCF_RETURN_IF_ERROR(cmc->AddHousehold(spec.name, spec));
+  }
+  return cmc;
+}
+
+}  // namespace controller
+}  // namespace imcf

@@ -1,0 +1,122 @@
+// Cloud Meta-Controller (CMC): community-level budget coordination.
+//
+// The paper's future work (§V) names two extensions this module provides:
+// "multiple energy planners with conflicting interests" and "IMCF-Cloud
+// extensions that will enable IMCF to operate as a CMC controller in the
+// cloud". A CloudMetaController fronts several households, each running its
+// own Local Controller and Energy Planner, that share one community energy
+// budget (a shared PV plant, or a feeder/transformer allotment). The CMC
+// decides each household's allocation; each household then plans within its
+// share exactly as in the single-home system.
+//
+// Allocation policies:
+//   * kEqualShare          — budget / N, the naive baseline.
+//   * kDemandProportional  — shares proportional to each household's
+//                            greedy (Meta-Rule) demand forecast.
+//   * kUtilitarian         — starts from demand-proportional shares and
+//                            iteratively moves budget from the household
+//                            with the lowest marginal convenience loss to
+//                            the one with the highest marginal gain
+//                            (measured by probe simulations), approximating
+//                            the community-optimal split.
+
+#ifndef IMCF_CONTROLLER_CLOUD_H_
+#define IMCF_CONTROLLER_CLOUD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace imcf {
+namespace controller {
+
+/// How the CMC splits the community budget.
+enum class AllocationPolicy {
+  kEqualShare,
+  kDemandProportional,
+  kUtilitarian,
+};
+
+const char* AllocationPolicyName(AllocationPolicy policy);
+
+/// CMC configuration.
+struct CloudOptions {
+  double community_budget_kwh = 0.0;  ///< shared pool for the period
+  SimTime start = 0;                  ///< 0: paper evaluation start
+  int hours = 0;                      ///< 0: one year
+  AllocationPolicy policy = AllocationPolicy::kDemandProportional;
+  /// Utilitarian refinement rounds (each runs one probe pair per
+  /// household).
+  int utilitarian_rounds = 3;
+  /// Fraction of a household's share moved per utilitarian transfer.
+  double transfer_fraction = 0.15;
+  uint64_t seed = 99;
+};
+
+/// Per-household outcome.
+struct HouseholdReport {
+  std::string name;
+  double allocation_kwh = 0.0;
+  double demand_kwh = 0.0;  ///< greedy (MR) forecast used for shares
+  double fce_pct = 0.0;
+  double fe_kwh = 0.0;
+};
+
+/// Community outcome.
+struct CloudReport {
+  std::string policy;
+  double total_fe_kwh = 0.0;
+  double community_budget_kwh = 0.0;
+  bool within_budget = false;
+  double mean_fce_pct = 0.0;      ///< community convenience error
+  double fairness_stddev = 0.0;   ///< spread of per-household F_CE
+  std::vector<HouseholdReport> households;
+};
+
+/// The coordinator.
+class CloudMetaController {
+ public:
+  explicit CloudMetaController(CloudOptions options);
+  ~CloudMetaController();
+
+  CloudMetaController(const CloudMetaController&) = delete;
+  CloudMetaController& operator=(const CloudMetaController&) = delete;
+
+  /// Registers one household. `spec` describes its building (typically a
+  /// flat variant); names must be unique.
+  Status AddHousehold(std::string name, trace::DatasetSpec spec);
+
+  /// Allocates the community budget per the policy and runs every
+  /// household's planner within its share.
+  Result<CloudReport> Run();
+
+  size_t household_count() const { return households_.size(); }
+
+ private:
+  struct Household;
+
+  /// MR-demand forecasts for every household (cached).
+  Status ForecastDemands();
+
+  /// Computes allocations for the configured policy.
+  Result<std::vector<double>> Allocate();
+
+  /// Runs one household's EP at the given allocation.
+  Result<sim::SimulationReport> RunHousehold(Household* household,
+                                             double allocation_kwh);
+
+  CloudOptions options_;
+  std::vector<std::unique_ptr<Household>> households_;
+};
+
+/// A small community of `n` flats with varied rule tables and ambient
+/// seeds — households genuinely conflict over the shared pool.
+Result<std::unique_ptr<CloudMetaController>> DefaultNeighborhood(
+    int n, double community_budget_kwh, CloudOptions options = {});
+
+}  // namespace controller
+}  // namespace imcf
+
+#endif  // IMCF_CONTROLLER_CLOUD_H_

@@ -1,0 +1,111 @@
+#include "controller/items.h"
+
+#include "common/strings.h"
+
+namespace imcf {
+namespace controller {
+
+const char* ItemTypeName(ItemType type) {
+  switch (type) {
+    case ItemType::kNumber:
+      return "Number";
+    case ItemType::kSwitch:
+      return "Switch";
+    case ItemType::kDimmer:
+      return "Dimmer";
+    case ItemType::kSetpoint:
+      return "Setpoint";
+  }
+  return "?";
+}
+
+int ItemRegistry::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (items_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status ItemRegistry::Add(Item item) {
+  if (IndexOf(item.name) >= 0) {
+    return Status::AlreadyExists("item exists: " + item.name);
+  }
+  items_.push_back(std::move(item));
+  return Status::Ok();
+}
+
+Status ItemRegistry::BindDevices(const devices::DeviceRegistry& registry) {
+  for (const devices::Thing& thing : registry.things()) {
+    const char* kind = devices::DeviceKindName(thing.kind);
+    Item power;
+    power.name = thing.name + "_Power";
+    power.type = ItemType::kSwitch;
+    power.channel = StrFormat("%s:%s:power", kind, thing.name.c_str());
+    power.device = thing.id;
+    IMCF_RETURN_IF_ERROR(Add(std::move(power)));
+
+    Item setpoint;
+    setpoint.name = thing.name + "_SetPoint";
+    setpoint.type = thing.kind == devices::DeviceKind::kLight
+                        ? ItemType::kDimmer
+                        : ItemType::kSetpoint;
+    setpoint.channel = StrFormat(
+        "%s:%s:%s", kind, thing.name.c_str(),
+        thing.kind == devices::DeviceKind::kLight ? "level" : "settemp");
+    setpoint.device = thing.id;
+    IMCF_RETURN_IF_ERROR(Add(std::move(setpoint)));
+  }
+  return Status::Ok();
+}
+
+Result<const Item*> ItemRegistry::Get(const std::string& name) const {
+  const int index = IndexOf(name);
+  if (index < 0) return Status::NotFound("no item named: " + name);
+  return &items_[static_cast<size_t>(index)];
+}
+
+Status ItemRegistry::Update(const std::string& name, double state,
+                            SimTime now) {
+  const int index = IndexOf(name);
+  if (index < 0) return Status::NotFound("no item named: " + name);
+  items_[static_cast<size_t>(index)].state = state;
+  items_[static_cast<size_t>(index)].updated_at = now;
+  return Status::Ok();
+}
+
+Status ItemRegistry::ApplyCommand(const devices::ActuationCommand& command) {
+  bool any = false;
+  for (Item& item : items_) {
+    if (!item.device.has_value() || *item.device != command.device) continue;
+    switch (command.type) {
+      case devices::CommandType::kSetTemperature:
+      case devices::CommandType::kSetLight:
+        if (item.type == ItemType::kSetpoint ||
+            item.type == ItemType::kDimmer) {
+          item.state = command.value;
+          item.updated_at = command.time;
+          any = true;
+        } else if (item.type == ItemType::kSwitch) {
+          item.state = 1.0;
+          item.updated_at = command.time;
+          any = true;
+        }
+        break;
+      case devices::CommandType::kTurnOff:
+        if (item.type == ItemType::kSwitch) {
+          item.state = 0.0;
+          item.updated_at = command.time;
+          any = true;
+        }
+        break;
+    }
+  }
+  if (!any) {
+    return Status::NotFound(
+        StrFormat("no items bound to device %u", command.device));
+  }
+  return Status::Ok();
+}
+
+}  // namespace controller
+}  // namespace imcf

@@ -1,0 +1,78 @@
+// openHAB-style item registry.
+//
+// The paper's Local Controller extends openHAB, where every device channel
+// is surfaced as an *Item* (e.g. `Number:Temperature DaikinACUnit_SetPoint`
+// bound to `daikin:ac_unit:living_room_ac:settemp`). The IMCF GUI "records
+// OpenHAB item measurements/values on local storage and presents those on a
+// table". This module reproduces that layer: typed items bound to device
+// channels, state updates from accepted actuation commands and sensor
+// readings, and export to the table store.
+
+#ifndef IMCF_CONTROLLER_ITEMS_H_
+#define IMCF_CONTROLLER_ITEMS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/time.h"
+#include "devices/device.h"
+
+namespace imcf {
+namespace controller {
+
+/// Item families, mirroring openHAB's type system subset IMCF uses.
+enum class ItemType : uint8_t {
+  kNumber = 0,   ///< sensor measurements (temperature, light level)
+  kSwitch = 1,   ///< on/off state
+  kDimmer = 2,   ///< 0-100 level
+  kSetpoint = 3, ///< numeric target bound to an actuator channel
+};
+
+const char* ItemTypeName(ItemType type);
+
+/// One item: a named, typed state cell, optionally bound to a device
+/// channel ("<thing>:<channel>").
+struct Item {
+  std::string name;            ///< e.g. "Unit00AC_SetPoint"
+  ItemType type = ItemType::kNumber;
+  std::string channel;         ///< e.g. "hvac:unit00_ac:settemp"
+  std::optional<devices::DeviceId> device;
+  double state = 0.0;
+  SimTime updated_at = 0;
+};
+
+/// Registry of items with device-channel bindings.
+class ItemRegistry {
+ public:
+  /// Adds an item; names must be unique.
+  Status Add(Item item);
+
+  /// Creates the standard item set for every device in `registry`:
+  /// a setpoint + switch per actuator, a number per sensor channel.
+  Status BindDevices(const devices::DeviceRegistry& registry);
+
+  Result<const Item*> Get(const std::string& name) const;
+
+  /// Updates an item's state (e.g. from a sensor reading or an accepted
+  /// command).
+  Status Update(const std::string& name, double state, SimTime now);
+
+  /// Applies an accepted actuation command to the bound setpoint/switch
+  /// items of the target device.
+  Status ApplyCommand(const devices::ActuationCommand& command);
+
+  const std::vector<Item>& items() const { return items_; }
+  size_t size() const { return items_.size(); }
+
+ private:
+  int IndexOf(const std::string& name) const;
+
+  std::vector<Item> items_;
+};
+
+}  // namespace controller
+}  // namespace imcf
+
+#endif  // IMCF_CONTROLLER_ITEMS_H_

@@ -1,0 +1,145 @@
+#include "controller/resident.h"
+
+#include <map>
+
+#include "storage/coding.h"
+
+namespace imcf {
+namespace controller {
+
+namespace {
+
+rules::MetaRule MakeRule(const char* description, int start_h, int end_h,
+                         rules::RuleAction action, double value, int unit,
+                         const char* user) {
+  rules::MetaRule rule;
+  rule.description = description;
+  rule.window = TimeWindow{start_h * 60, end_h * 60};
+  rule.action = action;
+  rule.value = value;
+  rule.unit = unit;
+  rule.user = user;
+  return rule;
+}
+
+}  // namespace
+
+std::vector<Resident> DefaultFamily() {
+  using rules::RuleAction;
+  std::vector<Resident> family;
+
+  Resident father;
+  father.name = "Father";
+  father.rules = {
+      MakeRule("Office Day Heat", 9, 16, RuleAction::kSetTemperature, 22.0,
+               0, "Father"),
+      MakeRule("Evening Warmth", 18, 23, RuleAction::kSetTemperature, 23.0,
+               0, "Father"),
+      MakeRule("Reading Light", 19, 23, RuleAction::kSetLight, 40.0, 0,
+               "Father"),
+  };
+  family.push_back(std::move(father));
+
+  Resident mother;
+  mother.name = "Mother";
+  mother.rules = {
+      MakeRule("Morning Warmth", 7, 9, RuleAction::kSetTemperature, 22.0, 1,
+               "Mother"),
+      MakeRule("Evening Comfort", 18, 23, RuleAction::kSetTemperature, 23.0,
+               1, "Mother"),
+      MakeRule("Kitchen Light", 7, 9, RuleAction::kSetLight, 40.0, 1,
+               "Mother"),
+  };
+  family.push_back(std::move(mother));
+
+  Resident daughter;
+  daughter.name = "Daughter";
+  daughter.rules = {
+      MakeRule("Homework Heat", 15, 21, RuleAction::kSetTemperature, 22.0, 2,
+               "Daughter"),
+      MakeRule("Night Light", 21, 23, RuleAction::kSetLight, 25.0, 2,
+               "Daughter"),
+      MakeRule("Sleep Comfort", 23, 24, RuleAction::kSetTemperature, 21.0, 2,
+               "Daughter"),
+  };
+  family.push_back(std::move(daughter));
+  return family;
+}
+
+Result<rules::MetaRuleTable> MergeResidents(
+    const std::vector<Resident>& residents) {
+  rules::MetaRuleTable table;
+  for (const Resident& resident : residents) {
+    for (const rules::MetaRule& rule : resident.rules) {
+      IMCF_RETURN_IF_ERROR(table.Add(rule));
+    }
+  }
+  return table;
+}
+
+TableSchema ResidentRuleSchema() {
+  return TableSchema{
+      "resident_rules",
+      {{"user", ColumnType::kString},
+       {"description", ColumnType::kString},
+       {"start_minute", ColumnType::kInt},
+       {"end_minute", ColumnType::kInt},
+       {"action", ColumnType::kInt},
+       {"value", ColumnType::kDouble},
+       {"unit", ColumnType::kInt}}};
+}
+
+Result<double> PersistResidents(const std::vector<Resident>& residents,
+                                Table* table) {
+  int64_t total_bytes = 0;
+  for (const Resident& resident : residents) {
+    for (const rules::MetaRule& rule : resident.rules) {
+      Row row{resident.name,
+              rule.description,
+              static_cast<int64_t>(rule.window.start_minute),
+              static_cast<int64_t>(rule.window.end_minute),
+              static_cast<int64_t>(rule.action),
+              rule.value,
+              static_cast<int64_t>(rule.unit)};
+      total_bytes += static_cast<int64_t>(
+          EncodeRow(table->schema(), row).size());
+      IMCF_RETURN_IF_ERROR(table->Insert(row));
+    }
+  }
+  IMCF_RETURN_IF_ERROR(table->Flush());
+  if (residents.empty()) return 0.0;
+  return static_cast<double>(total_bytes) /
+         static_cast<double>(residents.size());
+}
+
+Result<std::vector<Resident>> LoadResidents(const Table& table) {
+  std::map<std::string, Resident> by_name;
+  std::vector<std::string> order;
+  for (const Row& row : table.rows()) {
+    const std::string& user = std::get<std::string>(row[0]);
+    if (by_name.find(user) == by_name.end()) {
+      by_name[user].name = user;
+      order.push_back(user);
+    }
+    rules::MetaRule rule;
+    rule.user = user;
+    rule.description = std::get<std::string>(row[1]);
+    rule.window.start_minute = static_cast<int>(std::get<int64_t>(row[2]));
+    rule.window.end_minute = static_cast<int>(std::get<int64_t>(row[3]));
+    const int64_t action = std::get<int64_t>(row[4]);
+    if (action < 0 || action > 2) {
+      return Status::Corruption("bad rule action in resident table");
+    }
+    rule.action = static_cast<rules::RuleAction>(action);
+    rule.value = std::get<double>(row[5]);
+    rule.unit = static_cast<int>(std::get<int64_t>(row[6]));
+    by_name[user].rules.push_back(std::move(rule));
+  }
+  std::vector<Resident> out;
+  out.reserve(order.size());
+  for (const std::string& name : order) out.push_back(by_name[name]);
+  return out;
+}
+
+}  // namespace controller
+}  // namespace imcf

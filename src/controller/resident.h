@@ -1,0 +1,53 @@
+// Residents: per-user preference profiles for the multi-user prototype.
+//
+// In the paper's prototype study "each individual resident entered
+// approximately three different meta-rules according to their personal
+// preferences. One of them [set] the weekly energy consumption limit to
+// 165 kWh" — resulting in "configuration data of approximately 65 bytes /
+// user stored in the MariaDB persistency layer". This module models the
+// residents, merges their rules into one MRT (tagged by user for Table V's
+// per-resident convenience attribution) and persists the configuration in
+// the table store.
+
+#ifndef IMCF_CONTROLLER_RESIDENT_H_
+#define IMCF_CONTROLLER_RESIDENT_H_
+
+#include <string>
+#include <vector>
+
+#include "rules/meta_rule.h"
+#include "storage/table_store.h"
+
+namespace imcf {
+namespace controller {
+
+/// One household member and their preferences.
+struct Resident {
+  std::string name;
+  std::vector<rules::MetaRule> rules;
+};
+
+/// The three-person family of the prototype evaluation (§III-F): each
+/// resident owns one room unit (0..2) and about three preferences.
+std::vector<Resident> DefaultFamily();
+
+/// Merges resident rules into one MRT, tagging each rule with its owner.
+Result<rules::MetaRuleTable> MergeResidents(
+    const std::vector<Resident>& residents);
+
+/// Schema of the table persisting resident configurations.
+TableSchema ResidentRuleSchema();
+
+/// Writes every resident rule into `table` (one row per rule). Returns the
+/// average serialized bytes per resident (the paper's ~65 bytes/user
+/// footprint metric).
+Result<double> PersistResidents(const std::vector<Resident>& residents,
+                                Table* table);
+
+/// Reloads residents from a persisted table.
+Result<std::vector<Resident>> LoadResidents(const Table& table);
+
+}  // namespace controller
+}  // namespace imcf
+
+#endif  // IMCF_CONTROLLER_RESIDENT_H_

@@ -1,0 +1,136 @@
+#include "core/evaluator.h"
+
+#include <cmath>
+
+namespace imcf {
+namespace core {
+
+double NormalizedError(devices::CommandType type, double desired,
+                       double actual) {
+  if (type == devices::CommandType::kSetTemperature) {
+    // Thermal discomfort is two-sided: both under- and over-shooting the
+    // setpoint is inconvenient. Deviations inside the comfort deadzone are
+    // imperceptible.
+    const double gap = std::fabs(desired - actual) - kTempComfortZoneC;
+    return Clamp(gap / kTempErrorRange, 0.0, 1.0);
+  }
+  // Luminance comfort is one-sided: a room brighter than the requested
+  // level (e.g. daylight exceeding a 30% dimmer setting) costs nothing,
+  // only a shortfall does.
+  return Clamp((desired - actual) / kLightErrorRange, 0.0, 1.0);
+}
+
+SlotEvaluator::SlotEvaluator(const SlotProblem* problem) : problem_(problem) {
+  members_.resize(problem_->groups.size());
+  active_of_rule_.assign(static_cast<size_t>(problem_->n_rules), -1);
+  for (size_t i = 0; i < problem_->active.size(); ++i) {
+    const ActiveRule& rule = problem_->active[i];
+    members_[static_cast<size_t>(rule.group)].push_back(static_cast<int>(i));
+    active_of_rule_[static_cast<size_t>(rule.rule_index)] =
+        static_cast<int>(i);
+  }
+}
+
+Objectives SlotEvaluator::EvaluateGroup(const Solution& s, int group) const {
+  Objectives out;
+  const std::vector<int>& member_ids = members_[static_cast<size_t>(group)];
+  if (member_ids.empty()) return out;
+
+  // The adopted rule latest in the table drives the device.
+  const ActiveRule* winner = nullptr;
+  for (int id : member_ids) {
+    const ActiveRule& rule = problem_->active[static_cast<size_t>(id)];
+    if (s.adopted(static_cast<size_t>(rule.rule_index))) {
+      if (winner == nullptr || rule.rule_index > winner->rule_index) {
+        winner = &rule;
+      }
+    }
+  }
+  if (winner != nullptr) out.energy_kwh = winner->energy_kwh;
+
+  for (int id : member_ids) {
+    const ActiveRule& rule = problem_->active[static_cast<size_t>(id)];
+    if (winner == nullptr) {
+      out.error_sum += rule.drop_error;
+    } else if (&rule != winner) {
+      out.error_sum += NormalizedError(rule.type, rule.desired,
+                                       winner->desired);
+    }
+    // The winner's own error is zero: the device holds its desired value.
+  }
+  return out;
+}
+
+Objectives SlotEvaluator::Evaluate(const Solution& s) const {
+  Objectives total;
+  total.energy_kwh = problem_->base_energy_kwh;
+  for (size_t g = 0; g < members_.size(); ++g) {
+    const Objectives group = EvaluateGroup(s, static_cast<int>(g));
+    total.energy_kwh += group.energy_kwh;
+    total.error_sum += group.error_sum;
+  }
+  return total;
+}
+
+Objectives SlotEvaluator::EvaluateWithFlips(
+    Solution* s, const Objectives& base,
+    const std::vector<int>& flips) const {
+  // Collect the distinct groups touched by active flipped rules. k is tiny
+  // (≤ 8 in all experiments) so a linear dedup suffices.
+  int touched[16];
+  int n_touched = 0;
+  for (int rule_index : flips) {
+    const int active_id = active_of_rule_[static_cast<size_t>(rule_index)];
+    if (active_id < 0) continue;  // inactive rules don't affect the slot
+    const int group =
+        problem_->active[static_cast<size_t>(active_id)].group;
+    bool seen = false;
+    for (int i = 0; i < n_touched; ++i) {
+      if (touched[i] == group) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen && n_touched < 16) touched[n_touched++] = group;
+  }
+  if (n_touched == 16) {
+    // Degenerate (k too large for the fast path): fall back to a full
+    // evaluation with the flips applied.
+    Solution flipped = *s;
+    for (int rule_index : flips) flipped.flip(static_cast<size_t>(rule_index));
+    return Evaluate(flipped);
+  }
+
+  Objectives out = base;
+  // Remove old group contributions, apply flips, add new contributions.
+  for (int i = 0; i < n_touched; ++i) {
+    const Objectives before = EvaluateGroup(*s, touched[i]);
+    out.energy_kwh -= before.energy_kwh;
+    out.error_sum -= before.error_sum;
+  }
+  for (int rule_index : flips) s->flip(static_cast<size_t>(rule_index));
+  for (int i = 0; i < n_touched; ++i) {
+    const Objectives after = EvaluateGroup(*s, touched[i]);
+    out.energy_kwh += after.energy_kwh;
+    out.error_sum += after.error_sum;
+  }
+  for (int rule_index : flips) s->flip(static_cast<size_t>(rule_index));
+  return out;
+}
+
+Objectives SlotEvaluator::NoRuleObjectives() const {
+  Objectives out;
+  out.energy_kwh = problem_->base_energy_kwh;
+  for (const ActiveRule& rule : problem_->active) {
+    out.error_sum += rule.drop_error;
+  }
+  return out;
+}
+
+Objectives SlotEvaluator::AllRulesObjectives() const {
+  Solution all_ones(static_cast<size_t>(problem_->n_rules), 1);
+  return Evaluate(all_ones);
+}
+
+}  // namespace core
+}  // namespace imcf

@@ -1,0 +1,75 @@
+// Slot evaluator: computes F_E (Eq. 2) and F_CE (Eq. 1) of a solution on a
+// SlotProblem (Alg. 1 lines 9/12).
+//
+// Semantics per device group: among the group's *adopted* active rules, the
+// one latest in the table drives the device (later rules override earlier
+// ones, as in openHAB rule files); its energy is charged. Every active rule
+// contributes a convenience error measured against the value the device
+// actually exhibits — the winner's setpoint if one exists, otherwise the
+// ambient value. With the paper's Table II (disjoint windows per device)
+// every group has at most one active rule, and this reduces exactly to the
+// additive form of Eqs. (1)-(2).
+
+#ifndef IMCF_CORE_EVALUATOR_H_
+#define IMCF_CORE_EVALUATOR_H_
+
+#include <vector>
+
+#include "core/slot_problem.h"
+#include "core/solution.h"
+
+namespace imcf {
+namespace core {
+
+/// Evaluator bound to one SlotProblem. Groups are pre-indexed so full
+/// evaluation is O(active) and k-flip delta evaluation is O(k · group).
+class SlotEvaluator {
+ public:
+  explicit SlotEvaluator(const SlotProblem* problem);
+
+  /// Full evaluation of `s` on the slot.
+  Objectives Evaluate(const Solution& s) const;
+
+  /// Objectives after flipping `flips` (indices into the solution vector)
+  /// on top of `*s`, given `s`'s objectives `base`. Only the groups touched
+  /// by the flipped rules are recomputed. The flips are applied and then
+  /// reverted, so `*s` is unchanged on return (the pointer makes the
+  /// transient mutation explicit).
+  Objectives EvaluateWithFlips(Solution* s, const Objectives& base,
+                               const std::vector<int>& flips) const;
+
+  /// Objectives of the empty (all-zeros) solution: ambient everywhere.
+  Objectives NoRuleObjectives() const;
+
+  /// Objectives of the full (all-ones) solution.
+  Objectives AllRulesObjectives() const;
+
+  /// Number of rule activations in this slot (|active|).
+  int Activations() const {
+    return static_cast<int>(problem_->active.size());
+  }
+
+  const SlotProblem& problem() const { return *problem_; }
+
+  /// Whether solution coordinate `rule_index` is active in this slot.
+  bool IsActive(int rule_index) const {
+    return rule_index >= 0 &&
+           rule_index < static_cast<int>(active_of_rule_.size()) &&
+           active_of_rule_[static_cast<size_t>(rule_index)] >= 0;
+  }
+
+ private:
+  /// Energy and error contribution of one device group under `s`.
+  Objectives EvaluateGroup(const Solution& s, int group) const;
+
+  const SlotProblem* problem_;  // not owned
+  /// active-rule indices per group.
+  std::vector<std::vector<int>> members_;
+  /// rule_index -> position in problem_->active (or -1 if inactive).
+  std::vector<int> active_of_rule_;
+};
+
+}  // namespace core
+}  // namespace imcf
+
+#endif  // IMCF_CORE_EVALUATOR_H_

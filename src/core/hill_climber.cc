@@ -1,0 +1,139 @@
+#include "core/hill_climber.h"
+
+#include <algorithm>
+
+namespace imcf {
+namespace core {
+
+HillClimbingPlanner::HillClimbingPlanner(EpOptions options)
+    : options_(options) {}
+
+int HillClimbingPlanner::EffectiveTauMax(int n_rules) const {
+  if (options_.tau_max > 0) return options_.tau_max;
+  return std::max(120, 2 * n_rules);
+}
+
+void SampleDistinct(int n, int k, Rng* rng, std::vector<int>* out) {
+  out->clear();
+  if (k >= n) {
+    for (int i = 0; i < n; ++i) out->push_back(i);
+    return;
+  }
+  // Rejection sampling: k is small relative to n in every experiment.
+  while (static_cast<int>(out->size()) < k) {
+    const int candidate = static_cast<int>(rng->UniformInt(0, n - 1));
+    if (std::find(out->begin(), out->end(), candidate) == out->end()) {
+      out->push_back(candidate);
+    }
+  }
+}
+
+namespace {
+
+// Greedy repair: while the solution exceeds the budget, drop the adopted
+// active rule that frees the most energy per unit of convenience lost
+// ("dropping certain rules based on preference priority", §I-B). Leaves
+// the solution feasible whenever any feasible descendant exists on this
+// drop path; the stochastic search then takes over.
+void GreedyRepair(const SlotEvaluator& evaluator, double budget,
+                  PlanOutcome* outcome) {
+  std::vector<int> single_flip(1);
+  while (!outcome->objectives.FeasibleUnder(budget)) {
+    int best_rule = -1;
+    double best_ratio = -1.0;
+    Objectives best_candidate;
+    for (const ActiveRule& active : evaluator.problem().active) {
+      if (!outcome->solution.adopted(
+              static_cast<size_t>(active.rule_index))) {
+        continue;
+      }
+      single_flip[0] = active.rule_index;
+      const Objectives candidate = evaluator.EvaluateWithFlips(
+          &outcome->solution, outcome->objectives, single_flip);
+      const double freed =
+          outcome->objectives.energy_kwh - candidate.energy_kwh;
+      if (freed <= 0.0) continue;  // dropping a group loser frees nothing
+      const double error_cost =
+          candidate.error_sum - outcome->objectives.error_sum;
+      const double ratio = freed / (error_cost + 1e-9);
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best_rule = active.rule_index;
+        best_candidate = candidate;
+      }
+    }
+    if (best_rule < 0) break;  // nothing adopted frees energy
+    outcome->solution.flip(static_cast<size_t>(best_rule));
+    outcome->objectives = best_candidate;
+  }
+  // Full re-evaluation clears the incremental deltas' float residue.
+  outcome->objectives = evaluator.Evaluate(outcome->solution);
+  outcome->feasible = outcome->objectives.FeasibleUnder(budget);
+}
+
+}  // namespace
+
+PlanOutcome HillClimbingPlanner::PlanSlot(const SlotEvaluator& evaluator,
+                                          Rng* rng) const {
+  const SlotProblem& problem = evaluator.problem();
+  const int n = problem.n_rules;
+  const double budget = problem.budget_kwh;
+
+  PlanOutcome outcome;
+  outcome.solution = Solution::Init(static_cast<size_t>(n), options_.init, rng);
+  outcome.objectives = evaluator.Evaluate(outcome.solution);
+  outcome.feasible = outcome.objectives.FeasibleUnder(budget);
+  if (!outcome.feasible && options_.greedy_repair) {
+    GreedyRepair(evaluator, budget, &outcome);
+  }
+
+  const int tau_max = EffectiveTauMax(n);
+  std::vector<int> flips;
+  flips.reserve(static_cast<size_t>(options_.k));
+  for (int tau = 0; tau < tau_max; ++tau) {
+    if (options_.early_exit && outcome.feasible &&
+        outcome.objectives.error_sum <= 0.0) {
+      break;  // zero-error optimum held; nothing can strictly improve
+    }
+    // "neighborhoods that involve changing *up to* k components" (§II-B):
+    // each move flips j ~ U[1, k] distinct components.
+    const int j = 1 + static_cast<int>(rng->UniformInt(0, options_.k - 1));
+    SampleDistinct(n, j, rng, &flips);
+    const Objectives candidate =
+        evaluator.EvaluateWithFlips(&outcome.solution, outcome.objectives,
+                                    flips);
+    const bool candidate_feasible = candidate.FeasibleUnder(budget);
+    bool accept;
+    if (outcome.feasible) {
+      // Algorithm 1 line 13: feasible and strictly better convenience.
+      accept = candidate_feasible &&
+               candidate.error_sum < outcome.objectives.error_sum;
+    } else {
+      // Repair phase: march toward feasibility; entering the feasible
+      // region is always accepted.
+      accept = candidate_feasible ||
+               candidate.energy_kwh < outcome.objectives.energy_kwh;
+    }
+    if (accept) {
+      for (int i : flips) outcome.solution.flip(static_cast<size_t>(i));
+      outcome.objectives = candidate;
+      outcome.feasible = candidate_feasible;
+    }
+    ++outcome.iterations;
+  }
+
+  if (!outcome.feasible) {
+    // Last resort: the NR vector (drop every convenience rule).
+    Solution zeros(static_cast<size_t>(n));
+    const Objectives zero_obj = evaluator.Evaluate(zeros);
+    if (zero_obj.energy_kwh < outcome.objectives.energy_kwh) {
+      outcome.solution = zeros;
+      outcome.objectives = zero_obj;
+      outcome.feasible = zero_obj.FeasibleUnder(budget);
+    }
+  }
+  return outcome;
+}
+
+}  // namespace core
+}  // namespace imcf

@@ -1,0 +1,45 @@
+// Planner interface: one strategy for solving a SlotProblem.
+//
+// The Energy Planner (hill climbing, the paper's contribution), the
+// simulated-annealing extension ("any heuristic or meta-heuristic approach
+// can be utilized in the EP optimization step") and the NR/MR baselines all
+// implement this interface, so the simulator and benchmarks treat them
+// uniformly.
+
+#ifndef IMCF_CORE_PLANNER_H_
+#define IMCF_CORE_PLANNER_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "core/evaluator.h"
+
+namespace imcf {
+namespace core {
+
+/// Result of planning one slot.
+struct PlanOutcome {
+  Solution solution;
+  Objectives objectives;
+  int iterations = 0;    ///< optimization iterations spent
+  bool feasible = false; ///< F_E(s) <= E_p achieved
+};
+
+/// Strategy interface.
+class SlotPlanner {
+ public:
+  virtual ~SlotPlanner() = default;
+
+  /// Produces an adoption vector for the evaluator's slot. Implementations
+  /// must be deterministic given the Rng stream.
+  virtual PlanOutcome PlanSlot(const SlotEvaluator& evaluator,
+                               Rng* rng) const = 0;
+
+  /// Display name ("EP", "NR", "MR", "SA").
+  virtual std::string name() const = 0;
+};
+
+}  // namespace core
+}  // namespace imcf
+
+#endif  // IMCF_CORE_PLANNER_H_

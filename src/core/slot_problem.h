@@ -1,0 +1,87 @@
+// SlotProblem: one time slot's planning instance.
+//
+// The IMCF algorithm runs the EP once per time slot i over the period
+// (Alg. 1 line 21). A SlotProblem is everything the planner needs for one
+// slot: the active convenience rules with their per-slot energy cost and
+// dropped-rule convenience error, the device-group structure (rules
+// targeting the same device compete — the adopted rule with the highest
+// table position wins the setpoint), and the slot budget E_p from the
+// amortization plan.
+//
+// Convenience errors are normalised per action family so temperature and
+// light errors are commensurable:
+//   temperature: |desired − actual| / 10 °C, clamped to [0, 1] (two-sided:
+//                over- and under-shooting are both uncomfortable)
+//   light:       max(0, desired − actual) / 50 units, clamped to [0, 1]
+//                (one-sided: ambient light above the requested level is
+//                not an inconvenience)
+// F_CE percentages reported by the simulator are averages of these values
+// over rule activations ("percentage of convenience a user would have if
+// that user executed all rules").
+
+#ifndef IMCF_CORE_SLOT_PROBLEM_H_
+#define IMCF_CORE_SLOT_PROBLEM_H_
+
+#include <vector>
+
+#include "common/units.h"
+#include "devices/device.h"
+
+namespace imcf {
+namespace core {
+
+/// Normalisation range for temperature convenience errors (°C).
+inline constexpr double kTempErrorRange = 10.0;
+
+/// Comfort deadzone for temperature errors (°C): deviations within this
+/// band of the setpoint are imperceptible and cost no convenience
+/// (ASHRAE-style comfort tolerance).
+inline constexpr double kTempComfortZoneC = 1.0;
+
+/// Normalisation range for light convenience errors (0-100 scale units).
+inline constexpr double kLightErrorRange = 50.0;
+
+/// Normalised convenience error of observing `actual` when `desired` was
+/// requested, for the given action family.
+double NormalizedError(devices::CommandType type, double desired,
+                       double actual);
+
+/// One active rule's footprint in a slot.
+struct ActiveRule {
+  int rule_index = 0;     ///< coordinate in the solution vector
+  int group = 0;          ///< device group (same group => same device)
+  double desired = 0.0;   ///< the rule's requested value
+  double energy_kwh = 0.0;///< energy if this rule drives the device this slot
+  double drop_error = 0.0;///< normalised error if the device stays ambient
+  devices::CommandType type = devices::CommandType::kSetTemperature;
+};
+
+/// One device group's static slot context.
+struct DeviceGroup {
+  double ambient = 0.0;   ///< ambient value of the controlled quantity
+  devices::CommandType type = devices::CommandType::kSetTemperature;
+};
+
+/// A single-slot planning instance.
+struct SlotProblem {
+  int n_rules = 0;                 ///< N = |MRT| convenience rules
+  double budget_kwh = 0.0;         ///< E_p for this slot
+  double base_energy_kwh = 0.0;    ///< necessity-rule energy (always spent)
+  std::vector<ActiveRule> active;  ///< rules whose window covers the slot
+  std::vector<DeviceGroup> groups; ///< indexed by ActiveRule::group
+};
+
+/// Objective values of a solution on one slot.
+struct Objectives {
+  double energy_kwh = 0.0;  ///< F_E contribution (includes base energy)
+  double error_sum = 0.0;   ///< sum of normalised per-activation errors
+
+  bool FeasibleUnder(double budget) const {
+    return energy_kwh <= budget + 1e-9;
+  }
+};
+
+}  // namespace core
+}  // namespace imcf
+
+#endif  // IMCF_CORE_SLOT_PROBLEM_H_

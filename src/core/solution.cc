@@ -1,0 +1,47 @@
+#include "core/solution.h"
+
+namespace imcf {
+namespace core {
+
+const char* InitStrategyName(InitStrategy strategy) {
+  switch (strategy) {
+    case InitStrategy::kAllOnes:
+      return "all-1s";
+    case InitStrategy::kRandom:
+      return "random";
+    case InitStrategy::kAllZeros:
+      return "all-0s";
+  }
+  return "?";
+}
+
+Solution Solution::Init(size_t n, InitStrategy strategy, Rng* rng) {
+  Solution s(n);
+  switch (strategy) {
+    case InitStrategy::kAllOnes:
+      for (size_t i = 0; i < n; ++i) s.set(i, true);
+      break;
+    case InitStrategy::kRandom:
+      for (size_t i = 0; i < n; ++i) s.set(i, rng->Bernoulli(0.5));
+      break;
+    case InitStrategy::kAllZeros:
+      break;
+  }
+  return s;
+}
+
+size_t Solution::CountAdopted() const {
+  size_t count = 0;
+  for (uint8_t b : bits_) count += b;
+  return count;
+}
+
+std::string Solution::ToString() const {
+  std::string out;
+  out.reserve(bits_.size());
+  for (uint8_t b : bits_) out.push_back(b ? '1' : '0');
+  return out;
+}
+
+}  // namespace core
+}  // namespace imcf

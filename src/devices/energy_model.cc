@@ -1,0 +1,42 @@
+#include "devices/energy_model.h"
+
+#include <cmath>
+
+#include "common/units.h"
+
+namespace imcf {
+namespace devices {
+
+double HvacEnergyModel::PowerKw(double setpoint_c, double ambient_c) const {
+  const double gap = std::fabs(setpoint_c - ambient_c);
+  // The fan runs for the whole actuation window; the compressor engages
+  // only outside the deadband and is capped at the rated draw.
+  double compressor = 0.0;
+  if (gap > options_.deadband_c) {
+    compressor =
+        Clamp(options_.kw_per_degree * gap, 0.0, options_.rated_power_kw);
+  }
+  return options_.fan_kw + compressor;
+}
+
+double LightEnergyModel::PowerKw(double intensity_pct) const {
+  const double intensity = Clamp(intensity_pct, 0.0, 100.0);
+  return options_.max_power_kw * intensity / 100.0;
+}
+
+double UnitEnergyModels::CommandEnergyKwh(CommandType type, double value,
+                                          double ambient_temp_c,
+                                          double hours) const {
+  switch (type) {
+    case CommandType::kSetTemperature:
+      return hvac.EnergyKwh(value, ambient_temp_c, hours);
+    case CommandType::kSetLight:
+      return light.EnergyKwh(value, hours);
+    case CommandType::kTurnOff:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+}  // namespace devices
+}  // namespace imcf

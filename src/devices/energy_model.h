@@ -1,0 +1,96 @@
+// Device energy models.
+//
+// The paper's cost metric e_j(MR_i) is "the energy consumption of device j
+// given the action defined by output O_i^j of meta-rule MR_i". These models
+// supply that quantity for the two device families in the evaluation:
+//
+//  * HVAC split units: electrical power grows with the gap between the
+//    commanded setpoint and the unconditioned ambient temperature of the
+//    zone (a proportional-band model with standby draw and a rated cap).
+//    This reproduces the U.S. DoE rule of thumb quoted in the paper (≈6%
+//    energy per 1°C of setpoint adjustment).
+//  * Luminaires: power scales linearly with the commanded intensity.
+//
+// Zone size is captured by `kw_per_degree` (a 50 m² flat needs more power
+// per degree than a 10 m² dorm room); the dataset specs in src/trace pick
+// per-dataset values.
+
+#ifndef IMCF_DEVICES_ENERGY_MODEL_H_
+#define IMCF_DEVICES_ENERGY_MODEL_H_
+
+#include "devices/device.h"
+
+namespace imcf {
+namespace devices {
+
+/// HVAC proportional-band parameters.
+struct HvacModelOptions {
+  double kw_per_degree = 0.070;  ///< compressor kW per °C of gap
+  double rated_power_kw = 2.5;   ///< compressor cap
+  double fan_kw = 0.10;          ///< circulation fan, drawn whenever the
+                                 ///< unit executes a setpoint command
+  double deadband_c = 0.25;      ///< gap below which the compressor idles
+};
+
+/// Electrical model of a split unit.
+class HvacEnergyModel {
+ public:
+  explicit HvacEnergyModel(HvacModelOptions options = {})
+      : options_(options) {}
+
+  /// Average electrical power (kW) to hold `setpoint_c` in a zone whose
+  /// unconditioned ambient temperature is `ambient_c`. Symmetric in heating
+  /// and cooling.
+  double PowerKw(double setpoint_c, double ambient_c) const;
+
+  /// Energy (kWh) to hold the setpoint for `hours`.
+  double EnergyKwh(double setpoint_c, double ambient_c, double hours) const {
+    return PowerKw(setpoint_c, ambient_c) * hours;
+  }
+
+  const HvacModelOptions& options() const { return options_; }
+
+ private:
+  HvacModelOptions options_;
+};
+
+/// Luminaire parameters.
+struct LightModelOptions {
+  double max_power_kw = 0.25;  ///< draw at 100% intensity
+};
+
+/// Electrical model of a dimmable light.
+class LightEnergyModel {
+ public:
+  explicit LightEnergyModel(LightModelOptions options = {})
+      : options_(options) {}
+
+  /// Power (kW) at `intensity_pct` in [0, 100].
+  double PowerKw(double intensity_pct) const;
+
+  /// Energy (kWh) at the intensity for `hours`.
+  double EnergyKwh(double intensity_pct, double hours) const {
+    return PowerKw(intensity_pct) * hours;
+  }
+
+  const LightModelOptions& options() const { return options_; }
+
+ private:
+  LightModelOptions options_;
+};
+
+/// Bundle of the per-unit device models for one dataset.
+struct UnitEnergyModels {
+  HvacEnergyModel hvac;
+  LightEnergyModel light;
+
+  /// Energy (kWh) of executing `command` for `hours` in a zone with the
+  /// given ambient conditions. kTurnOff consumes nothing.
+  double CommandEnergyKwh(CommandType type, double value, double ambient_temp_c,
+                          double hours) const;
+};
+
+}  // namespace devices
+}  // namespace imcf
+
+#endif  // IMCF_DEVICES_ENERGY_MODEL_H_

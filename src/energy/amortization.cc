@@ -1,0 +1,161 @@
+#include "energy/amortization.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace imcf {
+namespace energy {
+
+const char* AmortizationKindName(AmortizationKind kind) {
+  switch (kind) {
+    case AmortizationKind::kLaf:
+      return "LAF";
+    case AmortizationKind::kBlaf:
+      return "BLAF";
+    case AmortizationKind::kEaf:
+      return "EAF";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsBalloon(const AmortizationOptions& options, int month) {
+  return std::find(options.balloon_months.begin(),
+                   options.balloon_months.end(),
+                   month) != options.balloon_months.end();
+}
+
+}  // namespace
+
+std::vector<AmortizationPlan::MonthSlot> AmortizationPlan::EnumerateMonths(
+    SimTime period_start, SimTime period_end) {
+  std::vector<MonthSlot> out;
+  const CivilTime ct = ToCivil(period_start);
+  SimTime month_start = FromCivil(ct.year, ct.month, 1);
+  while (month_start < period_end) {
+    const CivilTime mc = ToCivil(month_start);
+    int next_year = mc.year;
+    int next_month = mc.month + 1;
+    if (next_month > 12) {
+      next_month = 1;
+      ++next_year;
+    }
+    const SimTime month_end = FromCivil(next_year, next_month, 1);
+    MonthSlot slot;
+    slot.start = std::max(month_start, period_start);
+    slot.end = std::min(month_end, period_end);
+    slot.month = mc.month;
+    slot.year = mc.year;
+    slot.hours = static_cast<double>(slot.end - slot.start) / kSecondsPerHour;
+    if (slot.hours > 0) out.push_back(slot);
+    month_start = month_end;
+  }
+  return out;
+}
+
+Result<AmortizationPlan> AmortizationPlan::Create(
+    const AmortizationOptions& options, const Ecp& ecp) {
+  if (options.period_end <= options.period_start) {
+    return Status::InvalidArgument("amortization period is empty");
+  }
+  if (options.total_budget_kwh <= 0.0) {
+    return Status::InvalidArgument("total budget must be positive");
+  }
+  if (options.balloon_fraction < 0.0 || options.balloon_fraction >= 1.0) {
+    return Status::OutOfRange("balloon fraction must be in [0, 1)");
+  }
+  for (int m : options.balloon_months) {
+    if (m < 1 || m > 12) {
+      return Status::OutOfRange(StrFormat("balloon month %d out of range", m));
+    }
+  }
+
+  AmortizationPlan plan(options);
+  plan.slots_ = EnumerateMonths(options.period_start, options.period_end);
+  double total_hours = 0.0;
+  for (const MonthSlot& s : plan.slots_) total_hours += s.hours;
+  const double e = options.total_budget_kwh;
+
+  switch (options.kind) {
+    case AmortizationKind::kLaf: {
+      // Eq. 3: uniform E_p = TE / t at every slot.
+      for (MonthSlot& s : plan.slots_) {
+        s.budget_kwh = e * s.hours / total_hours;
+      }
+      break;
+    }
+    case AmortizationKind::kBlaf: {
+      // Eq. 4: balloon months forfeit fraction π of their uniform share σ,
+      // redistributed over the remaining months. Conserves E exactly.
+      double balloon_hours = 0.0;
+      for (const MonthSlot& s : plan.slots_) {
+        if (IsBalloon(options, s.month)) balloon_hours += s.hours;
+      }
+      const double other_hours = total_hours - balloon_hours;
+      const double sigma =
+          e * (balloon_hours / total_hours) * options.balloon_fraction;
+      for (MonthSlot& s : plan.slots_) {
+        const double base = e * s.hours / total_hours;
+        if (IsBalloon(options, s.month) && balloon_hours > 0.0) {
+          s.budget_kwh = base - sigma * s.hours / balloon_hours;
+        } else if (!IsBalloon(options, s.month) && other_hours > 0.0) {
+          s.budget_kwh = base + sigma * s.hours / other_hours;
+        } else {
+          s.budget_kwh = base;
+        }
+      }
+      break;
+    }
+    case AmortizationKind::kEaf: {
+      // Eq. 5: shares proportional to the ECP weight of the month, scaled
+      // by the fraction of the month inside the period, renormalised so
+      // partial periods still spend exactly E.
+      double share_sum = 0.0;
+      std::vector<double> shares(plan.slots_.size());
+      for (size_t i = 0; i < plan.slots_.size(); ++i) {
+        const MonthSlot& s = plan.slots_[i];
+        const double month_hours = DaysInMonth(s.year, s.month) * 24.0;
+        shares[i] = ecp.Weight(s.month) * (s.hours / month_hours);
+        share_sum += shares[i];
+      }
+      for (size_t i = 0; i < plan.slots_.size(); ++i) {
+        plan.slots_[i].budget_kwh =
+            share_sum > 0.0 ? e * shares[i] / share_sum : 0.0;
+      }
+      break;
+    }
+  }
+  return plan;
+}
+
+const AmortizationPlan::MonthSlot* AmortizationPlan::FindSlot(SimTime t) const {
+  // Slots are sorted by time; binary search on start.
+  auto it = std::upper_bound(
+      slots_.begin(), slots_.end(), t,
+      [](SimTime value, const MonthSlot& s) { return value < s.start; });
+  if (it == slots_.begin()) return nullptr;
+  --it;
+  return (t >= it->start && t < it->end) ? &*it : nullptr;
+}
+
+double AmortizationPlan::HourlyBudget(SimTime t) const {
+  const MonthSlot* slot = FindSlot(t);
+  if (slot == nullptr || slot->hours <= 0.0) return 0.0;
+  return slot->budget_kwh / slot->hours;
+}
+
+double AmortizationPlan::MonthBudget(SimTime t) const {
+  const MonthSlot* slot = FindSlot(t);
+  return slot == nullptr ? 0.0 : slot->budget_kwh;
+}
+
+double AmortizationPlan::TotalBudget() const {
+  double total = 0.0;
+  for (const MonthSlot& s : slots_) total += s.budget_kwh;
+  return total;
+}
+
+}  // namespace energy
+}  // namespace imcf

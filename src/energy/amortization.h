@@ -1,0 +1,99 @@
+// Amortization Plan (the AP subroutine of Algorithm 1).
+//
+// The AP converts a long-term energy budget into the per-slot constraint
+// E_p the Energy Planner enforces. Three strategies from the paper:
+//
+//  * LAF  (Eq. 3) — Linear: the budget is spread uniformly over the period.
+//  * BLAF (Eq. 4) — Balloon Linear: a fraction π of the budget is saved
+//    during the balloon months λ and released during the remaining months
+//    λ', for seasons where consumption is structurally higher. The plan
+//    conserves the total budget exactly.
+//  * EAF  (Eq. 5) — ECP-based: each month receives budget proportional to
+//    its weight w_i = ECP_i / TE in the historical consumption profile, so
+//    the constraint tracks the seasonal demand shape.
+//
+// All strategies expose the constraint at hourly granularity (the paper's
+// default slot; E_h in the running examples).
+
+#ifndef IMCF_ENERGY_AMORTIZATION_H_
+#define IMCF_ENERGY_AMORTIZATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/time.h"
+#include "energy/ecp.h"
+
+namespace imcf {
+namespace energy {
+
+/// Amortization formula selector (switch in Algorithm 1 lines 2-5).
+enum class AmortizationKind { kLaf, kBlaf, kEaf };
+
+const char* AmortizationKindName(AmortizationKind kind);
+
+/// Configuration of an amortization plan.
+struct AmortizationOptions {
+  AmortizationKind kind = AmortizationKind::kEaf;
+  double total_budget_kwh = 0.0;  ///< E: budget for the whole period
+  SimTime period_start = 0;       ///< p: inclusive start
+  SimTime period_end = 0;         ///< p: exclusive end
+
+  // BLAF parameters.
+  double balloon_fraction = 0.30;            ///< π
+  std::vector<int> balloon_months =          ///< λ: months that save
+      {4, 5, 6, 7, 8, 9, 10};
+};
+
+/// A materialised amortization plan: per-slot budget constraints over the
+/// period.
+class AmortizationPlan {
+ public:
+  /// Validates the options and builds the plan. The ECP is only consulted
+  /// for EAF but always required (mirrors AP(apl, p, ECP) in Alg. 1).
+  static Result<AmortizationPlan> Create(const AmortizationOptions& options,
+                                         const Ecp& ecp);
+
+  /// E_p for the hour slot containing `t` (kWh). Zero outside the period.
+  double HourlyBudget(SimTime t) const;
+
+  /// Budget allocated to the calendar month containing `t`.
+  double MonthBudget(SimTime t) const;
+
+  /// Total budget over the period (== options.total_budget_kwh up to
+  /// rounding).
+  double TotalBudget() const;
+
+  AmortizationKind kind() const { return options_.kind; }
+  const AmortizationOptions& options() const { return options_; }
+
+  /// One calendar-month slice of the plan period with its allocated budget.
+  struct MonthSlot {
+    SimTime start = 0;       ///< overlap start with the period
+    SimTime end = 0;         ///< overlap end (exclusive)
+    int month = 1;           ///< 1..12
+    int year = 1970;
+    double hours = 0.0;      ///< overlap duration
+    double budget_kwh = 0.0; ///< budget allocated to this slice
+  };
+
+  /// The materialised monthly allocation (36 slots for a 3-year period).
+  const std::vector<MonthSlot>& slots() const { return slots_; }
+
+ private:
+  explicit AmortizationPlan(AmortizationOptions options)
+      : options_(std::move(options)) {}
+
+  static std::vector<MonthSlot> EnumerateMonths(SimTime period_start,
+                                                SimTime period_end);
+  const MonthSlot* FindSlot(SimTime t) const;
+
+  AmortizationOptions options_;
+  std::vector<MonthSlot> slots_;
+};
+
+}  // namespace energy
+}  // namespace imcf
+
+#endif  // IMCF_ENERGY_AMORTIZATION_H_

@@ -1,0 +1,35 @@
+#include "energy/budget.h"
+
+namespace imcf {
+namespace energy {
+
+void BudgetLedger::Charge(SimTime t, double kwh) {
+  total_ += kwh;
+  const CivilTime ct = ToCivil(t);
+  monthly_[ct.year * 100 + ct.month] += kwh;
+}
+
+double BudgetLedger::MonthConsumedKwh(SimTime t) const {
+  const CivilTime ct = ToCivil(t);
+  auto it = monthly_.find(ct.year * 100 + ct.month);
+  return it == monthly_.end() ? 0.0 : it->second;
+}
+
+double BudgetLedger::CumulativeBudgetKwh(SimTime t) const {
+  double cumulative = 0.0;
+  const SimTime hour_end =
+      (HourIndex(t) + 1) * kSecondsPerHour;
+  for (const AmortizationPlan::MonthSlot& slot : plan_->slots()) {
+    if (hour_end >= slot.end) {
+      cumulative += slot.budget_kwh;
+    } else if (hour_end > slot.start) {
+      const double frac = static_cast<double>(hour_end - slot.start) /
+                          static_cast<double>(slot.end - slot.start);
+      cumulative += slot.budget_kwh * frac;
+    }
+  }
+  return cumulative;
+}
+
+}  // namespace energy
+}  // namespace imcf

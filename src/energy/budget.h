@@ -1,0 +1,66 @@
+// Budget ledger: runtime accounting of energy consumption against an
+// amortization plan.
+//
+// The simulator and the live controller charge every executed actuation to
+// the ledger; reports and the Fig. 6/9 benchmarks read consumption totals
+// and per-month aggregates from it. The ledger also tracks the *carryover*
+// semantics of the paper's smart-home scenario (net metering: unused budget
+// in one slot remains available later within the period).
+
+#ifndef IMCF_ENERGY_BUDGET_H_
+#define IMCF_ENERGY_BUDGET_H_
+
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/time.h"
+#include "energy/amortization.h"
+
+namespace imcf {
+namespace energy {
+
+/// Tracks charged energy over a plan period.
+class BudgetLedger {
+ public:
+  explicit BudgetLedger(const AmortizationPlan* plan) : plan_(plan) {}
+
+  /// Charges `kwh` consumed during the hour containing `t`.
+  void Charge(SimTime t, double kwh);
+
+  /// Total energy charged so far.
+  double TotalConsumedKwh() const { return total_; }
+
+  /// Energy charged in the calendar month containing `t`.
+  double MonthConsumedKwh(SimTime t) const;
+
+  /// Cumulative plan budget from the period start through the end of the
+  /// hour containing `t`.
+  double CumulativeBudgetKwh(SimTime t) const;
+
+  /// Budget headroom accumulated so far: cumulative budget minus consumed
+  /// (positive when the user is under-spending — the net-metering balance).
+  double CarryoverKwh(SimTime t) const {
+    return CumulativeBudgetKwh(t) - total_;
+  }
+
+  /// True iff total consumption is within the whole-period budget.
+  bool WithinTotalBudget() const {
+    return total_ <= plan_->TotalBudget() + 1e-9;
+  }
+
+  /// Per-month consumption, keyed by (year * 100 + month).
+  const std::map<int, double>& monthly_consumption() const {
+    return monthly_;
+  }
+
+ private:
+  const AmortizationPlan* plan_;  // not owned
+  double total_ = 0.0;
+  std::map<int, double> monthly_;
+};
+
+}  // namespace energy
+}  // namespace imcf
+
+#endif  // IMCF_ENERGY_BUDGET_H_

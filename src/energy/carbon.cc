@@ -1,0 +1,97 @@
+#include "energy/carbon.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace imcf {
+namespace energy {
+
+namespace {
+
+constexpr double kTau = 2.0 * M_PI;
+
+}  // namespace
+
+CarbonProfile::CarbonProfile(CarbonProfileOptions options)
+    : options_(options) {}
+
+double CarbonProfile::IntensityAt(SimTime t) const {
+  const double hour = static_cast<double>(MinuteOfDay(t)) / 60.0;
+  const double doy = static_cast<double>(DayOfYear(t));
+
+  // Seasonal baseload: dirtier in winter (more fossil heat/light demand).
+  const double seasonal =
+      options_.winter_shift_g * std::cos(kTau * (doy - 15.0) / 365.25);
+
+  // Midday solar dip: a sine arch between ~8:00 and ~18:00, deeper in
+  // summer (longer, stronger sun).
+  double solar = 0.0;
+  if (hour > 8.0 && hour < 18.0) {
+    const double arch = std::sin(M_PI * (hour - 8.0) / 10.0);
+    const double season_strength =
+        0.65 + 0.35 * std::cos(kTau * (doy - 196.0) / 365.25);
+    solar = options_.solar_dip_g * arch * season_strength;
+  }
+
+  // Evening fossil peakers.
+  double peak = 0.0;
+  if (hour >= 18.0 && hour <= 22.0) {
+    peak = options_.evening_peak_g * std::sin(M_PI * (hour - 18.0) / 4.0);
+  }
+
+  // Deterministic per-day offset (wind variability).
+  const int64_t day = t >= 0 ? t / kSecondsPerDay
+                             : (t - kSecondsPerDay + 1) / kSecondsPerDay;
+  const uint64_t h =
+      MixHash(options_.seed ^ 0xC02ULL, static_cast<uint64_t>(day));
+  double sum = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    sum += static_cast<double>(MixHash(h, static_cast<uint64_t>(i)) >> 11) *
+           0x1.0p-53;
+  }
+  const double noise =
+      options_.day_noise_g * (sum - 2.0) / std::sqrt(4.0 / 12.0);
+
+  const double intensity =
+      options_.base_g_per_kwh + seasonal - solar + peak + noise;
+  return std::max(intensity, 20.0);  // grids are never carbon-free
+}
+
+double CarbonProfile::DailyMean(SimTime t) const {
+  const SimTime day_start = (t / kSecondsPerDay) * kSecondsPerDay;
+  double sum = 0.0;
+  for (int h = 0; h < 24; ++h) {
+    sum += IntensityAt(day_start + h * kSecondsPerHour +
+                       kSecondsPerHour / 2);
+  }
+  return sum / 24.0;
+}
+
+std::vector<double> CarbonTiltWeights(const CarbonProfile& profile,
+                                      SimTime day_start, double alpha) {
+  std::vector<double> weights(24, 1.0);
+  if (alpha == 0.0) return weights;
+  double intensities[24];
+  double mean = 0.0;
+  for (int h = 0; h < 24; ++h) {
+    intensities[h] = profile.IntensityAt(day_start + h * kSecondsPerHour +
+                                         kSecondsPerHour / 2);
+    mean += intensities[h];
+  }
+  mean /= 24.0;
+  double weight_sum = 0.0;
+  for (int h = 0; h < 24; ++h) {
+    weights[static_cast<size_t>(h)] =
+        std::max(0.0, 1.0 + alpha * (mean - intensities[h]) / mean);
+    weight_sum += weights[static_cast<size_t>(h)];
+  }
+  // Renormalise so the day's total budget is conserved exactly.
+  for (double& w : weights) w *= 24.0 / weight_sum;
+  return weights;
+}
+
+}  // namespace energy
+}  // namespace imcf

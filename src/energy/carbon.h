@@ -1,0 +1,59 @@
+// Grid carbon-intensity model and carbon-aware budget tilting.
+//
+// The paper's future work (§V) targets "CO2 reductions methods with
+// algorithms geared towards the environment". This module provides the two
+// pieces that need: a deterministic grid carbon-intensity profile
+// (gCO2/kWh as a function of time — midday solar dips, evening fossil
+// peaks, seasonal base shift), and a *budget tilt* that reshapes the
+// amortized hourly budgets within each day so the planner spends when the
+// grid is clean, at the same total energy. The simulator reports the CO2
+// footprint of every run; bench_ablation_carbon sweeps the tilt strength.
+
+#ifndef IMCF_ENERGY_CARBON_H_
+#define IMCF_ENERGY_CARBON_H_
+
+#include <vector>
+
+#include "common/time.h"
+
+namespace imcf {
+namespace energy {
+
+/// Parameters of the synthetic grid mix.
+struct CarbonProfileOptions {
+  double base_g_per_kwh = 420.0;     ///< annual mean intensity
+  double solar_dip_g = 140.0;        ///< midday reduction at full sun
+  double evening_peak_g = 90.0;      ///< fossil peaker bump (18:00-22:00)
+  double winter_shift_g = 60.0;      ///< winters run dirtier baseload
+  uint64_t seed = 5;                 ///< day-to-day variability
+  double day_noise_g = 25.0;         ///< stddev of the per-day offset
+};
+
+/// Deterministic intensity curve: pure function of time.
+class CarbonProfile {
+ public:
+  explicit CarbonProfile(CarbonProfileOptions options = {});
+
+  /// Grid intensity at `t` in gCO2 per kWh (always positive).
+  double IntensityAt(SimTime t) const;
+
+  /// Mean intensity over the day containing `t` (24 hourly samples).
+  double DailyMean(SimTime t) const;
+
+  const CarbonProfileOptions& options() const { return options_; }
+
+ private:
+  CarbonProfileOptions options_;
+};
+
+/// Multiplicative budget tilts for one day: hour h of the day gets weight
+/// w_h with mean exactly 1, where w_h = 1 + alpha * (mean - I_h) / mean.
+/// alpha = 0 leaves budgets untouched; alpha = 1 shifts aggressively toward
+/// clean hours. Clamped to stay non-negative.
+std::vector<double> CarbonTiltWeights(const CarbonProfile& profile,
+                                      SimTime day_start, double alpha);
+
+}  // namespace energy
+}  // namespace imcf
+
+#endif  // IMCF_ENERGY_CARBON_H_

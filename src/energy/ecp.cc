@@ -1,0 +1,39 @@
+#include "energy/ecp.h"
+
+#include "common/strings.h"
+
+namespace imcf {
+namespace energy {
+
+Result<Ecp> Ecp::FromMonthly(std::vector<double> monthly_kwh) {
+  if (monthly_kwh.size() != 12) {
+    return Status::InvalidArgument(
+        StrFormat("ECP needs 12 months, got %zu", monthly_kwh.size()));
+  }
+  double total = 0.0;
+  for (double m : monthly_kwh) {
+    if (m < 0.0) return Status::InvalidArgument("negative monthly energy");
+    total += m;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("ECP total must be positive");
+  }
+  return Ecp(std::move(monthly_kwh), total);
+}
+
+Ecp Ecp::Scaled(double factor) const {
+  std::vector<double> scaled = monthly_;
+  for (double& m : scaled) m *= factor;
+  return Ecp(std::move(scaled), total_ * factor);
+}
+
+Ecp FlatEcp() {
+  // Table I, "kWh per month".
+  auto ecp = Ecp::FromMonthly({775.50, 528.75, 246.75, 141.00, 176.25, 211.50,
+                               246.75, 317.25, 211.50, 176.25, 211.50,
+                               423.00});
+  return *ecp;  // the static table is valid by construction
+}
+
+}  // namespace energy
+}  // namespace imcf

@@ -1,0 +1,66 @@
+// Energy Consumption Profile (ECP).
+//
+// An ECP is the per-month historical consumption vector of a residence
+// (Table I of the paper: the flat consumes 775.50 kWh in January, ...,
+// 3666 kWh total per year). The amortization plan derives per-period energy
+// budget constraints from it.
+
+#ifndef IMCF_ENERGY_ECP_H_
+#define IMCF_ENERGY_ECP_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/time.h"
+
+namespace imcf {
+namespace energy {
+
+/// A twelve-entry monthly consumption profile.
+class Ecp {
+ public:
+  /// Builds from 12 monthly kWh figures (January first). All entries must
+  /// be non-negative and the total positive.
+  static Result<Ecp> FromMonthly(std::vector<double> monthly_kwh);
+
+  /// Total yearly energy TE (sum of the months).
+  double TotalKwh() const { return total_; }
+
+  /// Consumption of `month` (1..12) in kWh.
+  double MonthKwh(int month) const {
+    return monthly_[static_cast<size_t>(month - 1)];
+  }
+
+  /// Normalized weight w_i = ECP_i / TE of `month` (1..12). Weights sum
+  /// to 1 (Eq. 5; the paper's w_i = TE/ECP_i is a typo — those cannot sum
+  /// to one).
+  double Weight(int month) const { return MonthKwh(month) / total_; }
+
+  /// Average per-hour consumption of `month` in `year` (Table I column 3,
+  /// using the real hour count of the month).
+  double MonthKwhPerHour(int year, int month) const {
+    return MonthKwh(month) /
+           (DaysInMonth(year, month) * 24.0);
+  }
+
+  /// A copy with every month scaled by `factor` (used to size the house
+  /// and dorm profiles from the flat profile).
+  Ecp Scaled(double factor) const;
+
+  const std::vector<double>& monthly() const { return monthly_; }
+
+ private:
+  Ecp(std::vector<double> monthly, double total)
+      : monthly_(std::move(monthly)), total_(total) {}
+
+  std::vector<double> monthly_;
+  double total_;
+};
+
+/// The flat's ECP exactly as in Table I.
+Ecp FlatEcp();
+
+}  // namespace energy
+}  // namespace imcf
+
+#endif  // IMCF_ENERGY_ECP_H_

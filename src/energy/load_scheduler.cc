@@ -1,0 +1,99 @@
+#include "energy/load_scheduler.h"
+
+#include <algorithm>
+
+namespace imcf {
+namespace energy {
+
+const char* PlacementPolicyName(PlacementPolicy policy) {
+  return policy == PlacementPolicy::kEarliest ? "earliest" : "carbon-aware";
+}
+
+std::vector<ShiftableLoad> DefaultShiftableLoads() {
+  return {
+      {"ev-charger", 3.7, 3, 0, 23},
+      {"washing-machine", 2.0, 2, 8, 22},
+      {"dishwasher", 1.8, 2, 12, 23},
+      {"water-heater-boost", 2.5, 1, 5, 21},
+  };
+}
+
+Result<std::vector<Placement>> ScheduleDay(
+    const std::vector<ShiftableLoad>& loads, const CarbonProfile& profile,
+    SimTime day_start, PlacementPolicy policy,
+    std::vector<double>* headroom_kwh) {
+  if (headroom_kwh == nullptr || headroom_kwh->size() != 24) {
+    return Status::InvalidArgument("headroom must have 24 hourly entries");
+  }
+  for (const ShiftableLoad& load : loads) {
+    if (load.power_kw <= 0.0 || load.duration_hours <= 0 ||
+        load.duration_hours > 24 || load.earliest_hour < 0 ||
+        load.latest_hour > 23 || load.earliest_hour > load.latest_hour) {
+      return Status::InvalidArgument("bad shiftable load: " + load.name);
+    }
+  }
+
+  // Hourly intensities once per day.
+  double intensity[24];
+  for (int h = 0; h < 24; ++h) {
+    intensity[h] = profile.IntensityAt(day_start + h * kSecondsPerHour +
+                                       kSecondsPerHour / 2);
+  }
+
+  // Big rocks first: the largest runs have the least placement freedom.
+  std::vector<const ShiftableLoad*> order;
+  order.reserve(loads.size());
+  for (const ShiftableLoad& load : loads) order.push_back(&load);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const ShiftableLoad* a, const ShiftableLoad* b) {
+                     return a->EnergyKwh() > b->EnergyKwh();
+                   });
+
+  std::vector<Placement> placements;
+  placements.reserve(loads.size());
+  for (const ShiftableLoad* load : order) {
+    Placement placement;
+    placement.load = load->name;
+    placement.energy_kwh = load->EnergyKwh();
+
+    const int last_start = load->latest_hour - load->duration_hours + 1;
+    double best_co2 = 0.0;
+    for (int start = load->earliest_hour; start <= last_start; ++start) {
+      bool fits = true;
+      double co2 = 0.0;
+      for (int h = start; h < start + load->duration_hours; ++h) {
+        if ((*headroom_kwh)[static_cast<size_t>(h)] < load->power_kw) {
+          fits = false;
+          break;
+        }
+        co2 += load->power_kw * intensity[h];
+      }
+      if (!fits) continue;
+      if (placement.start_hour < 0 || co2 < best_co2) {
+        placement.start_hour = start;
+        best_co2 = co2;
+      }
+      if (policy == PlacementPolicy::kEarliest) break;  // first feasible
+    }
+    if (placement.start_hour >= 0) {
+      placement.co2_g = best_co2;
+      for (int h = placement.start_hour;
+           h < placement.start_hour + load->duration_hours; ++h) {
+        (*headroom_kwh)[static_cast<size_t>(h)] -= load->power_kw;
+      }
+    } else {
+      placement.energy_kwh = 0.0;  // not served today
+    }
+    placements.push_back(std::move(placement));
+  }
+  return placements;
+}
+
+double TotalCo2G(const std::vector<Placement>& placements) {
+  double total = 0.0;
+  for (const Placement& p : placements) total += p.co2_g;
+  return total;
+}
+
+}  // namespace energy
+}  // namespace imcf

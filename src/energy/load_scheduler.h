@@ -1,0 +1,70 @@
+// Shiftable-workload scheduling (the paper's §V future work: "power
+// workload identification methods for power-hungry devices (e.g., white
+// devices, electric vehicles, heating) and how to reschedule those
+// workloads in an environmental friendly manner").
+//
+// A ShiftableLoad is a deferrable appliance run — a washing-machine cycle,
+// an EV charge — that needs a contiguous block of hours somewhere inside a
+// daily window. Unlike convenience rules, shiftable loads don't care *when*
+// they run, which is exactly the flexibility carbon-aware operation needs:
+// the scheduler places each run into the cleanest feasible hours of the
+// day, subject to per-hour budget headroom.
+
+#ifndef IMCF_ENERGY_LOAD_SCHEDULER_H_
+#define IMCF_ENERGY_LOAD_SCHEDULER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "energy/carbon.h"
+
+namespace imcf {
+namespace energy {
+
+/// One deferrable appliance run.
+struct ShiftableLoad {
+  std::string name;
+  double power_kw = 0.0;   ///< constant draw while running
+  int duration_hours = 1;  ///< contiguous run length
+  int earliest_hour = 0;   ///< first hour of the daily window (0..23)
+  int latest_hour = 23;    ///< last hour the run may still be *running*
+
+  double EnergyKwh() const { return power_kw * duration_hours; }
+};
+
+/// The typical household's shiftable fleet (washer, dishwasher, EV).
+std::vector<ShiftableLoad> DefaultShiftableLoads();
+
+/// Where a load ended up.
+struct Placement {
+  std::string load;
+  int start_hour = -1;     ///< -1: could not be placed this day
+  double energy_kwh = 0.0;
+  double co2_g = 0.0;      ///< emissions of the placed run
+};
+
+/// Scheduling strategies compared in bench_ablation_carbon.
+enum class PlacementPolicy {
+  kEarliest,     ///< naive: first feasible slot (what people do by hand)
+  kCarbonAware,  ///< cleanest feasible block of the day
+};
+
+const char* PlacementPolicyName(PlacementPolicy policy);
+
+/// Places every load into one day. `headroom_kwh` is the per-hour budget
+/// headroom (24 entries) and is decremented in place as loads are placed;
+/// loads that fit nowhere get start_hour = -1. Loads are placed in
+/// decreasing energy order (big rocks first).
+Result<std::vector<Placement>> ScheduleDay(
+    const std::vector<ShiftableLoad>& loads, const CarbonProfile& profile,
+    SimTime day_start, PlacementPolicy policy,
+    std::vector<double>* headroom_kwh);
+
+/// Total emissions of a placement set (unplaced loads contribute nothing).
+double TotalCo2G(const std::vector<Placement>& placements);
+
+}  // namespace energy
+}  // namespace imcf
+
+#endif  // IMCF_ENERGY_LOAD_SCHEDULER_H_

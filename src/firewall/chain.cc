@@ -1,0 +1,48 @@
+#include "firewall/chain.h"
+
+#include "common/strings.h"
+
+namespace imcf {
+namespace firewall {
+
+const char* VerdictName(Verdict verdict) {
+  return verdict == Verdict::kAccept ? "ACCEPT" : "DROP";
+}
+
+bool ChainRule::Matches(const devices::ActuationCommand& cmd,
+                        const devices::Thing* thing) const {
+  if (address.has_value()) {
+    if (thing == nullptr || thing->address != *address) return false;
+  }
+  if (device.has_value() && cmd.device != *device) return false;
+  if (command.has_value() && cmd.type != *command) return false;
+  if (source.has_value() && cmd.source != *source) return false;
+  return true;
+}
+
+std::string ChainRule::ToString() const {
+  std::string out;
+  if (address) out += " -s " + *address;
+  if (device) out += StrFormat(" --device %u", *device);
+  if (command) out += StrFormat(" --cmd '%s'", devices::CommandTypeName(*command));
+  if (source) out += " --source " + *source;
+  out += StrFormat(" -j %s", VerdictName(target));
+  return Trim(out);
+}
+
+void Chain::Append(ChainRule rule) { rules_.push_back(std::move(rule)); }
+
+void Chain::Insert(ChainRule rule) {
+  rules_.insert(rules_.begin(), std::move(rule));
+}
+
+Verdict Chain::Filter(const devices::ActuationCommand& cmd,
+                      const devices::Thing* thing) const {
+  for (const ChainRule& rule : rules_) {
+    if (rule.Matches(cmd, thing)) return rule.target;
+  }
+  return default_policy_;
+}
+
+}  // namespace firewall
+}  // namespace imcf

@@ -1,0 +1,78 @@
+// Firewall chain: iptables-style static filtering of actuation commands.
+//
+// The paper's prototype enforces planner decisions at the network level
+// ("iptables -A OUTPUT -s 192.168.0.5 -j DROP" — IMCF works actually like a
+// real network firewall by blocking all outgoing traffic from LC to TG").
+// This module reproduces that mechanism in-process: an ordered chain of
+// match rules over an ActuationCommand's device address, device id, command
+// type and source, each with an ACCEPT/DROP target, plus a default policy.
+// First matching rule wins, as in netfilter.
+
+#ifndef IMCF_FIREWALL_CHAIN_H_
+#define IMCF_FIREWALL_CHAIN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "devices/device.h"
+
+namespace imcf {
+namespace firewall {
+
+/// Filtering outcome.
+enum class Verdict : uint8_t { kAccept = 0, kDrop = 1 };
+
+const char* VerdictName(Verdict verdict);
+
+/// One match rule. Unset (nullopt) fields match anything.
+struct ChainRule {
+  std::optional<std::string> address;          ///< device network address
+  std::optional<devices::DeviceId> device;     ///< device id
+  std::optional<devices::CommandType> command; ///< command type
+  std::optional<std::string> source;           ///< command source tag
+  Verdict target = Verdict::kDrop;
+
+  /// True iff every set field matches the command (address is looked up
+  /// from `thing` which may be null when unknown).
+  bool Matches(const devices::ActuationCommand& cmd,
+               const devices::Thing* thing) const;
+
+  /// "-s 192.168.0.5 -j DROP"-style rendering.
+  std::string ToString() const;
+};
+
+/// An ordered rule chain with a default policy.
+class Chain {
+ public:
+  explicit Chain(std::string name, Verdict default_policy = Verdict::kAccept)
+      : name_(std::move(name)), default_policy_(default_policy) {}
+
+  /// Appends a rule (iptables -A).
+  void Append(ChainRule rule);
+
+  /// Inserts a rule at the head (iptables -I).
+  void Insert(ChainRule rule);
+
+  /// Removes all rules (iptables -F).
+  void Flush() { rules_.clear(); }
+
+  /// First matching rule's target, or the default policy.
+  Verdict Filter(const devices::ActuationCommand& cmd,
+                 const devices::Thing* thing) const;
+
+  const std::string& name() const { return name_; }
+  Verdict default_policy() const { return default_policy_; }
+  void set_default_policy(Verdict v) { default_policy_ = v; }
+  const std::vector<ChainRule>& rules() const { return rules_; }
+
+ private:
+  std::string name_;
+  Verdict default_policy_;
+  std::vector<ChainRule> rules_;
+};
+
+}  // namespace firewall
+}  // namespace imcf
+
+#endif  // IMCF_FIREWALL_CHAIN_H_

@@ -1,0 +1,89 @@
+#include "firewall/imcf_firewall.h"
+
+namespace imcf {
+namespace firewall {
+
+const char* DecisionReasonName(DecisionReason reason) {
+  switch (reason) {
+    case DecisionReason::kDefaultPolicy:
+      return "default-policy";
+    case DecisionReason::kChainRule:
+      return "chain-rule";
+    case DecisionReason::kPlanDropped:
+      return "plan-dropped";
+    case DecisionReason::kPlanAdopted:
+      return "plan-adopted";
+    case DecisionReason::kBypass:
+      return "bypass";
+  }
+  return "?";
+}
+
+MetaControlFirewall::MetaControlFirewall(
+    const devices::DeviceRegistry* registry, size_t audit_capacity)
+    : registry_(registry),
+      chain_("OUTPUT", Verdict::kAccept),
+      audit_capacity_(audit_capacity) {}
+
+void MetaControlFirewall::SetDroppedRules(std::vector<int> dropped_rule_ids) {
+  dropped_rules_.clear();
+  dropped_rules_.insert(dropped_rule_ids.begin(), dropped_rule_ids.end());
+}
+
+Decision MetaControlFirewall::Filter(const devices::ActuationCommand& cmd) {
+  Decision decision;
+  decision.command = cmd;
+
+  // Layer 1: the static chain.
+  const devices::Thing* thing = nullptr;
+  if (registry_ != nullptr) {
+    auto lookup = registry_->Get(cmd.device);
+    if (lookup.ok()) thing = lookup.value();
+  }
+  bool matched_chain = false;
+  for (const ChainRule& rule : chain_.rules()) {
+    if (rule.Matches(cmd, thing)) {
+      decision.verdict = rule.target;
+      decision.reason = DecisionReason::kChainRule;
+      matched_chain = true;
+      break;
+    }
+  }
+  if (matched_chain && decision.verdict == Verdict::kDrop) {
+    Record(decision);
+    return decision;
+  }
+
+  // Layer 2: the plan filter (meta-rule commands only).
+  if (cmd.rule_id >= 0) {
+    if (dropped_rules_.count(cmd.rule_id) > 0) {
+      decision.verdict = Verdict::kDrop;
+      decision.reason = DecisionReason::kPlanDropped;
+    } else {
+      decision.verdict = Verdict::kAccept;
+      decision.reason = DecisionReason::kPlanAdopted;
+    }
+  } else if (!matched_chain) {
+    decision.verdict = chain_.default_policy();
+    decision.reason = DecisionReason::kBypass;
+  }
+
+  Record(decision);
+  return decision;
+}
+
+void MetaControlFirewall::Record(Decision decision) {
+  ++stats_.total;
+  if (decision.verdict == Verdict::kAccept) {
+    ++stats_.accepted;
+  } else if (decision.reason == DecisionReason::kPlanDropped) {
+    ++stats_.dropped_by_plan;
+  } else {
+    ++stats_.dropped_by_chain;
+  }
+  audit_.push_back(std::move(decision));
+  while (audit_.size() > audit_capacity_) audit_.pop_front();
+}
+
+}  // namespace firewall
+}  // namespace imcf

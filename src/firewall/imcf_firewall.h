@@ -1,0 +1,96 @@
+// The Meta-Control Firewall: where the Energy Planner's decisions become
+// enforced command filtering.
+//
+// Every actuation command (from meta-rules, IFTTT recipes or manual app
+// interactions) passes through here before reaching a device. Verdicts come
+// from two layers, evaluated in order:
+//
+//   1. the static admin chain (address/device/type rules — the in-process
+//      analogue of the prototype's iptables configuration), then
+//   2. the dynamic *plan filter*: the adoption vector the EP produced for
+//      the current slot. Commands issued by a meta-rule the planner dropped
+//      (s_i = 0) are DROPped; necessity rules and manual commands bypass
+//      this layer.
+//
+// Decisions are recorded in a bounded audit log so examples and tests can
+// observe exactly which RAW pipelines the firewall filtered — the paper's
+// headline metaphor.
+
+#ifndef IMCF_FIREWALL_IMCF_FIREWALL_H_
+#define IMCF_FIREWALL_IMCF_FIREWALL_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "firewall/chain.h"
+
+namespace imcf {
+namespace firewall {
+
+/// Why a command was accepted or dropped.
+enum class DecisionReason : uint8_t {
+  kDefaultPolicy = 0,   ///< no rule matched; chain default applied
+  kChainRule = 1,       ///< a static chain rule matched
+  kPlanDropped = 2,     ///< the EP dropped the originating meta-rule
+  kPlanAdopted = 3,     ///< the EP adopted the originating meta-rule
+  kBypass = 4,          ///< manual/necessity command, plan layer bypassed
+};
+
+const char* DecisionReasonName(DecisionReason reason);
+
+/// One audited decision.
+struct Decision {
+  Verdict verdict = Verdict::kAccept;
+  DecisionReason reason = DecisionReason::kDefaultPolicy;
+  devices::ActuationCommand command;
+};
+
+/// Aggregate counters.
+struct FirewallStats {
+  int64_t total = 0;
+  int64_t accepted = 0;
+  int64_t dropped_by_chain = 0;
+  int64_t dropped_by_plan = 0;
+};
+
+/// The firewall itself.
+class MetaControlFirewall {
+ public:
+  /// `registry` resolves device addresses for chain matching; may outlive
+  /// calls but is not owned. `audit_capacity` bounds the decision log.
+  explicit MetaControlFirewall(const devices::DeviceRegistry* registry,
+                               size_t audit_capacity = 1024);
+
+  /// The static admin chain (mutable: append iptables-style rules).
+  Chain* chain() { return &chain_; }
+  const Chain& chain() const { return chain_; }
+
+  /// Installs the planner's verdicts for the current slot: meta-rule ids
+  /// whose commands must be dropped. Replaces the previous slot's set.
+  void SetDroppedRules(std::vector<int> dropped_rule_ids);
+
+  /// Filters one command, recording the decision.
+  Decision Filter(const devices::ActuationCommand& cmd);
+
+  const FirewallStats& stats() const { return stats_; }
+  const std::deque<Decision>& audit_log() const { return audit_; }
+  void ClearAudit() { audit_.clear(); }
+
+ private:
+  void Record(Decision decision);
+
+  const devices::DeviceRegistry* registry_;  // not owned
+  Chain chain_;
+  std::unordered_set<int> dropped_rules_;
+  FirewallStats stats_;
+  std::deque<Decision> audit_;
+  size_t audit_capacity_;
+};
+
+}  // namespace firewall
+}  // namespace imcf
+
+#endif  // IMCF_FIREWALL_IMCF_FIREWALL_H_

@@ -1,0 +1,26 @@
+// Evaluation context: the sensor/weather snapshot rules are evaluated
+// against at one instant. Assembled by the simulator (from the ambient
+// series) or the live controller (from item states).
+
+#ifndef IMCF_RULES_CONTEXT_H_
+#define IMCF_RULES_CONTEXT_H_
+
+#include "common/time.h"
+#include "weather/weather.h"
+
+namespace imcf {
+namespace rules {
+
+/// Snapshot of one building unit's environment at time `time`.
+struct EvaluationContext {
+  SimTime time = 0;
+  weather::WeatherSample weather;
+  double ambient_temp_c = 0.0;    ///< indoor temperature
+  double ambient_light_pct = 0.0; ///< indoor light level, 0-100
+  bool door_open = false;
+};
+
+}  // namespace rules
+}  // namespace imcf
+
+#endif  // IMCF_RULES_CONTEXT_H_

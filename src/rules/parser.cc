@@ -1,0 +1,195 @@
+#include "rules/parser.h"
+
+#include "common/strings.h"
+
+namespace imcf {
+namespace rules {
+
+namespace {
+
+Result<RuleAction> ParseAction(const std::string& text) {
+  const std::string a = ToLower(text);
+  if (a == "set temperature" || a == "temperature" || a == "temp") {
+    return RuleAction::kSetTemperature;
+  }
+  if (a == "set light" || a == "light") return RuleAction::kSetLight;
+  if (a == "set kwh limit" || a == "kwh limit" || a == "kwh") {
+    return RuleAction::kSetKwhLimit;
+  }
+  return Status::InvalidArgument("unknown action: '" + text + "'");
+}
+
+// Parses optional trailing "key=value" fields (unit=, user=, necessity=).
+Status ApplyExtraField(const std::string& field, MetaRule* rule) {
+  const auto kv = Split(field, '=');
+  if (kv.size() != 2) {
+    return Status::InvalidArgument("bad extra field: '" + field + "'");
+  }
+  const std::string key = ToLower(Trim(kv[0]));
+  const std::string value = Trim(kv[1]);
+  if (key == "unit") {
+    IMCF_ASSIGN_OR_RETURN(int64_t unit, ParseInt(value));
+    rule->unit = static_cast<int>(unit);
+    return Status::Ok();
+  }
+  if (key == "user") {
+    rule->user = value;
+    return Status::Ok();
+  }
+  if (key == "priority") {
+    IMCF_ASSIGN_OR_RETURN(int64_t p, ParseInt(value));
+    rule->priority = static_cast<int>(p);
+    return Status::Ok();
+  }
+  if (key == "necessity") {
+    rule->necessity = ToLower(value) == "true" || value == "1";
+    return Status::Ok();
+  }
+  return Status::InvalidArgument("unknown extra field key: '" + key + "'");
+}
+
+}  // namespace
+
+Result<MetaRule> ParseMetaRuleLine(std::string_view line) {
+  const std::vector<std::string> fields = Split(line, '|');
+  if (fields.size() < 4) {
+    return Status::InvalidArgument(
+        "meta-rule needs 'description | window | action | value': '" +
+        std::string(line) + "'");
+  }
+  MetaRule rule;
+  rule.description = Trim(fields[0]);
+  IMCF_ASSIGN_OR_RETURN(rule.action, ParseAction(Trim(fields[2])));
+  IMCF_ASSIGN_OR_RETURN(rule.value, ParseDouble(fields[3]));
+  if (rule.IsConvenience()) {
+    IMCF_ASSIGN_OR_RETURN(rule.window, ParseTimeWindow(Trim(fields[1])));
+  } else {
+    // kWh-limit rows carry a freeform duration ("for three years"); the
+    // budget period is governed by the amortization plan instead.
+    rule.necessity = true;
+  }
+  for (size_t i = 4; i < fields.size(); ++i) {
+    IMCF_RETURN_IF_ERROR(ApplyExtraField(Trim(fields[i]), &rule));
+  }
+  if (rule.action == RuleAction::kSetLight &&
+      (rule.value < 0.0 || rule.value > 100.0)) {
+    return Status::OutOfRange("light value outside [0,100]");
+  }
+  return rule;
+}
+
+Result<MetaRuleTable> ParseMrt(std::string_view text) {
+  MetaRuleTable table;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    const std::string line = Trim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    IMCF_ASSIGN_OR_RETURN(MetaRule rule, ParseMetaRuleLine(line));
+    IMCF_RETURN_IF_ERROR(table.Add(std::move(rule)));
+  }
+  return table;
+}
+
+std::string FormatMetaRule(const MetaRule& rule) {
+  std::string window = rule.IsConvenience() ? rule.window.ToString()
+                                            : std::string("long-term");
+  std::string line =
+      StrFormat("%s | %s | %s | %g", rule.description.c_str(), window.c_str(),
+                RuleActionName(rule.action), rule.value);
+  if (rule.unit != 0) line += StrFormat(" | unit=%d", rule.unit);
+  if (!rule.user.empty()) line += " | user=" + rule.user;
+  return line;
+}
+
+std::string FormatMrt(const MetaRuleTable& table) {
+  std::string out;
+  for (const MetaRule& rule : table.rules()) {
+    out += FormatMetaRule(rule);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<TriggerRule> ParseTriggerRuleLine(std::string_view line) {
+  const std::vector<std::string> fields = Split(line, '|');
+  if (fields.size() != 4) {
+    return Status::InvalidArgument(
+        "ifttt rule needs 'IF | THIS | THEN | THAT': '" + std::string(line) +
+        "'");
+  }
+  const std::string field_name = ToLower(Trim(fields[0]));
+  const std::string condition = Trim(fields[1]);
+  IMCF_ASSIGN_OR_RETURN(RuleAction action, ParseAction(Trim(fields[2])));
+  IMCF_ASSIGN_OR_RETURN(double value, ParseDouble(fields[3]));
+
+  if (field_name == "season") {
+    const std::string s = ToLower(condition);
+    weather::Season season;
+    if (s == "winter") {
+      season = weather::Season::kWinter;
+    } else if (s == "spring") {
+      season = weather::Season::kSpring;
+    } else if (s == "summer") {
+      season = weather::Season::kSummer;
+    } else if (s == "autumn" || s == "fall") {
+      season = weather::Season::kAutumn;
+    } else {
+      return Status::InvalidArgument("unknown season: '" + condition + "'");
+    }
+    return TriggerRule::OnSeason(season, action, value);
+  }
+  if (field_name == "weather") {
+    const std::string s = ToLower(condition);
+    if (s == "sunny") {
+      return TriggerRule::OnWeather(weather::Sky::kSunny, action, value);
+    }
+    if (s == "cloudy") {
+      return TriggerRule::OnWeather(weather::Sky::kCloudy, action, value);
+    }
+    return Status::InvalidArgument("unknown weather: '" + condition + "'");
+  }
+  if (field_name == "temperature" || field_name == "light level") {
+    if (condition.empty()) {
+      return Status::InvalidArgument("empty numeric condition");
+    }
+    TriggerOp op;
+    size_t skip = 1;
+    if (condition[0] == '>') {
+      op = TriggerOp::kGreaterThan;
+    } else if (condition[0] == '<') {
+      op = TriggerOp::kLessThan;
+    } else if (condition[0] == '=') {
+      op = TriggerOp::kEquals;
+    } else {
+      op = TriggerOp::kEquals;
+      skip = 0;
+    }
+    IMCF_ASSIGN_OR_RETURN(double threshold,
+                          ParseDouble(condition.substr(skip)));
+    return field_name == "temperature"
+               ? TriggerRule::OnTemperature(op, threshold, action, value)
+               : TriggerRule::OnLightLevel(op, threshold, action, value);
+  }
+  if (field_name == "door") {
+    const std::string s = ToLower(condition);
+    if (s != "open" && s != "closed") {
+      return Status::InvalidArgument("door condition must be Open/Closed");
+    }
+    return TriggerRule::OnDoor(s == "open", action, value);
+  }
+  return Status::InvalidArgument("unknown trigger field: '" + field_name +
+                                 "'");
+}
+
+Result<TriggerRuleTable> ParseIfttt(std::string_view text) {
+  TriggerRuleTable table;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    const std::string line = Trim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    IMCF_ASSIGN_OR_RETURN(TriggerRule rule, ParseTriggerRuleLine(line));
+    table.Add(rule);
+  }
+  return table;
+}
+
+}  // namespace rules
+}  // namespace imcf

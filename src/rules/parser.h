@@ -1,0 +1,51 @@
+// Text format for rule tables.
+//
+// The paper's GUI stores MRT rows with a description, time/duration, action
+// and value (Table II) and IFTTT rows as IF/THIS/THEN/THAT (Table III). This
+// parser accepts the same shapes as pipe-separated lines so rule tables can
+// be configured from files, tests and the example binaries:
+//
+//   # meta-rules
+//   Night Heat        | 01:00 - 07:00   | Set Temperature | 25
+//   Energy Flat       | for three years | Set kWh Limit   | 11000
+//   Day Heat (unit 2) | 08:00 - 16:00   | Set Temperature | 22 | unit=2
+//
+//   # ifttt recipes
+//   Season      | Summer | Set Temperature | 25
+//   Temperature | >30    | Set Temperature | 23
+//   Door        | Open   | Set Light       | 0
+
+#ifndef IMCF_RULES_PARSER_H_
+#define IMCF_RULES_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "rules/meta_rule.h"
+#include "rules/trigger_rule.h"
+
+namespace imcf {
+namespace rules {
+
+/// Parses one MRT line (no comments/blank lines).
+Result<MetaRule> ParseMetaRuleLine(std::string_view line);
+
+/// Parses a whole MRT document ('#' comments and blank lines allowed).
+Result<MetaRuleTable> ParseMrt(std::string_view text);
+
+/// Formats a rule as a parseable line.
+std::string FormatMetaRule(const MetaRule& rule);
+
+/// Formats a whole table (round-trips through ParseMrt).
+std::string FormatMrt(const MetaRuleTable& table);
+
+/// Parses one IFTTT line.
+Result<TriggerRule> ParseTriggerRuleLine(std::string_view line);
+
+/// Parses a whole IFTTT document ('#' comments and blank lines allowed).
+Result<TriggerRuleTable> ParseIfttt(std::string_view text);
+
+}  // namespace rules
+}  // namespace imcf
+
+#endif  // IMCF_RULES_PARSER_H_

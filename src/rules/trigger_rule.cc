@@ -1,0 +1,179 @@
+#include "rules/trigger_rule.h"
+
+#include "common/strings.h"
+
+namespace imcf {
+namespace rules {
+
+const char* TriggerFieldName(TriggerField field) {
+  switch (field) {
+    case TriggerField::kSeason:
+      return "Season";
+    case TriggerField::kWeather:
+      return "Weather";
+    case TriggerField::kTemperature:
+      return "Temperature";
+    case TriggerField::kLightLevel:
+      return "Light Level";
+    case TriggerField::kDoor:
+      return "Door";
+  }
+  return "?";
+}
+
+namespace {
+
+bool Compare(TriggerOp op, double lhs, double rhs) {
+  switch (op) {
+    case TriggerOp::kEquals:
+      return lhs == rhs;
+    case TriggerOp::kGreaterThan:
+      return lhs > rhs;
+    case TriggerOp::kLessThan:
+      return lhs < rhs;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool TriggerRule::Matches(const EvaluationContext& ctx) const {
+  switch (field) {
+    case TriggerField::kSeason:
+      return ctx.weather.season == season;
+    case TriggerField::kWeather:
+      return ctx.weather.sky == sky;
+    case TriggerField::kTemperature:
+      return Compare(op, ctx.ambient_temp_c, threshold);
+    case TriggerField::kLightLevel:
+      return Compare(op, ctx.ambient_light_pct, threshold);
+    case TriggerField::kDoor:
+      return ctx.door_open == door_open;
+  }
+  return false;
+}
+
+std::string TriggerRule::ToString() const {
+  std::string cond;
+  switch (field) {
+    case TriggerField::kSeason:
+      cond = weather::SeasonName(season);
+      break;
+    case TriggerField::kWeather:
+      cond = weather::SkyName(sky);
+      break;
+    case TriggerField::kTemperature:
+    case TriggerField::kLightLevel:
+      cond = StrFormat("%s%.0f",
+                       op == TriggerOp::kGreaterThan
+                           ? ">"
+                           : (op == TriggerOp::kLessThan ? "<" : "="),
+                       threshold);
+      break;
+    case TriggerField::kDoor:
+      cond = door_open ? "Open" : "Closed";
+      break;
+  }
+  return StrFormat("IF %s %s THEN %s %.0f", TriggerFieldName(field),
+                   cond.c_str(), RuleActionName(action), action_value);
+}
+
+TriggerRule TriggerRule::OnSeason(weather::Season s, RuleAction a, double v) {
+  TriggerRule r;
+  r.field = TriggerField::kSeason;
+  r.season = s;
+  r.action = a;
+  r.action_value = v;
+  return r;
+}
+
+TriggerRule TriggerRule::OnWeather(weather::Sky s, RuleAction a, double v) {
+  TriggerRule r;
+  r.field = TriggerField::kWeather;
+  r.sky = s;
+  r.action = a;
+  r.action_value = v;
+  return r;
+}
+
+TriggerRule TriggerRule::OnTemperature(TriggerOp op, double threshold,
+                                       RuleAction a, double v) {
+  TriggerRule r;
+  r.field = TriggerField::kTemperature;
+  r.op = op;
+  r.threshold = threshold;
+  r.action = a;
+  r.action_value = v;
+  return r;
+}
+
+TriggerRule TriggerRule::OnLightLevel(TriggerOp op, double threshold,
+                                      RuleAction a, double v) {
+  TriggerRule r;
+  r.field = TriggerField::kLightLevel;
+  r.op = op;
+  r.threshold = threshold;
+  r.action = a;
+  r.action_value = v;
+  return r;
+}
+
+TriggerRule TriggerRule::OnDoor(bool open, RuleAction a, double v) {
+  TriggerRule r;
+  r.field = TriggerField::kDoor;
+  r.door_open = open;
+  r.action = a;
+  r.action_value = v;
+  return r;
+}
+
+TriggerDecision TriggerRuleTable::Evaluate(const EvaluationContext& ctx,
+                                           MatchPolicy policy) const {
+  TriggerDecision decision;
+  for (const TriggerRule& rule : rules_) {
+    if (!rule.Matches(ctx)) continue;
+    switch (rule.action) {
+      case RuleAction::kSetTemperature:
+        if (policy == MatchPolicy::kLastMatch || !decision.temperature) {
+          decision.temperature = rule.action_value;
+        }
+        break;
+      case RuleAction::kSetLight:
+        if (policy == MatchPolicy::kLastMatch || !decision.light) {
+          decision.light = rule.action_value;
+        }
+        break;
+      case RuleAction::kSetKwhLimit:
+        break;  // not expressible in IFTTT
+    }
+  }
+  return decision;
+}
+
+TriggerRuleTable FlatIfttt() {
+  using weather::Season;
+  using weather::Sky;
+  TriggerRuleTable table;
+  // Table III, in row order.
+  table.Add(TriggerRule::OnSeason(Season::kSummer,
+                                  RuleAction::kSetTemperature, 25.0));
+  table.Add(TriggerRule::OnSeason(Season::kWinter,
+                                  RuleAction::kSetTemperature, 20.0));
+  table.Add(
+      TriggerRule::OnWeather(Sky::kSunny, RuleAction::kSetTemperature, 20.0));
+  table.Add(
+      TriggerRule::OnWeather(Sky::kCloudy, RuleAction::kSetTemperature, 22.0));
+  table.Add(TriggerRule::OnWeather(Sky::kSunny, RuleAction::kSetLight, 0.0));
+  table.Add(TriggerRule::OnWeather(Sky::kCloudy, RuleAction::kSetLight, 40.0));
+  table.Add(TriggerRule::OnTemperature(TriggerOp::kGreaterThan, 30.0,
+                                       RuleAction::kSetTemperature, 23.0));
+  table.Add(TriggerRule::OnTemperature(TriggerOp::kLessThan, 10.0,
+                                       RuleAction::kSetTemperature, 24.0));
+  table.Add(TriggerRule::OnLightLevel(TriggerOp::kGreaterThan, 15.0,
+                                      RuleAction::kSetLight, 9.0));
+  table.Add(TriggerRule::OnDoor(true, RuleAction::kSetLight, 0.0));
+  return table;
+}
+
+}  // namespace rules
+}  // namespace imcf

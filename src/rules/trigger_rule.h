@@ -1,0 +1,98 @@
+// IFTTT-style trigger-action rules (the paper's Table III baseline).
+//
+// Each rule is an "IF <field> <condition> THEN <action> <value>" row.
+// Unlike meta-rules they have no time windows, no priorities and no budget
+// awareness — they fire whenever their trigger condition holds, which is
+// exactly why the paper uses them as the energy-oblivious baseline.
+
+#ifndef IMCF_RULES_TRIGGER_RULE_H_
+#define IMCF_RULES_TRIGGER_RULE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rules/context.h"
+#include "rules/meta_rule.h"
+
+namespace imcf {
+namespace rules {
+
+/// Trigger ("IF") column of Table III.
+enum class TriggerField : uint8_t {
+  kSeason = 0,       ///< Summer / Winter / ...
+  kWeather = 1,      ///< Sunny / Cloudy
+  kTemperature = 2,  ///< indoor temperature threshold
+  kLightLevel = 3,   ///< indoor light threshold
+  kDoor = 4,         ///< door open / closed
+};
+
+const char* TriggerFieldName(TriggerField field);
+
+/// Comparison used for numeric triggers.
+enum class TriggerOp : uint8_t { kEquals = 0, kGreaterThan = 1, kLessThan = 2 };
+
+/// One trigger-action recipe.
+struct TriggerRule {
+  TriggerField field = TriggerField::kSeason;
+  TriggerOp op = TriggerOp::kEquals;
+  double threshold = 0.0;                      ///< numeric triggers
+  weather::Season season = weather::Season::kWinter;  ///< season triggers
+  weather::Sky sky = weather::Sky::kSunny;     ///< weather triggers
+  bool door_open = true;                       ///< door triggers
+  RuleAction action = RuleAction::kSetTemperature;
+  double action_value = 0.0;
+
+  /// True iff the trigger condition holds in `ctx`.
+  bool Matches(const EvaluationContext& ctx) const;
+
+  /// Human-readable "IF ... THEN ..." form.
+  std::string ToString() const;
+
+  // -- constructors mirroring the Table III row shapes --
+  static TriggerRule OnSeason(weather::Season s, RuleAction a, double v);
+  static TriggerRule OnWeather(weather::Sky s, RuleAction a, double v);
+  static TriggerRule OnTemperature(TriggerOp op, double threshold,
+                                   RuleAction a, double v);
+  static TriggerRule OnLightLevel(TriggerOp op, double threshold,
+                                  RuleAction a, double v);
+  static TriggerRule OnDoor(bool open, RuleAction a, double v);
+};
+
+/// What the recipe table decided for one unit at one instant: at most one
+/// setpoint per device family (later/earlier rows win per MatchPolicy).
+struct TriggerDecision {
+  std::optional<double> temperature;
+  std::optional<double> light;
+};
+
+/// How conflicting recipes are resolved. The paper calls IFTTT "an
+/// arbitrary sequence of rule executions"; with kLastMatch the table is
+/// executed top to bottom and later writers win (the behaviour of firing
+/// every applet), with kFirstMatch the first matching row per device wins.
+enum class MatchPolicy { kLastMatch, kFirstMatch };
+
+/// An ordered IFTTT recipe table.
+class TriggerRuleTable {
+ public:
+  void Add(TriggerRule rule) { rules_.push_back(rule); }
+
+  const std::vector<TriggerRule>& rules() const { return rules_; }
+  size_t size() const { return rules_.size(); }
+
+  /// Evaluates the table against a context.
+  TriggerDecision Evaluate(const EvaluationContext& ctx,
+                           MatchPolicy policy = MatchPolicy::kLastMatch) const;
+
+ private:
+  std::vector<TriggerRule> rules_;
+};
+
+/// The ten recipes of Table III ("IFTTT configurations for flat
+/// experiment").
+TriggerRuleTable FlatIfttt();
+
+}  // namespace rules
+}  // namespace imcf
+
+#endif  // IMCF_RULES_TRIGGER_RULE_H_

@@ -1,0 +1,111 @@
+#include "storage/coding.h"
+
+#include <cstring>
+
+namespace imcf {
+
+void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  dst->append(buf, 8);
+}
+
+uint32_t GetFixed32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetFixed64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+void PutVarint64(std::string* dst, uint64_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+void PutVarintSigned64(std::string* dst, int64_t v) {
+  // zigzag: maps small negatives to small positives.
+  const uint64_t encoded =
+      (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+  PutVarint64(dst, encoded);
+}
+
+Result<uint32_t> Decoder::ReadFixed32() {
+  if (remaining() < 4) return Status::Corruption("truncated fixed32");
+  const uint32_t v = GetFixed32(data_.data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> Decoder::ReadFixed64() {
+  if (remaining() < 8) return Status::Corruption("truncated fixed64");
+  const uint64_t v = GetFixed64(data_.data() + pos_);
+  pos_ += 8;
+  return v;
+}
+
+Result<uint64_t> Decoder::ReadVarint64() {
+  uint64_t v = 0;
+  int shift = 0;
+  while (pos_ < data_.size() && shift <= 63) {
+    const uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+  }
+  return Status::Corruption("truncated or overlong varint");
+}
+
+Result<int64_t> Decoder::ReadVarintSigned64() {
+  IMCF_ASSIGN_OR_RETURN(uint64_t encoded, ReadVarint64());
+  return static_cast<int64_t>((encoded >> 1) ^ (~(encoded & 1) + 1));
+}
+
+Result<std::string_view> Decoder::ReadBytes(size_t n) {
+  if (remaining() < n) return Status::Corruption("truncated bytes");
+  std::string_view out = data_.substr(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+void PutDouble(std::string* dst, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutFixed64(dst, bits);
+}
+
+Result<double> ReadDouble(Decoder* dec) {
+  IMCF_ASSIGN_OR_RETURN(uint64_t bits, dec->ReadFixed64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void PutLengthPrefixed(std::string* dst, std::string_view s) {
+  PutVarint64(dst, s.size());
+  dst->append(s.data(), s.size());
+}
+
+Result<std::string_view> ReadLengthPrefixed(Decoder* dec) {
+  IMCF_ASSIGN_OR_RETURN(uint64_t n, dec->ReadVarint64());
+  return dec->ReadBytes(static_cast<size_t>(n));
+}
+
+}  // namespace imcf

@@ -1,0 +1,71 @@
+// Binary encoding primitives (fixed-width little-endian integers, LEB128
+// varints, zigzag) shared by the record log, table store and trace file
+// formats.
+
+#ifndef IMCF_STORAGE_CODING_H_
+#define IMCF_STORAGE_CODING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace imcf {
+
+/// Appends a 32-bit little-endian integer.
+void PutFixed32(std::string* dst, uint32_t v);
+
+/// Appends a 64-bit little-endian integer.
+void PutFixed64(std::string* dst, uint64_t v);
+
+/// Reads a 32-bit little-endian integer at `p` (caller checks bounds).
+uint32_t GetFixed32(const char* p);
+
+/// Reads a 64-bit little-endian integer at `p` (caller checks bounds).
+uint64_t GetFixed64(const char* p);
+
+/// Appends an unsigned LEB128 varint (1..10 bytes).
+void PutVarint64(std::string* dst, uint64_t v);
+
+/// Appends a zigzag-encoded signed varint (efficient for small deltas of
+/// either sign, e.g. timestamp deltas).
+void PutVarintSigned64(std::string* dst, int64_t v);
+
+/// Cursor over an immutable byte buffer with bounds-checked reads.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data) {}
+
+  /// Bytes remaining.
+  size_t remaining() const { return data_.size() - pos_; }
+  bool empty() const { return pos_ >= data_.size(); }
+  size_t position() const { return pos_; }
+
+  Result<uint32_t> ReadFixed32();
+  Result<uint64_t> ReadFixed64();
+  Result<uint64_t> ReadVarint64();
+  Result<int64_t> ReadVarintSigned64();
+  /// Reads exactly n raw bytes.
+  Result<std::string_view> ReadBytes(size_t n);
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// Appends a double by bit pattern (little-endian IEEE-754).
+void PutDouble(std::string* dst, double v);
+
+/// Reads a double written by PutDouble.
+Result<double> ReadDouble(Decoder* dec);
+
+/// Appends a varint-length-prefixed string.
+void PutLengthPrefixed(std::string* dst, std::string_view s);
+
+/// Reads a varint-length-prefixed string.
+Result<std::string_view> ReadLengthPrefixed(Decoder* dec);
+
+}  // namespace imcf
+
+#endif  // IMCF_STORAGE_CODING_H_

@@ -1,0 +1,183 @@
+#include "storage/csv.h"
+
+#include <cstdio>
+
+namespace imcf {
+
+namespace {
+
+bool NeedsQuoting(std::string_view field) {
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string EncodeCsvRow(const CsvRow& row) {
+  std::string out;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    const std::string& field = row[i];
+    if (NeedsQuoting(field)) {
+      out.push_back('"');
+      for (char c : field) {
+        if (c == '"') out.push_back('"');
+        out.push_back(c);
+      }
+      out.push_back('"');
+    } else {
+      out.append(field);
+    }
+  }
+  return out;
+}
+
+Result<CsvRow> ParseCsvLine(std::string_view line) {
+  CsvRow row;
+  std::string field;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else {
+      if (c == '"') {
+        in_quotes = true;
+      } else if (c == ',') {
+        row.push_back(std::move(field));
+        field.clear();
+      } else if (c == '\r') {
+        // tolerate CRLF
+      } else {
+        field.push_back(c);
+      }
+    }
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::Corruption("unterminated quoted CSV field");
+  }
+  row.push_back(std::move(field));
+  return row;
+}
+
+Result<std::vector<CsvRow>> ParseCsv(std::string_view text) {
+  // Quote-aware document scan: newlines inside quoted fields belong to the
+  // field, so records cannot be found by naive line splitting.
+  std::vector<CsvRow> rows;
+  CsvRow row;
+  std::string field;
+  bool in_quotes = false;
+  bool record_started = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        record_started = true;
+        break;
+      case ',':
+        row.push_back(std::move(field));
+        field.clear();
+        record_started = true;
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        if (record_started || !field.empty() || !row.empty()) {
+          row.push_back(std::move(field));
+          field.clear();
+          rows.push_back(std::move(row));
+          row.clear();
+        } else {
+          rows.push_back(CsvRow{""});
+        }
+        record_started = false;
+        break;
+      default:
+        field.push_back(c);
+        record_started = true;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return Status::Corruption("unterminated quoted CSV field");
+  }
+  if (record_started || !field.empty() || !row.empty()) {
+    row.push_back(std::move(field));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<std::vector<CsvRow>> ReadCsvFile(const std::string& path) {
+  IMCF_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return ParseCsv(text);
+}
+
+Status WriteCsvFile(const std::string& path, const std::vector<CsvRow>& rows) {
+  std::string out;
+  for (const CsvRow& row : rows) {
+    out += EncodeCsvRow(row);
+    out.push_back('\n');
+  }
+  return WriteStringToFile(path, out);
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  std::string data;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    data.append(buf, n);
+  }
+  const bool err = std::ferror(f) != 0;
+  std::fclose(f);
+  if (err) return Status::IOError("read failed: " + path);
+  return data;
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  const size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  const bool flush_ok = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != data.size() || !flush_ok) {
+    return Status::IOError("write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace imcf

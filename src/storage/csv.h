@@ -1,0 +1,45 @@
+// CSV encoding/decoding (RFC-4180 subset: quoted fields, embedded commas,
+// quotes and newlines). Used to exchange traces, rule tables and experiment
+// reports with external tooling.
+
+#ifndef IMCF_STORAGE_CSV_H_
+#define IMCF_STORAGE_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace imcf {
+
+/// One CSV record.
+using CsvRow = std::vector<std::string>;
+
+/// Encodes a row, quoting fields that need it; no trailing newline.
+std::string EncodeCsvRow(const CsvRow& row);
+
+/// Parses one CSV line into fields; handles quoted fields. Fails on
+/// unterminated quotes.
+Result<CsvRow> ParseCsvLine(std::string_view line);
+
+/// Parses a whole CSV document (splitting on '\n', tolerating trailing
+/// '\r'). Empty trailing line is ignored.
+Result<std::vector<CsvRow>> ParseCsv(std::string_view text);
+
+/// Reads and parses a CSV file from disk.
+Result<std::vector<CsvRow>> ReadCsvFile(const std::string& path);
+
+/// Writes rows to a CSV file, one record per line.
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<CsvRow>& rows);
+
+/// Reads a whole file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes a string to a file (truncating).
+Status WriteStringToFile(const std::string& path, std::string_view data);
+
+}  // namespace imcf
+
+#endif  // IMCF_STORAGE_CSV_H_

@@ -1,0 +1,110 @@
+#include "storage/record_log.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+#include "storage/csv.h"
+
+namespace imcf {
+
+namespace {
+
+void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v & 0xFF);
+  buf[1] = static_cast<char>((v >> 8) & 0xFF);
+  buf[2] = static_cast<char>((v >> 16) & 0xFF);
+  buf[3] = static_cast<char>((v >> 24) & 0xFF);
+  dst->append(buf, 4);
+}
+
+uint32_t GetFixed32(const char* p) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(p[0])) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(p[1])) << 8) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(p[2])) << 16) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(p[3])) << 24);
+}
+
+}  // namespace
+
+RecordLogWriter::~RecordLogWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status RecordLogWriter::Open(const std::string& path) {
+  if (file_ != nullptr) {
+    return Status::FailedPrecondition("log already open: " + path_);
+  }
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot open log for append: " + path);
+  }
+  path_ = path;
+  return Status::Ok();
+}
+
+Status RecordLogWriter::Append(std::string_view payload) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("log not open");
+  }
+  std::string frame;
+  frame.reserve(8 + payload.size());
+  // CRC covers the length field and the payload.
+  std::string length_bytes;
+  PutFixed32(&length_bytes, static_cast<uint32_t>(payload.size()));
+  uint32_t crc = Crc32c(0, length_bytes.data(), length_bytes.size());
+  crc = Crc32c(crc, payload.data(), payload.size());
+  PutFixed32(&frame, MaskCrc(crc));
+  frame += length_bytes;
+  frame.append(payload.data(), payload.size());
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    return Status::IOError("append failed: " + path_);
+  }
+  return Status::Ok();
+}
+
+Status RecordLogWriter::Flush() {
+  if (file_ == nullptr) return Status::FailedPrecondition("log not open");
+  if (std::fflush(file_) != 0) return Status::IOError("flush failed: " + path_);
+  return Status::Ok();
+}
+
+Status RecordLogWriter::Close() {
+  if (file_ == nullptr) return Status::Ok();
+  const bool ok = std::fflush(file_) == 0;
+  std::fclose(file_);
+  file_ = nullptr;
+  if (!ok) return Status::IOError("close failed: " + path_);
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> RecordLogReader::ReadAll(
+    const std::string& path, bool* truncated) {
+  if (truncated != nullptr) *truncated = false;
+  IMCF_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  std::vector<std::string> records;
+  size_t pos = 0;
+  while (pos < data.size()) {
+    if (data.size() - pos < 8) {
+      if (truncated != nullptr) *truncated = true;
+      break;
+    }
+    const uint32_t stored_crc = UnmaskCrc(GetFixed32(data.data() + pos));
+    const uint32_t length = GetFixed32(data.data() + pos + 4);
+    if (data.size() - pos - 8 < length) {
+      if (truncated != nullptr) *truncated = true;
+      break;
+    }
+    uint32_t crc = Crc32c(0, data.data() + pos + 4, 4);
+    crc = Crc32c(crc, data.data() + pos + 8, length);
+    if (crc != stored_crc) {
+      if (truncated != nullptr) *truncated = true;
+      break;
+    }
+    records.emplace_back(data.substr(pos + 8, length));
+    pos += 8 + length;
+  }
+  return records;
+}
+
+}  // namespace imcf

@@ -1,0 +1,64 @@
+// Append-only record log with per-record CRC framing.
+//
+// This is the durability primitive beneath the TableStore (IMCF's stand-in
+// for the paper's MariaDB persistence layer). Each record is framed as
+//
+//   [masked crc32c : 4 bytes][length : 4 bytes LE][payload : length bytes]
+//
+// where the CRC covers length + payload. Readers stop at the first torn or
+// corrupt record, so a crash mid-append loses at most the last record —
+// the same contract as a write-ahead log.
+
+#ifndef IMCF_STORAGE_RECORD_LOG_H_
+#define IMCF_STORAGE_RECORD_LOG_H_
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace imcf {
+
+/// Appends CRC-framed records to a file.
+class RecordLogWriter {
+ public:
+  RecordLogWriter() = default;
+  ~RecordLogWriter();
+
+  RecordLogWriter(const RecordLogWriter&) = delete;
+  RecordLogWriter& operator=(const RecordLogWriter&) = delete;
+
+  /// Opens `path` for appending (creates it if missing).
+  Status Open(const std::string& path);
+
+  /// Appends one record; returns after the data is handed to the OS.
+  Status Append(std::string_view payload);
+
+  /// Flushes buffered data.
+  Status Flush();
+
+  /// Flushes and closes; further appends fail.
+  Status Close();
+
+  bool is_open() const { return file_ != nullptr; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+/// Reads back all intact records of a log.
+class RecordLogReader {
+ public:
+  /// Reads every valid record from `path`. If the file ends in a torn or
+  /// corrupt record, reading stops there; `truncated` (optional) is set to
+  /// true in that case.
+  static Result<std::vector<std::string>> ReadAll(const std::string& path,
+                                                  bool* truncated = nullptr);
+};
+
+}  // namespace imcf
+
+#endif  // IMCF_STORAGE_RECORD_LOG_H_

@@ -1,0 +1,249 @@
+#include "storage/table_store.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "storage/coding.h"
+
+namespace imcf {
+
+int TableSchema::ColumnIndex(const std::string& column_name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == column_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+ColumnType TypeOf(const Value& v) {
+  if (std::holds_alternative<int64_t>(v)) return ColumnType::kInt;
+  if (std::holds_alternative<double>(v)) return ColumnType::kDouble;
+  return ColumnType::kString;
+}
+
+std::string ValueToString(const Value& v) {
+  switch (TypeOf(v)) {
+    case ColumnType::kInt:
+      return StrFormat("%lld",
+                       static_cast<long long>(std::get<int64_t>(v)));
+    case ColumnType::kDouble:
+      return StrFormat("%.6g", std::get<double>(v));
+    case ColumnType::kString:
+      return std::get<std::string>(v);
+  }
+  return "";
+}
+
+std::string EncodeRow(const TableSchema& schema, const Row& row) {
+  std::string out;
+  out.push_back(1);  // record kind: row
+  for (size_t i = 0; i < row.size(); ++i) {
+    switch (schema.columns[i].type) {
+      case ColumnType::kInt:
+        PutVarintSigned64(&out, std::get<int64_t>(row[i]));
+        break;
+      case ColumnType::kDouble:
+        PutDouble(&out, std::get<double>(row[i]));
+        break;
+      case ColumnType::kString:
+        PutLengthPrefixed(&out, std::get<std::string>(row[i]));
+        break;
+    }
+  }
+  return out;
+}
+
+Result<Row> DecodeRow(const TableSchema& schema, std::string_view data) {
+  Decoder dec(data);
+  IMCF_ASSIGN_OR_RETURN(std::string_view kind, dec.ReadBytes(1));
+  if (kind[0] != 1) return Status::Corruption("not a row record");
+  Row row;
+  row.reserve(schema.columns.size());
+  for (const Column& col : schema.columns) {
+    switch (col.type) {
+      case ColumnType::kInt: {
+        IMCF_ASSIGN_OR_RETURN(int64_t v, dec.ReadVarintSigned64());
+        row.emplace_back(v);
+        break;
+      }
+      case ColumnType::kDouble: {
+        IMCF_ASSIGN_OR_RETURN(double v, ReadDouble(&dec));
+        row.emplace_back(v);
+        break;
+      }
+      case ColumnType::kString: {
+        IMCF_ASSIGN_OR_RETURN(std::string_view v, ReadLengthPrefixed(&dec));
+        row.emplace_back(std::string(v));
+        break;
+      }
+    }
+  }
+  if (!dec.empty()) return Status::Corruption("trailing bytes in row record");
+  return row;
+}
+
+std::string EncodeSchema(const TableSchema& schema) {
+  std::string out;
+  out.push_back(0);  // record kind: schema
+  PutLengthPrefixed(&out, schema.name);
+  PutVarint64(&out, schema.columns.size());
+  for (const Column& col : schema.columns) {
+    PutLengthPrefixed(&out, col.name);
+    out.push_back(static_cast<char>(col.type));
+  }
+  return out;
+}
+
+Result<TableSchema> DecodeSchema(std::string_view data) {
+  Decoder dec(data);
+  IMCF_ASSIGN_OR_RETURN(std::string_view kind, dec.ReadBytes(1));
+  if (kind[0] != 0) return Status::Corruption("not a schema record");
+  TableSchema schema;
+  IMCF_ASSIGN_OR_RETURN(std::string_view name, ReadLengthPrefixed(&dec));
+  schema.name = std::string(name);
+  IMCF_ASSIGN_OR_RETURN(uint64_t n_cols, dec.ReadVarint64());
+  for (uint64_t i = 0; i < n_cols; ++i) {
+    Column col;
+    IMCF_ASSIGN_OR_RETURN(std::string_view col_name, ReadLengthPrefixed(&dec));
+    col.name = std::string(col_name);
+    IMCF_ASSIGN_OR_RETURN(std::string_view type_byte, dec.ReadBytes(1));
+    const uint8_t t = static_cast<uint8_t>(type_byte[0]);
+    if (t > static_cast<uint8_t>(ColumnType::kString)) {
+      return Status::Corruption("unknown column type");
+    }
+    col.type = static_cast<ColumnType>(t);
+    schema.columns.push_back(std::move(col));
+  }
+  return schema;
+}
+
+Table::Table(TableSchema schema, std::string log_path)
+    : schema_(std::move(schema)), log_path_(std::move(log_path)) {}
+
+Status Table::Recover() {
+  // Read back whatever exists; a fresh table has no file yet.
+  std::FILE* probe = std::fopen(log_path_.c_str(), "rb");
+  const bool exists = probe != nullptr;
+  if (probe != nullptr) std::fclose(probe);
+  if (exists) {
+    IMCF_ASSIGN_OR_RETURN(std::vector<std::string> records,
+                          RecordLogReader::ReadAll(log_path_));
+    bool saw_schema = false;
+    for (const std::string& record : records) {
+      if (record.empty()) return Status::Corruption("empty record");
+      if (record[0] == 0) {
+        IMCF_ASSIGN_OR_RETURN(TableSchema stored, DecodeSchema(record));
+        if (stored.columns.size() != schema_.columns.size()) {
+          return Status::FailedPrecondition(
+              "schema mismatch for table " + schema_.name);
+        }
+        saw_schema = true;
+      } else {
+        IMCF_ASSIGN_OR_RETURN(Row row, DecodeRow(schema_, record));
+        rows_.push_back(std::move(row));
+      }
+    }
+    if (!records.empty() && !saw_schema) {
+      return Status::Corruption("table log missing schema header: " +
+                                log_path_);
+    }
+  }
+  IMCF_RETURN_IF_ERROR(log_.Open(log_path_));
+  if (!exists) {
+    IMCF_RETURN_IF_ERROR(log_.Append(EncodeSchema(schema_)));
+    IMCF_RETURN_IF_ERROR(log_.Flush());
+  }
+  return Status::Ok();
+}
+
+Status Table::CheckRow(const Row& row) const {
+  if (row.size() != schema_.columns.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "table %s expects %zu columns, got %zu", schema_.name.c_str(),
+        schema_.columns.size(), row.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (TypeOf(row[i]) != schema_.columns[i].type) {
+      return Status::InvalidArgument(
+          StrFormat("type mismatch in column '%s' of table %s",
+                    schema_.columns[i].name.c_str(), schema_.name.c_str()));
+    }
+  }
+  return Status::Ok();
+}
+
+Status Table::Insert(const Row& row) {
+  IMCF_RETURN_IF_ERROR(CheckRow(row));
+  IMCF_RETURN_IF_ERROR(log_.Append(EncodeRow(schema_, row)));
+  rows_.push_back(row);
+  return Status::Ok();
+}
+
+std::vector<Row> Table::Select(
+    const std::function<bool(const Row&)>& pred) const {
+  std::vector<Row> out;
+  for (const Row& row : rows_) {
+    if (pred(row)) out.push_back(row);
+  }
+  return out;
+}
+
+Status Table::Truncate() {
+  IMCF_RETURN_IF_ERROR(log_.Close());
+  std::FILE* f = std::fopen(log_path_.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot truncate " + log_path_);
+  std::fclose(f);
+  rows_.clear();
+  IMCF_RETURN_IF_ERROR(log_.Open(log_path_));
+  IMCF_RETURN_IF_ERROR(log_.Append(EncodeSchema(schema_)));
+  return log_.Flush();
+}
+
+Status Table::Flush() { return log_.Flush(); }
+
+Result<std::unique_ptr<TableStore>> TableStore::Open(const std::string& dir) {
+  struct stat st;
+  if (::stat(dir.c_str(), &st) != 0) {
+    if (::mkdir(dir.c_str(), 0755) != 0) {
+      return Status::IOError("cannot create store directory: " + dir);
+    }
+  } else if (!S_ISDIR(st.st_mode)) {
+    return Status::InvalidArgument("not a directory: " + dir);
+  }
+  return std::unique_ptr<TableStore>(new TableStore(dir));
+}
+
+Result<Table*> TableStore::CreateTable(const TableSchema& schema) {
+  if (tables_.count(schema.name) > 0) {
+    return Status::AlreadyExists("table exists: " + schema.name);
+  }
+  auto table = std::make_unique<Table>(schema, dir_ + "/" + schema.name +
+                                                   ".tlog");
+  IMCF_RETURN_IF_ERROR(table->Recover());
+  Table* ptr = table.get();
+  tables_[schema.name] = std::move(table);
+  return ptr;
+}
+
+Result<Table*> TableStore::OpenOrCreateTable(const TableSchema& schema) {
+  auto it = tables_.find(schema.name);
+  if (it != tables_.end()) return it->second.get();
+  return CreateTable(schema);
+}
+
+Result<Table*> TableStore::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  return it->second.get();
+}
+
+std::vector<std::string> TableStore::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace imcf

@@ -1,0 +1,132 @@
+// TableStore: a small embedded, schema-checked, append-only table store.
+//
+// The paper's prototype persists user configuration (meta-rules, budgets,
+// item states) in MariaDB. This module provides the equivalent substrate:
+// named tables with typed columns, durable via the CRC-framed RecordLog,
+// recovered on open. It intentionally supports only what the IMCF stack
+// needs — insert, full scan, predicate scan and truncate — no query planner.
+
+#ifndef IMCF_STORAGE_TABLE_STORE_H_
+#define IMCF_STORAGE_TABLE_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/record_log.h"
+
+namespace imcf {
+
+/// Column types supported by the store.
+enum class ColumnType : uint8_t { kInt = 0, kDouble = 1, kString = 2 };
+
+/// A typed cell value.
+using Value = std::variant<int64_t, double, std::string>;
+
+/// One record.
+using Row = std::vector<Value>;
+
+/// A named, typed column.
+struct Column {
+  std::string name;
+  ColumnType type;
+};
+
+/// Schema of a table: its name and ordered columns.
+struct TableSchema {
+  std::string name;
+  std::vector<Column> columns;
+
+  /// Index of a column by name, or -1.
+  int ColumnIndex(const std::string& column_name) const;
+};
+
+/// Returns the ColumnType a Value currently holds.
+ColumnType TypeOf(const Value& v);
+
+/// Renders a value for display/CSV export.
+std::string ValueToString(const Value& v);
+
+/// An open table: in-memory rows backed by an append-only log.
+class Table {
+ public:
+  Table(TableSchema schema, std::string log_path);
+
+  /// Recovers rows from the backing log (tolerates a torn tail).
+  Status Recover();
+
+  /// Validates against the schema, appends to the log and to memory.
+  Status Insert(const Row& row);
+
+  /// All rows, in insertion order.
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Rows matching `pred`.
+  std::vector<Row> Select(const std::function<bool(const Row&)>& pred) const;
+
+  /// Deletes all rows (truncates the backing log).
+  Status Truncate();
+
+  const TableSchema& schema() const { return schema_; }
+  size_t size() const { return rows_.size(); }
+
+  /// Flushes the backing log.
+  Status Flush();
+
+ private:
+  Status CheckRow(const Row& row) const;
+
+  TableSchema schema_;
+  std::string log_path_;
+  RecordLogWriter log_;
+  std::vector<Row> rows_;
+};
+
+/// A directory of tables. Each table lives in `<dir>/<name>.tlog`, with the
+/// schema serialized as the first record.
+class TableStore {
+ public:
+  /// Opens (creating if needed) the store rooted at `dir`.
+  static Result<std::unique_ptr<TableStore>> Open(const std::string& dir);
+
+  /// Creates a table; error if it already exists.
+  Result<Table*> CreateTable(const TableSchema& schema);
+
+  /// Opens an existing table or creates it with `schema`.
+  Result<Table*> OpenOrCreateTable(const TableSchema& schema);
+
+  /// Returns an open table by name.
+  Result<Table*> GetTable(const std::string& name);
+
+  /// Names of all open tables.
+  std::vector<std::string> TableNames() const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  explicit TableStore(std::string dir) : dir_(std::move(dir)) {}
+
+  std::string dir_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+/// Serializes a row against a schema (binary, varint/length-prefixed).
+std::string EncodeRow(const TableSchema& schema, const Row& row);
+
+/// Parses a row serialized by EncodeRow.
+Result<Row> DecodeRow(const TableSchema& schema, std::string_view data);
+
+/// Serializes a schema for the table log header record.
+std::string EncodeSchema(const TableSchema& schema);
+
+/// Parses a schema header record.
+Result<TableSchema> DecodeSchema(std::string_view data);
+
+}  // namespace imcf
+
+#endif  // IMCF_STORAGE_TABLE_STORE_H_

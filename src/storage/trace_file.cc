@@ -1,0 +1,218 @@
+#include "storage/trace_file.h"
+
+#include <cstring>
+#include <memory>
+
+#include "common/crc32.h"
+#include "storage/coding.h"
+
+namespace imcf {
+
+namespace {
+
+constexpr char kMagic[] = "IMCFTRC1";
+constexpr size_t kMagicLen = 8;
+constexpr size_t kBlockRecords = 4096;
+
+float BitsToFloat(uint32_t bits) {
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+uint32_t FloatToBits(float f) {
+  uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  return bits;
+}
+
+Status ReadExact(std::FILE* f, char* buf, size_t n, const char* what) {
+  if (std::fread(buf, 1, n, f) != n) {
+    return Status::Corruption(std::string("truncated ") + what);
+  }
+  return Status::Ok();
+}
+
+// Reads one LEB128 varint directly from the file.
+Result<uint64_t> ReadVarintFromFile(std::FILE* f) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (shift <= 63) {
+    const int c = std::fgetc(f);
+    if (c == EOF) return Status::Corruption("eof inside varint");
+    v |= static_cast<uint64_t>(c & 0x7F) << shift;
+    if ((c & 0x80) == 0) return v;
+    shift += 7;
+  }
+  return Status::Corruption("overlong varint");
+}
+
+}  // namespace
+
+TraceFileWriter::~TraceFileWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status TraceFileWriter::Open(const std::string& path) {
+  if (file_ != nullptr) {
+    return Status::FailedPrecondition("trace file already open");
+  }
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot create trace file: " + path);
+  }
+  path_ = path;
+  if (std::fwrite(kMagic, 1, kMagicLen, file_) != kMagicLen) {
+    return Status::IOError("cannot write header: " + path);
+  }
+  return Status::Ok();
+}
+
+Status TraceFileWriter::Append(const SensorRecord& record) {
+  if (file_ == nullptr || finished_) {
+    return Status::FailedPrecondition("trace file not open for append");
+  }
+  if (total_count_ + static_cast<int64_t>(pending_.size()) > 0 &&
+      record.time < last_time_) {
+    return Status::InvalidArgument(
+        "trace readings must be appended in time order");
+  }
+  last_time_ = record.time;
+  pending_.push_back(record);
+  if (pending_.size() >= kBlockRecords) {
+    IMCF_RETURN_IF_ERROR(FlushBlock());
+  }
+  return Status::Ok();
+}
+
+Status TraceFileWriter::FlushBlock() {
+  if (pending_.empty()) return Status::Ok();
+  std::string payload;
+  payload.reserve(pending_.size() * 8 + 16);
+  PutVarint64(&payload, pending_.size());
+  PutFixed64(&payload, static_cast<uint64_t>(pending_.front().time));
+  SimTime prev = pending_.front().time;
+  for (const SensorRecord& r : pending_) {
+    PutVarint64(&payload, static_cast<uint64_t>(r.time - prev));
+    prev = r.time;
+    PutVarint64(&payload, r.sensor_id);
+    payload.push_back(static_cast<char>(r.kind));
+    PutFixed32(&payload, FloatToBits(r.value));
+  }
+  std::string frame;
+  PutVarint64(&frame, payload.size());
+  frame += payload;
+  PutFixed32(&frame, MaskCrc(Crc32c(payload)));
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    return Status::IOError("block write failed: " + path_);
+  }
+  total_count_ += static_cast<int64_t>(pending_.size());
+  pending_.clear();
+  return Status::Ok();
+}
+
+Status TraceFileWriter::Finish() {
+  if (finished_) return Status::Ok();
+  if (file_ == nullptr) return Status::FailedPrecondition("not open");
+  IMCF_RETURN_IF_ERROR(FlushBlock());
+  std::string footer;
+  PutVarint64(&footer, 0);  // zero-length block marks the footer
+  PutFixed64(&footer, static_cast<uint64_t>(total_count_));
+  if (std::fwrite(footer.data(), 1, footer.size(), file_) != footer.size()) {
+    return Status::IOError("footer write failed: " + path_);
+  }
+  const bool ok = std::fflush(file_) == 0;
+  std::fclose(file_);
+  file_ = nullptr;
+  finished_ = true;
+  if (!ok) return Status::IOError("flush failed: " + path_);
+  return Status::Ok();
+}
+
+TraceFileReader::~TraceFileReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::unique_ptr<TraceFileReader>> TraceFileReader::Open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open trace file: " + path);
+  char magic[kMagicLen];
+  if (std::fread(magic, 1, kMagicLen, f) != kMagicLen ||
+      std::memcmp(magic, kMagic, kMagicLen) != 0) {
+    std::fclose(f);
+    return Status::Corruption("bad trace file magic: " + path);
+  }
+  auto reader = std::unique_ptr<TraceFileReader>(new TraceFileReader());
+  reader->file_ = f;
+  return reader;
+}
+
+Status TraceFileReader::LoadNextBlock() {
+  IMCF_ASSIGN_OR_RETURN(uint64_t payload_len, ReadVarintFromFile(file_));
+  if (payload_len == 0) {
+    // Footer: total record count follows.
+    char buf[8];
+    IMCF_RETURN_IF_ERROR(ReadExact(file_, buf, 8, "footer"));
+    footer_count_ = static_cast<int64_t>(GetFixed64(buf));
+    at_end_ = true;
+    return Status::Ok();
+  }
+  std::string payload(payload_len, '\0');
+  IMCF_RETURN_IF_ERROR(ReadExact(file_, payload.data(), payload_len, "block"));
+  char crc_buf[4];
+  IMCF_RETURN_IF_ERROR(ReadExact(file_, crc_buf, 4, "block crc"));
+  const uint32_t stored = UnmaskCrc(GetFixed32(crc_buf));
+  if (stored != Crc32c(payload)) {
+    return Status::Corruption("trace block checksum mismatch");
+  }
+  Decoder dec(payload);
+  IMCF_ASSIGN_OR_RETURN(uint64_t count, dec.ReadVarint64());
+  IMCF_ASSIGN_OR_RETURN(uint64_t base_time, dec.ReadFixed64());
+  block_.clear();
+  block_.reserve(count);
+  SimTime t = static_cast<SimTime>(base_time);
+  for (uint64_t i = 0; i < count; ++i) {
+    IMCF_ASSIGN_OR_RETURN(uint64_t delta, dec.ReadVarint64());
+    // The first record's stored delta is 0 relative to base_time.
+    if (i > 0) t += static_cast<SimTime>(delta);
+    SensorRecord r;
+    r.time = (i == 0) ? static_cast<SimTime>(base_time) : t;
+    IMCF_ASSIGN_OR_RETURN(uint64_t sensor_id, dec.ReadVarint64());
+    r.sensor_id = static_cast<uint32_t>(sensor_id);
+    IMCF_ASSIGN_OR_RETURN(std::string_view kind, dec.ReadBytes(1));
+    r.kind = static_cast<uint8_t>(kind[0]);
+    IMCF_ASSIGN_OR_RETURN(uint32_t bits, dec.ReadFixed32());
+    r.value = BitsToFloat(bits);
+    block_.push_back(r);
+  }
+  if (!dec.empty()) return Status::Corruption("trailing bytes in block");
+  block_pos_ = 0;
+  return Status::Ok();
+}
+
+bool TraceFileReader::Next(SensorRecord* record) {
+  if (!status_.ok() || at_end_) return false;
+  while (block_pos_ >= block_.size()) {
+    status_ = LoadNextBlock();
+    if (!status_.ok() || at_end_) return false;
+  }
+  *record = block_[block_pos_++];
+  return true;
+}
+
+Result<std::vector<SensorRecord>> TraceFileReader::ReadAll(
+    const std::string& path) {
+  IMCF_ASSIGN_OR_RETURN(std::unique_ptr<TraceFileReader> reader, Open(path));
+  std::vector<SensorRecord> out;
+  SensorRecord r;
+  while (reader->Next(&r)) out.push_back(r);
+  IMCF_RETURN_IF_ERROR(reader->status());
+  if (reader->footer_count() >= 0 &&
+      reader->footer_count() != static_cast<int64_t>(out.size())) {
+    return Status::Corruption("footer count mismatch");
+  }
+  return out;
+}
+
+}  // namespace imcf

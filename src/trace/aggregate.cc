@@ -1,0 +1,97 @@
+#include "trace/aggregate.h"
+
+namespace imcf {
+namespace trace {
+
+HourlyAggregator::HourlyAggregator(SimTime start, int hours, int units)
+    : start_(start),
+      hours_(hours),
+      units_(units),
+      temp_sum_(static_cast<size_t>(hours) * units, 0.0),
+      light_sum_(static_cast<size_t>(hours) * units, 0.0),
+      temp_count_(static_cast<size_t>(hours) * units, 0),
+      light_count_(static_cast<size_t>(hours) * units, 0) {}
+
+void HourlyAggregator::Add(const Reading& reading) {
+  const int unit = SensorUnit(reading.sensor_id);
+  const int64_t h64 = (reading.time - start_) / kSecondsPerHour;
+  if (unit < 0 || unit >= units_ || reading.time < start_ || h64 >= hours_) {
+    ++skipped_;
+    return;
+  }
+  const int h = static_cast<int>(h64);
+  switch (reading.kind) {
+    case SensorKind::kTemperature:
+      temp_sum_[Index(unit, h)] += reading.value;
+      ++temp_count_[Index(unit, h)];
+      ++accepted_;
+      break;
+    case SensorKind::kLight:
+      light_sum_[Index(unit, h)] += reading.value;
+      ++light_count_[Index(unit, h)];
+      ++accepted_;
+      break;
+    case SensorKind::kDoor:
+      // Door events don't contribute to the hourly ambient series.
+      ++skipped_;
+      break;
+  }
+}
+
+HourlyAmbient HourlyAggregator::Finish() const {
+  HourlyAmbient out(start_, hours_, units_);
+  for (int u = 0; u < units_; ++u) {
+    // First pass: means where data exists.
+    for (int h = 0; h < hours_; ++h) {
+      const size_t i = Index(u, h);
+      if (temp_count_[i] > 0) {
+        out.set_temp(u, h, static_cast<float>(temp_sum_[i] / temp_count_[i]));
+      }
+      if (light_count_[i] > 0) {
+        out.set_light(u, h,
+                      static_cast<float>(light_sum_[i] / light_count_[i]));
+      }
+    }
+    // Fill gaps: carry the previous hour forward; seed leading gaps with the
+    // first observed value.
+    int first_temp = -1, first_light = -1;
+    for (int h = 0; h < hours_; ++h) {
+      if (first_temp < 0 && temp_count_[Index(u, h)] > 0) first_temp = h;
+      if (first_light < 0 && light_count_[Index(u, h)] > 0) first_light = h;
+    }
+    for (int h = 0; h < hours_; ++h) {
+      if (temp_count_[Index(u, h)] == 0) {
+        if (h > 0 && (first_temp < 0 || h > first_temp)) {
+          out.set_temp(u, h, out.temp(u, h - 1));
+        } else if (first_temp >= 0) {
+          out.set_temp(u, h, out.temp(u, first_temp));
+        }
+      }
+      if (light_count_[Index(u, h)] == 0) {
+        if (h > 0 && (first_light < 0 || h > first_light)) {
+          out.set_light(u, h, out.light(u, h - 1));
+        } else if (first_light >= 0) {
+          out.set_light(u, h, out.light(u, first_light));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Result<HourlyAmbient> AggregateTraceFile(const std::string& path,
+                                         SimTime start, int hours,
+                                         int units) {
+  IMCF_ASSIGN_OR_RETURN(std::unique_ptr<TraceFileReader> reader,
+                        TraceFileReader::Open(path));
+  HourlyAggregator agg(start, hours, units);
+  SensorRecord record;
+  while (reader->Next(&record)) {
+    agg.Add(FromRecord(record));
+  }
+  IMCF_RETURN_IF_ERROR(reader->status());
+  return agg.Finish();
+}
+
+}  // namespace trace
+}  // namespace imcf

@@ -1,0 +1,81 @@
+#include "trace/ambient.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace imcf {
+namespace trace {
+
+namespace {
+
+// Gaussian-ish deviate in units of stddev from a hash (sum of 4 uniforms).
+double HashGaussian(uint64_t h) {
+  double sum = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    sum += static_cast<double>(MixHash(h, static_cast<uint64_t>(i)) >> 11) *
+           0x1.0p-53;
+  }
+  return (sum - 2.0) / std::sqrt(4.0 / 12.0);
+}
+
+}  // namespace
+
+AmbientModel::AmbientModel(const weather::WeatherService* weather,
+                           AmbientModelOptions options, uint64_t unit_seed)
+    : weather_(weather), options_(options), unit_seed_(unit_seed) {}
+
+double AmbientModel::HourNoise(SimTime t, uint64_t stream,
+                               double stddev) const {
+  const int64_t hour = HourIndex(t);
+  const double frac =
+      static_cast<double>(t - hour * kSecondsPerHour) / kSecondsPerHour;
+  const double a =
+      HashGaussian(MixHash(unit_seed_ ^ stream, static_cast<uint64_t>(hour)));
+  const double b = HashGaussian(
+      MixHash(unit_seed_ ^ stream, static_cast<uint64_t>(hour + 1)));
+  // Cosine blend keeps the noise continuous at hour boundaries.
+  const double w = 0.5 - 0.5 * std::cos(M_PI * frac);
+  return stddev * Lerp(a, b, w);
+}
+
+double AmbientModel::IndoorTempC(SimTime t) const {
+  const SimTime lagged =
+      t - static_cast<SimTime>(options_.thermal_lag_hours * kSecondsPerHour);
+  const weather::WeatherSample w = weather_->At(lagged);
+  const double envelope =
+      options_.neutral_temp_c +
+      options_.coupling *
+          (w.outdoor_daily_mean_c - options_.neutral_temp_c) +
+      options_.diurnal_coupling * (w.outdoor_temp_c - w.outdoor_daily_mean_c);
+  const double bias =
+      options_.monthly_bias_c[static_cast<size_t>(ToCivil(t).month - 1)];
+  return envelope + options_.internal_gain_c + bias +
+         HourNoise(t, 0xA1B2ULL, options_.temp_noise_c);
+}
+
+double AmbientModel::IndoorLightPct(SimTime t) const {
+  const weather::WeatherSample w = weather_->At(t);
+  const double light = 100.0 * options_.window_factor * w.daylight +
+                       HourNoise(t, 0xC3D4ULL, options_.light_noise);
+  return Clamp(light, 0.0, 100.0);
+}
+
+bool AmbientModel::DoorOpen(SimTime t) const {
+  // Sparse door events: each waking hour has an independent chance of one
+  // 2-minute opening at a hash-determined offset.
+  const int64_t hour = HourIndex(t);
+  const int hour_of_day = static_cast<int>(MinuteOfDay(t) / 60);
+  if (hour_of_day < 7 || hour_of_day > 22) return false;
+  const uint64_t h =
+      MixHash(unit_seed_ ^ 0xD00DULL, static_cast<uint64_t>(hour));
+  const double p = static_cast<double>(h >> 11) * 0x1.0p-53;
+  if (p > 0.15) return false;  // ~15% of waking hours see one opening
+  const int offset_minutes = static_cast<int>(MixHash(h, 1) % 58);
+  const int minute_in_hour = static_cast<int>((t / 60) % 60);
+  return minute_in_hour >= offset_minutes && minute_in_hour < offset_minutes + 2;
+}
+
+}  // namespace trace
+}  // namespace imcf

@@ -1,0 +1,116 @@
+#include "trace/generator.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace imcf {
+namespace trace {
+
+CasasTraceGenerator::CasasTraceGenerator(GeneratorOptions options)
+    : options_(options), weather_(options.climate) {}
+
+AmbientModel CasasTraceGenerator::ModelForUnit(int unit) const {
+  return AmbientModel(&weather_, options_.ambient,
+                      MixHash(options_.seed, static_cast<uint64_t>(unit)));
+}
+
+Result<int64_t> CasasTraceGenerator::Generate(
+    const std::function<Status(const Reading&)>& sink) const {
+  if (options_.end <= options_.start) {
+    return Status::InvalidArgument("generator span is empty");
+  }
+  if (options_.step_seconds <= 0) {
+    return Status::InvalidArgument("step_seconds must be positive");
+  }
+  std::vector<AmbientModel> models;
+  models.reserve(options_.units);
+  for (int u = 0; u < options_.units; ++u) models.push_back(ModelForUnit(u));
+
+  std::vector<uint8_t> door_state(options_.units, 0);
+  int64_t count = 0;
+  for (SimTime t = options_.start; t < options_.end;
+       t += options_.step_seconds) {
+    for (int u = 0; u < options_.units; ++u) {
+      const AmbientModel& model = models[u];
+      Reading temp{t, MakeSensorId(u, SensorKind::kTemperature),
+                   SensorKind::kTemperature,
+                   static_cast<float>(model.IndoorTempC(t))};
+      IMCF_RETURN_IF_ERROR(sink(temp));
+      ++count;
+      Reading light{t, MakeSensorId(u, SensorKind::kLight), SensorKind::kLight,
+                    static_cast<float>(model.IndoorLightPct(t))};
+      IMCF_RETURN_IF_ERROR(sink(light));
+      ++count;
+      // Door sensor is event-based: emit only on state changes.
+      const uint8_t open = model.DoorOpen(t) ? 1 : 0;
+      if (open != door_state[u]) {
+        door_state[u] = open;
+        Reading door{t, MakeSensorId(u, SensorKind::kDoor), SensorKind::kDoor,
+                     static_cast<float>(open)};
+        IMCF_RETURN_IF_ERROR(sink(door));
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+Result<int64_t> CasasTraceGenerator::WriteTraceFile(
+    const std::string& path) const {
+  TraceFileWriter writer;
+  IMCF_RETURN_IF_ERROR(writer.Open(path));
+  IMCF_ASSIGN_OR_RETURN(
+      int64_t count, Generate([&writer](const Reading& r) {
+        return writer.Append(ToRecord(r));
+      }));
+  IMCF_RETURN_IF_ERROR(writer.Finish());
+  return count;
+}
+
+Result<std::vector<Reading>> CasasTraceGenerator::GenerateAll() const {
+  std::vector<Reading> out;
+  IMCF_RETURN_IF_ERROR(Generate([&out](const Reading& r) {
+                         out.push_back(r);
+                         return Status::Ok();
+                       }).status());
+  return out;
+}
+
+std::vector<Reading> ReplicateAndMix(const std::vector<Reading>& input,
+                                     int factor, uint64_t seed) {
+  std::vector<Reading> out;
+  out.reserve(input.size() * static_cast<size_t>(factor));
+  // Remap unit ids densely: copy c of unit u becomes unit c * stride + u.
+  int stride = 0;
+  for (const Reading& r : input) {
+    stride = std::max(stride, SensorUnit(r.sensor_id) + 1);
+  }
+  Rng rng(seed);
+  for (int copy = 0; copy < factor; ++copy) {
+    for (const Reading& r : input) {
+      Reading m = r;
+      const int unit = SensorUnit(r.sensor_id);
+      m.sensor_id = MakeSensorId(copy * stride + unit, r.kind);
+      // Jitter continuous measurements slightly; door states stay binary.
+      if (r.kind == SensorKind::kTemperature) {
+        m.value += static_cast<float>(rng.Gaussian(0.0, 0.3));
+      } else if (r.kind == SensorKind::kLight) {
+        m.value = static_cast<float>(
+            std::clamp(m.value + rng.Gaussian(0.0, 2.0), 0.0, 100.0));
+      }
+      // Shift each copy by a few seconds so merged streams interleave
+      // ("mixing up the readings").
+      m.time += rng.UniformInt(0, 9);
+      out.push_back(m);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Reading& a, const Reading& b) {
+                     return a.time < b.time;
+                   });
+  return out;
+}
+
+}  // namespace trace
+}  // namespace imcf

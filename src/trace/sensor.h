@@ -1,0 +1,65 @@
+// Sensor reading vocabulary for the CASAS-like traces.
+//
+// The paper's datasets are streams of timestamped sensor readings from a
+// residential apartment: temperature, light and door/window sensors, on a
+// second basis. A Reading is the in-memory form; storage::SensorRecord is
+// its on-disk form (see storage/trace_file.h).
+
+#ifndef IMCF_TRACE_SENSOR_H_
+#define IMCF_TRACE_SENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "storage/trace_file.h"
+
+namespace imcf {
+namespace trace {
+
+/// Kind of sensor producing a reading.
+enum class SensorKind : uint8_t {
+  kTemperature = 0,  ///< indoor temperature, °C
+  kLight = 1,        ///< indoor light level, 0-100
+  kDoor = 2,         ///< door/window state, 0 closed / 1 open
+};
+
+const char* SensorKindName(SensorKind kind);
+
+/// One sensor measurement.
+struct Reading {
+  SimTime time = 0;
+  uint32_t sensor_id = 0;
+  SensorKind kind = SensorKind::kTemperature;
+  float value = 0.0f;
+
+  friend bool operator==(const Reading&, const Reading&) = default;
+};
+
+/// Dense sensor-id scheme: unit index and kind are recoverable from the id
+/// so replicated datasets need no side table.
+inline uint32_t MakeSensorId(int unit, SensorKind kind) {
+  return static_cast<uint32_t>(unit) * 4u + static_cast<uint32_t>(kind);
+}
+inline int SensorUnit(uint32_t sensor_id) {
+  return static_cast<int>(sensor_id / 4u);
+}
+inline SensorKind SensorKindOf(uint32_t sensor_id) {
+  return static_cast<SensorKind>(sensor_id % 4u);
+}
+
+/// Conversions to/from the storage record form.
+inline SensorRecord ToRecord(const Reading& r) {
+  return SensorRecord{r.time, r.sensor_id, static_cast<uint8_t>(r.kind),
+                      r.value};
+}
+inline Reading FromRecord(const SensorRecord& r) {
+  return Reading{r.time, r.sensor_id, static_cast<SensorKind>(r.kind),
+                 r.value};
+}
+
+}  // namespace trace
+}  // namespace imcf
+
+#endif  // IMCF_TRACE_SENSOR_H_

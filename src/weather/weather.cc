@@ -1,0 +1,135 @@
+#include "weather/weather.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace imcf {
+namespace weather {
+
+namespace {
+
+constexpr double kTau = 2.0 * M_PI;
+
+// Coldest day of the year (mid January) as a day-of-year anchor.
+constexpr double kColdestDoy = 15.0;
+
+// Coldest hour of the day (pre-dawn).
+constexpr double kColdestHour = 5.0;
+
+int64_t DayIndexOf(SimTime t) { return t >= 0 ? t / kSecondsPerDay : (t - kSecondsPerDay + 1) / kSecondsPerDay; }
+
+}  // namespace
+
+const char* SeasonName(Season s) {
+  switch (s) {
+    case Season::kWinter:
+      return "Winter";
+    case Season::kSpring:
+      return "Spring";
+    case Season::kSummer:
+      return "Summer";
+    case Season::kAutumn:
+      return "Autumn";
+  }
+  return "?";
+}
+
+const char* SkyName(Sky s) {
+  return s == Sky::kSunny ? "Sunny" : "Cloudy";
+}
+
+Season SeasonOf(SimTime t) {
+  const int month = ToCivil(t).month;
+  if (month == 12 || month <= 2) return Season::kWinter;
+  if (month <= 5) return Season::kSpring;
+  if (month <= 8) return Season::kSummer;
+  return Season::kAutumn;
+}
+
+SyntheticWeather::SyntheticWeather(ClimateOptions options)
+    : options_(options) {}
+
+double SyntheticWeather::DayOffset(int64_t day_index) const {
+  // Hash each day to a Gaussian-ish offset via the central limit of four
+  // uniforms, then callers interpolate between consecutive days.
+  const uint64_t h = MixHash(options_.seed, static_cast<uint64_t>(day_index));
+  double sum = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    const uint64_t hi = MixHash(h, static_cast<uint64_t>(i));
+    sum += static_cast<double>(hi >> 11) * 0x1.0p-53;  // [0,1)
+  }
+  // Sum of 4 uniforms: mean 2, var 4/12 -> scale to unit variance.
+  const double z = (sum - 2.0) / std::sqrt(4.0 / 12.0);
+  return z * options_.day_noise_c;
+}
+
+bool SyntheticWeather::IsCloudy(int64_t day_index, Season season) const {
+  double p;
+  switch (season) {
+    case Season::kWinter:
+      p = options_.cloudy_winter_prob;
+      break;
+    case Season::kSummer:
+      p = options_.cloudy_summer_prob;
+      break;
+    default:
+      p = 0.5 * (options_.cloudy_winter_prob + options_.cloudy_summer_prob);
+      break;
+  }
+  const uint64_t h =
+      MixHash(options_.seed ^ 0xC10D5ULL, static_cast<uint64_t>(day_index));
+  return (static_cast<double>(h >> 11) * 0x1.0p-53) < p;
+}
+
+WeatherSample SyntheticWeather::At(SimTime t) const {
+  WeatherSample sample;
+  sample.season = SeasonOf(t);
+
+  const int64_t day_index = DayIndexOf(t);
+  const double doy = static_cast<double>(DayOfYear(t));
+  const double hour = static_cast<double>(MinuteOfDay(t)) / 60.0;
+
+  // Annual component: minimum (-A) around mid January, maximum mid July.
+  const double annual =
+      -options_.annual_amplitude_c * std::cos(kTau * (doy - kColdestDoy) / 365.25);
+
+  // Diurnal component: coldest pre-dawn, warmest mid afternoon.
+  const double diurnal =
+      -options_.diurnal_amplitude_c * std::cos(kTau * (hour - kColdestHour) / 24.0);
+
+  // Smoothly interpolated per-day offset.
+  const double frac = hour / 24.0;
+  const double offset =
+      Lerp(DayOffset(day_index), DayOffset(day_index + 1), frac);
+
+  sample.sky = IsCloudy(day_index, sample.season) ? Sky::kCloudy : Sky::kSunny;
+
+  // Cloud cover damps both the diurnal swing and, in summer, the peak.
+  const double cloud_damp = sample.sky == Sky::kCloudy ? 0.6 : 1.0;
+  sample.outdoor_daily_mean_c = options_.mean_temp_c + annual + offset;
+  sample.outdoor_temp_c = sample.outdoor_daily_mean_c + diurnal * cloud_damp;
+
+  // Day length oscillates with the season (solstice anchored near doy 172).
+  const double mid =
+      0.5 * (options_.min_day_length_h + options_.max_day_length_h);
+  const double half =
+      0.5 * (options_.max_day_length_h - options_.min_day_length_h);
+  sample.day_length_hours = mid + half * std::cos(kTau * (doy - 172.0) / 365.25);
+
+  // Daylight: sine arch between sunrise and sunset, scaled down on cloudy
+  // days.
+  const double sunrise = 12.0 - sample.day_length_hours / 2.0;
+  const double sunset = 12.0 + sample.day_length_hours / 2.0;
+  double daylight = 0.0;
+  if (hour > sunrise && hour < sunset) {
+    daylight = std::sin(M_PI * (hour - sunrise) / sample.day_length_hours);
+  }
+  if (sample.sky == Sky::kCloudy) daylight *= 0.35;
+  sample.daylight = Clamp(daylight, 0.0, 1.0);
+  return sample;
+}
+
+}  // namespace weather
+}  // namespace imcf

@@ -1,0 +1,93 @@
+// Synthetic weather service.
+//
+// The paper's prototype study "uses data from the open weather API" to
+// measure environmental parameters, and the IFTTT baseline (Table III)
+// conditions on Season and Weather (Sunny/Cloudy). Live API access is a data
+// gate for a reproduction, so this module provides a deterministic synthetic
+// weather model: a pure function of (seed, simulation time) producing the
+// same fields the paper's rules consume — season, sky condition, outdoor
+// temperature and daylight. The default parameters approximate the climate
+// of the CASAS testbed region (Pullman, WA: cold winters, warm dry summers),
+// which is what shapes the ECP of Table I (heavy January heating).
+
+#ifndef IMCF_WEATHER_WEATHER_H_
+#define IMCF_WEATHER_WEATHER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/time.h"
+
+namespace imcf {
+namespace weather {
+
+/// Meteorological season (northern hemisphere, month-based).
+enum class Season { kWinter, kSpring, kSummer, kAutumn };
+
+/// Sky condition, the granularity the IFTTT recipes use.
+enum class Sky { kSunny, kCloudy };
+
+const char* SeasonName(Season s);
+const char* SkyName(Sky s);
+
+/// Season for the month of `t` (Dec-Feb winter, Mar-May spring, ...).
+Season SeasonOf(SimTime t);
+
+/// One weather observation.
+struct WeatherSample {
+  Season season = Season::kWinter;
+  Sky sky = Sky::kSunny;
+  double outdoor_temp_c = 0.0;   ///< outdoor dry-bulb temperature
+  double outdoor_daily_mean_c = 0.0;  ///< same, without the diurnal swing
+  double daylight = 0.0;         ///< outdoor daylight level in [0, 1]
+  double day_length_hours = 12;  ///< daylight duration of the current day
+};
+
+/// Interface so tests and the live controller can substitute scripted
+/// weather for the synthetic model.
+class WeatherService {
+ public:
+  virtual ~WeatherService() = default;
+
+  /// Weather at simulation time `t`. Must be deterministic in `t`.
+  virtual WeatherSample At(SimTime t) const = 0;
+};
+
+/// Tunable climate parameters of the synthetic model.
+struct ClimateOptions {
+  uint64_t seed = 42;            ///< drives day-to-day variability
+  double mean_temp_c = 9.5;      ///< annual mean outdoor temperature
+  double annual_amplitude_c = 11.5;  ///< summer-winter half-swing
+  double diurnal_amplitude_c = 5.5;  ///< day-night half-swing
+  double day_noise_c = 3.0;      ///< stddev of per-day temperature offset
+  double cloudy_winter_prob = 0.65;  ///< chance a winter day is cloudy
+  double cloudy_summer_prob = 0.15;  ///< chance a summer day is cloudy
+  double min_day_length_h = 8.5;     ///< winter-solstice daylight hours
+  double max_day_length_h = 15.5;    ///< summer-solstice daylight hours
+};
+
+/// Deterministic synthetic climate: annual + diurnal sinusoids plus
+/// hash-derived per-day offsets (smoothly interpolated between days so the
+/// temperature trace has no jumps at midnight).
+class SyntheticWeather : public WeatherService {
+ public:
+  explicit SyntheticWeather(ClimateOptions options = {});
+
+  WeatherSample At(SimTime t) const override;
+
+  const ClimateOptions& options() const { return options_; }
+
+ private:
+  /// Per-day pseudo-random temperature offset (°C), smooth across days.
+  double DayOffset(int64_t day_index) const;
+
+  /// Whether the given day is cloudy.
+  bool IsCloudy(int64_t day_index, Season season) const;
+
+  ClimateOptions options_;
+};
+
+}  // namespace weather
+}  // namespace imcf
+
+#endif  // IMCF_WEATHER_WEATHER_H_

@@ -1,0 +1,52 @@
+#include "common/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace imcf {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // Standard CRC-32C check value for "123456789".
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  // Empty input.
+  EXPECT_EQ(Crc32c(""), 0u);
+  // 32 zero bytes (RFC 3720 test vector).
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros), 0x8A9136AAu);
+  // 32 0xFF bytes.
+  const std::string ones(32, '\xff');
+  EXPECT_EQ(Crc32c(ones), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, IncrementalMatchesOneShot) {
+  const std::string data = "the imcf meta-control firewall";
+  const uint32_t whole = Crc32c(data);
+  uint32_t crc = Crc32c(0, data.data(), 10);
+  crc = Crc32c(crc, data.data() + 10, data.size() - 10);
+  EXPECT_EQ(crc, whole);
+}
+
+TEST(Crc32cTest, SensitiveToSingleBitFlips) {
+  std::string data = "sensor reading block";
+  const uint32_t original = Crc32c(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::string mutated = data;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x01);
+    EXPECT_NE(Crc32c(mutated), original) << "flip at byte " << i;
+  }
+}
+
+TEST(MaskCrcTest, RoundTrips) {
+  for (uint32_t crc : {0u, 1u, 0xDEADBEEFu, 0xFFFFFFFFu, 0xE3069283u}) {
+    EXPECT_EQ(UnmaskCrc(MaskCrc(crc)), crc);
+  }
+}
+
+TEST(MaskCrcTest, MaskChangesValue) {
+  EXPECT_NE(MaskCrc(0xE3069283u), 0xE3069283u);
+}
+
+}  // namespace
+}  // namespace imcf

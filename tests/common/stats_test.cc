@@ -1,0 +1,108 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace imcf {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStatTest, SingleValue) {
+  RunningStat s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStatTest, KnownSample) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance (n-1): sum of squared deviations = 32, /7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatTest, MergeMatchesSequential) {
+  RunningStat all, left, right;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Gaussian(3.0, 2.0);
+    all.Add(x);
+    (i < 400 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-7);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatTest, MergeWithEmpty) {
+  RunningStat a, empty;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  RunningStat b;
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStatTest, ToStringFormat) {
+  RunningStat s;
+  s.Add(1.0);
+  s.Add(3.0);
+  EXPECT_EQ(s.ToString(1), "2.0 ± 1.4");
+}
+
+TEST(RunningStatTest, NumericallyStableForLargeOffsets) {
+  RunningStat s;
+  for (int i = 0; i < 1000; ++i) {
+    s.Add(1e9 + (i % 2));  // values 1e9 and 1e9+1
+  }
+  EXPECT_NEAR(s.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(s.variance(), 0.25025, 1e-3);
+}
+
+TEST(VectorStatsTest, MeanAndStdDev) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({4.0}), 4.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(StdDev({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({1.0, 3.0}), std::sqrt(2.0));
+}
+
+TEST(VectorStatsTest, AgreesWithRunningStat) {
+  std::vector<double> xs;
+  RunningStat s;
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.UniformDouble(-10, 10);
+    xs.push_back(x);
+    s.Add(x);
+  }
+  EXPECT_NEAR(Mean(xs), s.mean(), 1e-9);
+  EXPECT_NEAR(StdDev(xs), s.stddev(), 1e-9);
+}
+
+}  // namespace
+}  // namespace imcf

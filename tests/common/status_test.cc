@@ -1,0 +1,114 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace imcf {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_FALSE(Status::Internal("x").ok());
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  const Status s = Status::NotFound("missing rule 7");
+  EXPECT_EQ(s.ToString(), "not found: missing rule 7");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_NE(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_NE(Status::NotFound("a"), Status::Internal("a"));
+  EXPECT_EQ(Status::Ok(), Status());
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "ok");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCorruption), "corruption");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIOError), "io error");
+}
+
+Status Fails() { return Status::Internal("boom"); }
+
+Status PropagatesViaMacro() {
+  IMCF_RETURN_IF_ERROR(Fails());
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  EXPECT_TRUE(PropagatesViaMacro().IsInternal());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<std::string> r(std::string("hi"));
+  EXPECT_EQ(r.value_or("fallback"), "hi");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> QuarterViaMacro(int x) {
+  IMCF_ASSIGN_OR_RETURN(int half, HalveEven(x));
+  IMCF_ASSIGN_OR_RETURN(int quarter, HalveEven(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnMacroChains) {
+  Result<int> ok = QuarterViaMacro(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 2);
+  EXPECT_TRUE(QuarterViaMacro(6).status().IsInvalidArgument());
+  EXPECT_TRUE(QuarterViaMacro(5).status().IsInvalidArgument());
+}
+
+TEST(ResultTest, ArrowOperatorOnStructs) {
+  struct Pair {
+    int a;
+    int b;
+  };
+  Result<Pair> r(Pair{1, 2});
+  EXPECT_EQ(r->a, 1);
+  EXPECT_EQ(r->b, 2);
+}
+
+}  // namespace
+}  // namespace imcf

@@ -1,0 +1,191 @@
+#include "common/time.h"
+
+#include <gtest/gtest.h>
+
+namespace imcf {
+namespace {
+
+TEST(TimeTest, EpochIsZero) {
+  EXPECT_EQ(FromCivil(1970, 1, 1), 0);
+  const CivilTime ct = ToCivil(0);
+  EXPECT_EQ(ct.year, 1970);
+  EXPECT_EQ(ct.month, 1);
+  EXPECT_EQ(ct.day, 1);
+  EXPECT_EQ(ct.hour, 0);
+}
+
+TEST(TimeTest, KnownDates) {
+  // Start of the paper's CASAS trace span and of our evaluation period.
+  EXPECT_EQ(FormatTime(FromCivil(2013, 10, 1)), "2013-10-01 00:00:00");
+  EXPECT_EQ(FormatTime(FromCivil(2014, 1, 1)), "2014-01-01 00:00:00");
+  EXPECT_EQ(FormatTime(FromCivil(2016, 12, 31, 23, 59, 59)),
+            "2016-12-31 23:59:59");
+}
+
+TEST(TimeTest, LeapYears) {
+  EXPECT_TRUE(IsLeapYear(2016));
+  EXPECT_TRUE(IsLeapYear(2000));
+  EXPECT_FALSE(IsLeapYear(1900));
+  EXPECT_FALSE(IsLeapYear(2014));
+  EXPECT_EQ(DaysInMonth(2016, 2), 29);
+  EXPECT_EQ(DaysInMonth(2014, 2), 28);
+  EXPECT_EQ(DaysInMonth(2014, 12), 31);
+}
+
+TEST(TimeTest, MonthNames) {
+  EXPECT_STREQ(MonthName(1), "January");
+  EXPECT_STREQ(MonthName(12), "December");
+}
+
+TEST(TimeTest, DayOfWeek) {
+  // 1970-01-01 was a Thursday.
+  EXPECT_EQ(DayOfWeek(FromCivil(1970, 1, 1)), 4);
+  // 2014-01-01 was a Wednesday.
+  EXPECT_EQ(DayOfWeek(FromCivil(2014, 1, 1)), 3);
+  // 2016-02-29 was a Monday.
+  EXPECT_EQ(DayOfWeek(FromCivil(2016, 2, 29)), 1);
+}
+
+TEST(TimeTest, DayOfYear) {
+  EXPECT_EQ(DayOfYear(FromCivil(2014, 1, 1)), 1);
+  EXPECT_EQ(DayOfYear(FromCivil(2014, 12, 31)), 365);
+  EXPECT_EQ(DayOfYear(FromCivil(2016, 12, 31)), 366);
+  EXPECT_EQ(DayOfYear(FromCivil(2016, 3, 1)), 61);
+}
+
+TEST(TimeTest, YearFractionBounds) {
+  EXPECT_DOUBLE_EQ(YearFraction(FromCivil(2014, 1, 1)), 0.0);
+  EXPECT_GT(YearFraction(FromCivil(2014, 12, 31, 23)), 0.99);
+  EXPECT_LT(YearFraction(FromCivil(2014, 12, 31, 23)), 1.0);
+}
+
+TEST(TimeTest, HourIndexAdjacency) {
+  const SimTime t = FromCivil(2015, 6, 1, 10, 30);
+  EXPECT_EQ(HourIndex(t + kSecondsPerHour), HourIndex(t) + 1);
+  EXPECT_EQ(HourIndex(FromCivil(2015, 6, 1, 10, 0)),
+            HourIndex(FromCivil(2015, 6, 1, 10, 59, 59)));
+}
+
+TEST(TimeTest, ParseTimeRoundTrip) {
+  const auto t = ParseTime("2015-07-04 12:34:56");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(FormatTime(*t), "2015-07-04 12:34:56");
+  const auto d = ParseTime("2015-07-04");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(FormatTime(*d), "2015-07-04 00:00:00");
+}
+
+TEST(TimeTest, ParseTimeRejectsGarbage) {
+  EXPECT_FALSE(ParseTime("not a time").ok());
+  EXPECT_FALSE(ParseTime("2015-13-01").ok());
+  EXPECT_FALSE(ParseTime("2015-02-30").ok());
+  EXPECT_FALSE(ParseTime("2015-01-01 25:00:00").ok());
+}
+
+TEST(TimeTest, MinuteOfDay) {
+  EXPECT_EQ(MinuteOfDay(FromCivil(2014, 5, 5, 0, 0)), 0);
+  EXPECT_EQ(MinuteOfDay(FromCivil(2014, 5, 5, 13, 45)), 13 * 60 + 45);
+  EXPECT_EQ(MinuteOfDay(FromCivil(2014, 5, 5, 23, 59)), 1439);
+}
+
+// Round-trip property over a broad sweep of instants.
+class TimeRoundTrip : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(TimeRoundTrip, CivilConversionRoundTrips) {
+  const SimTime t = GetParam();
+  const CivilTime ct = ToCivil(t);
+  EXPECT_EQ(FromCivil(ct), t) << FormatTime(t);
+  EXPECT_GE(ct.month, 1);
+  EXPECT_LE(ct.month, 12);
+  EXPECT_GE(ct.day, 1);
+  EXPECT_LE(ct.day, DaysInMonth(ct.year, ct.month));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TimeRoundTrip,
+    ::testing::Values(0LL, 1LL, -1LL, 86399LL, 86400LL,
+                      // paper evaluation period corners
+                      1388534400LL /* 2014-01-01 */,
+                      1483228799LL /* 2016-12-31 23:59:59 */,
+                      1456704000LL /* 2016-02-29 */,
+                      951782399LL /* 2000-02-28 23:59:59 */,
+                      -86400LL /* 1969-12-31 */,
+                      4102444800LL /* 2100-01-01 */));
+
+// Monotonicity: civil order matches SimTime order across month borders.
+TEST(TimeTest, MonotoneAcrossMonthBorders) {
+  for (int month = 1; month <= 12; ++month) {
+    const SimTime end = FromCivil(2015, month, DaysInMonth(2015, month), 23,
+                                  59, 59);
+    const SimTime next = end + 1;
+    const CivilTime ct = ToCivil(next);
+    EXPECT_EQ(ct.day, 1);
+    EXPECT_EQ(ct.hour, 0);
+    EXPECT_EQ(ct.month, month == 12 ? 1 : month + 1);
+  }
+}
+
+TEST(TimeWindowTest, SimpleWindow) {
+  const TimeWindow w{8 * 60, 16 * 60};  // "Day Heat" 08:00-16:00
+  EXPECT_FALSE(w.ContainsMinute(7 * 60 + 59));
+  EXPECT_TRUE(w.ContainsMinute(8 * 60));
+  EXPECT_TRUE(w.ContainsMinute(12 * 60));
+  EXPECT_FALSE(w.ContainsMinute(16 * 60));  // half-open
+  EXPECT_EQ(w.DurationMinutes(), 8 * 60);
+}
+
+TEST(TimeWindowTest, MidnightEndWindow) {
+  const TimeWindow w{18 * 60, 24 * 60};  // "Cosmetic Lights" 18:00-24:00
+  EXPECT_TRUE(w.ContainsMinute(23 * 60 + 59));
+  EXPECT_FALSE(w.ContainsMinute(0));
+  EXPECT_EQ(w.DurationMinutes(), 6 * 60);
+}
+
+TEST(TimeWindowTest, WrappingWindow) {
+  const TimeWindow w{22 * 60, 6 * 60};
+  EXPECT_TRUE(w.ContainsMinute(23 * 60));
+  EXPECT_TRUE(w.ContainsMinute(0));
+  EXPECT_TRUE(w.ContainsMinute(5 * 60 + 59));
+  EXPECT_FALSE(w.ContainsMinute(6 * 60));
+  EXPECT_FALSE(w.ContainsMinute(12 * 60));
+  EXPECT_EQ(w.DurationMinutes(), 8 * 60);
+}
+
+TEST(TimeWindowTest, EmptyWindowContainsNothing) {
+  const TimeWindow w{600, 600};
+  for (int m = 0; m < kMinutesPerDay; m += 60) {
+    EXPECT_FALSE(w.ContainsMinute(m));
+  }
+}
+
+TEST(TimeWindowTest, ContainsUsesInstantMinute) {
+  const TimeWindow w{1 * 60, 7 * 60};  // "Night Heat"
+  EXPECT_TRUE(w.Contains(FromCivil(2014, 2, 3, 3, 30)));
+  EXPECT_FALSE(w.Contains(FromCivil(2014, 2, 3, 12, 0)));
+}
+
+TEST(TimeWindowTest, ParseVariants) {
+  const auto spaced = ParseTimeWindow("01:00 - 07:00");
+  ASSERT_TRUE(spaced.ok());
+  EXPECT_EQ(*spaced, (TimeWindow{60, 420}));
+  const auto tight = ParseTimeWindow("18:00-24:00");
+  ASSERT_TRUE(tight.ok());
+  EXPECT_EQ(*tight, (TimeWindow{1080, 1440}));
+}
+
+TEST(TimeWindowTest, ParseRejectsBadBounds) {
+  EXPECT_FALSE(ParseTimeWindow("25:00 - 26:00").ok());
+  EXPECT_FALSE(ParseTimeWindow("10:60 - 11:00").ok());
+  EXPECT_FALSE(ParseTimeWindow("10:00 - 24:30").ok());
+  EXPECT_FALSE(ParseTimeWindow("banana").ok());
+}
+
+TEST(TimeWindowTest, ToStringRoundTrips) {
+  const TimeWindow w{17 * 60, 24 * 60};
+  const auto parsed = ParseTimeWindow(w.ToString());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, w);
+}
+
+}  // namespace
+}  // namespace imcf

@@ -1,0 +1,158 @@
+#include "controller/cloud.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace imcf {
+namespace controller {
+namespace {
+
+// Small, fast community: 3 households, 2 winter months.
+CloudOptions FastOptions(AllocationPolicy policy) {
+  CloudOptions options;
+  options.policy = policy;
+  options.start = FromCivil(2014, 1, 1);
+  options.hours = (31 + 28) * 24;
+  options.utilitarian_rounds = 1;
+  return options;
+}
+
+double TotalAllocation(const CloudReport& report) {
+  double total = 0.0;
+  for (const HouseholdReport& hr : report.households) {
+    total += hr.allocation_kwh;
+  }
+  return total;
+}
+
+TEST(CloudTest, RequiresHouseholdsAndBudget) {
+  CloudMetaController empty(FastOptions(AllocationPolicy::kEqualShare));
+  EXPECT_TRUE(empty.Run().status().IsFailedPrecondition());
+
+  auto cmc = DefaultNeighborhood(2, /*community_budget_kwh=*/-5.0,
+                                 FastOptions(AllocationPolicy::kEqualShare));
+  ASSERT_TRUE(cmc.ok());
+  EXPECT_TRUE((*cmc)->Run().status().IsInvalidArgument());
+}
+
+TEST(CloudTest, RejectsDuplicateHouseholds) {
+  CloudMetaController cmc(FastOptions(AllocationPolicy::kEqualShare));
+  ASSERT_TRUE(cmc.AddHousehold("a", trace::FlatSpec()).ok());
+  EXPECT_TRUE(cmc.AddHousehold("a", trace::FlatSpec()).IsAlreadyExists());
+}
+
+TEST(CloudTest, EqualShareSplitsEvenly) {
+  auto cmc = DefaultNeighborhood(3, 3000.0,
+                                 FastOptions(AllocationPolicy::kEqualShare));
+  ASSERT_TRUE(cmc.ok());
+  const auto report = (*cmc)->Run();
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->households.size(), 3u);
+  for (const HouseholdReport& hr : report->households) {
+    EXPECT_NEAR(hr.allocation_kwh, 1000.0, 1e-9);
+  }
+  EXPECT_NEAR(TotalAllocation(*report), 3000.0, 1e-6);
+}
+
+TEST(CloudTest, DemandProportionalFollowsAppetite) {
+  auto cmc = DefaultNeighborhood(
+      3, 3000.0, FastOptions(AllocationPolicy::kDemandProportional));
+  ASSERT_TRUE(cmc.ok());
+  const auto report = (*cmc)->Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(TotalAllocation(*report), 3000.0, 1e-6);
+  // Shares ordered like demand forecasts.
+  for (const HouseholdReport& a : report->households) {
+    for (const HouseholdReport& b : report->households) {
+      if (a.demand_kwh > b.demand_kwh) {
+        EXPECT_GT(a.allocation_kwh, b.allocation_kwh);
+      }
+    }
+  }
+  // Appetites genuinely differ in the default neighborhood.
+  double min_demand = 1e18, max_demand = 0.0;
+  for (const HouseholdReport& hr : report->households) {
+    min_demand = std::min(min_demand, hr.demand_kwh);
+    max_demand = std::max(max_demand, hr.demand_kwh);
+  }
+  EXPECT_GT(max_demand, min_demand * 1.1);
+}
+
+TEST(CloudTest, CommunityStaysWithinPool) {
+  for (AllocationPolicy policy : {AllocationPolicy::kEqualShare,
+                                  AllocationPolicy::kDemandProportional}) {
+    auto cmc = DefaultNeighborhood(3, 2500.0, FastOptions(policy));
+    ASSERT_TRUE(cmc.ok());
+    const auto report = (*cmc)->Run();
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->within_budget)
+        << AllocationPolicyName(policy) << " total " << report->total_fe_kwh;
+  }
+}
+
+TEST(CloudTest, DemandProportionalBeatsEqualShareOnFairness) {
+  // With heterogeneous appetites, equal shares starve the hungry
+  // households; demand-proportional shares equalise the pain.
+  auto equal = DefaultNeighborhood(4, 3200.0,
+                                   FastOptions(AllocationPolicy::kEqualShare));
+  auto prop = DefaultNeighborhood(
+      4, 3200.0, FastOptions(AllocationPolicy::kDemandProportional));
+  ASSERT_TRUE(equal.ok());
+  ASSERT_TRUE(prop.ok());
+  const auto equal_report = (*equal)->Run();
+  const auto prop_report = (*prop)->Run();
+  ASSERT_TRUE(equal_report.ok());
+  ASSERT_TRUE(prop_report.ok());
+  // Demand-proportional equalises the pain across appetites. (It does not
+  // necessarily improve the *mean*: under scarcity, convenience per kWh is
+  // concave, so feeding the hungry can cost the community average.)
+  EXPECT_LE(prop_report->fairness_stddev,
+            equal_report->fairness_stddev + 0.25);
+}
+
+TEST(CloudTest, UtilitarianDoesNotRegressTheMean) {
+  CloudOptions base = FastOptions(AllocationPolicy::kDemandProportional);
+  base.hours = 31 * 24;  // keep probe runs cheap
+  auto prop = DefaultNeighborhood(3, 1500.0, base);
+  CloudOptions refined_options = base;
+  refined_options.policy = AllocationPolicy::kUtilitarian;
+  refined_options.utilitarian_rounds = 2;
+  auto refined = DefaultNeighborhood(3, 1500.0, refined_options);
+  ASSERT_TRUE(prop.ok());
+  ASSERT_TRUE(refined.ok());
+  const auto prop_report = (*prop)->Run();
+  const auto refined_report = (*refined)->Run();
+  ASSERT_TRUE(prop_report.ok());
+  ASSERT_TRUE(refined_report.ok());
+  EXPECT_NEAR(TotalAllocation(*refined_report), 1500.0, 1e-6);
+  EXPECT_LE(refined_report->mean_fce_pct,
+            prop_report->mean_fce_pct + 0.05);
+}
+
+TEST(CloudTest, PolicyNames) {
+  EXPECT_STREQ(AllocationPolicyName(AllocationPolicy::kEqualShare),
+               "equal-share");
+  EXPECT_STREQ(AllocationPolicyName(AllocationPolicy::kDemandProportional),
+               "demand-proportional");
+  EXPECT_STREQ(AllocationPolicyName(AllocationPolicy::kUtilitarian),
+               "utilitarian");
+}
+
+TEST(CloudTest, ReportBookkeeping) {
+  auto cmc = DefaultNeighborhood(
+      2, 2000.0, FastOptions(AllocationPolicy::kDemandProportional));
+  ASSERT_TRUE(cmc.ok());
+  EXPECT_EQ((*cmc)->household_count(), 2u);
+  const auto report = (*cmc)->Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->policy, "demand-proportional");
+  EXPECT_DOUBLE_EQ(report->community_budget_kwh, 2000.0);
+  double fe = 0.0;
+  for (const HouseholdReport& hr : report->households) fe += hr.fe_kwh;
+  EXPECT_NEAR(report->total_fe_kwh, fe, 1e-9);
+}
+
+}  // namespace
+}  // namespace controller
+}  // namespace imcf

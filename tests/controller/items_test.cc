@@ -1,0 +1,100 @@
+#include "controller/items.h"
+
+#include <gtest/gtest.h>
+
+namespace imcf {
+namespace controller {
+namespace {
+
+using devices::ActuationCommand;
+using devices::CommandType;
+using devices::DeviceKind;
+using devices::DeviceRegistry;
+
+TEST(ItemRegistryTest, AddAndGet) {
+  ItemRegistry items;
+  Item item;
+  item.name = "Kitchen_Temperature";
+  item.type = ItemType::kNumber;
+  ASSERT_TRUE(items.Add(item).ok());
+  EXPECT_TRUE(items.Add(item).IsAlreadyExists());
+  const auto found = items.Get("Kitchen_Temperature");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ((*found)->type, ItemType::kNumber);
+  EXPECT_TRUE(items.Get("Nope").status().IsNotFound());
+}
+
+TEST(ItemRegistryTest, BindDevicesCreatesOpenHabLikeItems) {
+  DeviceRegistry registry;
+  (void)registry.Add("living_room_ac", DeviceKind::kHvac, 0, "192.168.0.5");
+  (void)registry.Add("hall_light", DeviceKind::kLight, 0);
+  ItemRegistry items;
+  ASSERT_TRUE(items.BindDevices(registry).ok());
+  // Power + SetPoint per device, as in the paper's daikin.items example.
+  EXPECT_EQ(items.size(), 4u);
+  const auto power = items.Get("living_room_ac_Power");
+  ASSERT_TRUE(power.ok());
+  EXPECT_EQ((*power)->type, ItemType::kSwitch);
+  EXPECT_EQ((*power)->channel, "hvac:living_room_ac:power");
+  const auto setpoint = items.Get("living_room_ac_SetPoint");
+  ASSERT_TRUE(setpoint.ok());
+  EXPECT_EQ((*setpoint)->type, ItemType::kSetpoint);
+  EXPECT_EQ((*setpoint)->channel, "hvac:living_room_ac:settemp");
+  const auto dimmer = items.Get("hall_light_SetPoint");
+  ASSERT_TRUE(dimmer.ok());
+  EXPECT_EQ((*dimmer)->type, ItemType::kDimmer);
+  EXPECT_EQ((*dimmer)->channel, "light:hall_light:level");
+}
+
+TEST(ItemRegistryTest, UpdateState) {
+  ItemRegistry items;
+  Item item;
+  item.name = "Sensor";
+  ASSERT_TRUE(items.Add(item).ok());
+  ASSERT_TRUE(items.Update("Sensor", 21.5, 1000).ok());
+  const auto got = items.Get("Sensor");
+  EXPECT_DOUBLE_EQ((*got)->state, 21.5);
+  EXPECT_EQ((*got)->updated_at, 1000);
+  EXPECT_TRUE(items.Update("Nope", 1.0, 0).IsNotFound());
+}
+
+TEST(ItemRegistryTest, ApplyCommandUpdatesSetpointAndPower) {
+  DeviceRegistry registry;
+  const auto ac = *registry.Add("ac", DeviceKind::kHvac, 0);
+  ItemRegistry items;
+  ASSERT_TRUE(items.BindDevices(registry).ok());
+
+  ActuationCommand cmd;
+  cmd.device = ac;
+  cmd.type = CommandType::kSetTemperature;
+  cmd.value = 24.0;
+  cmd.time = 5000;
+  ASSERT_TRUE(items.ApplyCommand(cmd).ok());
+  EXPECT_DOUBLE_EQ((*items.Get("ac_SetPoint"))->state, 24.0);
+  EXPECT_DOUBLE_EQ((*items.Get("ac_Power"))->state, 1.0);
+  EXPECT_EQ((*items.Get("ac_SetPoint"))->updated_at, 5000);
+
+  cmd.type = CommandType::kTurnOff;
+  ASSERT_TRUE(items.ApplyCommand(cmd).ok());
+  EXPECT_DOUBLE_EQ((*items.Get("ac_Power"))->state, 0.0);
+  // Setpoint retains the last commanded value.
+  EXPECT_DOUBLE_EQ((*items.Get("ac_SetPoint"))->state, 24.0);
+}
+
+TEST(ItemRegistryTest, ApplyCommandUnknownDeviceFails) {
+  ItemRegistry items;
+  ActuationCommand cmd;
+  cmd.device = 42;
+  EXPECT_TRUE(items.ApplyCommand(cmd).IsNotFound());
+}
+
+TEST(ItemTypeTest, Names) {
+  EXPECT_STREQ(ItemTypeName(ItemType::kNumber), "Number");
+  EXPECT_STREQ(ItemTypeName(ItemType::kSwitch), "Switch");
+  EXPECT_STREQ(ItemTypeName(ItemType::kDimmer), "Dimmer");
+  EXPECT_STREQ(ItemTypeName(ItemType::kSetpoint), "Setpoint");
+}
+
+}  // namespace
+}  // namespace controller
+}  // namespace imcf

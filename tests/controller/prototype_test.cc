@@ -1,0 +1,103 @@
+#include "controller/prototype.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace imcf {
+namespace controller {
+namespace {
+
+TEST(PrototypeTest, WeekRunMatchesPaperShape) {
+  PrototypeOptions options;
+  PrototypeStudy study(options);
+  const auto report = study.Run();
+  ASSERT_TRUE(report.ok());
+  // Table IV: weekly energy within the 165 kWh cap with a small
+  // convenience error (paper: 130.64 kWh, 2.35%).
+  EXPECT_TRUE(report->within_budget);
+  EXPECT_GT(report->fe_kwh, 80.0);
+  EXPECT_LT(report->fe_kwh, 165.0);
+  EXPECT_GT(report->fce_pct, 0.0);
+  EXPECT_LT(report->fce_pct, 8.0);
+  // One cron firing per hour of the week, sensors every 15 minutes.
+  EXPECT_EQ(report->planner_runs, 7 * 24);
+  EXPECT_EQ(report->sensor_refreshes, 7 * 24 * 4);
+  EXPECT_GT(report->commands_issued, 0);
+  EXPECT_GT(report->commands_dropped, 0);
+}
+
+TEST(PrototypeTest, TableVPerResidentErrors) {
+  PrototypeStudy study(PrototypeOptions{});
+  const auto report = study.Run();
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->residents.size(), 3u);
+  double weighted = 0.0;
+  int64_t acts = 0;
+  for (const ResidentReport& rr : report->residents) {
+    // Every resident keeps high satisfaction (paper: ~99.2%+).
+    EXPECT_GE(rr.fce_pct, 0.0);
+    EXPECT_LT(rr.fce_pct, 10.0);
+    EXPECT_GT(rr.activations, 0);
+    weighted += rr.fce_pct * static_cast<double>(rr.activations);
+    acts += rr.activations;
+  }
+  // Per-resident errors decompose the overall F_CE.
+  EXPECT_NEAR(weighted / static_cast<double>(acts), report->fce_pct, 1e-6);
+}
+
+TEST(PrototypeTest, DeterministicForSeed) {
+  const auto a = PrototypeStudy(PrototypeOptions{}).Run();
+  const auto b = PrototypeStudy(PrototypeOptions{}).Run();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->fe_kwh, b->fe_kwh);
+  EXPECT_DOUBLE_EQ(a->fce_pct, b->fce_pct);
+}
+
+TEST(PrototypeTest, TighterCapReducesEnergyRaisesError) {
+  PrototypeOptions tight;
+  tight.weekly_budget_kwh = 100.0;
+  const auto constrained = PrototypeStudy(tight).Run();
+  const auto baseline = PrototypeStudy(PrototypeOptions{}).Run();
+  ASSERT_TRUE(constrained.ok());
+  EXPECT_TRUE(constrained->within_budget);
+  EXPECT_LT(constrained->fe_kwh, baseline->fe_kwh);
+  EXPECT_GT(constrained->fce_pct, baseline->fce_pct);
+}
+
+TEST(PrototypeTest, PersistsConfigurationWhenStoreGiven) {
+  const std::string dir = ::testing::TempDir() + "/imcf_proto_store";
+  std::filesystem::remove_all(dir);
+  PrototypeOptions options;
+  options.store_dir = dir;
+  const auto report = PrototypeStudy(options).Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->config_bytes_per_user, 0.0);
+  // The rules table exists on disk and reloads.
+  auto store = TableStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  Table* table = (*store)->OpenOrCreateTable(ResidentRuleSchema()).value();
+  const auto loaded = LoadResidents(*table);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 3u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PrototypeTest, EmptyFamilyRejected) {
+  PrototypeStudy study(PrototypeOptions{});
+  EXPECT_TRUE(study.Run({}).status().IsInvalidArgument());
+}
+
+TEST(PrototypeTest, CustomWeekStillWithinBudget) {
+  PrototypeOptions options;
+  options.week_start = FromCivil(2016, 5, 9);  // a mild May week
+  const auto report = PrototypeStudy(options).Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->within_budget);
+  EXPECT_LT(report->fce_pct, 5.0);
+}
+
+}  // namespace
+}  // namespace controller
+}  // namespace imcf

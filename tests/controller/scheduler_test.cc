@@ -1,0 +1,148 @@
+#include "controller/scheduler.h"
+
+#include <gtest/gtest.h>
+
+namespace imcf {
+namespace controller {
+namespace {
+
+TEST(CronSpecTest, ParseValidExpressions) {
+  EXPECT_TRUE(CronSpec::Parse("0 * * * *").ok());
+  EXPECT_TRUE(CronSpec::Parse("*/15 * * * *").ok());
+  EXPECT_TRUE(CronSpec::Parse("30 6 1 1 *").ok());
+  EXPECT_TRUE(CronSpec::Parse("0,30 8,20 * * 0").ok());
+  EXPECT_TRUE(CronSpec::Parse("  5  4  *  *  *  ").ok());
+}
+
+TEST(CronSpecTest, ParseRejectsBadExpressions) {
+  EXPECT_FALSE(CronSpec::Parse("").ok());
+  EXPECT_FALSE(CronSpec::Parse("* * * *").ok());
+  EXPECT_FALSE(CronSpec::Parse("60 * * * *").ok());
+  EXPECT_FALSE(CronSpec::Parse("* 24 * * *").ok());
+  EXPECT_FALSE(CronSpec::Parse("* * 0 * *").ok());
+  EXPECT_FALSE(CronSpec::Parse("* * * 13 *").ok());
+  EXPECT_FALSE(CronSpec::Parse("* * * * 7").ok());
+  EXPECT_FALSE(CronSpec::Parse("*/0 * * * *").ok());
+  EXPECT_FALSE(CronSpec::Parse("x * * * *").ok());
+}
+
+TEST(CronSpecTest, MatchesHourly) {
+  const CronSpec spec = *CronSpec::Parse("0 * * * *");
+  EXPECT_TRUE(spec.Matches(FromCivil(2016, 2, 15, 9, 0)));
+  EXPECT_FALSE(spec.Matches(FromCivil(2016, 2, 15, 9, 1)));
+}
+
+TEST(CronSpecTest, MatchesStepMinutes) {
+  const CronSpec spec = *CronSpec::Parse("*/15 * * * *");
+  for (int m : {0, 15, 30, 45}) {
+    EXPECT_TRUE(spec.Matches(FromCivil(2016, 2, 15, 9, m))) << m;
+  }
+  EXPECT_FALSE(spec.Matches(FromCivil(2016, 2, 15, 9, 20)));
+}
+
+TEST(CronSpecTest, MatchesDayOfWeek) {
+  // 2016-02-15 was a Monday (dow 1).
+  const CronSpec monday = *CronSpec::Parse("0 12 * * 1");
+  EXPECT_TRUE(monday.Matches(FromCivil(2016, 2, 15, 12, 0)));
+  EXPECT_FALSE(monday.Matches(FromCivil(2016, 2, 16, 12, 0)));
+}
+
+TEST(CronSpecTest, MatchesSpecificDate) {
+  const CronSpec new_year = *CronSpec::Parse("0 0 1 1 *");
+  EXPECT_TRUE(new_year.Matches(FromCivil(2017, 1, 1, 0, 0)));
+  EXPECT_FALSE(new_year.Matches(FromCivil(2017, 1, 2, 0, 0)));
+}
+
+TEST(CronSpecTest, NextFindsUpcomingFiring) {
+  const CronSpec hourly = *CronSpec::Parse("0 * * * *");
+  EXPECT_EQ(hourly.Next(FromCivil(2016, 2, 15, 9, 30)),
+            FromCivil(2016, 2, 15, 10, 0));
+  // Next of an exact match is the following firing.
+  EXPECT_EQ(hourly.Next(FromCivil(2016, 2, 15, 9, 0)),
+            FromCivil(2016, 2, 15, 10, 0));
+  const CronSpec yearly = *CronSpec::Parse("0 0 1 1 *");
+  EXPECT_EQ(yearly.Next(FromCivil(2016, 6, 1)), FromCivil(2017, 1, 1));
+}
+
+TEST(SchedulerTest, FiresExpectedCounts) {
+  VirtualScheduler scheduler(FromCivil(2016, 2, 15));
+  int hourly_count = 0, quarter_count = 0;
+  ASSERT_TRUE(scheduler
+                  .Schedule("hourly", "0 * * * *",
+                            [&](SimTime) { ++hourly_count; })
+                  .ok());
+  ASSERT_TRUE(scheduler
+                  .Schedule("quarter", "*/15 * * * *",
+                            [&](SimTime) { ++quarter_count; })
+                  .ok());
+  const int64_t fired = scheduler.AdvanceTo(FromCivil(2016, 2, 16));
+  // (0:00 exclusive .. 24:00 inclusive]: 24 hourly + 96 quarter firings.
+  EXPECT_EQ(hourly_count, 24);
+  EXPECT_EQ(quarter_count, 96);
+  EXPECT_EQ(fired, 120);
+  EXPECT_EQ(scheduler.now(), FromCivil(2016, 2, 16));
+}
+
+TEST(SchedulerTest, FiringsInTimeOrder) {
+  VirtualScheduler scheduler(FromCivil(2016, 2, 15));
+  std::vector<SimTime> firings;
+  ASSERT_TRUE(scheduler
+                  .Schedule("a", "*/20 * * * *",
+                            [&](SimTime t) { firings.push_back(t); })
+                  .ok());
+  ASSERT_TRUE(scheduler
+                  .Schedule("b", "*/30 * * * *",
+                            [&](SimTime t) { firings.push_back(t); })
+                  .ok());
+  scheduler.AdvanceTo(FromCivil(2016, 2, 15, 3));
+  ASSERT_FALSE(firings.empty());
+  for (size_t i = 1; i < firings.size(); ++i) {
+    EXPECT_LE(firings[i - 1], firings[i]);
+  }
+}
+
+TEST(SchedulerTest, CoincidentJobsBothFire) {
+  VirtualScheduler scheduler(FromCivil(2016, 2, 15));
+  std::vector<std::string> order;
+  (void)scheduler.Schedule("first", "0 * * * *",
+                           [&](SimTime) { order.push_back("first"); });
+  (void)scheduler.Schedule("second", "0 * * * *",
+                           [&](SimTime) { order.push_back("second"); });
+  scheduler.AdvanceTo(FromCivil(2016, 2, 15, 1, 30));
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "first");  // registration order on ties
+  EXPECT_EQ(order[1], "second");
+}
+
+TEST(SchedulerTest, AdvanceIsIncremental) {
+  VirtualScheduler scheduler(FromCivil(2016, 2, 15));
+  int count = 0;
+  (void)scheduler.Schedule("hourly", "0 * * * *", [&](SimTime) { ++count; });
+  scheduler.AdvanceTo(FromCivil(2016, 2, 15, 2, 30));
+  EXPECT_EQ(count, 2);
+  scheduler.AdvanceTo(FromCivil(2016, 2, 15, 2, 45));
+  EXPECT_EQ(count, 2);  // nothing new between 2:30 and 2:45
+  scheduler.AdvanceTo(FromCivil(2016, 2, 15, 4, 0));
+  EXPECT_EQ(count, 4);  // 3:00 and 4:00
+}
+
+TEST(SchedulerTest, BadExpressionRejectedAtSchedule) {
+  VirtualScheduler scheduler(0);
+  EXPECT_FALSE(scheduler.Schedule("bad", "not cron", [](SimTime) {}).ok());
+  EXPECT_TRUE(scheduler.jobs().empty());
+}
+
+TEST(SchedulerTest, JobReceivesFiringTime) {
+  VirtualScheduler scheduler(FromCivil(2016, 3, 1));
+  std::vector<SimTime> times;
+  (void)scheduler.Schedule("t", "30 14 * * *",
+                           [&](SimTime t) { times.push_back(t); });
+  scheduler.AdvanceTo(FromCivil(2016, 3, 3));
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], FromCivil(2016, 3, 1, 14, 30));
+  EXPECT_EQ(times[1], FromCivil(2016, 3, 2, 14, 30));
+}
+
+}  // namespace
+}  // namespace controller
+}  // namespace imcf

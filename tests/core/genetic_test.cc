@@ -1,0 +1,111 @@
+#include "core/genetic.h"
+
+#include <gtest/gtest.h>
+
+#include "core/hill_climber.h"
+
+namespace imcf {
+namespace core {
+namespace {
+
+using devices::CommandType;
+
+SlotProblem IndependentSlot(double budget) {
+  SlotProblem problem;
+  problem.n_rules = 8;
+  problem.budget_kwh = budget;
+  const double energies[8] = {0.9, 0.2, 0.5, 0.15, 0.6, 0.25, 0.4, 0.3};
+  const double drop_errors[8] = {1.0, 0.7, 0.45, 0.1, 0.65, 0.8, 0.3, 0.5};
+  for (int i = 0; i < 8; ++i) {
+    problem.groups.push_back({0.0, CommandType::kSetLight});
+    ActiveRule rule;
+    rule.rule_index = i;
+    rule.group = i;
+    rule.type = CommandType::kSetLight;
+    rule.desired = 40.0;
+    rule.energy_kwh = energies[i];
+    rule.drop_error = drop_errors[i];
+    problem.active.push_back(rule);
+  }
+  return problem;
+}
+
+TEST(GeneticPlannerTest, FeasibleUnderTightBudget) {
+  const SlotProblem problem = IndependentSlot(1.0);
+  SlotEvaluator evaluator(&problem);
+  GeneticPlanner planner;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    const PlanOutcome outcome = planner.PlanSlot(evaluator, &rng);
+    EXPECT_TRUE(outcome.feasible);
+    EXPECT_LE(outcome.objectives.energy_kwh, 1.0 + 1e-9);
+  }
+}
+
+TEST(GeneticPlannerTest, LooseBudgetReachesZeroError) {
+  const SlotProblem problem = IndependentSlot(10.0);
+  SlotEvaluator evaluator(&problem);
+  GeneticPlanner planner;
+  Rng rng(1);
+  const PlanOutcome outcome = planner.PlanSlot(evaluator, &rng);
+  // The seeded all-1s elite is already optimal.
+  EXPECT_TRUE(outcome.feasible);
+  EXPECT_DOUBLE_EQ(outcome.objectives.error_sum, 0.0);
+}
+
+TEST(GeneticPlannerTest, DeterministicGivenSeed) {
+  const SlotProblem problem = IndependentSlot(1.3);
+  SlotEvaluator evaluator(&problem);
+  GeneticPlanner planner;
+  Rng a(5), b(5);
+  EXPECT_EQ(planner.PlanSlot(evaluator, &a).solution,
+            planner.PlanSlot(evaluator, &b).solution);
+}
+
+TEST(GeneticPlannerTest, QualityComparableToClimber) {
+  const SlotProblem problem = IndependentSlot(1.0);
+  SlotEvaluator evaluator(&problem);
+  GaOptions ga;
+  ga.tau_max = 600;
+  GeneticPlanner genetic(ga);
+  EpOptions ep;
+  ep.tau_max = 600;
+  HillClimbingPlanner climber(ep);
+  double ga_total = 0.0, hc_total = 0.0;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Rng r1(seed), r2(seed);
+    ga_total += genetic.PlanSlot(evaluator, &r1).objectives.error_sum;
+    hc_total += climber.PlanSlot(evaluator, &r2).objectives.error_sum;
+  }
+  EXPECT_LT(ga_total, hc_total + 2.0);  // same quality league
+}
+
+TEST(GeneticPlannerTest, ZeroBudgetFallsBackToNoRule) {
+  const SlotProblem problem = IndependentSlot(0.0);
+  SlotEvaluator evaluator(&problem);
+  GaOptions options;
+  options.tau_max = 64;
+  GeneticPlanner planner(options);
+  Rng rng(2);
+  const PlanOutcome outcome = planner.PlanSlot(evaluator, &rng);
+  EXPECT_TRUE(outcome.feasible);
+  EXPECT_EQ(outcome.solution.CountAdopted(), 0u);
+}
+
+TEST(GeneticPlannerTest, EvaluationBudgetRespected) {
+  const SlotProblem problem = IndependentSlot(1.0);
+  SlotEvaluator evaluator(&problem);
+  GaOptions options;
+  options.tau_max = 100;
+  GeneticPlanner planner(options);
+  Rng rng(3);
+  const PlanOutcome outcome = planner.PlanSlot(evaluator, &rng);
+  EXPECT_LE(outcome.iterations, 100);
+  EXPECT_GE(outcome.iterations, options.population);
+}
+
+TEST(GeneticPlannerTest, Name) { EXPECT_EQ(GeneticPlanner().name(), "GA"); }
+
+}  // namespace
+}  // namespace core
+}  // namespace imcf

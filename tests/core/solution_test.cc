@@ -1,0 +1,83 @@
+#include "core/solution.h"
+
+#include <gtest/gtest.h>
+
+namespace imcf {
+namespace core {
+namespace {
+
+TEST(SolutionTest, DefaultAndFill) {
+  Solution empty;
+  EXPECT_EQ(empty.size(), 0u);
+  Solution zeros(6);
+  EXPECT_EQ(zeros.CountAdopted(), 0u);
+  Solution ones(6, 1);
+  EXPECT_EQ(ones.CountAdopted(), 6u);
+}
+
+TEST(SolutionTest, SetFlipAdopted) {
+  Solution s(4);
+  s.set(1, true);
+  s.set(3, true);
+  EXPECT_FALSE(s.adopted(0));
+  EXPECT_TRUE(s.adopted(1));
+  EXPECT_EQ(s.ToString(), "0101");
+  s.flip(1);
+  s.flip(0);
+  EXPECT_EQ(s.ToString(), "1001");
+  EXPECT_EQ(s.CountAdopted(), 2u);
+}
+
+TEST(SolutionTest, Equality) {
+  Solution a(3), b(3);
+  EXPECT_EQ(a, b);
+  a.set(2, true);
+  EXPECT_NE(a, b);
+  b.set(2, true);
+  EXPECT_EQ(a, b);
+}
+
+TEST(InitTest, AllOnes) {
+  Rng rng(1);
+  const Solution s = Solution::Init(6, InitStrategy::kAllOnes, &rng);
+  EXPECT_EQ(s.CountAdopted(), 6u);
+}
+
+TEST(InitTest, AllZeros) {
+  Rng rng(1);
+  const Solution s = Solution::Init(6, InitStrategy::kAllZeros, &rng);
+  EXPECT_EQ(s.CountAdopted(), 0u);
+}
+
+TEST(InitTest, RandomIsBalancedAndSeeded) {
+  Rng rng_a(5), rng_b(5), rng_c(6);
+  const Solution a = Solution::Init(1000, InitStrategy::kRandom, &rng_a);
+  const Solution b = Solution::Init(1000, InitStrategy::kRandom, &rng_b);
+  const Solution c = Solution::Init(1000, InitStrategy::kRandom, &rng_c);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_GT(a.CountAdopted(), 400u);
+  EXPECT_LT(a.CountAdopted(), 600u);
+}
+
+TEST(InitTest, StrategyNames) {
+  EXPECT_STREQ(InitStrategyName(InitStrategy::kAllOnes), "all-1s");
+  EXPECT_STREQ(InitStrategyName(InitStrategy::kRandom), "random");
+  EXPECT_STREQ(InitStrategyName(InitStrategy::kAllZeros), "all-0s");
+}
+
+// The paper's running example (Fig. 4): s* = <1,0,0,1>, flip components
+// 2 and 4 (1-based) to get s = <1,1,0,0>.
+TEST(SolutionTest, PaperExampleTransition) {
+  Solution s(4);
+  s.set(0, true);
+  s.set(3, true);
+  EXPECT_EQ(s.ToString(), "1001");
+  s.flip(1);
+  s.flip(3);
+  EXPECT_EQ(s.ToString(), "1100");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace imcf

@@ -1,0 +1,232 @@
+#include "energy/amortization.h"
+
+#include <gtest/gtest.h>
+
+namespace imcf {
+namespace energy {
+namespace {
+
+AmortizationOptions YearOptions(AmortizationKind kind, double budget) {
+  AmortizationOptions options;
+  options.kind = kind;
+  options.total_budget_kwh = budget;
+  options.period_start = FromCivil(2015, 1, 1);
+  options.period_end = FromCivil(2016, 1, 1);
+  return options;
+}
+
+TEST(AmortizationTest, ValidationErrors) {
+  const Ecp ecp = FlatEcp();
+  AmortizationOptions bad = YearOptions(AmortizationKind::kLaf, 1000);
+  bad.period_end = bad.period_start;
+  EXPECT_FALSE(AmortizationPlan::Create(bad, ecp).ok());
+
+  bad = YearOptions(AmortizationKind::kLaf, 0.0);
+  EXPECT_FALSE(AmortizationPlan::Create(bad, ecp).ok());
+
+  bad = YearOptions(AmortizationKind::kBlaf, 1000);
+  bad.balloon_fraction = 1.5;
+  EXPECT_FALSE(AmortizationPlan::Create(bad, ecp).ok());
+
+  bad = YearOptions(AmortizationKind::kBlaf, 1000);
+  bad.balloon_months = {13};
+  EXPECT_FALSE(AmortizationPlan::Create(bad, ecp).ok());
+}
+
+TEST(LafTest, UniformHourlyBudget) {
+  // Eq. 3: E_p = TE / t. For TE = 3666 over a 365-day year the hourly
+  // budget is 3666 / 8760 = 0.4185 everywhere.
+  const auto plan =
+      AmortizationPlan::Create(YearOptions(AmortizationKind::kLaf, 3666.0),
+                               FlatEcp());
+  ASSERT_TRUE(plan.ok());
+  const double expected = 3666.0 / 8760.0;
+  EXPECT_NEAR(plan->HourlyBudget(FromCivil(2015, 1, 15, 3)), expected, 1e-9);
+  EXPECT_NEAR(plan->HourlyBudget(FromCivil(2015, 7, 4, 18)), expected, 1e-9);
+  EXPECT_NEAR(plan->HourlyBudget(FromCivil(2015, 12, 31, 23)), expected,
+              1e-9);
+}
+
+TEST(LafTest, ZeroOutsidePeriod) {
+  const auto plan =
+      AmortizationPlan::Create(YearOptions(AmortizationKind::kLaf, 3666.0),
+                               FlatEcp());
+  EXPECT_DOUBLE_EQ(plan->HourlyBudget(FromCivil(2014, 12, 31, 23)), 0.0);
+  EXPECT_DOUBLE_EQ(plan->HourlyBudget(FromCivil(2016, 1, 1, 0)), 0.0);
+}
+
+TEST(LafTest, MonthBudgetsProportionalToHours) {
+  const auto plan =
+      AmortizationPlan::Create(YearOptions(AmortizationKind::kLaf, 8760.0),
+                               FlatEcp());
+  EXPECT_NEAR(plan->MonthBudget(FromCivil(2015, 1, 10)), 744.0, 1e-6);
+  EXPECT_NEAR(plan->MonthBudget(FromCivil(2015, 2, 10)), 672.0, 1e-6);
+  EXPECT_NEAR(plan->MonthBudget(FromCivil(2015, 4, 10)), 720.0, 1e-6);
+}
+
+TEST(BlafTest, ConservesTotalBudget) {
+  auto options = YearOptions(AmortizationKind::kBlaf, 3666.0);
+  options.balloon_fraction = 0.30;
+  options.balloon_months = {4, 5, 6, 7, 8, 9, 10};
+  const auto plan = AmortizationPlan::Create(options, FlatEcp());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NEAR(plan->TotalBudget(), 3666.0, 1e-6);
+  double sum = 0.0;
+  for (const auto& slot : plan->slots()) sum += slot.budget_kwh;
+  EXPECT_NEAR(sum, 3666.0, 1e-6);
+}
+
+TEST(BlafTest, BalloonMonthsSaveOthersRelease) {
+  auto options = YearOptions(AmortizationKind::kBlaf, 8760.0);
+  options.balloon_fraction = 0.30;
+  options.balloon_months = {4, 5, 6, 7, 8, 9, 10};
+  const auto plan = AmortizationPlan::Create(options, FlatEcp());
+  // Uniform would be 1.0 kWh/h: balloon months get 0.7, others more.
+  EXPECT_NEAR(plan->HourlyBudget(FromCivil(2015, 6, 10, 12)), 0.7, 1e-6);
+  EXPECT_GT(plan->HourlyBudget(FromCivil(2015, 1, 10, 12)), 1.0);
+  // Paper's example proportions (Eq. 4): saved sigma redistributed across
+  // the other five months.
+  const double winter = plan->HourlyBudget(FromCivil(2015, 12, 10, 12));
+  const double summer = plan->HourlyBudget(FromCivil(2015, 7, 10, 12));
+  EXPECT_NEAR(winter / summer, (1.0 + 0.3 * (5136.0 / 3624.0)) / 0.7, 1e-3);
+}
+
+TEST(BlafTest, ZeroFractionDegeneratesToLaf) {
+  auto options = YearOptions(AmortizationKind::kBlaf, 3666.0);
+  options.balloon_fraction = 0.0;
+  const auto blaf = AmortizationPlan::Create(options, FlatEcp());
+  const auto laf = AmortizationPlan::Create(
+      YearOptions(AmortizationKind::kLaf, 3666.0), FlatEcp());
+  for (int month = 1; month <= 12; ++month) {
+    const SimTime t = FromCivil(2015, month, 15);
+    EXPECT_NEAR(blaf->HourlyBudget(t), laf->HourlyBudget(t), 1e-9);
+  }
+}
+
+TEST(EafTest, FollowsEcpWeights) {
+  // Eq. 5 example: hourly budget of month i is w_i * E / month_hours.
+  const auto plan =
+      AmortizationPlan::Create(YearOptions(AmortizationKind::kEaf, 3500.0),
+                               FlatEcp());
+  ASSERT_TRUE(plan.ok());
+  const Ecp ecp = FlatEcp();
+  for (int month = 1; month <= 12; ++month) {
+    const double month_hours = DaysInMonth(2015, month) * 24.0;
+    const double expected = ecp.Weight(month) * 3500.0 / month_hours;
+    EXPECT_NEAR(plan->HourlyBudget(FromCivil(2015, month, 15, 10)), expected,
+                1e-9)
+        << MonthName(month);
+  }
+}
+
+TEST(EafTest, ConservesTotalBudget) {
+  const auto plan =
+      AmortizationPlan::Create(YearOptions(AmortizationKind::kEaf, 3500.0),
+                               FlatEcp());
+  double sum = 0.0;
+  for (const auto& slot : plan->slots()) sum += slot.budget_kwh;
+  EXPECT_NEAR(sum, 3500.0, 1e-6);
+}
+
+TEST(EafTest, JanuaryGetsMostAprilLeast) {
+  const auto plan =
+      AmortizationPlan::Create(YearOptions(AmortizationKind::kEaf, 11000.0),
+                               FlatEcp());
+  double min_budget = 1e18, max_budget = 0.0;
+  int min_month = 0, max_month = 0;
+  for (int m = 1; m <= 12; ++m) {
+    const double b = plan->MonthBudget(FromCivil(2015, m, 15));
+    if (b < min_budget) {
+      min_budget = b;
+      min_month = m;
+    }
+    if (b > max_budget) {
+      max_budget = b;
+      max_month = m;
+    }
+  }
+  EXPECT_EQ(max_month, 1);
+  EXPECT_EQ(min_month, 4);
+}
+
+TEST(MultiYearTest, ThreeYearPeriodSplitsEvenly) {
+  AmortizationOptions options;
+  options.kind = AmortizationKind::kEaf;
+  options.total_budget_kwh = 11000.0;
+  options.period_start = FromCivil(2014, 1, 1);
+  options.period_end = FromCivil(2017, 1, 1);
+  const auto plan = AmortizationPlan::Create(options, FlatEcp());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->slots().size(), 36u);
+  // Each January gets roughly a third of the total January allocation.
+  const double jan_2014 = plan->MonthBudget(FromCivil(2014, 1, 15));
+  const double jan_2016 = plan->MonthBudget(FromCivil(2016, 1, 15));
+  EXPECT_NEAR(jan_2014, jan_2016, 1e-6);
+  EXPECT_NEAR(jan_2014, 11000.0 * FlatEcp().Weight(1) / 3.0, 1.0);
+}
+
+TEST(PartialPeriodTest, WeekUsesOnlyItsShare) {
+  AmortizationOptions options;
+  options.kind = AmortizationKind::kLaf;
+  options.total_budget_kwh = 165.0;  // the prototype family's weekly cap
+  options.period_start = FromCivil(2016, 2, 15);
+  options.period_end = options.period_start + 7 * kSecondsPerDay;
+  const auto plan = AmortizationPlan::Create(options, FlatEcp());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NEAR(plan->HourlyBudget(options.period_start + kSecondsPerHour),
+              165.0 / 168.0, 1e-9);
+  double sum = 0.0;
+  for (const auto& slot : plan->slots()) sum += slot.budget_kwh;
+  EXPECT_NEAR(sum, 165.0, 1e-9);
+}
+
+TEST(PartialPeriodTest, EafRenormalisesAcrossPartialMonths) {
+  AmortizationOptions options;
+  options.kind = AmortizationKind::kEaf;
+  options.total_budget_kwh = 600.0;
+  options.period_start = FromCivil(2015, 1, 20);
+  options.period_end = FromCivil(2015, 3, 10);
+  const auto plan = AmortizationPlan::Create(options, FlatEcp());
+  ASSERT_TRUE(plan.ok());
+  double sum = 0.0;
+  for (const auto& slot : plan->slots()) sum += slot.budget_kwh;
+  EXPECT_NEAR(sum, 600.0, 1e-6);
+  // January's partial slice still out-weighs March's per hour.
+  EXPECT_GT(plan->HourlyBudget(FromCivil(2015, 1, 25)),
+            plan->HourlyBudget(FromCivil(2015, 3, 5)));
+}
+
+TEST(KindNameTest, Names) {
+  EXPECT_STREQ(AmortizationKindName(AmortizationKind::kLaf), "LAF");
+  EXPECT_STREQ(AmortizationKindName(AmortizationKind::kBlaf), "BLAF");
+  EXPECT_STREQ(AmortizationKindName(AmortizationKind::kEaf), "EAF");
+}
+
+// Conservation property across kinds and budgets.
+class ConservationSweep
+    : public ::testing::TestWithParam<std::tuple<AmortizationKind, double>> {
+};
+
+TEST_P(ConservationSweep, PlanSpendsExactlyTheBudget) {
+  const auto [kind, budget] = GetParam();
+  const auto plan =
+      AmortizationPlan::Create(YearOptions(kind, budget), FlatEcp());
+  ASSERT_TRUE(plan.ok());
+  double sum = 0.0;
+  for (const auto& slot : plan->slots()) {
+    sum += slot.budget_kwh;
+    EXPECT_GE(slot.budget_kwh, 0.0);
+  }
+  EXPECT_NEAR(sum, budget, budget * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndBudgets, ConservationSweep,
+    ::testing::Combine(::testing::Values(AmortizationKind::kLaf,
+                                         AmortizationKind::kBlaf,
+                                         AmortizationKind::kEaf),
+                       ::testing::Values(100.0, 3666.0, 11000.0, 480000.0)));
+
+}  // namespace
+}  // namespace energy
+}  // namespace imcf

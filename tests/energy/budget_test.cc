@@ -1,0 +1,76 @@
+#include "energy/budget.h"
+
+#include <gtest/gtest.h>
+
+namespace imcf {
+namespace energy {
+namespace {
+
+AmortizationPlan YearPlan(AmortizationKind kind, double budget) {
+  AmortizationOptions options;
+  options.kind = kind;
+  options.total_budget_kwh = budget;
+  options.period_start = FromCivil(2015, 1, 1);
+  options.period_end = FromCivil(2016, 1, 1);
+  return *AmortizationPlan::Create(options, FlatEcp());
+}
+
+TEST(BudgetLedgerTest, TracksTotals) {
+  const AmortizationPlan plan = YearPlan(AmortizationKind::kLaf, 8760.0);
+  BudgetLedger ledger(&plan);
+  EXPECT_DOUBLE_EQ(ledger.TotalConsumedKwh(), 0.0);
+  ledger.Charge(FromCivil(2015, 1, 10, 3), 1.5);
+  ledger.Charge(FromCivil(2015, 1, 10, 4), 0.5);
+  ledger.Charge(FromCivil(2015, 2, 1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(ledger.TotalConsumedKwh(), 4.0);
+  EXPECT_DOUBLE_EQ(ledger.MonthConsumedKwh(FromCivil(2015, 1, 20)), 2.0);
+  EXPECT_DOUBLE_EQ(ledger.MonthConsumedKwh(FromCivil(2015, 2, 20)), 2.0);
+  EXPECT_DOUBLE_EQ(ledger.MonthConsumedKwh(FromCivil(2015, 3, 20)), 0.0);
+}
+
+TEST(BudgetLedgerTest, CumulativeBudgetGrowsLinearlyUnderLaf) {
+  const AmortizationPlan plan = YearPlan(AmortizationKind::kLaf, 8760.0);
+  BudgetLedger ledger(&plan);
+  // After the first hour of the year: exactly 1 kWh of budget released.
+  EXPECT_NEAR(ledger.CumulativeBudgetKwh(FromCivil(2015, 1, 1, 0, 30)), 1.0,
+              1e-6);
+  // After 10 full days: 240.
+  EXPECT_NEAR(ledger.CumulativeBudgetKwh(FromCivil(2015, 1, 10, 23, 59)),
+              240.0, 1e-6);
+  // End of the year: everything.
+  EXPECT_NEAR(ledger.CumulativeBudgetKwh(FromCivil(2015, 12, 31, 23)),
+              8760.0, 1e-6);
+}
+
+TEST(BudgetLedgerTest, CarryoverIsBudgetMinusConsumption) {
+  const AmortizationPlan plan = YearPlan(AmortizationKind::kLaf, 8760.0);
+  BudgetLedger ledger(&plan);
+  ledger.Charge(FromCivil(2015, 1, 1, 0), 0.4);
+  // One hour in: 1.0 released, 0.4 used.
+  EXPECT_NEAR(ledger.CarryoverKwh(FromCivil(2015, 1, 1, 0, 30)), 0.6, 1e-6);
+  ledger.Charge(FromCivil(2015, 1, 1, 1), 2.0);
+  EXPECT_NEAR(ledger.CarryoverKwh(FromCivil(2015, 1, 1, 1, 30)), -0.4, 1e-6);
+}
+
+TEST(BudgetLedgerTest, WithinTotalBudget) {
+  const AmortizationPlan plan = YearPlan(AmortizationKind::kEaf, 100.0);
+  BudgetLedger ledger(&plan);
+  ledger.Charge(FromCivil(2015, 6, 1), 99.9);
+  EXPECT_TRUE(ledger.WithinTotalBudget());
+  ledger.Charge(FromCivil(2015, 6, 2), 0.2);
+  EXPECT_FALSE(ledger.WithinTotalBudget());
+}
+
+TEST(BudgetLedgerTest, MonthlyMapKeying) {
+  const AmortizationPlan plan = YearPlan(AmortizationKind::kLaf, 100.0);
+  BudgetLedger ledger(&plan);
+  ledger.Charge(FromCivil(2015, 3, 31, 23, 59), 1.0);
+  ledger.Charge(FromCivil(2015, 4, 1, 0, 0), 2.0);
+  const auto& monthly = ledger.monthly_consumption();
+  EXPECT_EQ(monthly.at(201503), 1.0);
+  EXPECT_EQ(monthly.at(201504), 2.0);
+}
+
+}  // namespace
+}  // namespace energy
+}  // namespace imcf

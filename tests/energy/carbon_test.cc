@@ -1,0 +1,96 @@
+#include "energy/carbon.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace imcf {
+namespace energy {
+namespace {
+
+TEST(CarbonProfileTest, DeterministicAndPositive) {
+  CarbonProfile a, b;
+  for (int h = 0; h < 48; ++h) {
+    const SimTime t = FromCivil(2015, 6, 1, h % 24) +
+                      (h / 24) * kSecondsPerDay;
+    EXPECT_DOUBLE_EQ(a.IntensityAt(t), b.IntensityAt(t));
+    EXPECT_GT(a.IntensityAt(t), 0.0);
+  }
+}
+
+TEST(CarbonProfileTest, MiddaySolarDip) {
+  CarbonProfile profile;
+  double midday = 0.0, predawn = 0.0;
+  for (int day = 1; day <= 28; ++day) {
+    midday += profile.IntensityAt(FromCivil(2015, 7, day, 13));
+    predawn += profile.IntensityAt(FromCivil(2015, 7, day, 4));
+  }
+  EXPECT_LT(midday / 28, predawn / 28 - 40.0);
+}
+
+TEST(CarbonProfileTest, EveningPeak) {
+  CarbonProfile profile;
+  double evening = 0.0, afternoon = 0.0;
+  for (int day = 1; day <= 28; ++day) {
+    evening += profile.IntensityAt(FromCivil(2015, 1, day, 20));
+    afternoon += profile.IntensityAt(FromCivil(2015, 1, day, 15));
+  }
+  EXPECT_GT(evening / 28, afternoon / 28);
+}
+
+TEST(CarbonProfileTest, WinterDirtierThanSummer) {
+  CarbonProfile profile;
+  double winter = 0.0, summer = 0.0;
+  for (int day = 1; day <= 28; ++day) {
+    winter += profile.DailyMean(FromCivil(2015, 1, day));
+    summer += profile.DailyMean(FromCivil(2015, 7, day));
+  }
+  EXPECT_GT(winter / 28, summer / 28 + 40.0);
+}
+
+TEST(CarbonProfileTest, SolarDipStrongerInSummer) {
+  CarbonProfile profile;
+  auto dip = [&](int month) {
+    double night = 0.0, noon = 0.0;
+    for (int day = 1; day <= 28; ++day) {
+      night += profile.IntensityAt(FromCivil(2015, month, day, 3));
+      noon += profile.IntensityAt(FromCivil(2015, month, day, 13));
+    }
+    return (night - noon) / 28.0;
+  };
+  EXPECT_GT(dip(7), dip(1));
+}
+
+TEST(CarbonTiltTest, ZeroAlphaIsIdentity) {
+  CarbonProfile profile;
+  const auto weights =
+      CarbonTiltWeights(profile, FromCivil(2015, 5, 10), 0.0);
+  ASSERT_EQ(weights.size(), 24u);
+  for (double w : weights) EXPECT_DOUBLE_EQ(w, 1.0);
+}
+
+TEST(CarbonTiltTest, ConservesDailyBudget) {
+  CarbonProfile profile;
+  for (double alpha : {0.2, 0.5, 1.0}) {
+    const auto weights =
+        CarbonTiltWeights(profile, FromCivil(2015, 5, 10), alpha);
+    const double sum =
+        std::accumulate(weights.begin(), weights.end(), 0.0);
+    EXPECT_NEAR(sum, 24.0, 1e-9) << "alpha " << alpha;
+    for (double w : weights) EXPECT_GE(w, 0.0);
+  }
+}
+
+TEST(CarbonTiltTest, ShiftsBudgetTowardCleanHours) {
+  CarbonProfile profile;
+  const SimTime day = FromCivil(2015, 7, 10);
+  const auto weights = CarbonTiltWeights(profile, day, 0.8);
+  // Midday (solar dip) must get more than the evening peak.
+  EXPECT_GT(weights[13], weights[20]);
+  EXPECT_GT(weights[13], 1.0);
+  EXPECT_LT(weights[20], 1.0);
+}
+
+}  // namespace
+}  // namespace energy
+}  // namespace imcf

@@ -1,0 +1,75 @@
+#include "energy/ecp.h"
+
+#include <gtest/gtest.h>
+
+namespace imcf {
+namespace energy {
+namespace {
+
+TEST(FlatEcpTest, MatchesTableI) {
+  const Ecp ecp = FlatEcp();
+  EXPECT_DOUBLE_EQ(ecp.MonthKwh(1), 775.50);
+  EXPECT_DOUBLE_EQ(ecp.MonthKwh(2), 528.75);
+  EXPECT_DOUBLE_EQ(ecp.MonthKwh(3), 246.75);
+  EXPECT_DOUBLE_EQ(ecp.MonthKwh(4), 141.00);
+  EXPECT_DOUBLE_EQ(ecp.MonthKwh(5), 176.25);
+  EXPECT_DOUBLE_EQ(ecp.MonthKwh(6), 211.50);
+  EXPECT_DOUBLE_EQ(ecp.MonthKwh(7), 246.75);
+  EXPECT_DOUBLE_EQ(ecp.MonthKwh(8), 317.25);
+  EXPECT_DOUBLE_EQ(ecp.MonthKwh(9), 211.50);
+  EXPECT_DOUBLE_EQ(ecp.MonthKwh(10), 176.25);
+  EXPECT_DOUBLE_EQ(ecp.MonthKwh(11), 211.50);
+  EXPECT_DOUBLE_EQ(ecp.MonthKwh(12), 423.00);
+  EXPECT_DOUBLE_EQ(ecp.TotalKwh(), 3666.00);
+}
+
+TEST(FlatEcpTest, TableIPerHourColumn) {
+  const Ecp ecp = FlatEcp();
+  // Table I "kWh per hour": January 775.50 / (31*24) = 1.04.
+  EXPECT_NEAR(ecp.MonthKwhPerHour(2014, 1), 1.04, 0.005);
+  EXPECT_NEAR(ecp.MonthKwhPerHour(2014, 2), 0.79, 0.005);
+  EXPECT_NEAR(ecp.MonthKwhPerHour(2014, 4), 0.196, 0.005);
+  EXPECT_NEAR(ecp.MonthKwhPerHour(2014, 12), 0.57, 0.005);
+}
+
+TEST(EcpTest, WeightsSumToOne) {
+  const Ecp ecp = FlatEcp();
+  double sum = 0.0;
+  for (int m = 1; m <= 12; ++m) sum += ecp.Weight(m);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // Eq. 5 example: w_1 = 775.50 / 3666 = 0.2115.
+  EXPECT_NEAR(ecp.Weight(1), 0.2115, 5e-4);
+  EXPECT_NEAR(ecp.Weight(2), 0.1443, 5e-4);
+}
+
+TEST(EcpTest, FromMonthlyValidation) {
+  EXPECT_TRUE(Ecp::FromMonthly({1, 2, 3}).status().IsInvalidArgument());
+  std::vector<double> negative(12, 10.0);
+  negative[5] = -1.0;
+  EXPECT_TRUE(Ecp::FromMonthly(negative).status().IsInvalidArgument());
+  EXPECT_TRUE(Ecp::FromMonthly(std::vector<double>(12, 0.0))
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(Ecp::FromMonthly(std::vector<double>(12, 5.0)).ok());
+}
+
+TEST(EcpTest, ScaledPreservesWeights) {
+  const Ecp base = FlatEcp();
+  const Ecp scaled = base.Scaled(4.0);
+  EXPECT_DOUBLE_EQ(scaled.TotalKwh(), 4.0 * base.TotalKwh());
+  for (int m = 1; m <= 12; ++m) {
+    EXPECT_DOUBLE_EQ(scaled.MonthKwh(m), 4.0 * base.MonthKwh(m));
+    EXPECT_NEAR(scaled.Weight(m), base.Weight(m), 1e-12);
+  }
+}
+
+TEST(EcpTest, JanuaryDominatesApril) {
+  // The Table I shape that drives the whole calibration story.
+  const Ecp ecp = FlatEcp();
+  EXPECT_GT(ecp.MonthKwh(1) / ecp.MonthKwh(4), 5.0);
+  EXPECT_GT(ecp.MonthKwh(8), ecp.MonthKwh(7));  // August cooling bump
+}
+
+}  // namespace
+}  // namespace energy
+}  // namespace imcf

@@ -1,0 +1,157 @@
+#include "energy/load_scheduler.h"
+
+#include <gtest/gtest.h>
+
+namespace imcf {
+namespace energy {
+namespace {
+
+std::vector<double> AmpleHeadroom() { return std::vector<double>(24, 10.0); }
+
+ShiftableLoad Washer() { return {"washer", 2.0, 2, 8, 22}; }
+
+TEST(LoadSchedulerTest, ValidationErrors) {
+  CarbonProfile profile;
+  std::vector<double> short_headroom(12, 1.0);
+  EXPECT_FALSE(ScheduleDay({Washer()}, profile, 0,
+                           PlacementPolicy::kEarliest, &short_headroom)
+                   .ok());
+  auto headroom = AmpleHeadroom();
+  ShiftableLoad bad = Washer();
+  bad.duration_hours = 0;
+  EXPECT_FALSE(
+      ScheduleDay({bad}, profile, 0, PlacementPolicy::kEarliest, &headroom)
+          .ok());
+  bad = Washer();
+  bad.earliest_hour = 20;
+  bad.latest_hour = 8;
+  EXPECT_FALSE(
+      ScheduleDay({bad}, profile, 0, PlacementPolicy::kEarliest, &headroom)
+          .ok());
+}
+
+TEST(LoadSchedulerTest, EarliestPolicyTakesFirstFeasible) {
+  CarbonProfile profile;
+  auto headroom = AmpleHeadroom();
+  const auto placements =
+      ScheduleDay({Washer()}, profile, FromCivil(2015, 6, 10),
+                  PlacementPolicy::kEarliest, &headroom);
+  ASSERT_TRUE(placements.ok());
+  ASSERT_EQ(placements->size(), 1u);
+  EXPECT_EQ((*placements)[0].start_hour, 8);
+  // Headroom debited for both run hours.
+  EXPECT_DOUBLE_EQ(headroom[8], 8.0);
+  EXPECT_DOUBLE_EQ(headroom[9], 8.0);
+  EXPECT_DOUBLE_EQ(headroom[10], 10.0);
+}
+
+TEST(LoadSchedulerTest, CarbonAwarePicksCleanerHours) {
+  CarbonProfile profile;
+  auto headroom_naive = AmpleHeadroom();
+  auto headroom_aware = AmpleHeadroom();
+  const SimTime summer_day = FromCivil(2015, 7, 10);
+  const auto naive =
+      ScheduleDay({Washer()}, profile, summer_day,
+                  PlacementPolicy::kEarliest, &headroom_naive);
+  const auto aware =
+      ScheduleDay({Washer()}, profile, summer_day,
+                  PlacementPolicy::kCarbonAware, &headroom_aware);
+  ASSERT_TRUE(naive.ok());
+  ASSERT_TRUE(aware.ok());
+  EXPECT_LE(TotalCo2G(*aware), TotalCo2G(*naive));
+  // In July the solar dip makes late morning / midday cleanest.
+  const int start = (*aware)[0].start_hour;
+  EXPECT_GE(start, 9);
+  EXPECT_LE(start, 16);
+}
+
+TEST(LoadSchedulerTest, RespectsWindow) {
+  CarbonProfile profile;
+  auto headroom = AmpleHeadroom();
+  ShiftableLoad night_ev{"ev", 3.7, 3, 0, 6};
+  const auto placements =
+      ScheduleDay({night_ev}, profile, FromCivil(2015, 1, 10),
+                  PlacementPolicy::kCarbonAware, &headroom);
+  ASSERT_TRUE(placements.ok());
+  const int start = (*placements)[0].start_hour;
+  ASSERT_GE(start, 0);
+  EXPECT_LE(start + 3 - 1, 6);  // run finishes inside the window
+}
+
+TEST(LoadSchedulerTest, HeadroomLimitsPlacement) {
+  CarbonProfile profile;
+  std::vector<double> headroom(24, 0.5);  // never enough for a 2 kW washer
+  const auto placements =
+      ScheduleDay({Washer()}, profile, FromCivil(2015, 6, 10),
+                  PlacementPolicy::kCarbonAware, &headroom);
+  ASSERT_TRUE(placements.ok());
+  EXPECT_EQ((*placements)[0].start_hour, -1);
+  EXPECT_DOUBLE_EQ((*placements)[0].energy_kwh, 0.0);
+  EXPECT_DOUBLE_EQ(TotalCo2G(*placements), 0.0);
+}
+
+TEST(LoadSchedulerTest, PartialHeadroomForcesLaterStart) {
+  CarbonProfile profile;
+  auto headroom = AmpleHeadroom();
+  for (int h = 0; h < 12; ++h) headroom[static_cast<size_t>(h)] = 0.0;
+  const auto placements =
+      ScheduleDay({Washer()}, profile, FromCivil(2015, 6, 10),
+                  PlacementPolicy::kEarliest, &headroom);
+  ASSERT_TRUE(placements.ok());
+  EXPECT_EQ((*placements)[0].start_hour, 12);
+}
+
+TEST(LoadSchedulerTest, BigRocksPlacedFirst) {
+  CarbonProfile profile;
+  // Only hours 10-12 have headroom for the EV; the washer could fit in
+  // many places. If the washer were placed first into 10-11, the EV could
+  // not be served at all.
+  std::vector<double> headroom(24, 1.9);
+  for (int h = 10; h <= 12; ++h) headroom[static_cast<size_t>(h)] = 4.0;
+  ShiftableLoad ev{"ev", 3.7, 3, 0, 23};
+  ShiftableLoad small_washer{"washer", 1.5, 2, 8, 22};
+  const auto placements =
+      ScheduleDay({small_washer, ev}, profile, FromCivil(2015, 6, 10),
+                  PlacementPolicy::kEarliest, &headroom);
+  ASSERT_TRUE(placements.ok());
+  for (const Placement& p : *placements) {
+    EXPECT_GE(p.start_hour, 0) << p.load;
+    if (p.load == "ev") {
+      EXPECT_EQ(p.start_hour, 10);
+    }
+  }
+}
+
+TEST(LoadSchedulerTest, DefaultFleetPlausible) {
+  const auto fleet = DefaultShiftableLoads();
+  EXPECT_GE(fleet.size(), 3u);
+  double total = 0.0;
+  for (const ShiftableLoad& load : fleet) {
+    EXPECT_GT(load.power_kw, 0.0);
+    total += load.EnergyKwh();
+  }
+  EXPECT_GT(total, 10.0);  // a meaningful daily shiftable pool
+  EXPECT_LT(total, 40.0);
+}
+
+TEST(LoadSchedulerTest, CarbonAwareNeverWorseAcrossSeasons) {
+  CarbonProfile profile;
+  const auto fleet = DefaultShiftableLoads();
+  for (int month : {1, 4, 7, 10}) {
+    auto h1 = AmpleHeadroom();
+    auto h2 = AmpleHeadroom();
+    const SimTime day = FromCivil(2015, month, 15);
+    const auto naive = ScheduleDay(fleet, profile, day,
+                                   PlacementPolicy::kEarliest, &h1);
+    const auto aware = ScheduleDay(fleet, profile, day,
+                                   PlacementPolicy::kCarbonAware, &h2);
+    ASSERT_TRUE(naive.ok());
+    ASSERT_TRUE(aware.ok());
+    EXPECT_LE(TotalCo2G(*aware), TotalCo2G(*naive) + 1e-9)
+        << MonthName(month);
+  }
+}
+
+}  // namespace
+}  // namespace energy
+}  // namespace imcf

@@ -1,0 +1,114 @@
+#include "firewall/chain.h"
+
+#include <gtest/gtest.h>
+
+namespace imcf {
+namespace firewall {
+namespace {
+
+using devices::ActuationCommand;
+using devices::CommandType;
+using devices::DeviceKind;
+using devices::Thing;
+
+ActuationCommand TempCommand(devices::DeviceId device, double value,
+                             const std::string& source = "mrt") {
+  ActuationCommand cmd;
+  cmd.device = device;
+  cmd.type = CommandType::kSetTemperature;
+  cmd.value = value;
+  cmd.source = source;
+  return cmd;
+}
+
+Thing AcThing(const std::string& address) {
+  Thing thing;
+  thing.id = 0;
+  thing.name = "living_room_ac";
+  thing.kind = DeviceKind::kHvac;
+  thing.address = address;
+  return thing;
+}
+
+TEST(ChainRuleTest, EmptyRuleMatchesEverything) {
+  ChainRule rule;
+  const Thing thing = AcThing("192.168.0.5");
+  EXPECT_TRUE(rule.Matches(TempCommand(0, 25.0), &thing));
+  EXPECT_TRUE(rule.Matches(TempCommand(0, 25.0), nullptr));
+}
+
+TEST(ChainRuleTest, AddressMatch) {
+  // The paper's example: iptables -A OUTPUT -s 192.168.0.5 -j DROP.
+  ChainRule rule;
+  rule.address = "192.168.0.5";
+  rule.target = Verdict::kDrop;
+  const Thing daikin = AcThing("192.168.0.5");
+  const Thing other = AcThing("192.168.0.6");
+  EXPECT_TRUE(rule.Matches(TempCommand(0, 25.0), &daikin));
+  EXPECT_FALSE(rule.Matches(TempCommand(0, 25.0), &other));
+  // Unknown device (no registry entry): address rules cannot match.
+  EXPECT_FALSE(rule.Matches(TempCommand(0, 25.0), nullptr));
+}
+
+TEST(ChainRuleTest, DeviceCommandSourceMatch) {
+  ChainRule rule;
+  rule.device = 3;
+  rule.command = CommandType::kSetTemperature;
+  rule.source = "ifttt";
+  EXPECT_TRUE(rule.Matches(TempCommand(3, 22.0, "ifttt"), nullptr));
+  EXPECT_FALSE(rule.Matches(TempCommand(4, 22.0, "ifttt"), nullptr));
+  EXPECT_FALSE(rule.Matches(TempCommand(3, 22.0, "mrt"), nullptr));
+  ActuationCommand light = TempCommand(3, 40.0, "ifttt");
+  light.type = CommandType::kSetLight;
+  EXPECT_FALSE(rule.Matches(light, nullptr));
+}
+
+TEST(ChainRuleTest, ToStringRendersIptablesStyle) {
+  ChainRule rule;
+  rule.address = "192.168.0.5";
+  rule.target = Verdict::kDrop;
+  EXPECT_EQ(rule.ToString(), "-s 192.168.0.5 -j DROP");
+}
+
+TEST(ChainTest, FirstMatchWins) {
+  Chain chain("OUTPUT", Verdict::kAccept);
+  ChainRule drop_all_temp;
+  drop_all_temp.command = CommandType::kSetTemperature;
+  drop_all_temp.target = Verdict::kDrop;
+  ChainRule accept_device_3;
+  accept_device_3.device = 3;
+  accept_device_3.target = Verdict::kAccept;
+  chain.Append(drop_all_temp);
+  chain.Append(accept_device_3);  // shadowed for temperature commands
+  EXPECT_EQ(chain.Filter(TempCommand(3, 25.0), nullptr), Verdict::kDrop);
+  // Insert at head flips the outcome (iptables -I).
+  chain.Insert(accept_device_3);
+  EXPECT_EQ(chain.Filter(TempCommand(3, 25.0), nullptr), Verdict::kAccept);
+}
+
+TEST(ChainTest, DefaultPolicyApplies) {
+  Chain chain("OUTPUT", Verdict::kAccept);
+  EXPECT_EQ(chain.Filter(TempCommand(0, 25.0), nullptr), Verdict::kAccept);
+  chain.set_default_policy(Verdict::kDrop);
+  EXPECT_EQ(chain.Filter(TempCommand(0, 25.0), nullptr), Verdict::kDrop);
+}
+
+TEST(ChainTest, FlushRemovesRules) {
+  Chain chain("OUTPUT", Verdict::kAccept);
+  ChainRule drop_all;
+  drop_all.target = Verdict::kDrop;
+  chain.Append(drop_all);
+  EXPECT_EQ(chain.Filter(TempCommand(0, 25.0), nullptr), Verdict::kDrop);
+  chain.Flush();
+  EXPECT_EQ(chain.Filter(TempCommand(0, 25.0), nullptr), Verdict::kAccept);
+  EXPECT_TRUE(chain.rules().empty());
+}
+
+TEST(VerdictTest, Names) {
+  EXPECT_STREQ(VerdictName(Verdict::kAccept), "ACCEPT");
+  EXPECT_STREQ(VerdictName(Verdict::kDrop), "DROP");
+}
+
+}  // namespace
+}  // namespace firewall
+}  // namespace imcf

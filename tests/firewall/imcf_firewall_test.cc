@@ -1,0 +1,174 @@
+#include "firewall/imcf_firewall.h"
+
+#include <gtest/gtest.h>
+
+namespace imcf {
+namespace firewall {
+namespace {
+
+using devices::ActuationCommand;
+using devices::CommandType;
+using devices::DeviceKind;
+using devices::DeviceRegistry;
+
+class ImcfFirewallTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ac_id_ = *registry_.Add("living_room_ac", DeviceKind::kHvac, 0,
+                            "192.168.0.5");
+    light_id_ = *registry_.Add("living_room_light", DeviceKind::kLight, 0,
+                               "192.168.0.6");
+  }
+
+  ActuationCommand RuleCommand(devices::DeviceId device, int rule_id) {
+    ActuationCommand cmd;
+    cmd.device = device;
+    cmd.type = CommandType::kSetTemperature;
+    cmd.value = 24.0;
+    cmd.rule_id = rule_id;
+    cmd.source = "mrt";
+    return cmd;
+  }
+
+  ActuationCommand ManualCommand(devices::DeviceId device) {
+    ActuationCommand cmd;
+    cmd.device = device;
+    cmd.type = CommandType::kSetTemperature;
+    cmd.value = 25.0;
+    cmd.rule_id = -1;
+    cmd.source = "manual";
+    return cmd;
+  }
+
+  DeviceRegistry registry_;
+  devices::DeviceId ac_id_ = 0;
+  devices::DeviceId light_id_ = 0;
+};
+
+TEST_F(ImcfFirewallTest, AdoptedRulesPass) {
+  MetaControlFirewall fw(&registry_);
+  fw.SetDroppedRules({2, 5});
+  const Decision d = fw.Filter(RuleCommand(ac_id_, 0));
+  EXPECT_EQ(d.verdict, Verdict::kAccept);
+  EXPECT_EQ(d.reason, DecisionReason::kPlanAdopted);
+}
+
+TEST_F(ImcfFirewallTest, DroppedRulesAreBlocked) {
+  MetaControlFirewall fw(&registry_);
+  fw.SetDroppedRules({2, 5});
+  const Decision d = fw.Filter(RuleCommand(ac_id_, 5));
+  EXPECT_EQ(d.verdict, Verdict::kDrop);
+  EXPECT_EQ(d.reason, DecisionReason::kPlanDropped);
+}
+
+TEST_F(ImcfFirewallTest, PlanReplacementChangesVerdicts) {
+  MetaControlFirewall fw(&registry_);
+  fw.SetDroppedRules({0});
+  EXPECT_EQ(fw.Filter(RuleCommand(ac_id_, 0)).verdict, Verdict::kDrop);
+  fw.SetDroppedRules({});  // next slot: everything adopted
+  EXPECT_EQ(fw.Filter(RuleCommand(ac_id_, 0)).verdict, Verdict::kAccept);
+}
+
+TEST_F(ImcfFirewallTest, ManualCommandsBypassPlanLayer) {
+  MetaControlFirewall fw(&registry_);
+  fw.SetDroppedRules({0, 1, 2, 3, 4, 5});
+  const Decision d = fw.Filter(ManualCommand(ac_id_));
+  EXPECT_EQ(d.verdict, Verdict::kAccept);
+  EXPECT_EQ(d.reason, DecisionReason::kBypass);
+}
+
+TEST_F(ImcfFirewallTest, ChainDropBeatsPlanAccept) {
+  MetaControlFirewall fw(&registry_);
+  // iptables-style: block all traffic to the Daikin's address.
+  ChainRule drop_daikin;
+  drop_daikin.address = "192.168.0.5";
+  drop_daikin.target = Verdict::kDrop;
+  fw.chain()->Append(drop_daikin);
+  fw.SetDroppedRules({});
+  const Decision d = fw.Filter(RuleCommand(ac_id_, 0));
+  EXPECT_EQ(d.verdict, Verdict::kDrop);
+  EXPECT_EQ(d.reason, DecisionReason::kChainRule);
+  // The light at the other address still passes.
+  EXPECT_EQ(fw.Filter(RuleCommand(light_id_, 1)).verdict, Verdict::kAccept);
+}
+
+TEST_F(ImcfFirewallTest, ChainAcceptStillConsultsPlan) {
+  MetaControlFirewall fw(&registry_);
+  ChainRule accept_ac;
+  accept_ac.address = "192.168.0.5";
+  accept_ac.target = Verdict::kAccept;
+  fw.chain()->Append(accept_ac);
+  fw.SetDroppedRules({7});
+  // The chain accepts, but the plan layer still drops rule 7's command.
+  EXPECT_EQ(fw.Filter(RuleCommand(ac_id_, 7)).verdict, Verdict::kDrop);
+}
+
+TEST_F(ImcfFirewallTest, StatsAccumulate) {
+  MetaControlFirewall fw(&registry_);
+  fw.SetDroppedRules({1});
+  (void)fw.Filter(RuleCommand(ac_id_, 0));   // accept
+  (void)fw.Filter(RuleCommand(ac_id_, 1));   // plan drop
+  (void)fw.Filter(ManualCommand(light_id_)); // bypass accept
+  ChainRule drop_all;
+  drop_all.target = Verdict::kDrop;
+  fw.chain()->Append(drop_all);
+  (void)fw.Filter(RuleCommand(ac_id_, 0));   // chain drop
+  const FirewallStats& stats = fw.stats();
+  EXPECT_EQ(stats.total, 4);
+  EXPECT_EQ(stats.accepted, 2);
+  EXPECT_EQ(stats.dropped_by_plan, 1);
+  EXPECT_EQ(stats.dropped_by_chain, 1);
+}
+
+TEST_F(ImcfFirewallTest, AuditLogRecordsDecisions) {
+  MetaControlFirewall fw(&registry_);
+  fw.SetDroppedRules({1});
+  (void)fw.Filter(RuleCommand(ac_id_, 0));
+  (void)fw.Filter(RuleCommand(ac_id_, 1));
+  ASSERT_EQ(fw.audit_log().size(), 2u);
+  EXPECT_EQ(fw.audit_log()[0].verdict, Verdict::kAccept);
+  EXPECT_EQ(fw.audit_log()[1].verdict, Verdict::kDrop);
+  EXPECT_EQ(fw.audit_log()[1].command.rule_id, 1);
+  fw.ClearAudit();
+  EXPECT_TRUE(fw.audit_log().empty());
+}
+
+TEST_F(ImcfFirewallTest, AuditLogIsBounded) {
+  MetaControlFirewall fw(&registry_, /*audit_capacity=*/8);
+  for (int i = 0; i < 100; ++i) {
+    (void)fw.Filter(RuleCommand(ac_id_, i % 3));
+  }
+  EXPECT_EQ(fw.audit_log().size(), 8u);
+  EXPECT_EQ(fw.stats().total, 100);
+  // The log keeps the most recent decisions.
+  EXPECT_EQ(fw.audit_log().back().command.rule_id, 99 % 3);
+}
+
+TEST_F(ImcfFirewallTest, ReasonNames) {
+  EXPECT_STREQ(DecisionReasonName(DecisionReason::kPlanDropped),
+               "plan-dropped");
+  EXPECT_STREQ(DecisionReasonName(DecisionReason::kChainRule), "chain-rule");
+  EXPECT_STREQ(DecisionReasonName(DecisionReason::kBypass), "bypass");
+}
+
+// Invariant: a command whose rule is in the dropped set NEVER passes,
+// whatever the chain configuration (unless the chain dropped it first).
+TEST_F(ImcfFirewallTest, DroppedRuleNeverActuates) {
+  for (int variant = 0; variant < 3; ++variant) {
+    MetaControlFirewall fw(&registry_);
+    if (variant == 1) {
+      ChainRule accept_all;
+      accept_all.target = Verdict::kAccept;
+      fw.chain()->Append(accept_all);
+    } else if (variant == 2) {
+      fw.chain()->set_default_policy(Verdict::kDrop);
+    }
+    fw.SetDroppedRules({4});
+    EXPECT_EQ(fw.Filter(RuleCommand(ac_id_, 4)).verdict, Verdict::kDrop)
+        << "variant " << variant;
+  }
+}
+
+}  // namespace
+}  // namespace firewall
+}  // namespace imcf

@@ -1,0 +1,199 @@
+#include "rules/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace imcf {
+namespace rules {
+namespace {
+
+TEST(MetaRuleParseTest, BasicLine) {
+  const auto rule =
+      ParseMetaRuleLine("Night Heat | 01:00 - 07:00 | Set Temperature | 25");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->description, "Night Heat");
+  EXPECT_EQ(rule->window, (TimeWindow{60, 420}));
+  EXPECT_EQ(rule->action, RuleAction::kSetTemperature);
+  EXPECT_DOUBLE_EQ(rule->value, 25.0);
+  EXPECT_EQ(rule->unit, 0);
+  EXPECT_FALSE(rule->necessity);
+}
+
+TEST(MetaRuleParseTest, ActionAliases) {
+  EXPECT_EQ(ParseMetaRuleLine("x | 01:00-02:00 | temp | 22")->action,
+            RuleAction::kSetTemperature);
+  EXPECT_EQ(ParseMetaRuleLine("x | 01:00-02:00 | light | 30")->action,
+            RuleAction::kSetLight);
+  EXPECT_EQ(ParseMetaRuleLine("x | 01:00-02:00 | SET LIGHT | 30")->action,
+            RuleAction::kSetLight);
+}
+
+TEST(MetaRuleParseTest, KwhLimitRowIgnoresWindow) {
+  const auto rule = ParseMetaRuleLine(
+      "Energy Flat | for three years | Set kWh Limit | 11000");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->action, RuleAction::kSetKwhLimit);
+  EXPECT_DOUBLE_EQ(rule->value, 11000.0);
+  EXPECT_TRUE(rule->necessity);
+}
+
+TEST(MetaRuleParseTest, ExtraFields) {
+  const auto rule = ParseMetaRuleLine(
+      "Dorm Heat | 08:00 - 16:00 | temp | 22 | unit=7 | user=Alice | "
+      "priority=2");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->unit, 7);
+  EXPECT_EQ(rule->user, "Alice");
+  EXPECT_EQ(rule->priority, 2);
+}
+
+TEST(MetaRuleParseTest, NecessityFlag) {
+  const auto rule = ParseMetaRuleLine(
+      "Freezer | 00:00 - 24:00 | temp | 20 | necessity=true");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_TRUE(rule->necessity);
+}
+
+TEST(MetaRuleParseTest, Rejections) {
+  EXPECT_FALSE(ParseMetaRuleLine("too | few").ok());
+  EXPECT_FALSE(ParseMetaRuleLine("x | not-a-window | temp | 22").ok());
+  EXPECT_FALSE(ParseMetaRuleLine("x | 01:00-02:00 | explode | 22").ok());
+  EXPECT_FALSE(ParseMetaRuleLine("x | 01:00-02:00 | temp | abc").ok());
+  EXPECT_FALSE(ParseMetaRuleLine("x | 01:00-02:00 | light | 150").ok());
+  EXPECT_FALSE(
+      ParseMetaRuleLine("x | 01:00-02:00 | temp | 22 | bogus=1").ok());
+}
+
+TEST(MrtParseTest, DocumentWithCommentsAndBlanks) {
+  const char* text = R"(
+# Table II (flat experiments)
+Night Heat      | 01:00 - 07:00 | Set Temperature | 25
+Morning Lights  | 04:00 - 09:00 | Set Light       | 40
+
+# long-term constraint
+Energy Flat     | for three years | Set kWh Limit | 11000
+)";
+  const auto mrt = ParseMrt(text);
+  ASSERT_TRUE(mrt.ok());
+  EXPECT_EQ(mrt->size(), 3u);
+  EXPECT_EQ(mrt->convenience_count(), 2u);
+  EXPECT_DOUBLE_EQ(mrt->TotalKwhLimit().value(), 11000.0);
+}
+
+TEST(MrtParseTest, ErrorsCarryOffendingLine) {
+  const auto mrt = ParseMrt("good | 01:00-02:00 | temp | 22\nbad line\n");
+  ASSERT_FALSE(mrt.ok());
+  EXPECT_NE(mrt.status().message().find("bad line"), std::string::npos);
+}
+
+TEST(MrtFormatTest, RoundTripsFlatTable) {
+  const MetaRuleTable mrt = FlatMrt(11000.0);
+  const std::string text = FormatMrt(mrt);
+  const auto parsed = ParseMrt(text);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), mrt.size());
+  for (size_t i = 0; i < mrt.size(); ++i) {
+    EXPECT_EQ(parsed->rules()[i].description, mrt.rules()[i].description);
+    EXPECT_EQ(parsed->rules()[i].action, mrt.rules()[i].action);
+    EXPECT_DOUBLE_EQ(parsed->rules()[i].value, mrt.rules()[i].value);
+    if (mrt.rules()[i].IsConvenience()) {
+      EXPECT_EQ(parsed->rules()[i].window, mrt.rules()[i].window);
+    }
+  }
+}
+
+TEST(MrtFormatTest, PreservesUnitAndUser) {
+  MetaRule rule;
+  rule.description = "Dorm Rule";
+  rule.window = TimeWindow{480, 960};
+  rule.action = RuleAction::kSetTemperature;
+  rule.value = 21.5;
+  rule.unit = 42;
+  rule.user = "Bob";
+  const auto parsed = ParseMetaRuleLine(FormatMetaRule(rule));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->unit, 42);
+  EXPECT_EQ(parsed->user, "Bob");
+  EXPECT_DOUBLE_EQ(parsed->value, 21.5);
+}
+
+TEST(IftttParseTest, SeasonRule) {
+  const auto rule =
+      ParseTriggerRuleLine("Season | Summer | Set Temperature | 25");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->field, TriggerField::kSeason);
+  EXPECT_EQ(rule->season, weather::Season::kSummer);
+  EXPECT_DOUBLE_EQ(rule->action_value, 25.0);
+}
+
+TEST(IftttParseTest, WeatherRule) {
+  const auto rule = ParseTriggerRuleLine("Weather | Cloudy | Set Light | 40");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->field, TriggerField::kWeather);
+  EXPECT_EQ(rule->sky, weather::Sky::kCloudy);
+  EXPECT_EQ(rule->action, RuleAction::kSetLight);
+}
+
+TEST(IftttParseTest, ThresholdRules) {
+  const auto gt =
+      ParseTriggerRuleLine("Temperature | >30 | Set Temperature | 23");
+  ASSERT_TRUE(gt.ok());
+  EXPECT_EQ(gt->op, TriggerOp::kGreaterThan);
+  EXPECT_DOUBLE_EQ(gt->threshold, 30.0);
+
+  const auto lt =
+      ParseTriggerRuleLine("Temperature | <10 | Set Temperature | 24");
+  ASSERT_TRUE(lt.ok());
+  EXPECT_EQ(lt->op, TriggerOp::kLessThan);
+
+  const auto light = ParseTriggerRuleLine("Light Level | >15 | Set Light | 9");
+  ASSERT_TRUE(light.ok());
+  EXPECT_EQ(light->field, TriggerField::kLightLevel);
+}
+
+TEST(IftttParseTest, DoorRule) {
+  const auto rule = ParseTriggerRuleLine("Door | Open | Set Light | 0");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->field, TriggerField::kDoor);
+  EXPECT_TRUE(rule->door_open);
+  const auto closed = ParseTriggerRuleLine("Door | Closed | Set Light | 40");
+  ASSERT_TRUE(closed.ok());
+  EXPECT_FALSE(closed->door_open);
+}
+
+TEST(IftttParseTest, Rejections) {
+  EXPECT_FALSE(ParseTriggerRuleLine("Season | Monsoon | temp | 25").ok());
+  EXPECT_FALSE(ParseTriggerRuleLine("Weather | Hail | temp | 25").ok());
+  EXPECT_FALSE(ParseTriggerRuleLine("Door | ajar | light | 0").ok());
+  EXPECT_FALSE(ParseTriggerRuleLine("Quantum | >3 | temp | 22").ok());
+  EXPECT_FALSE(ParseTriggerRuleLine("Temperature | >x | temp | 22").ok());
+  EXPECT_FALSE(ParseTriggerRuleLine("only | three | fields").ok());
+}
+
+TEST(IftttParseTest, DocumentMatchesTableIII) {
+  // Table III re-entered through the text format must equal FlatIfttt().
+  const char* text = R"(
+Season      | Summer | Set Temperature | 25
+Season      | Winter | Set Temperature | 20
+Weather     | Sunny  | Set Temperature | 20
+Weather     | Cloudy | Set Temperature | 22
+Weather     | Sunny  | Set Light       | 0
+Weather     | Cloudy | Set Light       | 40
+Temperature | >30    | Set Temperature | 23
+Temperature | <10    | Set Temperature | 24
+Light Level | >15    | Set Light       | 9
+Door        | Open   | Set Light       | 0
+)";
+  const auto parsed = ParseIfttt(text);
+  ASSERT_TRUE(parsed.ok());
+  const TriggerRuleTable reference = FlatIfttt();
+  ASSERT_EQ(parsed->size(), reference.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(parsed->rules()[i].ToString(),
+              reference.rules()[i].ToString())
+        << "row " << i;
+  }
+}
+
+}  // namespace
+}  // namespace rules
+}  // namespace imcf

@@ -1,0 +1,164 @@
+#include "rules/trigger_rule.h"
+
+#include <gtest/gtest.h>
+
+namespace imcf {
+namespace rules {
+namespace {
+
+EvaluationContext WinterCloudyNight() {
+  EvaluationContext ctx;
+  ctx.time = FromCivil(2014, 1, 10, 22);
+  ctx.weather.season = weather::Season::kWinter;
+  ctx.weather.sky = weather::Sky::kCloudy;
+  ctx.ambient_temp_c = 12.0;
+  ctx.ambient_light_pct = 2.0;
+  ctx.door_open = false;
+  return ctx;
+}
+
+EvaluationContext SummerSunnyNoon() {
+  EvaluationContext ctx;
+  ctx.time = FromCivil(2014, 7, 10, 13);
+  ctx.weather.season = weather::Season::kSummer;
+  ctx.weather.sky = weather::Sky::kSunny;
+  ctx.ambient_temp_c = 28.0;
+  ctx.ambient_light_pct = 55.0;
+  ctx.door_open = false;
+  return ctx;
+}
+
+TEST(TriggerRuleTest, SeasonMatch) {
+  const TriggerRule rule = TriggerRule::OnSeason(
+      weather::Season::kWinter, RuleAction::kSetTemperature, 20.0);
+  EXPECT_TRUE(rule.Matches(WinterCloudyNight()));
+  EXPECT_FALSE(rule.Matches(SummerSunnyNoon()));
+}
+
+TEST(TriggerRuleTest, WeatherMatch) {
+  const TriggerRule rule =
+      TriggerRule::OnWeather(weather::Sky::kSunny, RuleAction::kSetLight, 0.0);
+  EXPECT_FALSE(rule.Matches(WinterCloudyNight()));
+  EXPECT_TRUE(rule.Matches(SummerSunnyNoon()));
+}
+
+TEST(TriggerRuleTest, NumericThresholds) {
+  const TriggerRule hot = TriggerRule::OnTemperature(
+      TriggerOp::kGreaterThan, 30.0, RuleAction::kSetTemperature, 23.0);
+  EvaluationContext ctx = SummerSunnyNoon();
+  EXPECT_FALSE(hot.Matches(ctx));  // 28 is not > 30
+  ctx.ambient_temp_c = 31.0;
+  EXPECT_TRUE(hot.Matches(ctx));
+
+  const TriggerRule cold = TriggerRule::OnTemperature(
+      TriggerOp::kLessThan, 10.0, RuleAction::kSetTemperature, 24.0);
+  EXPECT_FALSE(cold.Matches(ctx));
+  ctx.ambient_temp_c = 5.0;
+  EXPECT_TRUE(cold.Matches(ctx));
+
+  const TriggerRule bright = TriggerRule::OnLightLevel(
+      TriggerOp::kGreaterThan, 15.0, RuleAction::kSetLight, 9.0);
+  EXPECT_TRUE(bright.Matches(SummerSunnyNoon()));
+  EXPECT_FALSE(bright.Matches(WinterCloudyNight()));
+}
+
+TEST(TriggerRuleTest, DoorMatch) {
+  const TriggerRule rule =
+      TriggerRule::OnDoor(true, RuleAction::kSetLight, 0.0);
+  EvaluationContext ctx = SummerSunnyNoon();
+  EXPECT_FALSE(rule.Matches(ctx));
+  ctx.door_open = true;
+  EXPECT_TRUE(rule.Matches(ctx));
+}
+
+TEST(TriggerRuleTest, ToStringIsReadable) {
+  EXPECT_EQ(TriggerRule::OnSeason(weather::Season::kSummer,
+                                  RuleAction::kSetTemperature, 25.0)
+                .ToString(),
+            "IF Season Summer THEN Set Temperature 25");
+  EXPECT_EQ(TriggerRule::OnTemperature(TriggerOp::kGreaterThan, 30.0,
+                                       RuleAction::kSetTemperature, 23.0)
+                .ToString(),
+            "IF Temperature >30 THEN Set Temperature 23");
+  EXPECT_EQ(TriggerRule::OnDoor(true, RuleAction::kSetLight, 0.0).ToString(),
+            "IF Door Open THEN Set Light 0");
+}
+
+TEST(FlatIftttTest, HasTableIIIRows) {
+  const TriggerRuleTable table = FlatIfttt();
+  EXPECT_EQ(table.size(), 10u);
+}
+
+TEST(FlatIftttTest, WinterCloudyNightDecision) {
+  const TriggerRuleTable table = FlatIfttt();
+  // Matching rows in order: Winter->20, Cloudy->22, Cloudy light->40.
+  const TriggerDecision last =
+      table.Evaluate(WinterCloudyNight(), MatchPolicy::kLastMatch);
+  ASSERT_TRUE(last.temperature.has_value());
+  EXPECT_DOUBLE_EQ(*last.temperature, 22.0);  // cloudy row overrides winter
+  ASSERT_TRUE(last.light.has_value());
+  EXPECT_DOUBLE_EQ(*last.light, 40.0);
+
+  const TriggerDecision first =
+      table.Evaluate(WinterCloudyNight(), MatchPolicy::kFirstMatch);
+  EXPECT_DOUBLE_EQ(*first.temperature, 20.0);  // winter row wins
+  EXPECT_DOUBLE_EQ(*first.light, 40.0);
+}
+
+TEST(FlatIftttTest, SummerSunnyNoonDecision) {
+  const TriggerRuleTable table = FlatIfttt();
+  // Matching: Summer->25, Sunny->20, Sunny light->0, L>15->9.
+  const TriggerDecision last =
+      table.Evaluate(SummerSunnyNoon(), MatchPolicy::kLastMatch);
+  EXPECT_DOUBLE_EQ(*last.temperature, 20.0);
+  EXPECT_DOUBLE_EQ(*last.light, 9.0);  // light-level row is last
+  const TriggerDecision first =
+      table.Evaluate(SummerSunnyNoon(), MatchPolicy::kFirstMatch);
+  EXPECT_DOUBLE_EQ(*first.temperature, 25.0);
+  EXPECT_DOUBLE_EQ(*first.light, 0.0);
+}
+
+TEST(FlatIftttTest, DoorOverridesLightUnderLastMatch) {
+  const TriggerRuleTable table = FlatIfttt();
+  EvaluationContext ctx = SummerSunnyNoon();
+  ctx.door_open = true;
+  const TriggerDecision d = table.Evaluate(ctx, MatchPolicy::kLastMatch);
+  EXPECT_DOUBLE_EQ(*d.light, 0.0);  // door row is the last light writer
+}
+
+TEST(FlatIftttTest, ExtremeTemperatureRows) {
+  const TriggerRuleTable table = FlatIfttt();
+  EvaluationContext ctx = SummerSunnyNoon();
+  ctx.ambient_temp_c = 32.0;
+  EXPECT_DOUBLE_EQ(
+      *table.Evaluate(ctx, MatchPolicy::kLastMatch).temperature, 23.0);
+  ctx = WinterCloudyNight();
+  ctx.ambient_temp_c = 8.0;
+  EXPECT_DOUBLE_EQ(
+      *table.Evaluate(ctx, MatchPolicy::kLastMatch).temperature, 24.0);
+}
+
+TEST(TriggerTableTest, NoMatchYieldsEmptyDecision) {
+  TriggerRuleTable table;
+  table.Add(TriggerRule::OnDoor(true, RuleAction::kSetLight, 0.0));
+  const TriggerDecision d = table.Evaluate(SummerSunnyNoon());
+  EXPECT_FALSE(d.temperature.has_value());
+  EXPECT_FALSE(d.light.has_value());
+}
+
+TEST(TriggerTableTest, SpringHasNoSeasonTemperatureRow) {
+  const TriggerRuleTable table = FlatIfttt();
+  EvaluationContext ctx;
+  ctx.weather.season = weather::Season::kSpring;
+  ctx.weather.sky = weather::Sky::kSunny;
+  ctx.ambient_temp_c = 20.0;
+  ctx.ambient_light_pct = 10.0;
+  const TriggerDecision first =
+      table.Evaluate(ctx, MatchPolicy::kFirstMatch);
+  // First match for temperature is the Sunny row (no Spring season row).
+  EXPECT_DOUBLE_EQ(*first.temperature, 20.0);
+}
+
+}  // namespace
+}  // namespace rules
+}  // namespace imcf

@@ -1,0 +1,72 @@
+// CO2 accounting and carbon-aware tilting at the simulator level.
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.h"
+
+namespace imcf {
+namespace sim {
+namespace {
+
+SimulationOptions WinterFlat() {
+  SimulationOptions options;
+  options.spec = trace::FlatSpec();
+  options.start = FromCivil(2014, 1, 1);
+  options.hours = 60 * 24;
+  options.budget_kwh = 900.0;
+  return options;
+}
+
+TEST(CarbonSimTest, NoEnergyNoCarbon) {
+  Simulator simulator(WinterFlat());
+  ASSERT_TRUE(simulator.Prepare().ok());
+  const auto nr = simulator.Run(Policy::kNoRule);
+  ASSERT_TRUE(nr.ok());
+  EXPECT_DOUBLE_EQ(nr->co2_kg, 0.0);
+}
+
+TEST(CarbonSimTest, FootprintScalesWithEnergy) {
+  Simulator simulator(WinterFlat());
+  ASSERT_TRUE(simulator.Prepare().ok());
+  const auto ep = simulator.Run(Policy::kEnergyPlanner);
+  const auto mr = simulator.Run(Policy::kMetaRule);
+  ASSERT_TRUE(ep.ok());
+  ASSERT_TRUE(mr.ok());
+  EXPECT_GT(ep->co2_kg, 0.0);
+  EXPECT_GT(mr->co2_kg, ep->co2_kg);
+  // Mean intensity implied by the footprint is physically plausible
+  // (200-700 gCO2/kWh).
+  const double mean_intensity = 1000.0 * ep->co2_kg / ep->fe_kwh;
+  EXPECT_GT(mean_intensity, 200.0);
+  EXPECT_LT(mean_intensity, 700.0);
+}
+
+TEST(CarbonSimTest, TiltConservesEnergyReducesCarbon) {
+  SimulationOptions baseline = WinterFlat();
+  SimulationOptions tilted = WinterFlat();
+  tilted.carbon_alpha = 1.0;
+  Simulator sim_base(baseline), sim_tilt(tilted);
+  ASSERT_TRUE(sim_base.Prepare().ok());
+  ASSERT_TRUE(sim_tilt.Prepare().ok());
+  const auto base = sim_base.Run(Policy::kEnergyPlanner);
+  const auto tilt = sim_tilt.Run(Policy::kEnergyPlanner);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(tilt.ok());
+  // Same total budget: energy within a few percent.
+  EXPECT_NEAR(tilt->fe_kwh, base->fe_kwh, base->fe_kwh * 0.05);
+  // Emissions do not increase (the tilt spends in cleaner hours).
+  EXPECT_LE(tilt->co2_kg, base->co2_kg * 1.01);
+}
+
+TEST(CarbonSimTest, RepeatedReportCarriesCarbon) {
+  Simulator simulator(WinterFlat());
+  ASSERT_TRUE(simulator.Prepare().ok());
+  const auto repeated = simulator.RunRepeated(Policy::kEnergyPlanner, 2);
+  ASSERT_TRUE(repeated.ok());
+  EXPECT_EQ(repeated->co2_kg.count(), 2);
+  EXPECT_GT(repeated->co2_kg.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace imcf

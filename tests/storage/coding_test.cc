@@ -1,0 +1,157 @@
+#include "storage/coding.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/rng.h"
+
+namespace imcf {
+namespace {
+
+TEST(FixedCodingTest, Fixed32RoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0xDEADBEEFu);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(GetFixed32(buf.data()), 0xDEADBEEFu);
+  // Little-endian layout.
+  EXPECT_EQ(static_cast<uint8_t>(buf[0]), 0xEF);
+  EXPECT_EQ(static_cast<uint8_t>(buf[3]), 0xDE);
+}
+
+TEST(FixedCodingTest, Fixed64RoundTrip) {
+  std::string buf;
+  PutFixed64(&buf, 0x0123456789ABCDEFull);
+  ASSERT_EQ(buf.size(), 8u);
+  EXPECT_EQ(GetFixed64(buf.data()), 0x0123456789ABCDEFull);
+}
+
+TEST(VarintTest, SmallValuesAreOneByte) {
+  for (uint64_t v : {0ull, 1ull, 127ull}) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    EXPECT_EQ(buf.size(), 1u) << v;
+  }
+}
+
+TEST(VarintTest, BoundaryLengths) {
+  std::string buf;
+  PutVarint64(&buf, 128);
+  EXPECT_EQ(buf.size(), 2u);
+  buf.clear();
+  PutVarint64(&buf, std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(buf.size(), 10u);
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VarintRoundTrip, Unsigned) {
+  std::string buf;
+  PutVarint64(&buf, GetParam());
+  Decoder dec(buf);
+  const auto v = dec.ReadVarint64();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, GetParam());
+  EXPECT_TRUE(dec.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, VarintRoundTrip,
+    ::testing::Values(0ull, 1ull, 127ull, 128ull, 300ull, 16383ull, 16384ull,
+                      0xFFFFFFFFull, 0x123456789ABCDEFull,
+                      std::numeric_limits<uint64_t>::max()));
+
+class SignedVarintRoundTrip : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(SignedVarintRoundTrip, ZigZag) {
+  std::string buf;
+  PutVarintSigned64(&buf, GetParam());
+  Decoder dec(buf);
+  const auto v = dec.ReadVarintSigned64();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SignedVarintRoundTrip,
+    ::testing::Values(0ll, 1ll, -1ll, 63ll, -64ll, 64ll, 1000000ll,
+                      -1000000ll, std::numeric_limits<int64_t>::max(),
+                      std::numeric_limits<int64_t>::min()));
+
+TEST(ZigZagTest, SmallNegativesEncodeCompactly) {
+  std::string buf;
+  PutVarintSigned64(&buf, -1);
+  EXPECT_EQ(buf.size(), 1u);
+  buf.clear();
+  PutVarintSigned64(&buf, -60);  // a small backwards timestamp delta
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(DecoderTest, TruncatedInputsFail) {
+  Decoder d1(std::string_view("\x01\x02", 2));
+  EXPECT_TRUE(d1.ReadFixed32().status().IsCorruption());
+  Decoder d2(std::string_view("\xFF\xFF", 2));  // unterminated varint
+  EXPECT_TRUE(d2.ReadVarint64().status().IsCorruption());
+  Decoder d3(std::string_view("abc", 3));
+  EXPECT_TRUE(d3.ReadBytes(4).status().IsCorruption());
+}
+
+TEST(DecoderTest, SequentialReads) {
+  std::string buf;
+  PutVarint64(&buf, 7);
+  PutFixed32(&buf, 99);
+  PutLengthPrefixed(&buf, "hello");
+  PutDouble(&buf, 3.25);
+  Decoder dec(buf);
+  EXPECT_EQ(dec.ReadVarint64().value(), 7u);
+  EXPECT_EQ(dec.ReadFixed32().value(), 99u);
+  EXPECT_EQ(ReadLengthPrefixed(&dec).value(), "hello");
+  EXPECT_DOUBLE_EQ(ReadDouble(&dec).value(), 3.25);
+  EXPECT_TRUE(dec.empty());
+}
+
+TEST(DoubleCodingTest, SpecialValues) {
+  for (double v : {0.0, -0.0, 1.5, -775.5, 1e308, -1e-308}) {
+    std::string buf;
+    PutDouble(&buf, v);
+    Decoder dec(buf);
+    EXPECT_EQ(ReadDouble(&dec).value(), v);
+  }
+}
+
+TEST(LengthPrefixedTest, EmptyAndBinary) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string_view("\x00\xff\x7f", 3));
+  Decoder dec(buf);
+  EXPECT_EQ(ReadLengthPrefixed(&dec).value(), "");
+  EXPECT_EQ(ReadLengthPrefixed(&dec).value(), std::string_view("\x00\xff\x7f", 3));
+}
+
+TEST(CodingFuzzTest, RandomSequencesRoundTrip) {
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string buf;
+    std::vector<uint64_t> unsigneds;
+    std::vector<int64_t> signeds;
+    for (int i = 0; i < 20; ++i) {
+      const uint64_t u = rng.Next() >> (rng.UniformInt(0, 63));
+      const int64_t s = static_cast<int64_t>(rng.Next()) >>
+                        rng.UniformInt(0, 63);
+      unsigneds.push_back(u);
+      signeds.push_back(s);
+      PutVarint64(&buf, u);
+      PutVarintSigned64(&buf, s);
+    }
+    Decoder dec(buf);
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_EQ(dec.ReadVarint64().value(), unsigneds[static_cast<size_t>(i)]);
+      EXPECT_EQ(dec.ReadVarintSigned64().value(),
+                signeds[static_cast<size_t>(i)]);
+    }
+    EXPECT_TRUE(dec.empty());
+  }
+}
+
+}  // namespace
+}  // namespace imcf

@@ -1,0 +1,134 @@
+#include "storage/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/rng.h"
+
+namespace imcf {
+namespace {
+
+TEST(CsvEncodeTest, PlainFields) {
+  EXPECT_EQ(EncodeCsvRow({"a", "b", "c"}), "a,b,c");
+  EXPECT_EQ(EncodeCsvRow({"one"}), "one");
+  EXPECT_EQ(EncodeCsvRow({}), "");
+}
+
+TEST(CsvEncodeTest, QuotesSpecialCharacters) {
+  EXPECT_EQ(EncodeCsvRow({"a,b"}), "\"a,b\"");
+  EXPECT_EQ(EncodeCsvRow({"say \"hi\""}), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(EncodeCsvRow({"line\nbreak"}), "\"line\nbreak\"");
+}
+
+TEST(CsvParseTest, PlainLine) {
+  const auto row = ParseCsvLine("a,b,c");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(*row, (CsvRow{"a", "b", "c"}));
+}
+
+TEST(CsvParseTest, QuotedFields) {
+  const auto row = ParseCsvLine("\"a,b\",plain,\"with \"\"quotes\"\"\"");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(*row, (CsvRow{"a,b", "plain", "with \"quotes\""}));
+}
+
+TEST(CsvParseTest, EmptyFields) {
+  const auto row = ParseCsvLine(",,");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->size(), 3u);
+}
+
+TEST(CsvParseTest, ToleratesCarriageReturn) {
+  const auto row = ParseCsvLine("a,b\r");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(*row, (CsvRow{"a", "b"}));
+}
+
+TEST(CsvParseTest, RejectsUnterminatedQuote) {
+  EXPECT_TRUE(ParseCsvLine("\"oops").status().IsCorruption());
+}
+
+TEST(CsvParseTest, WholeDocument) {
+  const auto rows = ParseCsv("h1,h2\n1,2\n3,4\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ((*rows)[0], (CsvRow{"h1", "h2"}));
+  EXPECT_EQ((*rows)[2], (CsvRow{"3", "4"}));
+}
+
+TEST(CsvParseTest, DocumentWithoutTrailingNewline) {
+  const auto rows = ParseCsv("a,b\nc,d");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+// Property: encode-then-parse round-trips arbitrary content.
+class CsvRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CsvRoundTrip, RandomRowsRoundTrip) {
+  Rng rng(GetParam());
+  const char kAlphabet[] = "ab,\"\n\r x0";
+  for (int trial = 0; trial < 50; ++trial) {
+    CsvRow row;
+    const int fields = 1 + static_cast<int>(rng.UniformInt(0, 4));
+    for (int f = 0; f < fields; ++f) {
+      std::string field;
+      const int len = static_cast<int>(rng.UniformInt(0, 12));
+      for (int i = 0; i < len; ++i) {
+        field.push_back(
+            kAlphabet[rng.UniformInt(0, sizeof(kAlphabet) - 2)]);
+      }
+      row.push_back(std::move(field));
+    }
+    // Fields with commas, quotes, newlines or '\r' are quoted by the
+    // encoder; the quote-aware document parser must recover the row
+    // exactly, including embedded newlines.
+    const std::string encoded = EncodeCsvRow(row);
+    const auto rows = ParseCsv(encoded + "\n");
+    ASSERT_TRUE(rows.ok()) << encoded;
+    ASSERT_EQ(rows->size(), 1u) << encoded;
+    EXPECT_EQ((*rows)[0], row) << encoded;
+    bool has_newline = false;
+    for (const auto& f : row) {
+      if (f.find('\n') != std::string::npos) has_newline = true;
+    }
+    if (!has_newline) {
+      const auto parsed = ParseCsvLine(encoded);
+      ASSERT_TRUE(parsed.ok()) << encoded;
+      EXPECT_EQ(*parsed, row) << encoded;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(CsvFileTest, WriteAndReadBack) {
+  const std::string path = ::testing::TempDir() + "/imcf_csv_test.csv";
+  const std::vector<CsvRow> rows = {{"time", "value"},
+                                    {"2014-01-01 00:00:00", "21.5"},
+                                    {"with,comma", "x"}};
+  ASSERT_TRUE(WriteCsvFile(path, rows).ok());
+  const auto read = ReadCsvFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileIsIOError) {
+  EXPECT_TRUE(ReadCsvFile("/nonexistent/dir/x.csv").status().IsIOError());
+}
+
+TEST(FileIoTest, StringRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/imcf_blob_test.bin";
+  std::string data = "binary\0data\xff", full(data.data(), 12);
+  ASSERT_TRUE(WriteStringToFile(path, full).ok());
+  const auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, full);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace imcf

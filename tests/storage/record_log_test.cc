@@ -1,0 +1,139 @@
+#include "storage/record_log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "storage/csv.h"
+
+namespace imcf {
+namespace {
+
+class RecordLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/imcf_record_log_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".log";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(RecordLogTest, RoundTripsRecords) {
+  RecordLogWriter writer;
+  ASSERT_TRUE(writer.Open(path_).ok());
+  ASSERT_TRUE(writer.Append("first").ok());
+  ASSERT_TRUE(writer.Append("").ok());  // empty records are valid
+  ASSERT_TRUE(writer.Append(std::string(100000, 'x')).ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  bool truncated = true;
+  const auto records = RecordLogReader::ReadAll(path_, &truncated);
+  ASSERT_TRUE(records.ok());
+  EXPECT_FALSE(truncated);
+  ASSERT_EQ(records->size(), 3u);
+  EXPECT_EQ((*records)[0], "first");
+  EXPECT_EQ((*records)[1], "");
+  EXPECT_EQ((*records)[2].size(), 100000u);
+}
+
+TEST_F(RecordLogTest, AppendAfterReopenExtends) {
+  {
+    RecordLogWriter writer;
+    ASSERT_TRUE(writer.Open(path_).ok());
+    ASSERT_TRUE(writer.Append("a").ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  {
+    RecordLogWriter writer;
+    ASSERT_TRUE(writer.Open(path_).ok());
+    ASSERT_TRUE(writer.Append("b").ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  const auto records = RecordLogReader::ReadAll(path_);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(*records, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST_F(RecordLogTest, TornTailIsDropped) {
+  {
+    RecordLogWriter writer;
+    ASSERT_TRUE(writer.Open(path_).ok());
+    ASSERT_TRUE(writer.Append("intact").ok());
+    ASSERT_TRUE(writer.Append("will be torn").ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  // Truncate the file mid-record (simulated crash).
+  auto data = ReadFileToString(path_);
+  ASSERT_TRUE(data.ok());
+  ASSERT_TRUE(WriteStringToFile(path_, data->substr(0, data->size() - 5)).ok());
+
+  bool truncated = false;
+  const auto records = RecordLogReader::ReadAll(path_, &truncated);
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(truncated);
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0], "intact");
+}
+
+TEST_F(RecordLogTest, CorruptPayloadStopsReading) {
+  {
+    RecordLogWriter writer;
+    ASSERT_TRUE(writer.Open(path_).ok());
+    ASSERT_TRUE(writer.Append("good").ok());
+    ASSERT_TRUE(writer.Append("bad").ok());
+    ASSERT_TRUE(writer.Append("unreachable").ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  auto data = ReadFileToString(path_);
+  ASSERT_TRUE(data.ok());
+  // Flip a byte inside the second record's payload.
+  std::string mutated = *data;
+  const size_t second_payload = 8 + 4 /*"good"*/ + 8;
+  mutated[second_payload] = static_cast<char>(mutated[second_payload] ^ 0xFF);
+  ASSERT_TRUE(WriteStringToFile(path_, mutated).ok());
+
+  bool truncated = false;
+  const auto records = RecordLogReader::ReadAll(path_, &truncated);
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(truncated);
+  EXPECT_EQ(*records, (std::vector<std::string>{"good"}));
+}
+
+TEST_F(RecordLogTest, EmptyFileHasNoRecords) {
+  ASSERT_TRUE(WriteStringToFile(path_, "").ok());
+  const auto records = RecordLogReader::ReadAll(path_);
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+}
+
+TEST_F(RecordLogTest, AppendWithoutOpenFails) {
+  RecordLogWriter writer;
+  EXPECT_TRUE(writer.Append("x").IsFailedPrecondition());
+  EXPECT_TRUE(writer.Flush().IsFailedPrecondition());
+}
+
+TEST_F(RecordLogTest, DoubleOpenFails) {
+  RecordLogWriter writer;
+  ASSERT_TRUE(writer.Open(path_).ok());
+  EXPECT_TRUE(writer.Open(path_).IsFailedPrecondition());
+}
+
+TEST_F(RecordLogTest, BinaryPayloadsSurvive) {
+  RecordLogWriter writer;
+  ASSERT_TRUE(writer.Open(path_).ok());
+  std::string binary;
+  for (int i = 0; i < 256; ++i) binary.push_back(static_cast<char>(i));
+  ASSERT_TRUE(writer.Append(binary).ok());
+  ASSERT_TRUE(writer.Close().ok());
+  const auto records = RecordLogReader::ReadAll(path_);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0], binary);
+}
+
+}  // namespace
+}  // namespace imcf

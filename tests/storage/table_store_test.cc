@@ -1,0 +1,169 @@
+#include "storage/table_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace imcf {
+namespace {
+
+TableSchema RuleSchema() {
+  return TableSchema{"rules",
+                     {{"description", ColumnType::kString},
+                      {"value", ColumnType::kDouble},
+                      {"unit", ColumnType::kInt}}};
+}
+
+class TableStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/imcf_store_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(TableStoreTest, CreatesDirectoryAndTable) {
+  auto store = TableStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  auto table = (*store)->CreateTable(RuleSchema());
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->size(), 0u);
+  EXPECT_EQ((*store)->TableNames(), std::vector<std::string>{"rules"});
+}
+
+TEST_F(TableStoreTest, InsertAndScan) {
+  auto store = TableStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  Table* table = (*store)->CreateTable(RuleSchema()).value();
+  ASSERT_TRUE(table->Insert({std::string("Night Heat"), 25.0, int64_t{0}}).ok());
+  ASSERT_TRUE(table->Insert({std::string("Day Heat"), 22.0, int64_t{0}}).ok());
+  EXPECT_EQ(table->size(), 2u);
+  EXPECT_EQ(std::get<std::string>(table->rows()[0][0]), "Night Heat");
+  EXPECT_DOUBLE_EQ(std::get<double>(table->rows()[1][1]), 22.0);
+}
+
+TEST_F(TableStoreTest, SchemaValidationRejectsBadRows) {
+  auto store = TableStore::Open(dir_);
+  Table* table = (*store)->CreateTable(RuleSchema()).value();
+  // Wrong arity.
+  EXPECT_TRUE(table->Insert({std::string("x")}).IsInvalidArgument());
+  // Wrong type in column 1 (int where double expected).
+  EXPECT_TRUE(table->Insert({std::string("x"), int64_t{22}, int64_t{0}})
+                  .IsInvalidArgument());
+  EXPECT_EQ(table->size(), 0u);
+}
+
+TEST_F(TableStoreTest, PersistsAcrossReopen) {
+  {
+    auto store = TableStore::Open(dir_);
+    Table* table = (*store)->CreateTable(RuleSchema()).value();
+    ASSERT_TRUE(
+        table->Insert({std::string("Midday Lights"), 30.0, int64_t{2}}).ok());
+    ASSERT_TRUE(table->Flush().ok());
+  }
+  {
+    auto store = TableStore::Open(dir_);
+    Table* table = (*store)->OpenOrCreateTable(RuleSchema()).value();
+    ASSERT_EQ(table->size(), 1u);
+    EXPECT_EQ(std::get<std::string>(table->rows()[0][0]), "Midday Lights");
+    EXPECT_EQ(std::get<int64_t>(table->rows()[0][2]), 2);
+  }
+}
+
+TEST_F(TableStoreTest, DuplicateCreateFails) {
+  auto store = TableStore::Open(dir_);
+  ASSERT_TRUE((*store)->CreateTable(RuleSchema()).ok());
+  EXPECT_TRUE(
+      (*store)->CreateTable(RuleSchema()).status().IsAlreadyExists());
+  // OpenOrCreate returns the existing instance.
+  EXPECT_TRUE((*store)->OpenOrCreateTable(RuleSchema()).ok());
+}
+
+TEST_F(TableStoreTest, GetTableByName) {
+  auto store = TableStore::Open(dir_);
+  (void)(*store)->CreateTable(RuleSchema());
+  EXPECT_TRUE((*store)->GetTable("rules").ok());
+  EXPECT_TRUE((*store)->GetTable("nope").status().IsNotFound());
+}
+
+TEST_F(TableStoreTest, SelectWithPredicate) {
+  auto store = TableStore::Open(dir_);
+  Table* table = (*store)->CreateTable(RuleSchema()).value();
+  for (int u = 0; u < 5; ++u) {
+    ASSERT_TRUE(table
+                    ->Insert({std::string("rule"), 20.0 + u,
+                              static_cast<int64_t>(u)})
+                    .ok());
+  }
+  const auto hot = table->Select([](const Row& row) {
+    return std::get<double>(row[1]) >= 22.0;
+  });
+  EXPECT_EQ(hot.size(), 3u);
+}
+
+TEST_F(TableStoreTest, TruncateClearsRowsDurably) {
+  {
+    auto store = TableStore::Open(dir_);
+    Table* table = (*store)->CreateTable(RuleSchema()).value();
+    ASSERT_TRUE(table->Insert({std::string("x"), 1.0, int64_t{0}}).ok());
+    ASSERT_TRUE(table->Truncate().ok());
+    EXPECT_EQ(table->size(), 0u);
+    ASSERT_TRUE(table->Insert({std::string("y"), 2.0, int64_t{0}}).ok());
+    ASSERT_TRUE(table->Flush().ok());
+  }
+  auto store = TableStore::Open(dir_);
+  Table* table = (*store)->OpenOrCreateTable(RuleSchema()).value();
+  ASSERT_EQ(table->size(), 1u);
+  EXPECT_EQ(std::get<std::string>(table->rows()[0][0]), "y");
+}
+
+TEST_F(TableStoreTest, SchemaColumnIndex) {
+  const TableSchema schema = RuleSchema();
+  EXPECT_EQ(schema.ColumnIndex("description"), 0);
+  EXPECT_EQ(schema.ColumnIndex("unit"), 2);
+  EXPECT_EQ(schema.ColumnIndex("missing"), -1);
+}
+
+TEST(RowCodecTest, RoundTripsAllTypes) {
+  const TableSchema schema{"t",
+                           {{"i", ColumnType::kInt},
+                            {"d", ColumnType::kDouble},
+                            {"s", ColumnType::kString}}};
+  const Row row{int64_t{-42}, 3.14159, std::string("hello \x01 world")};
+  const auto decoded = DecodeRow(schema, EncodeRow(schema, row));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, row);
+}
+
+TEST(RowCodecTest, RejectsTrailingBytes) {
+  const TableSchema schema{"t", {{"i", ColumnType::kInt}}};
+  std::string encoded = EncodeRow(schema, {int64_t{1}});
+  encoded += "junk";
+  EXPECT_TRUE(DecodeRow(schema, encoded).status().IsCorruption());
+}
+
+TEST(SchemaCodecTest, RoundTrips) {
+  const TableSchema schema = RuleSchema();
+  const auto decoded = DecodeSchema(EncodeSchema(schema));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->name, "rules");
+  ASSERT_EQ(decoded->columns.size(), 3u);
+  EXPECT_EQ(decoded->columns[1].name, "value");
+  EXPECT_EQ(decoded->columns[1].type, ColumnType::kDouble);
+}
+
+TEST(ValueTest, TypeOfAndToString) {
+  EXPECT_EQ(TypeOf(Value{int64_t{3}}), ColumnType::kInt);
+  EXPECT_EQ(TypeOf(Value{2.5}), ColumnType::kDouble);
+  EXPECT_EQ(TypeOf(Value{std::string("x")}), ColumnType::kString);
+  EXPECT_EQ(ValueToString(Value{int64_t{-3}}), "-3");
+  EXPECT_EQ(ValueToString(Value{std::string("abc")}), "abc");
+}
+
+}  // namespace
+}  // namespace imcf

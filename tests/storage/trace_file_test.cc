@@ -1,0 +1,165 @@
+#include "storage/trace_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "storage/csv.h"
+
+namespace imcf {
+namespace {
+
+class TraceFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/imcf_trace_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".trc";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+SensorRecord MakeRecord(SimTime t, uint32_t id, uint8_t kind, float value) {
+  return SensorRecord{t, id, kind, value};
+}
+
+TEST_F(TraceFileTest, EmptyFileRoundTrips) {
+  TraceFileWriter writer;
+  ASSERT_TRUE(writer.Open(path_).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  const auto records = TraceFileReader::ReadAll(path_);
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+}
+
+TEST_F(TraceFileTest, SmallBatchRoundTrips) {
+  TraceFileWriter writer;
+  ASSERT_TRUE(writer.Open(path_).ok());
+  std::vector<SensorRecord> input = {
+      MakeRecord(1000, 0, 0, 21.5f),
+      MakeRecord(1000, 1, 1, 35.0f),  // same timestamp is allowed
+      MakeRecord(1060, 0, 0, 21.6f),
+      MakeRecord(1060, 2, 2, 1.0f),
+  };
+  for (const auto& r : input) ASSERT_TRUE(writer.Append(r).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  EXPECT_EQ(writer.records_written(), 4);
+
+  const auto records = TraceFileReader::ReadAll(path_);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(*records, input);
+}
+
+TEST_F(TraceFileTest, MultiBlockRoundTrip) {
+  // More than one 4096-record block.
+  TraceFileWriter writer;
+  ASSERT_TRUE(writer.Open(path_).ok());
+  Rng rng(5);
+  std::vector<SensorRecord> input;
+  SimTime t = 1400000000;
+  for (int i = 0; i < 10000; ++i) {
+    t += rng.UniformInt(0, 3);
+    input.push_back(MakeRecord(t, static_cast<uint32_t>(i % 8),
+                               static_cast<uint8_t>(i % 3),
+                               static_cast<float>(i) * 0.5f));
+  }
+  for (const auto& r : input) ASSERT_TRUE(writer.Append(r).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+
+  auto reader = TraceFileReader::Open(path_);
+  ASSERT_TRUE(reader.ok());
+  SensorRecord record;
+  size_t count = 0;
+  while ((*reader)->Next(&record)) {
+    ASSERT_LT(count, input.size());
+    EXPECT_EQ(record, input[count]) << "record " << count;
+    ++count;
+  }
+  ASSERT_TRUE((*reader)->status().ok());
+  EXPECT_EQ(count, input.size());
+  EXPECT_EQ((*reader)->footer_count(), static_cast<int64_t>(input.size()));
+}
+
+TEST_F(TraceFileTest, RejectsOutOfOrderAppends) {
+  TraceFileWriter writer;
+  ASSERT_TRUE(writer.Open(path_).ok());
+  ASSERT_TRUE(writer.Append(MakeRecord(100, 0, 0, 1.0f)).ok());
+  EXPECT_TRUE(writer.Append(MakeRecord(99, 0, 0, 1.0f)).IsInvalidArgument());
+}
+
+TEST_F(TraceFileTest, DetectsBadMagic) {
+  ASSERT_TRUE(WriteStringToFile(path_, "NOTATRACEFILE").ok());
+  EXPECT_TRUE(TraceFileReader::Open(path_).status().IsCorruption());
+}
+
+TEST_F(TraceFileTest, DetectsCorruptBlock) {
+  {
+    TraceFileWriter writer;
+    ASSERT_TRUE(writer.Open(path_).ok());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(writer.Append(MakeRecord(1000 + i, 0, 0, 1.0f)).ok());
+    }
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  auto data = ReadFileToString(path_);
+  ASSERT_TRUE(data.ok());
+  std::string mutated = *data;
+  mutated[20] = static_cast<char>(mutated[20] ^ 0x40);  // inside block payload
+  ASSERT_TRUE(WriteStringToFile(path_, mutated).ok());
+
+  auto reader = TraceFileReader::Open(path_);
+  ASSERT_TRUE(reader.ok());
+  SensorRecord record;
+  while ((*reader)->Next(&record)) {
+  }
+  EXPECT_TRUE((*reader)->status().IsCorruption());
+}
+
+TEST_F(TraceFileTest, MissingFooterDetectedByReadAll) {
+  {
+    TraceFileWriter writer;
+    ASSERT_TRUE(writer.Open(path_).ok());
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(writer.Append(MakeRecord(1000 + i, 0, 0, 1.0f)).ok());
+    }
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  // Chop the footer off: reading then ends with a corruption error.
+  auto data = ReadFileToString(path_);
+  ASSERT_TRUE(WriteStringToFile(path_, data->substr(0, data->size() - 9))
+                  .ok());
+  EXPECT_FALSE(TraceFileReader::ReadAll(path_).ok());
+}
+
+TEST_F(TraceFileTest, CompressionIsEffective) {
+  // Minute-cadence readings should cost only a few bytes per record, far
+  // below the 17-byte naive encoding.
+  TraceFileWriter writer;
+  ASSERT_TRUE(writer.Open(path_).ok());
+  for (int i = 0; i < 20000; ++i) {
+    ASSERT_TRUE(
+        writer.Append(MakeRecord(1400000000 + i * 60, 3, 0, 21.0f)).ok());
+  }
+  ASSERT_TRUE(writer.Finish().ok());
+  const auto data = ReadFileToString(path_);
+  ASSERT_TRUE(data.ok());
+  const double bytes_per_record = static_cast<double>(data->size()) / 20000.0;
+  EXPECT_LT(bytes_per_record, 9.0);
+}
+
+TEST_F(TraceFileTest, FinishIsIdempotent) {
+  TraceFileWriter writer;
+  ASSERT_TRUE(writer.Open(path_).ok());
+  ASSERT_TRUE(writer.Append(MakeRecord(5, 0, 0, 1.0f)).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  EXPECT_TRUE(writer.Finish().ok());
+  EXPECT_TRUE(writer.Append(MakeRecord(6, 0, 0, 1.0f))
+                  .IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace imcf

@@ -1,0 +1,138 @@
+#include "trace/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "trace/generator.h"
+
+namespace imcf {
+namespace trace {
+namespace {
+
+TEST(AggregatorTest, MeansPerHour) {
+  const SimTime start = FromCivil(2014, 6, 1);
+  HourlyAggregator agg(start, 2, 1);
+  // Hour 0: temps 20 and 22 -> mean 21; hour 1: light 40.
+  agg.Add({start + 100, MakeSensorId(0, SensorKind::kTemperature),
+           SensorKind::kTemperature, 20.0f});
+  agg.Add({start + 200, MakeSensorId(0, SensorKind::kTemperature),
+           SensorKind::kTemperature, 22.0f});
+  agg.Add({start + kSecondsPerHour + 5,
+           MakeSensorId(0, SensorKind::kLight), SensorKind::kLight, 40.0f});
+  const HourlyAmbient out = agg.Finish();
+  EXPECT_FLOAT_EQ(out.temp(0, 0), 21.0f);
+  EXPECT_FLOAT_EQ(out.light(0, 1), 40.0f);
+  EXPECT_EQ(agg.accepted(), 3);
+}
+
+TEST(AggregatorTest, GapsInheritPreviousHour) {
+  const SimTime start = FromCivil(2014, 6, 1);
+  HourlyAggregator agg(start, 4, 1);
+  agg.Add({start + 10, MakeSensorId(0, SensorKind::kTemperature),
+           SensorKind::kTemperature, 18.0f});
+  // Hours 1..3 have no readings.
+  const HourlyAmbient out = agg.Finish();
+  for (int h = 0; h < 4; ++h) {
+    EXPECT_FLOAT_EQ(out.temp(0, h), 18.0f) << "hour " << h;
+  }
+}
+
+TEST(AggregatorTest, LeadingGapsSeededFromFirstObservation) {
+  const SimTime start = FromCivil(2014, 6, 1);
+  HourlyAggregator agg(start, 3, 1);
+  agg.Add({start + 2 * kSecondsPerHour + 10,
+           MakeSensorId(0, SensorKind::kTemperature),
+           SensorKind::kTemperature, 25.0f});
+  const HourlyAmbient out = agg.Finish();
+  EXPECT_FLOAT_EQ(out.temp(0, 0), 25.0f);
+  EXPECT_FLOAT_EQ(out.temp(0, 1), 25.0f);
+  EXPECT_FLOAT_EQ(out.temp(0, 2), 25.0f);
+}
+
+TEST(AggregatorTest, StragglersAreSkippedNotFatal) {
+  const SimTime start = FromCivil(2014, 6, 1);
+  HourlyAggregator agg(start, 1, 1);
+  agg.Add({start - 100, MakeSensorId(0, SensorKind::kTemperature),
+           SensorKind::kTemperature, 20.0f});  // before window
+  agg.Add({start + kSecondsPerHour + 100,
+           MakeSensorId(0, SensorKind::kTemperature),
+           SensorKind::kTemperature, 20.0f});  // after window
+  agg.Add({start + 100, MakeSensorId(9, SensorKind::kTemperature),
+           SensorKind::kTemperature, 20.0f});  // unknown unit
+  EXPECT_EQ(agg.accepted(), 0);
+  EXPECT_EQ(agg.skipped(), 3);
+}
+
+TEST(AggregatorTest, DoorEventsDoNotPollute) {
+  const SimTime start = FromCivil(2014, 6, 1);
+  HourlyAggregator agg(start, 1, 1);
+  agg.Add({start + 100, MakeSensorId(0, SensorKind::kDoor), SensorKind::kDoor,
+           1.0f});
+  EXPECT_EQ(agg.accepted(), 0);
+  const HourlyAmbient out = agg.Finish();
+  EXPECT_FLOAT_EQ(out.temp(0, 0), 0.0f);
+}
+
+// Property: aggregating a generated minute stream reproduces the underlying
+// ambient model at hourly resolution.
+TEST(AggregatorTest, AgreementWithDirectModelSampling) {
+  GeneratorOptions options;
+  options.start = FromCivil(2014, 2, 10);
+  options.end = FromCivil(2014, 2, 12);
+  options.step_seconds = 60;
+  options.units = 2;
+  options.seed = 31;
+  CasasTraceGenerator gen(options);
+
+  const int hours = 48;
+  HourlyAggregator agg(options.start, hours, options.units);
+  const auto count = gen.Generate([&agg](const Reading& r) {
+    agg.Add(r);
+    return Status::Ok();
+  });
+  ASSERT_TRUE(count.ok());
+  const HourlyAmbient aggregated = agg.Finish();
+
+  for (int u = 0; u < options.units; ++u) {
+    const AmbientModel model = gen.ModelForUnit(u);
+    for (int h = 0; h < hours; ++h) {
+      const SimTime midpoint =
+          aggregated.TimeOfHour(h) + kSecondsPerHour / 2;
+      // Hourly mean vs midpoint sample: close up to intra-hour variation.
+      EXPECT_NEAR(aggregated.temp(u, h), model.IndoorTempC(midpoint), 1.5)
+          << "unit " << u << " hour " << h;
+      EXPECT_NEAR(aggregated.light(u, h), model.IndoorLightPct(midpoint),
+                  12.0)
+          << "unit " << u << " hour " << h;
+    }
+  }
+}
+
+TEST(AggregateTraceFileTest, EndToEnd) {
+  const std::string path = ::testing::TempDir() + "/imcf_agg_trace.trc";
+  std::remove(path.c_str());
+  GeneratorOptions options;
+  options.start = FromCivil(2014, 5, 1);
+  options.end = FromCivil(2014, 5, 2);
+  options.step_seconds = 120;
+  options.units = 1;
+  options.seed = 3;
+  CasasTraceGenerator gen(options);
+  ASSERT_TRUE(gen.WriteTraceFile(path).ok());
+
+  const auto ambient = AggregateTraceFile(path, options.start, 24, 1);
+  ASSERT_TRUE(ambient.ok());
+  // Midday should be brighter and warmer than pre-dawn.
+  EXPECT_GT(ambient->light(0, 13), ambient->light(0, 3));
+  std::remove(path.c_str());
+}
+
+TEST(AggregateTraceFileTest, MissingFileFails) {
+  EXPECT_FALSE(AggregateTraceFile("/nonexistent.trc", 0, 1, 1).ok());
+}
+
+}  // namespace
+}  // namespace trace
+}  // namespace imcf

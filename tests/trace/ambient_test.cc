@@ -1,0 +1,147 @@
+#include "trace/ambient.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace imcf {
+namespace trace {
+namespace {
+
+class AmbientTest : public ::testing::Test {
+ protected:
+  AmbientTest() : weather_(weather::ClimateOptions{}) {}
+
+  weather::SyntheticWeather weather_;
+};
+
+TEST_F(AmbientTest, DeterministicForSameSeed) {
+  AmbientModel a(&weather_, {}, 42);
+  AmbientModel b(&weather_, {}, 42);
+  const SimTime t = FromCivil(2015, 3, 5, 9);
+  EXPECT_DOUBLE_EQ(a.IndoorTempC(t), b.IndoorTempC(t));
+  EXPECT_DOUBLE_EQ(a.IndoorLightPct(t), b.IndoorLightPct(t));
+  EXPECT_EQ(a.DoorOpen(t), b.DoorOpen(t));
+}
+
+TEST_F(AmbientTest, UnitSeedsDecorrelateNoise) {
+  AmbientModel a(&weather_, {}, 1);
+  AmbientModel b(&weather_, {}, 2);
+  int differing = 0;
+  for (int h = 0; h < 48; ++h) {
+    const SimTime t = FromCivil(2015, 3, 5) + h * kSecondsPerHour;
+    if (std::fabs(a.IndoorTempC(t) - b.IndoorTempC(t)) > 1e-6) ++differing;
+  }
+  EXPECT_GT(differing, 40);
+}
+
+TEST_F(AmbientTest, IndoorTracksSeasons) {
+  AmbientModel model(&weather_, {}, 7);
+  double january = 0.0, july = 0.0;
+  for (int day = 1; day <= 28; ++day) {
+    january += model.IndoorTempC(FromCivil(2015, 1, day, 12));
+    july += model.IndoorTempC(FromCivil(2015, 7, day, 12));
+  }
+  EXPECT_GT(july / 28 - january / 28, 4.0);
+}
+
+TEST_F(AmbientTest, IndoorDampsOutdoorSwings) {
+  AmbientModelOptions options;
+  options.temp_noise_c = 0.0;
+  options.monthly_bias_c = {};
+  AmbientModel model(&weather_, options, 7);
+  // Collect indoor and outdoor diurnal swings on one day.
+  double in_min = 1e9, in_max = -1e9, out_min = 1e9, out_max = -1e9;
+  for (int h = 0; h < 24; ++h) {
+    const SimTime t = FromCivil(2015, 4, 10, h);
+    const double indoor = model.IndoorTempC(t);
+    const double outdoor = weather_.At(t).outdoor_temp_c;
+    in_min = std::min(in_min, indoor);
+    in_max = std::max(in_max, indoor);
+    out_min = std::min(out_min, outdoor);
+    out_max = std::max(out_max, outdoor);
+  }
+  EXPECT_LT(in_max - in_min, (out_max - out_min) * 0.6);
+}
+
+TEST_F(AmbientTest, MonthlyBiasShiftsIndoorTemperature) {
+  AmbientModelOptions biased;
+  biased.monthly_bias_c = {};
+  biased.monthly_bias_c[3] = 5.0;  // April
+  AmbientModelOptions neutral;
+  neutral.monthly_bias_c = {};
+  AmbientModel with_bias(&weather_, biased, 7);
+  AmbientModel without(&weather_, neutral, 7);
+  const SimTime april = FromCivil(2015, 4, 15, 12);
+  EXPECT_NEAR(with_bias.IndoorTempC(april) - without.IndoorTempC(april), 5.0,
+              1e-9);
+  const SimTime may = FromCivil(2015, 5, 15, 12);
+  EXPECT_NEAR(with_bias.IndoorTempC(may) - without.IndoorTempC(may), 0.0,
+              1e-9);
+}
+
+TEST_F(AmbientTest, LightBoundedAndDarkAtNight) {
+  AmbientModel model(&weather_, {}, 7);
+  for (int day = 1; day <= 28; ++day) {
+    const double night = model.IndoorLightPct(FromCivil(2015, 6, day, 2));
+    const double noon = model.IndoorLightPct(FromCivil(2015, 6, day, 13));
+    EXPECT_GE(night, 0.0);
+    EXPECT_LE(night, 12.0);  // noise only
+    EXPECT_GT(noon, 15.0);
+    EXPECT_LE(noon, 100.0);
+  }
+}
+
+TEST_F(AmbientTest, WindowFactorScalesDaylight) {
+  AmbientModelOptions small_windows;
+  small_windows.window_factor = 0.2;
+  small_windows.light_noise = 0.0;
+  AmbientModelOptions big_windows;
+  big_windows.window_factor = 0.8;
+  big_windows.light_noise = 0.0;
+  AmbientModel dim(&weather_, small_windows, 7);
+  AmbientModel bright(&weather_, big_windows, 7);
+  const SimTime noon = FromCivil(2015, 6, 15, 13);
+  EXPECT_NEAR(bright.IndoorLightPct(noon) / dim.IndoorLightPct(noon), 4.0,
+              0.1);
+}
+
+TEST_F(AmbientTest, TemperatureNoiseContinuousAcrossHours) {
+  AmbientModel model(&weather_, {}, 7);
+  for (int h = 0; h < 23; ++h) {
+    const SimTime before = FromCivil(2015, 2, 10, h, 59, 50);
+    const SimTime after = FromCivil(2015, 2, 10, h + 1, 0, 10);
+    EXPECT_LT(std::fabs(model.IndoorTempC(after) - model.IndoorTempC(before)),
+              0.5)
+        << "hour " << h;
+  }
+}
+
+TEST_F(AmbientTest, DoorEventsAreSparseAndShort) {
+  AmbientModel model(&weather_, {}, 7);
+  int open_minutes = 0;
+  int total_minutes = 0;
+  for (int day = 1; day <= 14; ++day) {
+    for (int minute = 0; minute < kMinutesPerDay; minute += 1) {
+      const SimTime t = FromCivil(2015, 5, day) + minute * 60;
+      if (model.DoorOpen(t)) ++open_minutes;
+      ++total_minutes;
+    }
+  }
+  // ~15% of waking hours see one 2-minute opening: well under 1% of time.
+  EXPECT_GT(open_minutes, 0);
+  EXPECT_LT(static_cast<double>(open_minutes) / total_minutes, 0.01);
+}
+
+TEST_F(AmbientTest, DoorClosedAtNight) {
+  AmbientModel model(&weather_, {}, 7);
+  for (int day = 1; day <= 28; ++day) {
+    for (int h : {0, 1, 2, 3, 4, 5, 23}) {
+      EXPECT_FALSE(model.DoorOpen(FromCivil(2015, 5, day, h, 30)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace trace
+}  // namespace imcf

@@ -1,0 +1,122 @@
+#include "trace/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace imcf {
+namespace trace {
+namespace {
+
+TEST(DatasetSpecTest, PaperBudgets) {
+  // Table II "Set kWh Limit" rows.
+  EXPECT_DOUBLE_EQ(FlatSpec().budget_kwh, 11000.0);
+  EXPECT_DOUBLE_EQ(HouseSpec().budget_kwh, 25500.0);
+  EXPECT_DOUBLE_EQ(DormsSpec().budget_kwh, 480000.0);
+}
+
+TEST(DatasetSpecTest, PaperScales) {
+  EXPECT_EQ(FlatSpec().units, 1);
+  EXPECT_EQ(HouseSpec().units, 4);       // flat x4
+  EXPECT_EQ(DormsSpec().units, 100);     // 50 apartments x 2 split units
+  EXPECT_DOUBLE_EQ(FlatSpec().area_m2, 50.0);
+  EXPECT_DOUBLE_EQ(HouseSpec().area_m2, 200.0);
+  EXPECT_DOUBLE_EQ(DormsSpec().area_m2, 2000.0);
+}
+
+TEST(DatasetSpecTest, VariationGrowsWithScale) {
+  EXPECT_DOUBLE_EQ(FlatSpec().mrt_variation, 0.0);
+  EXPECT_GT(HouseSpec().mrt_variation, 0.0);
+  EXPECT_GT(DormsSpec().mrt_variation, HouseSpec().mrt_variation);
+}
+
+TEST(DatasetSpecTest, SmallerZonesDrawLessPower) {
+  EXPECT_GT(FlatSpec().hvac.kw_per_degree, HouseSpec().hvac.kw_per_degree);
+  EXPECT_GT(HouseSpec().hvac.kw_per_degree, DormsSpec().hvac.kw_per_degree);
+  EXPECT_GT(FlatSpec().light.max_power_kw, DormsSpec().light.max_power_kw);
+}
+
+TEST(DatasetSpecTest, AllSpecsOrderMatchesPaper) {
+  const auto specs = AllSpecs();
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].name, "flat");
+  EXPECT_EQ(specs[1].name, "house");
+  EXPECT_EQ(specs[2].name, "dorms");
+}
+
+TEST(EvaluationPeriodTest, ThreeFullYears) {
+  EXPECT_EQ(EvaluationStart(), FromCivil(2014, 1, 1));
+  // 2014 + 2015 + 2016 (leap): 365 + 365 + 366 days.
+  EXPECT_EQ(EvaluationHours(), (365 + 365 + 366) * 24);
+}
+
+TEST(HourlyAmbientTest, IndexingAndTimes) {
+  HourlyAmbient amb(FromCivil(2014, 1, 1), 48, 3);
+  EXPECT_EQ(amb.hours(), 48);
+  EXPECT_EQ(amb.units(), 3);
+  EXPECT_EQ(amb.TimeOfHour(0), FromCivil(2014, 1, 1));
+  EXPECT_EQ(amb.TimeOfHour(25), FromCivil(2014, 1, 2, 1));
+  amb.set_temp(2, 47, 21.5f);
+  amb.set_light(2, 47, 55.0f);
+  EXPECT_FLOAT_EQ(amb.temp(2, 47), 21.5f);
+  EXPECT_FLOAT_EQ(amb.light(2, 47), 55.0f);
+  // Other cells untouched.
+  EXPECT_FLOAT_EQ(amb.temp(0, 0), 0.0f);
+}
+
+TEST(BuildHourlyAmbientTest, CoversAllUnits) {
+  DatasetSpec spec = HouseSpec();
+  const HourlyAmbient amb = BuildHourlyAmbient(spec, FromCivil(2014, 7, 1),
+                                               24);
+  for (int u = 0; u < spec.units; ++u) {
+    // July midday warmer than pre-dawn, brighter too.
+    EXPECT_GT(amb.temp(u, 14), amb.temp(u, 4));
+    EXPECT_GT(amb.light(u, 13), amb.light(u, 2) + 5.0f);
+  }
+}
+
+TEST(BuildHourlyAmbientTest, UnitsAreDistinctButCorrelated) {
+  DatasetSpec spec = HouseSpec();
+  const HourlyAmbient amb = BuildHourlyAmbient(spec, FromCivil(2014, 7, 1),
+                                               24);
+  int different = 0;
+  for (int h = 0; h < 24; ++h) {
+    if (amb.temp(0, h) != amb.temp(1, h)) ++different;
+    // All units share the same weather: within a few degrees.
+    EXPECT_NEAR(amb.temp(0, h), amb.temp(1, h), 4.0);
+  }
+  EXPECT_GT(different, 20);
+}
+
+TEST(BuildHourlyAmbientTest, DeterministicPerSpec) {
+  const HourlyAmbient a =
+      BuildHourlyAmbient(FlatSpec(), FromCivil(2014, 2, 1), 24);
+  const HourlyAmbient b =
+      BuildHourlyAmbient(FlatSpec(), FromCivil(2014, 2, 1), 24);
+  for (int h = 0; h < 24; ++h) {
+    EXPECT_FLOAT_EQ(a.temp(0, h), b.temp(0, h));
+    EXPECT_FLOAT_EQ(a.light(0, h), b.light(0, h));
+  }
+}
+
+TEST(BuildHourlyAmbientTest, CalibratedSeasonalShape) {
+  // The flat's January must be much colder indoors than its April — this
+  // is the ECP-shape calibration the evaluation depends on (DESIGN.md §1).
+  DatasetSpec spec = FlatSpec();
+  const HourlyAmbient jan =
+      BuildHourlyAmbient(spec, FromCivil(2014, 1, 10), 24 * 7);
+  const HourlyAmbient apr =
+      BuildHourlyAmbient(spec, FromCivil(2014, 4, 10), 24 * 7);
+  double jan_mean = 0.0, apr_mean = 0.0;
+  for (int h = 0; h < 24 * 7; ++h) {
+    jan_mean += jan.temp(0, h);
+    apr_mean += apr.temp(0, h);
+  }
+  jan_mean /= 24 * 7;
+  apr_mean /= 24 * 7;
+  EXPECT_LT(jan_mean, 17.0);
+  EXPECT_GT(apr_mean, 21.0);
+  EXPECT_LT(apr_mean, 26.0);
+}
+
+}  // namespace
+}  // namespace trace
+}  // namespace imcf

@@ -1,0 +1,220 @@
+#include "trace/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+
+namespace imcf {
+namespace trace {
+namespace {
+
+GeneratorOptions SmallOptions() {
+  GeneratorOptions options;
+  options.start = FromCivil(2014, 3, 1);
+  options.end = FromCivil(2014, 3, 2);  // one day
+  options.step_seconds = 60;
+  options.units = 2;
+  options.seed = 9;
+  return options;
+}
+
+TEST(GeneratorTest, EmitsExpectedVolume) {
+  CasasTraceGenerator gen(SmallOptions());
+  const auto readings = gen.GenerateAll();
+  ASSERT_TRUE(readings.ok());
+  // 1440 steps * 2 units * 2 periodic sensors, plus sparse door events.
+  const int64_t periodic = 1440 * 2 * 2;
+  EXPECT_GE(static_cast<int64_t>(readings->size()), periodic);
+  EXPECT_LT(static_cast<int64_t>(readings->size()), periodic + 200);
+}
+
+TEST(GeneratorTest, TimeOrdered) {
+  CasasTraceGenerator gen(SmallOptions());
+  const auto readings = gen.GenerateAll();
+  ASSERT_TRUE(readings.ok());
+  for (size_t i = 1; i < readings->size(); ++i) {
+    EXPECT_LE((*readings)[i - 1].time, (*readings)[i].time);
+  }
+}
+
+TEST(GeneratorTest, DeterministicAcrossRuns) {
+  CasasTraceGenerator a(SmallOptions()), b(SmallOptions());
+  const auto ra = a.GenerateAll();
+  const auto rb = b.GenerateAll();
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(*ra, *rb);
+}
+
+TEST(GeneratorTest, CoversAllUnitsAndKinds) {
+  CasasTraceGenerator gen(SmallOptions());
+  const auto readings = gen.GenerateAll();
+  ASSERT_TRUE(readings.ok());
+  std::map<uint32_t, int> per_sensor;
+  for (const Reading& r : *readings) ++per_sensor[r.sensor_id];
+  for (int u = 0; u < 2; ++u) {
+    EXPECT_EQ(per_sensor[MakeSensorId(u, SensorKind::kTemperature)], 1440);
+    EXPECT_EQ(per_sensor[MakeSensorId(u, SensorKind::kLight)], 1440);
+  }
+}
+
+TEST(GeneratorTest, DoorReadingsAreEdgeTriggered) {
+  GeneratorOptions options = SmallOptions();
+  options.end = FromCivil(2014, 3, 8);  // a week for more door events
+  CasasTraceGenerator gen(options);
+  const auto readings = gen.GenerateAll();
+  ASSERT_TRUE(readings.ok());
+  std::map<uint32_t, float> last_state;
+  int door_events = 0;
+  for (const Reading& r : *readings) {
+    if (r.kind != SensorKind::kDoor) continue;
+    ++door_events;
+    EXPECT_TRUE(r.value == 0.0f || r.value == 1.0f);
+    auto it = last_state.find(r.sensor_id);
+    if (it != last_state.end()) {
+      EXPECT_NE(it->second, r.value) << "door state did not toggle";
+    } else {
+      EXPECT_EQ(r.value, 1.0f) << "first door event must be an opening";
+    }
+    last_state[r.sensor_id] = r.value;
+  }
+  EXPECT_GT(door_events, 0);
+}
+
+TEST(GeneratorTest, ValuesInPhysicalRange) {
+  CasasTraceGenerator gen(SmallOptions());
+  const auto readings = gen.GenerateAll();
+  ASSERT_TRUE(readings.ok());
+  for (const Reading& r : *readings) {
+    if (r.kind == SensorKind::kTemperature) {
+      EXPECT_GT(r.value, -10.0f);
+      EXPECT_LT(r.value, 45.0f);
+    } else if (r.kind == SensorKind::kLight) {
+      EXPECT_GE(r.value, 0.0f);
+      EXPECT_LE(r.value, 100.0f);
+    }
+  }
+}
+
+TEST(GeneratorTest, RejectsEmptySpan) {
+  GeneratorOptions options = SmallOptions();
+  options.end = options.start;
+  CasasTraceGenerator gen(options);
+  EXPECT_TRUE(gen.GenerateAll().status().IsInvalidArgument());
+}
+
+TEST(GeneratorTest, RejectsBadStep) {
+  GeneratorOptions options = SmallOptions();
+  options.step_seconds = 0;
+  CasasTraceGenerator gen(options);
+  EXPECT_TRUE(gen.GenerateAll().status().IsInvalidArgument());
+}
+
+TEST(GeneratorTest, SinkErrorStopsGeneration) {
+  CasasTraceGenerator gen(SmallOptions());
+  int count = 0;
+  const auto result = gen.Generate([&count](const Reading&) {
+    if (++count >= 10) return Status::IOError("disk full");
+    return Status::Ok();
+  });
+  EXPECT_TRUE(result.status().IsIOError());
+  EXPECT_EQ(count, 10);
+}
+
+TEST(GeneratorTest, WritesReadableTraceFile) {
+  const std::string path = ::testing::TempDir() + "/imcf_gen_trace.trc";
+  std::remove(path.c_str());
+  CasasTraceGenerator gen(SmallOptions());
+  const auto count = gen.WriteTraceFile(path);
+  ASSERT_TRUE(count.ok());
+  const auto records = TraceFileReader::ReadAll(path);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(static_cast<int64_t>(records->size()), *count);
+  const auto direct = gen.GenerateAll();
+  ASSERT_TRUE(direct.ok());
+  for (size_t i = 0; i < records->size(); ++i) {
+    EXPECT_EQ(FromRecord((*records)[i]), (*direct)[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SensorIdTest, RoundTrips) {
+  for (int unit : {0, 1, 7, 99}) {
+    for (SensorKind kind : {SensorKind::kTemperature, SensorKind::kLight,
+                            SensorKind::kDoor}) {
+      const uint32_t id = MakeSensorId(unit, kind);
+      EXPECT_EQ(SensorUnit(id), unit);
+      EXPECT_EQ(SensorKindOf(id), kind);
+    }
+  }
+}
+
+TEST(ReplicateAndMixTest, MultipliesVolumeAndRemapsUnits) {
+  CasasTraceGenerator gen(SmallOptions());
+  const auto base = gen.GenerateAll();
+  ASSERT_TRUE(base.ok());
+  const auto mixed = ReplicateAndMix(*base, 4, 77);
+  EXPECT_EQ(mixed.size(), base->size() * 4);
+  // Units 0..7 present (2 original units x 4 copies), densely remapped.
+  std::map<int, int> per_unit;
+  for (const Reading& r : mixed) ++per_unit[SensorUnit(r.sensor_id)];
+  EXPECT_EQ(per_unit.size(), 8u);
+  for (const auto& [unit, count] : per_unit) {
+    EXPECT_GE(unit, 0);
+    EXPECT_LT(unit, 8);
+    EXPECT_GT(count, 2000);
+  }
+}
+
+TEST(ReplicateAndMixTest, OutputTimeOrdered) {
+  CasasTraceGenerator gen(SmallOptions());
+  const auto base = gen.GenerateAll();
+  const auto mixed = ReplicateAndMix(*base, 3, 5);
+  for (size_t i = 1; i < mixed.size(); ++i) {
+    EXPECT_LE(mixed[i - 1].time, mixed[i].time);
+  }
+}
+
+TEST(ReplicateAndMixTest, DoorStatesStayBinary) {
+  CasasTraceGenerator gen(SmallOptions());
+  const auto base = gen.GenerateAll();
+  const auto mixed = ReplicateAndMix(*base, 4, 5);
+  for (const Reading& r : mixed) {
+    if (r.kind == SensorKind::kDoor) {
+      EXPECT_TRUE(r.value == 0.0f || r.value == 1.0f);
+    }
+  }
+}
+
+TEST(ReplicateAndMixTest, CopiesAreJittered) {
+  CasasTraceGenerator gen(SmallOptions());
+  const auto base = gen.GenerateAll();
+  const auto mixed = ReplicateAndMix(*base, 2, 5);
+  // Find the replica readings of unit 0 (= unit 2 in copy 1) and check the
+  // values differ from the originals (mixing, not pure duplication).
+  std::map<SimTime, float> original_temps;
+  for (const Reading& r : *base) {
+    if (r.sensor_id == MakeSensorId(0, SensorKind::kTemperature)) {
+      original_temps[r.time] = r.value;
+    }
+  }
+  int jittered = 0, compared = 0;
+  for (const Reading& r : mixed) {
+    if (SensorUnit(r.sensor_id) == 2 && r.kind == SensorKind::kTemperature) {
+      ++compared;
+      // Times are jittered by up to 9s, so align to the base minute.
+      const SimTime minute = (r.time / 60) * 60;
+      auto it = original_temps.find(minute);
+      if (it != original_temps.end() && std::abs(it->second - r.value) > 1e-4) {
+        ++jittered;
+      }
+    }
+  }
+  EXPECT_GT(compared, 1000);
+  EXPECT_GT(jittered, compared / 2);
+}
+
+}  // namespace
+}  // namespace trace
+}  // namespace imcf

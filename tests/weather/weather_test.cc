@@ -1,0 +1,192 @@
+#include "weather/weather.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace imcf {
+namespace weather {
+namespace {
+
+TEST(SeasonTest, MonthMapping) {
+  EXPECT_EQ(SeasonOf(FromCivil(2014, 1, 15)), Season::kWinter);
+  EXPECT_EQ(SeasonOf(FromCivil(2014, 12, 15)), Season::kWinter);
+  EXPECT_EQ(SeasonOf(FromCivil(2014, 2, 28)), Season::kWinter);
+  EXPECT_EQ(SeasonOf(FromCivil(2014, 3, 1)), Season::kSpring);
+  EXPECT_EQ(SeasonOf(FromCivil(2014, 5, 31)), Season::kSpring);
+  EXPECT_EQ(SeasonOf(FromCivil(2014, 6, 1)), Season::kSummer);
+  EXPECT_EQ(SeasonOf(FromCivil(2014, 8, 31)), Season::kSummer);
+  EXPECT_EQ(SeasonOf(FromCivil(2014, 9, 1)), Season::kAutumn);
+  EXPECT_EQ(SeasonOf(FromCivil(2014, 11, 30)), Season::kAutumn);
+}
+
+TEST(SeasonTest, Names) {
+  EXPECT_STREQ(SeasonName(Season::kWinter), "Winter");
+  EXPECT_STREQ(SeasonName(Season::kSummer), "Summer");
+  EXPECT_STREQ(SkyName(Sky::kSunny), "Sunny");
+  EXPECT_STREQ(SkyName(Sky::kCloudy), "Cloudy");
+}
+
+TEST(SyntheticWeatherTest, DeterministicInTime) {
+  SyntheticWeather w1, w2;
+  const SimTime t = FromCivil(2015, 4, 10, 14);
+  const WeatherSample a = w1.At(t);
+  const WeatherSample b = w2.At(t);
+  EXPECT_DOUBLE_EQ(a.outdoor_temp_c, b.outdoor_temp_c);
+  EXPECT_EQ(a.sky, b.sky);
+  EXPECT_DOUBLE_EQ(a.daylight, b.daylight);
+}
+
+TEST(SyntheticWeatherTest, SeedChangesWeather) {
+  ClimateOptions opt_a, opt_b;
+  opt_b.seed = opt_a.seed + 1;
+  SyntheticWeather a(opt_a), b(opt_b);
+  int differing = 0;
+  for (int day = 0; day < 30; ++day) {
+    const SimTime t = FromCivil(2015, 6, 1 + day, 12);
+    if (std::fabs(a.At(t).outdoor_temp_c - b.At(t).outdoor_temp_c) > 0.01) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 20);
+}
+
+TEST(SyntheticWeatherTest, SummerWarmerThanWinter) {
+  SyntheticWeather weather;
+  double winter = 0.0, summer = 0.0;
+  for (int day = 1; day <= 28; ++day) {
+    winter += weather.At(FromCivil(2015, 1, day, 12)).outdoor_temp_c;
+    summer += weather.At(FromCivil(2015, 7, day, 12)).outdoor_temp_c;
+  }
+  EXPECT_GT(summer / 28 - winter / 28, 10.0);
+}
+
+TEST(SyntheticWeatherTest, AfternoonWarmerThanPredawn) {
+  SyntheticWeather weather;
+  double afternoon = 0.0, predawn = 0.0;
+  for (int day = 1; day <= 28; ++day) {
+    afternoon += weather.At(FromCivil(2015, 5, day, 17)).outdoor_temp_c;
+    predawn += weather.At(FromCivil(2015, 5, day, 5)).outdoor_temp_c;
+  }
+  EXPECT_GT(afternoon / 28 - predawn / 28, 3.0);
+}
+
+TEST(SyntheticWeatherTest, DailyMeanExcludesDiurnalSwing) {
+  SyntheticWeather weather;
+  // Within one day the daily-mean field stays constant while the
+  // instantaneous temperature swings around it.
+  const WeatherSample morning = weather.At(FromCivil(2015, 5, 10, 5));
+  const WeatherSample noonish = weather.At(FromCivil(2015, 5, 10, 15));
+  EXPECT_NEAR(morning.outdoor_daily_mean_c, noonish.outdoor_daily_mean_c,
+              4.0);  // only the smooth day-offset interpolation moves it
+  EXPECT_LT(morning.outdoor_temp_c, morning.outdoor_daily_mean_c);
+  EXPECT_GT(noonish.outdoor_temp_c, noonish.outdoor_daily_mean_c);
+}
+
+TEST(SyntheticWeatherTest, DaylightZeroAtNightPositiveAtNoon) {
+  SyntheticWeather weather;
+  for (int day = 1; day <= 28; ++day) {
+    EXPECT_DOUBLE_EQ(weather.At(FromCivil(2015, 3, day, 1)).daylight, 0.0);
+    EXPECT_GT(weather.At(FromCivil(2015, 3, day, 12)).daylight, 0.1);
+  }
+}
+
+TEST(SyntheticWeatherTest, DaylightBounded) {
+  SyntheticWeather weather;
+  for (int h = 0; h < 24; ++h) {
+    const double d = weather.At(FromCivil(2015, 6, 21, h)).daylight;
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+TEST(SyntheticWeatherTest, DayLengthSeasonal) {
+  ClimateOptions options;
+  SyntheticWeather weather(options);
+  const double june = weather.At(FromCivil(2015, 6, 21, 12)).day_length_hours;
+  const double dec = weather.At(FromCivil(2015, 12, 21, 12)).day_length_hours;
+  EXPECT_NEAR(june, options.max_day_length_h, 0.3);
+  EXPECT_NEAR(dec, options.min_day_length_h, 0.3);
+}
+
+TEST(SyntheticWeatherTest, CloudyDaysDimmerThanSunny) {
+  SyntheticWeather weather;
+  double sunny_daylight = -1.0, cloudy_daylight = -1.0;
+  for (int day = 1; day <= 31 && (sunny_daylight < 0 || cloudy_daylight < 0);
+       ++day) {
+    const WeatherSample s = weather.At(FromCivil(2015, 1, day, 12));
+    if (s.sky == Sky::kSunny && sunny_daylight < 0) {
+      sunny_daylight = s.daylight;
+    }
+    if (s.sky == Sky::kCloudy && cloudy_daylight < 0) {
+      cloudy_daylight = s.daylight;
+    }
+  }
+  ASSERT_GE(sunny_daylight, 0.0) << "no sunny January day found";
+  ASSERT_GE(cloudy_daylight, 0.0) << "no cloudy January day found";
+  EXPECT_GT(sunny_daylight, cloudy_daylight * 1.5);
+}
+
+TEST(SyntheticWeatherTest, CloudProbabilityRespondsToSeason) {
+  ClimateOptions options;
+  options.cloudy_winter_prob = 0.9;
+  options.cloudy_summer_prob = 0.05;
+  SyntheticWeather weather(options);
+  int cloudy_winter = 0, cloudy_summer = 0;
+  for (int day = 1; day <= 28; ++day) {
+    if (weather.At(FromCivil(2015, 1, day, 12)).sky == Sky::kCloudy) {
+      ++cloudy_winter;
+    }
+    if (weather.At(FromCivil(2015, 7, day, 12)).sky == Sky::kCloudy) {
+      ++cloudy_summer;
+    }
+  }
+  EXPECT_GT(cloudy_winter, 18);
+  EXPECT_LT(cloudy_summer, 8);
+}
+
+TEST(SyntheticWeatherTest, SkyConstantWithinADay) {
+  SyntheticWeather weather;
+  for (int day = 1; day <= 10; ++day) {
+    const Sky at_dawn = weather.At(FromCivil(2015, 9, day, 6)).sky;
+    for (int h = 7; h < 24; h += 4) {
+      EXPECT_EQ(weather.At(FromCivil(2015, 9, day, h)).sky, at_dawn);
+    }
+  }
+}
+
+TEST(SyntheticWeatherTest, TemperatureContinuousAcrossMidnight) {
+  SyntheticWeather weather;
+  // The per-day offset is interpolated; the only midnight discontinuity is
+  // the sky (cloud-damp) transition, bounded by 0.4 x the diurnal term.
+  for (int day = 1; day <= 27; ++day) {
+    const double before =
+        weather.At(FromCivil(2015, 10, day, 23, 59)).outdoor_temp_c;
+    const double after =
+        weather.At(FromCivil(2015, 10, day + 1, 0, 1)).outdoor_temp_c;
+    EXPECT_LT(std::fabs(after - before), 1.2)
+        << "midnight jump on day " << day;
+  }
+}
+
+class WeatherRangeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WeatherRangeSweep, TemperaturesPhysicallyPlausible) {
+  SyntheticWeather weather;
+  const int month = GetParam();
+  for (int day = 1; day <= DaysInMonth(2015, month); ++day) {
+    for (int h = 0; h < 24; h += 3) {
+      const double t =
+          weather.At(FromCivil(2015, month, day, h)).outdoor_temp_c;
+      EXPECT_GT(t, -25.0);
+      EXPECT_LT(t, 50.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMonths, WeatherRangeSweep,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace weather
+}  // namespace imcf
