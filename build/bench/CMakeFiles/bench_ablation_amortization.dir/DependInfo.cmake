@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_amortization.cc" "bench/CMakeFiles/bench_ablation_amortization.dir/bench_ablation_amortization.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_amortization.dir/bench_ablation_amortization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/imcf_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/imcf_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/imcf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/imcf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/imcf_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/firewall/CMakeFiles/imcf_firewall.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/imcf_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/imcf_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/imcf_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/weather/CMakeFiles/imcf_weather.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/imcf_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/imcf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

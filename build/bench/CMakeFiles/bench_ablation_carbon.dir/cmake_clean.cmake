@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_carbon.dir/bench_ablation_carbon.cc.o"
+  "CMakeFiles/bench_ablation_carbon.dir/bench_ablation_carbon.cc.o.d"
+  "bench_ablation_carbon"
+  "bench_ablation_carbon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_carbon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

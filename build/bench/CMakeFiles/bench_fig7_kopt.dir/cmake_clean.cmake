@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_kopt.dir/bench_fig7_kopt.cc.o"
+  "CMakeFiles/bench_fig7_kopt.dir/bench_fig7_kopt.cc.o.d"
+  "bench_fig7_kopt"
+  "bench_fig7_kopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_kopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

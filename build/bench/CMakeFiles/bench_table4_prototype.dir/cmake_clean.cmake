@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_prototype.dir/bench_table4_prototype.cc.o"
+  "CMakeFiles/bench_table4_prototype.dir/bench_table4_prototype.cc.o.d"
+  "bench_table4_prototype"
+  "bench_table4_prototype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_prototype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

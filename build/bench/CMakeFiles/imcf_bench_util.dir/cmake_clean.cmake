@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imcf_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/imcf_bench_util.dir/bench_util.cc.o.d"
+  "libimcf_bench_util.a"
+  "libimcf_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imcf_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

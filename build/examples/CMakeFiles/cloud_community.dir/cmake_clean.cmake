@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_community.dir/cloud_community.cpp.o"
+  "CMakeFiles/cloud_community.dir/cloud_community.cpp.o.d"
+  "cloud_community"
+  "cloud_community.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_community.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

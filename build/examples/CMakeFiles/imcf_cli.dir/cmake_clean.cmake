@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imcf_cli.dir/imcf_cli.cpp.o"
+  "CMakeFiles/imcf_cli.dir/imcf_cli.cpp.o.d"
+  "imcf_cli"
+  "imcf_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imcf_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_dorms.dir/smart_dorms.cpp.o"
+  "CMakeFiles/smart_dorms.dir/smart_dorms.cpp.o.d"
+  "smart_dorms"
+  "smart_dorms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_dorms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

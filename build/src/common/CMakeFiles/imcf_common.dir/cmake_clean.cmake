@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imcf_common.dir/crc32.cc.o"
+  "CMakeFiles/imcf_common.dir/crc32.cc.o.d"
+  "CMakeFiles/imcf_common.dir/logging.cc.o"
+  "CMakeFiles/imcf_common.dir/logging.cc.o.d"
+  "CMakeFiles/imcf_common.dir/rng.cc.o"
+  "CMakeFiles/imcf_common.dir/rng.cc.o.d"
+  "CMakeFiles/imcf_common.dir/stats.cc.o"
+  "CMakeFiles/imcf_common.dir/stats.cc.o.d"
+  "CMakeFiles/imcf_common.dir/status.cc.o"
+  "CMakeFiles/imcf_common.dir/status.cc.o.d"
+  "CMakeFiles/imcf_common.dir/strings.cc.o"
+  "CMakeFiles/imcf_common.dir/strings.cc.o.d"
+  "CMakeFiles/imcf_common.dir/time.cc.o"
+  "CMakeFiles/imcf_common.dir/time.cc.o.d"
+  "libimcf_common.a"
+  "libimcf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imcf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imcf_controller.dir/cloud.cc.o"
+  "CMakeFiles/imcf_controller.dir/cloud.cc.o.d"
+  "CMakeFiles/imcf_controller.dir/items.cc.o"
+  "CMakeFiles/imcf_controller.dir/items.cc.o.d"
+  "CMakeFiles/imcf_controller.dir/prototype.cc.o"
+  "CMakeFiles/imcf_controller.dir/prototype.cc.o.d"
+  "CMakeFiles/imcf_controller.dir/resident.cc.o"
+  "CMakeFiles/imcf_controller.dir/resident.cc.o.d"
+  "CMakeFiles/imcf_controller.dir/scheduler.cc.o"
+  "CMakeFiles/imcf_controller.dir/scheduler.cc.o.d"
+  "libimcf_controller.a"
+  "libimcf_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imcf_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for imcf_controller.
+# This may be replaced when dependencies are built.

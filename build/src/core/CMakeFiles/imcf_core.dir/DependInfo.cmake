@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/annealer.cc" "src/core/CMakeFiles/imcf_core.dir/annealer.cc.o" "gcc" "src/core/CMakeFiles/imcf_core.dir/annealer.cc.o.d"
+  "/root/repo/src/core/baselines.cc" "src/core/CMakeFiles/imcf_core.dir/baselines.cc.o" "gcc" "src/core/CMakeFiles/imcf_core.dir/baselines.cc.o.d"
+  "/root/repo/src/core/evaluator.cc" "src/core/CMakeFiles/imcf_core.dir/evaluator.cc.o" "gcc" "src/core/CMakeFiles/imcf_core.dir/evaluator.cc.o.d"
+  "/root/repo/src/core/genetic.cc" "src/core/CMakeFiles/imcf_core.dir/genetic.cc.o" "gcc" "src/core/CMakeFiles/imcf_core.dir/genetic.cc.o.d"
+  "/root/repo/src/core/hill_climber.cc" "src/core/CMakeFiles/imcf_core.dir/hill_climber.cc.o" "gcc" "src/core/CMakeFiles/imcf_core.dir/hill_climber.cc.o.d"
+  "/root/repo/src/core/solution.cc" "src/core/CMakeFiles/imcf_core.dir/solution.cc.o" "gcc" "src/core/CMakeFiles/imcf_core.dir/solution.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/imcf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/imcf_devices.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imcf_core.dir/annealer.cc.o"
+  "CMakeFiles/imcf_core.dir/annealer.cc.o.d"
+  "CMakeFiles/imcf_core.dir/baselines.cc.o"
+  "CMakeFiles/imcf_core.dir/baselines.cc.o.d"
+  "CMakeFiles/imcf_core.dir/evaluator.cc.o"
+  "CMakeFiles/imcf_core.dir/evaluator.cc.o.d"
+  "CMakeFiles/imcf_core.dir/genetic.cc.o"
+  "CMakeFiles/imcf_core.dir/genetic.cc.o.d"
+  "CMakeFiles/imcf_core.dir/hill_climber.cc.o"
+  "CMakeFiles/imcf_core.dir/hill_climber.cc.o.d"
+  "CMakeFiles/imcf_core.dir/solution.cc.o"
+  "CMakeFiles/imcf_core.dir/solution.cc.o.d"
+  "libimcf_core.a"
+  "libimcf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imcf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imcf_devices.dir/device.cc.o"
+  "CMakeFiles/imcf_devices.dir/device.cc.o.d"
+  "CMakeFiles/imcf_devices.dir/energy_model.cc.o"
+  "CMakeFiles/imcf_devices.dir/energy_model.cc.o.d"
+  "libimcf_devices.a"
+  "libimcf_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imcf_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

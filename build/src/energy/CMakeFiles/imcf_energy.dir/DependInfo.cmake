@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/amortization.cc" "src/energy/CMakeFiles/imcf_energy.dir/amortization.cc.o" "gcc" "src/energy/CMakeFiles/imcf_energy.dir/amortization.cc.o.d"
+  "/root/repo/src/energy/budget.cc" "src/energy/CMakeFiles/imcf_energy.dir/budget.cc.o" "gcc" "src/energy/CMakeFiles/imcf_energy.dir/budget.cc.o.d"
+  "/root/repo/src/energy/carbon.cc" "src/energy/CMakeFiles/imcf_energy.dir/carbon.cc.o" "gcc" "src/energy/CMakeFiles/imcf_energy.dir/carbon.cc.o.d"
+  "/root/repo/src/energy/ecp.cc" "src/energy/CMakeFiles/imcf_energy.dir/ecp.cc.o" "gcc" "src/energy/CMakeFiles/imcf_energy.dir/ecp.cc.o.d"
+  "/root/repo/src/energy/load_scheduler.cc" "src/energy/CMakeFiles/imcf_energy.dir/load_scheduler.cc.o" "gcc" "src/energy/CMakeFiles/imcf_energy.dir/load_scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/imcf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imcf_energy.dir/amortization.cc.o"
+  "CMakeFiles/imcf_energy.dir/amortization.cc.o.d"
+  "CMakeFiles/imcf_energy.dir/budget.cc.o"
+  "CMakeFiles/imcf_energy.dir/budget.cc.o.d"
+  "CMakeFiles/imcf_energy.dir/carbon.cc.o"
+  "CMakeFiles/imcf_energy.dir/carbon.cc.o.d"
+  "CMakeFiles/imcf_energy.dir/ecp.cc.o"
+  "CMakeFiles/imcf_energy.dir/ecp.cc.o.d"
+  "CMakeFiles/imcf_energy.dir/load_scheduler.cc.o"
+  "CMakeFiles/imcf_energy.dir/load_scheduler.cc.o.d"
+  "libimcf_energy.a"
+  "libimcf_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imcf_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/firewall/chain.cc" "src/firewall/CMakeFiles/imcf_firewall.dir/chain.cc.o" "gcc" "src/firewall/CMakeFiles/imcf_firewall.dir/chain.cc.o.d"
+  "/root/repo/src/firewall/imcf_firewall.cc" "src/firewall/CMakeFiles/imcf_firewall.dir/imcf_firewall.cc.o" "gcc" "src/firewall/CMakeFiles/imcf_firewall.dir/imcf_firewall.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/imcf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/imcf_devices.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imcf_firewall.dir/chain.cc.o"
+  "CMakeFiles/imcf_firewall.dir/chain.cc.o.d"
+  "CMakeFiles/imcf_firewall.dir/imcf_firewall.cc.o"
+  "CMakeFiles/imcf_firewall.dir/imcf_firewall.cc.o.d"
+  "libimcf_firewall.a"
+  "libimcf_firewall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imcf_firewall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rules/conflict.cc" "src/rules/CMakeFiles/imcf_rules.dir/conflict.cc.o" "gcc" "src/rules/CMakeFiles/imcf_rules.dir/conflict.cc.o.d"
+  "/root/repo/src/rules/meta_rule.cc" "src/rules/CMakeFiles/imcf_rules.dir/meta_rule.cc.o" "gcc" "src/rules/CMakeFiles/imcf_rules.dir/meta_rule.cc.o.d"
+  "/root/repo/src/rules/parser.cc" "src/rules/CMakeFiles/imcf_rules.dir/parser.cc.o" "gcc" "src/rules/CMakeFiles/imcf_rules.dir/parser.cc.o.d"
+  "/root/repo/src/rules/trigger_rule.cc" "src/rules/CMakeFiles/imcf_rules.dir/trigger_rule.cc.o" "gcc" "src/rules/CMakeFiles/imcf_rules.dir/trigger_rule.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/imcf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/imcf_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/weather/CMakeFiles/imcf_weather.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

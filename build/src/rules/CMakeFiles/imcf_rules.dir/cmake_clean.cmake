@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imcf_rules.dir/conflict.cc.o"
+  "CMakeFiles/imcf_rules.dir/conflict.cc.o.d"
+  "CMakeFiles/imcf_rules.dir/meta_rule.cc.o"
+  "CMakeFiles/imcf_rules.dir/meta_rule.cc.o.d"
+  "CMakeFiles/imcf_rules.dir/parser.cc.o"
+  "CMakeFiles/imcf_rules.dir/parser.cc.o.d"
+  "CMakeFiles/imcf_rules.dir/trigger_rule.cc.o"
+  "CMakeFiles/imcf_rules.dir/trigger_rule.cc.o.d"
+  "libimcf_rules.a"
+  "libimcf_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imcf_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

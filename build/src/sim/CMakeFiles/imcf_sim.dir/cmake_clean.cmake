@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imcf_sim.dir/simulation.cc.o"
+  "CMakeFiles/imcf_sim.dir/simulation.cc.o.d"
+  "libimcf_sim.a"
+  "libimcf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imcf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/coding.cc" "src/storage/CMakeFiles/imcf_storage.dir/coding.cc.o" "gcc" "src/storage/CMakeFiles/imcf_storage.dir/coding.cc.o.d"
+  "/root/repo/src/storage/csv.cc" "src/storage/CMakeFiles/imcf_storage.dir/csv.cc.o" "gcc" "src/storage/CMakeFiles/imcf_storage.dir/csv.cc.o.d"
+  "/root/repo/src/storage/record_log.cc" "src/storage/CMakeFiles/imcf_storage.dir/record_log.cc.o" "gcc" "src/storage/CMakeFiles/imcf_storage.dir/record_log.cc.o.d"
+  "/root/repo/src/storage/table_store.cc" "src/storage/CMakeFiles/imcf_storage.dir/table_store.cc.o" "gcc" "src/storage/CMakeFiles/imcf_storage.dir/table_store.cc.o.d"
+  "/root/repo/src/storage/trace_file.cc" "src/storage/CMakeFiles/imcf_storage.dir/trace_file.cc.o" "gcc" "src/storage/CMakeFiles/imcf_storage.dir/trace_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/imcf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imcf_storage.dir/coding.cc.o"
+  "CMakeFiles/imcf_storage.dir/coding.cc.o.d"
+  "CMakeFiles/imcf_storage.dir/csv.cc.o"
+  "CMakeFiles/imcf_storage.dir/csv.cc.o.d"
+  "CMakeFiles/imcf_storage.dir/record_log.cc.o"
+  "CMakeFiles/imcf_storage.dir/record_log.cc.o.d"
+  "CMakeFiles/imcf_storage.dir/table_store.cc.o"
+  "CMakeFiles/imcf_storage.dir/table_store.cc.o.d"
+  "CMakeFiles/imcf_storage.dir/trace_file.cc.o"
+  "CMakeFiles/imcf_storage.dir/trace_file.cc.o.d"
+  "libimcf_storage.a"
+  "libimcf_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imcf_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libimcf_storage.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/aggregate.cc" "src/trace/CMakeFiles/imcf_trace.dir/aggregate.cc.o" "gcc" "src/trace/CMakeFiles/imcf_trace.dir/aggregate.cc.o.d"
+  "/root/repo/src/trace/ambient.cc" "src/trace/CMakeFiles/imcf_trace.dir/ambient.cc.o" "gcc" "src/trace/CMakeFiles/imcf_trace.dir/ambient.cc.o.d"
+  "/root/repo/src/trace/dataset.cc" "src/trace/CMakeFiles/imcf_trace.dir/dataset.cc.o" "gcc" "src/trace/CMakeFiles/imcf_trace.dir/dataset.cc.o.d"
+  "/root/repo/src/trace/generator.cc" "src/trace/CMakeFiles/imcf_trace.dir/generator.cc.o" "gcc" "src/trace/CMakeFiles/imcf_trace.dir/generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/imcf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/imcf_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/weather/CMakeFiles/imcf_weather.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/imcf_devices.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imcf_trace.dir/aggregate.cc.o"
+  "CMakeFiles/imcf_trace.dir/aggregate.cc.o.d"
+  "CMakeFiles/imcf_trace.dir/ambient.cc.o"
+  "CMakeFiles/imcf_trace.dir/ambient.cc.o.d"
+  "CMakeFiles/imcf_trace.dir/dataset.cc.o"
+  "CMakeFiles/imcf_trace.dir/dataset.cc.o.d"
+  "CMakeFiles/imcf_trace.dir/generator.cc.o"
+  "CMakeFiles/imcf_trace.dir/generator.cc.o.d"
+  "libimcf_trace.a"
+  "libimcf_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imcf_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

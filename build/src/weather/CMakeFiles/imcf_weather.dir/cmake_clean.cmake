@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imcf_weather.dir/weather.cc.o"
+  "CMakeFiles/imcf_weather.dir/weather.cc.o.d"
+  "libimcf_weather.a"
+  "libimcf_weather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imcf_weather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_cloud_test.dir/controller/cloud_test.cc.o"
+  "CMakeFiles/controller_cloud_test.dir/controller/cloud_test.cc.o.d"
+  "controller_cloud_test"
+  "controller_cloud_test.pdb"
+  "controller_cloud_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_cloud_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

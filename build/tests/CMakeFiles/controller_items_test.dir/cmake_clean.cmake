@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_items_test.dir/controller/items_test.cc.o"
+  "CMakeFiles/controller_items_test.dir/controller/items_test.cc.o.d"
+  "controller_items_test"
+  "controller_items_test.pdb"
+  "controller_items_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_items_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_prototype_test.dir/controller/prototype_test.cc.o"
+  "CMakeFiles/controller_prototype_test.dir/controller/prototype_test.cc.o.d"
+  "controller_prototype_test"
+  "controller_prototype_test.pdb"
+  "controller_prototype_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_prototype_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_resident_test.dir/controller/resident_test.cc.o"
+  "CMakeFiles/controller_resident_test.dir/controller/resident_test.cc.o.d"
+  "controller_resident_test"
+  "controller_resident_test.pdb"
+  "controller_resident_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_resident_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_scheduler_test.dir/controller/scheduler_test.cc.o"
+  "CMakeFiles/controller_scheduler_test.dir/controller/scheduler_test.cc.o.d"
+  "controller_scheduler_test"
+  "controller_scheduler_test.pdb"
+  "controller_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

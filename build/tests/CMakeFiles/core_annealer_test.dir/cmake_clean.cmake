@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_annealer_test.dir/core/annealer_test.cc.o"
+  "CMakeFiles/core_annealer_test.dir/core/annealer_test.cc.o.d"
+  "core_annealer_test"
+  "core_annealer_test.pdb"
+  "core_annealer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_annealer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

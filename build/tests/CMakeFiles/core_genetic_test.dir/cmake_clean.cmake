@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_genetic_test.dir/core/genetic_test.cc.o"
+  "CMakeFiles/core_genetic_test.dir/core/genetic_test.cc.o.d"
+  "core_genetic_test"
+  "core_genetic_test.pdb"
+  "core_genetic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_genetic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_solution_test.dir/core/solution_test.cc.o"
+  "CMakeFiles/core_solution_test.dir/core/solution_test.cc.o.d"
+  "core_solution_test"
+  "core_solution_test.pdb"
+  "core_solution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_solution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

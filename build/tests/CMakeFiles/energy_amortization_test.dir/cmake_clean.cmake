@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_amortization_test.dir/energy/amortization_test.cc.o"
+  "CMakeFiles/energy_amortization_test.dir/energy/amortization_test.cc.o.d"
+  "energy_amortization_test"
+  "energy_amortization_test.pdb"
+  "energy_amortization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_amortization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

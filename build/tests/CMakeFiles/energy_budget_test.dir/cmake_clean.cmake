@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_budget_test.dir/energy/budget_test.cc.o"
+  "CMakeFiles/energy_budget_test.dir/energy/budget_test.cc.o.d"
+  "energy_budget_test"
+  "energy_budget_test.pdb"
+  "energy_budget_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_budget_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_carbon_test.dir/energy/carbon_test.cc.o"
+  "CMakeFiles/energy_carbon_test.dir/energy/carbon_test.cc.o.d"
+  "energy_carbon_test"
+  "energy_carbon_test.pdb"
+  "energy_carbon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_carbon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_ecp_test.dir/energy/ecp_test.cc.o"
+  "CMakeFiles/energy_ecp_test.dir/energy/ecp_test.cc.o.d"
+  "energy_ecp_test"
+  "energy_ecp_test.pdb"
+  "energy_ecp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_ecp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_load_scheduler_test.dir/energy/load_scheduler_test.cc.o"
+  "CMakeFiles/energy_load_scheduler_test.dir/energy/load_scheduler_test.cc.o.d"
+  "energy_load_scheduler_test"
+  "energy_load_scheduler_test.pdb"
+  "energy_load_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_load_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

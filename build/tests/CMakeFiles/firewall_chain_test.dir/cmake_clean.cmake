@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firewall_chain_test.dir/firewall/chain_test.cc.o"
+  "CMakeFiles/firewall_chain_test.dir/firewall/chain_test.cc.o.d"
+  "firewall_chain_test"
+  "firewall_chain_test.pdb"
+  "firewall_chain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firewall_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firewall_imcf_test.dir/firewall/imcf_firewall_test.cc.o"
+  "CMakeFiles/firewall_imcf_test.dir/firewall/imcf_firewall_test.cc.o.d"
+  "firewall_imcf_test"
+  "firewall_imcf_test.pdb"
+  "firewall_imcf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firewall_imcf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

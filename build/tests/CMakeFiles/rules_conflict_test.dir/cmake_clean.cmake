@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rules_conflict_test.dir/rules/conflict_test.cc.o"
+  "CMakeFiles/rules_conflict_test.dir/rules/conflict_test.cc.o.d"
+  "rules_conflict_test"
+  "rules_conflict_test.pdb"
+  "rules_conflict_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rules_conflict_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

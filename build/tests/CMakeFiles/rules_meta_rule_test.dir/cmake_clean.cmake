@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rules_meta_rule_test.dir/rules/meta_rule_test.cc.o"
+  "CMakeFiles/rules_meta_rule_test.dir/rules/meta_rule_test.cc.o.d"
+  "rules_meta_rule_test"
+  "rules_meta_rule_test.pdb"
+  "rules_meta_rule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rules_meta_rule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

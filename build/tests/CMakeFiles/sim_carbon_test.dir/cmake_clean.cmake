@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_carbon_test.dir/sim/carbon_sim_test.cc.o"
+  "CMakeFiles/sim_carbon_test.dir/sim/carbon_sim_test.cc.o.d"
+  "sim_carbon_test"
+  "sim_carbon_test.pdb"
+  "sim_carbon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_carbon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

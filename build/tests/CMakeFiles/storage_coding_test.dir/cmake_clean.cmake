@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_coding_test.dir/storage/coding_test.cc.o"
+  "CMakeFiles/storage_coding_test.dir/storage/coding_test.cc.o.d"
+  "storage_coding_test"
+  "storage_coding_test.pdb"
+  "storage_coding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_coding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

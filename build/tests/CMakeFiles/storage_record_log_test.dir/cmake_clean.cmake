@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_record_log_test.dir/storage/record_log_test.cc.o"
+  "CMakeFiles/storage_record_log_test.dir/storage/record_log_test.cc.o.d"
+  "storage_record_log_test"
+  "storage_record_log_test.pdb"
+  "storage_record_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_record_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_aggregate_test.dir/trace/aggregate_test.cc.o"
+  "CMakeFiles/trace_aggregate_test.dir/trace/aggregate_test.cc.o.d"
+  "trace_aggregate_test"
+  "trace_aggregate_test.pdb"
+  "trace_aggregate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_aggregate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_ambient_test.dir/trace/ambient_test.cc.o"
+  "CMakeFiles/trace_ambient_test.dir/trace/ambient_test.cc.o.d"
+  "trace_ambient_test"
+  "trace_ambient_test.pdb"
+  "trace_ambient_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_ambient_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

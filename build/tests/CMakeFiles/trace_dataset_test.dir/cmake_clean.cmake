@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_dataset_test.dir/trace/dataset_test.cc.o"
+  "CMakeFiles/trace_dataset_test.dir/trace/dataset_test.cc.o.d"
+  "trace_dataset_test"
+  "trace_dataset_test.pdb"
+  "trace_dataset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_dataset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
