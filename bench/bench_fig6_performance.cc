@@ -25,9 +25,9 @@ void Run() {
   PrintHeader("Fig. 6 — Performance Evaluation (NR / IFTTT / EP / MR)",
               "IMCF paper §III-B, Figure 6");
 
-  const sim::Policy policies[] = {sim::Policy::kNoRule, sim::Policy::kIfttt,
-                                  sim::Policy::kEnergyPlanner,
-                                  sim::Policy::kMetaRule};
+  const std::vector<sim::Policy> policies = {
+      sim::Policy::kNoRule, sim::Policy::kIfttt, sim::Policy::kEnergyPlanner,
+      sim::Policy::kMetaRule};
   for (const trace::DatasetSpec& spec : BenchSpecs()) {
     sim::SimulationOptions options;
     options.spec = spec;
@@ -38,8 +38,10 @@ void Run() {
                 spec.name.c_str(), spec.units, spec.budget_kwh);
     std::printf("%-7s %16s %22s %16s %8s\n", "policy", "F_CE [%]",
                 "F_E [kWh]", "F_T [s]", "inBudget");
-    for (sim::Policy policy : policies) {
-      const sim::RepeatedReport cell = RunCell(simulator, policy);
+    // The whole (policy, repetition) grid fans out across BenchThreads()
+    // workers; results are aggregated in grid order, so the table is
+    // independent of the thread count.
+    for (const sim::RepeatedReport& cell : RunCells(simulator, policies)) {
       const bool within =
           cell.fe_kwh.mean() <= simulator.total_budget_kwh() + 1e-6;
       std::printf("%-7s %16s %22s %16s %8s\n", cell.policy.c_str(),

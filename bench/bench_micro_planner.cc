@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/thread_pool.h"
 #include "core/baselines.h"
 #include "core/evaluator.h"
 #include "core/hill_climber.h"
@@ -79,6 +80,32 @@ void BM_SlotEvaluateDelta(benchmark::State& state) {
 }
 BENCHMARK(BM_SlotEvaluateDelta)->Arg(6)->Arg(24)->Arg(120)->Arg(600);
 
+// The acceptance benchmark for the incremental evaluator: steady-state
+// hill-climbing delta evaluation with accepted moves committed through
+// ApplyFlips, so "before" contributions stay on the O(1) cached path.
+void BM_EvaluateWithFlipsCached(benchmark::State& state) {
+  const core::SlotProblem problem =
+      MakeProblem(static_cast<int>(state.range(0)), 0.2);
+  core::SlotEvaluator evaluator(&problem);
+  Rng rng(1);
+  core::Solution s = core::Solution::Init(
+      static_cast<size_t>(problem.n_rules), core::InitStrategy::kRandom,
+      &rng);
+  core::Objectives base = evaluator.Evaluate(s);
+  std::vector<int> flips;
+  for (auto _ : state) {
+    core::SampleDistinct(problem.n_rules, 4, &rng, &flips);
+    const core::Objectives candidate =
+        evaluator.EvaluateWithFlips(&s, base, flips);
+    benchmark::DoNotOptimize(candidate);
+    if (rng.Bernoulli(0.5)) {  // accept: commit and keep the cache in sync
+      evaluator.ApplyFlips(&s, flips);
+      base = candidate;
+    }
+  }
+}
+BENCHMARK(BM_EvaluateWithFlipsCached)->Arg(6)->Arg(24)->Arg(120)->Arg(600);
+
 void BM_PlanSlotHillClimbing(benchmark::State& state) {
   const core::SlotProblem problem =
       MakeProblem(static_cast<int>(state.range(0)), 0.1);  // tight budget
@@ -89,7 +116,47 @@ void BM_PlanSlotHillClimbing(benchmark::State& state) {
     benchmark::DoNotOptimize(planner.PlanSlot(evaluator, &rng));
   }
 }
-BENCHMARK(BM_PlanSlotHillClimbing)->Arg(6)->Arg(24)->Arg(120)->Arg(600);
+BENCHMARK(BM_PlanSlotHillClimbing)->Arg(6)->Arg(24)->Arg(64)->Arg(120)->Arg(600);
+
+// Alias with the historical name used by the perf acceptance criteria:
+// BM_PlanSlot/64 is one EP slot plan on a 64-rule table.
+void BM_PlanSlot(benchmark::State& state) { BM_PlanSlotHillClimbing(state); }
+BENCHMARK(BM_PlanSlot)->Arg(64);
+
+// Parallel planning substrate: `state.range(0)` worker threads plan 64
+// independent 64-rule slot problems per iteration (one evaluator per task —
+// the evaluator's incremental cache is thread-local by construction). Near-
+// linear wall-clock scaling up to the core count is the acceptance target;
+// per-task MixHash seeding keeps every task's plan identical across thread
+// counts.
+void BM_PlanSlotParallel(benchmark::State& state) {
+  constexpr int kTasks = 64;
+  constexpr uint64_t kSeed = 7;
+  std::vector<core::SlotProblem> problems;
+  problems.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) problems.push_back(MakeProblem(64, 0.1));
+  const int threads = static_cast<int>(state.range(0));
+  ThreadPool pool(threads);
+  core::HillClimbingPlanner planner;
+  std::vector<double> errors(kTasks, 0.0);
+  for (auto _ : state) {
+    ParallelFor(threads > 1 ? &pool : nullptr, kTasks,
+                [&problems, &planner, &errors](int i) {
+                  core::SlotEvaluator evaluator(&problems[static_cast<size_t>(i)]);
+                  Rng rng(MixHash(kSeed, static_cast<uint64_t>(i)));
+                  errors[static_cast<size_t>(i)] =
+                      planner.PlanSlot(evaluator, &rng).objectives.error_sum;
+                });
+    benchmark::DoNotOptimize(errors.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kTasks);
+}
+BENCHMARK(BM_PlanSlotParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
 
 void BM_FirewallFilter(benchmark::State& state) {
   devices::DeviceRegistry registry;

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace imcf {
 namespace bench {
@@ -22,6 +23,17 @@ int Repetitions() {
 bool QuickMode() {
   const char* env = std::getenv("IMCF_BENCH_QUICK");
   return env != nullptr && std::string(env) == "1";
+}
+
+int BenchThreads() {
+  const char* env = std::getenv("IMCF_BENCH_THREADS");
+  if (env != nullptr) {
+    const auto parsed = ParseInt(env);
+    if (parsed.ok() && *parsed > 0 && *parsed <= 256) {
+      return static_cast<int>(*parsed);
+    }
+  }
+  return ThreadPool::HardwareThreads();
 }
 
 void PrintHeader(const std::string& title, const std::string& paper_ref) {
@@ -46,7 +58,15 @@ void CheckOk(const Status& status) {
 
 sim::RepeatedReport RunCell(const sim::Simulator& simulator,
                             sim::Policy policy) {
-  auto result = simulator.RunRepeated(policy, Repetitions());
+  auto result = simulator.RunRepeated(policy, Repetitions(), BenchThreads());
+  CheckOk(result.status());
+  return std::move(result).value();
+}
+
+std::vector<sim::RepeatedReport> RunCells(
+    const sim::Simulator& simulator,
+    const std::vector<sim::Policy>& policies) {
+  auto result = simulator.RunGrid(policies, Repetitions(), BenchThreads());
   CheckOk(result.status());
   return std::move(result).value();
 }

@@ -25,6 +25,12 @@ int Repetitions();
 /// dataset for smoke runs.
 bool QuickMode();
 
+/// Worker threads for fanning repetitions/cells out (env
+/// IMCF_BENCH_THREADS; default: hardware concurrency). Results are
+/// bit-identical for every thread count; only the F_T timing columns are
+/// measurements and thus vary. Set to 1 for uncontended F_T numbers.
+int BenchThreads();
+
 /// Prints the standard header for a bench binary.
 void PrintHeader(const std::string& title, const std::string& paper_ref);
 
@@ -35,9 +41,16 @@ std::string Cell(const RunningStat& stat, int precision = 2);
 /// recovery path worth writing).
 void CheckOk(const Status& status);
 
-/// Runs one (policy, simulator) cell with the standard repetitions.
+/// Runs one (policy, simulator) cell with the standard repetitions,
+/// fanning repetitions across BenchThreads() workers.
 sim::RepeatedReport RunCell(const sim::Simulator& simulator,
                             sim::Policy policy);
+
+/// Runs every (policy, repetition) cell of a figure row as one flat
+/// parallel grid — keeps all cores busy across cheap (NR) and expensive
+/// (EP) policies. Reports come back in `policies` order.
+std::vector<sim::RepeatedReport> RunCells(
+    const sim::Simulator& simulator, const std::vector<sim::Policy>& policies);
 
 /// The datasets a sweep covers (flat only in quick mode).
 std::vector<trace::DatasetSpec> BenchSpecs();

@@ -1,5 +1,6 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 
@@ -7,7 +8,7 @@ namespace imcf {
 
 namespace {
 
-LogLevel g_min_level = LogLevel::kWarning;
+std::atomic<LogLevel> g_min_level{LogLevel::kWarning};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -30,9 +31,13 @@ const char* Basename(const char* path) {
 
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_min_level = level; }
+void SetLogLevel(LogLevel level) {
+  g_min_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel GetLogLevel() { return g_min_level; }
+LogLevel GetLogLevel() {
+  return g_min_level.load(std::memory_order_relaxed);
+}
 
 void LogMessage(LogLevel level, const char* file, int line,
                 const std::string& message) {

@@ -14,8 +14,9 @@ namespace imcf {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Sets the minimum level that is emitted (thread-unsafe setter; call once
-/// at startup).
+/// Sets the minimum level that is emitted. Safe to call from any thread at
+/// any time: the level is an atomic, so worker threads spawned by the
+/// thread pool observe changes without tearing.
 void SetLogLevel(LogLevel level);
 
 /// Returns the current minimum level.

@@ -1,0 +1,101 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+namespace imcf {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) threads = HardwareThreads();
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+int ThreadPool::HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock,
+                           [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(int threads, int n, const std::function<void(int)>& body) {
+  if (n <= 0) return;
+  if (threads <= 0) threads = ThreadPool::HardwareThreads();
+  if (threads > n) threads = n;
+  if (threads <= 1 || n <= 1) {
+    for (int i = 0; i < n; ++i) body(i);
+    return;
+  }
+  // Dynamic chunking over a shared counter: items are claimed one at a time
+  // so an expensive item (a dorms-scale simulation run) doesn't serialize a
+  // whole static stripe behind it. Each item still writes only to its own
+  // index, so scheduling order never shows in the results.
+  ThreadPool pool(threads);
+  ParallelFor(&pool, n, body);
+}
+
+void ParallelFor(ThreadPool* pool, int n,
+                 const std::function<void(int)>& body) {
+  if (n <= 0) return;
+  if (pool == nullptr || pool->thread_count() <= 1 || n <= 1) {
+    for (int i = 0; i < n; ++i) body(i);
+    return;
+  }
+  const int claimers = std::min(pool->thread_count(), n);
+  std::atomic<int> next{0};
+  for (int w = 0; w < claimers; ++w) {
+    pool->Submit([&body, &next, n] {
+      for (int i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        body(i);
+      }
+    });
+  }
+  pool->Wait();
+}
+
+}  // namespace imcf

@@ -1,0 +1,78 @@
+// Fixed-size worker pool for deterministic fan-out of independent work.
+//
+// IMCF's simulation workload decomposes into embarrassingly-parallel items —
+// (policy, dataset-replica, repetition) cells and independent slot problems —
+// that share no mutable state. The pool runs a classic work queue over a
+// fixed set of worker threads; ParallelFor partitions an index range so the
+// result slot of each item is fixed by its index, never by scheduling order.
+//
+// Determinism contract: tasks must derive any randomness from their index
+// (e.g. Rng(MixHash(seed, task_index))) and write only to per-index output
+// slots. Under that contract a ParallelFor over n items produces bit-identical
+// results for any thread count, including the serial threads==1 path, which
+// runs inline without touching a thread.
+
+#ifndef IMCF_COMMON_THREAD_POOL_H_
+#define IMCF_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace imcf {
+
+/// Fixed pool of worker threads consuming a FIFO work queue. Threads start
+/// in the constructor and join in the destructor; Submit after shutdown is
+/// a programming error (the task is silently dropped).
+class ThreadPool {
+ public:
+  /// Creates `threads` workers. `threads <= 0` selects the hardware
+  /// concurrency (at least 1).
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task. Tasks run in FIFO dequeue order but complete in
+  /// arbitrary order; synchronize through Wait() or per-slot outputs.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  /// Number of worker threads the hardware supports (>= 1).
+  static int HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int in_flight_ = 0;  // queued + executing tasks
+  bool shutdown_ = false;
+};
+
+/// Runs body(i) for every i in [0, n) across up to `threads` workers.
+/// `threads <= 1` (or n <= 1) executes inline on the caller's thread in
+/// index order — the serial reference path. Exceptions thrown by `body`
+/// terminate (tasks run on detached-from-caller stacks); keep bodies
+/// noexcept in spirit and report failures through their output slots.
+void ParallelFor(int threads, int n, const std::function<void(int)>& body);
+
+/// ParallelFor over an existing pool (amortizes thread startup across many
+/// loops, e.g. benchmark iterations). `pool == nullptr` runs inline.
+void ParallelFor(ThreadPool* pool, int n, const std::function<void(int)>& body);
+
+}  // namespace imcf
+
+#endif  // IMCF_COMMON_THREAD_POOL_H_

@@ -54,7 +54,7 @@ PlanOutcome SimulatedAnnealingPlanner::PlanSlot(const SlotEvaluator& evaluator,
                rng->UniformDouble() < std::exp(-delta / std::max(temperature, 1e-9));
     }
     if (accept) {
-      for (int i : flips) current.flip(static_cast<size_t>(i));
+      evaluator.ApplyFlips(&current, flips);
       current_obj = candidate;
       current_feasible = candidate_feasible;
       const bool better_than_best =

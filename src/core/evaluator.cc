@@ -1,5 +1,6 @@
 #include "core/evaluator.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace imcf {
@@ -29,43 +30,104 @@ SlotEvaluator::SlotEvaluator(const SlotProblem* problem) : problem_(problem) {
     active_of_rule_[static_cast<size_t>(rule.rule_index)] =
         static_cast<int>(i);
   }
+
+  // Winner scans early-exit at the first adopted member when the member
+  // list is ordered by table position descending.
+  for (std::vector<int>& member_ids : members_) {
+    std::sort(member_ids.begin(), member_ids.end(), [this](int a, int b) {
+      return problem_->active[static_cast<size_t>(a)].rule_index >
+             problem_->active[static_cast<size_t>(b)].rule_index;
+    });
+  }
+
+  // Pre-tabulate every group contribution: a group's energy and error
+  // depend only on which member wins (losers and non-adopted members are
+  // both measured against the winner's setpoint; with no winner every
+  // member contributes its drop error).
+  contrib_offset_.resize(members_.size());
+  for (size_t g = 0; g < members_.size(); ++g) {
+    const std::vector<int>& member_ids = members_[g];
+    contrib_offset_[g] = static_cast<int>(contrib_.size());
+    Objectives none;
+    for (int id : member_ids) {
+      none.error_sum += problem_->active[static_cast<size_t>(id)].drop_error;
+    }
+    contrib_.push_back(none);
+    for (int winner_id : member_ids) {
+      const ActiveRule& winner =
+          problem_->active[static_cast<size_t>(winner_id)];
+      Objectives entry;
+      entry.energy_kwh = winner.energy_kwh;
+      for (int id : member_ids) {
+        if (id == winner_id) continue;  // the winner holds its setpoint
+        const ActiveRule& rule = problem_->active[static_cast<size_t>(id)];
+        entry.error_sum +=
+            NormalizedError(rule.type, rule.desired, winner.desired);
+      }
+      contrib_.push_back(entry);
+    }
+  }
+
+  group_cache_.resize(members_.size());
+  group_winner_.assign(members_.size(), -1);
+  // cache_solution_ starts empty (size 0 != n_rules unless the problem is
+  // trivial), so every group reads as stale until the first Evaluate.
 }
 
-Objectives SlotEvaluator::EvaluateGroup(const Solution& s, int group) const {
-  Objectives out;
+int SlotEvaluator::WinnerPos(const Solution& s, int group) const {
   const std::vector<int>& member_ids = members_[static_cast<size_t>(group)];
-  if (member_ids.empty()) return out;
-
-  // The adopted rule latest in the table drives the device.
-  const ActiveRule* winner = nullptr;
-  for (int id : member_ids) {
-    const ActiveRule& rule = problem_->active[static_cast<size_t>(id)];
+  for (size_t k = 0; k < member_ids.size(); ++k) {
+    const ActiveRule& rule =
+        problem_->active[static_cast<size_t>(member_ids[k])];
     if (s.adopted(static_cast<size_t>(rule.rule_index))) {
-      if (winner == nullptr || rule.rule_index > winner->rule_index) {
-        winner = &rule;
-      }
+      return static_cast<int>(k);
     }
   }
-  if (winner != nullptr) out.energy_kwh = winner->energy_kwh;
+  return -1;
+}
 
-  for (int id : member_ids) {
-    const ActiveRule& rule = problem_->active[static_cast<size_t>(id)];
-    if (winner == nullptr) {
-      out.error_sum += rule.drop_error;
-    } else if (&rule != winner) {
-      out.error_sum += NormalizedError(rule.type, rule.desired,
-                                       winner->desired);
-    }
-    // The winner's own error is zero: the device holds its desired value.
+bool SlotEvaluator::GroupFresh(const Solution& s, int group) const {
+  if (cache_solution_.size() != s.size()) return false;
+  for (int id : members_[static_cast<size_t>(group)]) {
+    const size_t r = static_cast<size_t>(
+        problem_->active[static_cast<size_t>(id)].rule_index);
+    if (s.adopted(r) != cache_solution_.adopted(r)) return false;
   }
-  return out;
+  return true;
+}
+
+void SlotEvaluator::RefreshGroup(const Solution& s, int group) const {
+  const int pos = WinnerPos(s, group);
+  group_cache_[static_cast<size_t>(group)] = GroupContribution(group, pos);
+  group_winner_[static_cast<size_t>(group)] = pos;
+  for (int id : members_[static_cast<size_t>(group)]) {
+    const size_t r = static_cast<size_t>(
+        problem_->active[static_cast<size_t>(id)].rule_index);
+    cache_solution_.set(r, s.adopted(r));
+  }
+}
+
+Objectives SlotEvaluator::EvaluateNoSync(const Solution& s) const {
+  Objectives total;
+  total.energy_kwh = problem_->base_energy_kwh;
+  for (size_t g = 0; g < members_.size(); ++g) {
+    const Objectives& group =
+        GroupContribution(static_cast<int>(g), WinnerPos(s, static_cast<int>(g)));
+    total.energy_kwh += group.energy_kwh;
+    total.error_sum += group.error_sum;
+  }
+  return total;
 }
 
 Objectives SlotEvaluator::Evaluate(const Solution& s) const {
   Objectives total;
   total.energy_kwh = problem_->base_energy_kwh;
+  cache_solution_ = s;
   for (size_t g = 0; g < members_.size(); ++g) {
-    const Objectives group = EvaluateGroup(s, static_cast<int>(g));
+    const int pos = WinnerPos(s, static_cast<int>(g));
+    const Objectives& group = GroupContribution(static_cast<int>(g), pos);
+    group_cache_[g] = group;
+    group_winner_[g] = pos;
     total.energy_kwh += group.energy_kwh;
     total.error_sum += group.error_sum;
   }
@@ -95,27 +157,55 @@ Objectives SlotEvaluator::EvaluateWithFlips(
   }
   if (n_touched == 16) {
     // Degenerate (k too large for the fast path): fall back to a full
-    // evaluation with the flips applied.
+    // evaluation of a flipped copy, leaving the cache bound to *s.
     Solution flipped = *s;
     for (int rule_index : flips) flipped.flip(static_cast<size_t>(rule_index));
-    return Evaluate(flipped);
+    return EvaluateNoSync(flipped);
   }
 
   Objectives out = base;
-  // Remove old group contributions, apply flips, add new contributions.
+  // Remove old group contributions (cached when fresh), apply flips, add
+  // new contributions, revert.
   for (int i = 0; i < n_touched; ++i) {
-    const Objectives before = EvaluateGroup(*s, touched[i]);
+    const Objectives& before =
+        GroupFresh(*s, touched[i])
+            ? group_cache_[static_cast<size_t>(touched[i])]
+            : GroupContribution(touched[i], WinnerPos(*s, touched[i]));
     out.energy_kwh -= before.energy_kwh;
     out.error_sum -= before.error_sum;
   }
   for (int rule_index : flips) s->flip(static_cast<size_t>(rule_index));
   for (int i = 0; i < n_touched; ++i) {
-    const Objectives after = EvaluateGroup(*s, touched[i]);
+    const Objectives& after =
+        GroupContribution(touched[i], WinnerPos(*s, touched[i]));
     out.energy_kwh += after.energy_kwh;
     out.error_sum += after.error_sum;
   }
   for (int rule_index : flips) s->flip(static_cast<size_t>(rule_index));
   return out;
+}
+
+void SlotEvaluator::ApplyFlips(Solution* s,
+                               const std::vector<int>& flips) const {
+  for (int rule_index : flips) s->flip(static_cast<size_t>(rule_index));
+  if (cache_solution_.size() != s->size()) {
+    // The cache was never synchronized with a solution of this shape;
+    // Evaluate() is the designated sync point.
+    Evaluate(*s);
+    return;
+  }
+  touched_scratch_.clear();
+  for (int rule_index : flips) {
+    const int active_id = active_of_rule_[static_cast<size_t>(rule_index)];
+    if (active_id < 0) continue;
+    const int group =
+        problem_->active[static_cast<size_t>(active_id)].group;
+    if (std::find(touched_scratch_.begin(), touched_scratch_.end(), group) ==
+        touched_scratch_.end()) {
+      touched_scratch_.push_back(group);
+    }
+  }
+  for (int group : touched_scratch_) RefreshGroup(*s, group);
 }
 
 Objectives SlotEvaluator::NoRuleObjectives() const {
@@ -129,7 +219,7 @@ Objectives SlotEvaluator::NoRuleObjectives() const {
 
 Objectives SlotEvaluator::AllRulesObjectives() const {
   Solution all_ones(static_cast<size_t>(problem_->n_rules), 1);
-  return Evaluate(all_ones);
+  return EvaluateNoSync(all_ones);
 }
 
 }  // namespace core

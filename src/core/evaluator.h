@@ -9,6 +9,20 @@
 // ambient value. With the paper's Table II (disjoint windows per device)
 // every group has at most one active rule, and this reduces exactly to the
 // additive form of Eqs. (1)-(2).
+//
+// A group's contribution therefore depends only on the identity of its
+// winner. The constructor precomputes the contribution for every possible
+// winner (and the no-winner case) per group, member lists are sorted by
+// rule_index descending so the winner scan early-exits at the first adopted
+// member, and an incremental cache keeps per-group contributions plus the
+// current winner index synchronized with the planner's working solution so
+// EvaluateWithFlips subtracts "before" contributions in O(1) per touched
+// group.
+//
+// Thread-safety: the incremental cache is internal mutable state, so a
+// SlotEvaluator instance must not be shared across threads. Construction is
+// cheap — the parallel simulation layer builds one evaluator per (thread,
+// slot) and never shares them.
 
 #ifndef IMCF_CORE_EVALUATOR_H_
 #define IMCF_CORE_EVALUATOR_H_
@@ -21,22 +35,35 @@
 namespace imcf {
 namespace core {
 
-/// Evaluator bound to one SlotProblem. Groups are pre-indexed so full
-/// evaluation is O(active) and k-flip delta evaluation is O(k · group).
+/// Evaluator bound to one SlotProblem. Groups are pre-indexed and their
+/// winner contributions pre-tabulated, so full evaluation is O(groups +
+/// winner scans) and k-flip delta evaluation is O(k) cache lookups plus k
+/// early-exit winner scans.
 class SlotEvaluator {
  public:
   explicit SlotEvaluator(const SlotProblem* problem);
 
-  /// Full evaluation of `s` on the slot.
+  /// Full evaluation of `s` on the slot. Also resynchronizes the
+  /// incremental cache to `s` (Evaluate is the cache's sync point).
   Objectives Evaluate(const Solution& s) const;
 
   /// Objectives after flipping `flips` (indices into the solution vector)
   /// on top of `*s`, given `s`'s objectives `base`. Only the groups touched
-  /// by the flipped rules are recomputed. The flips are applied and then
-  /// reverted, so `*s` is unchanged on return (the pointer makes the
-  /// transient mutation explicit).
+  /// by the flipped rules are recomputed; their "before" contributions come
+  /// from the incremental cache when it is fresh for the group (the cached
+  /// path) and from a winner rescan otherwise (the fallback path). The
+  /// flips are applied and then reverted, so `*s` is unchanged on return
+  /// (the pointer makes the transient mutation explicit).
   Objectives EvaluateWithFlips(Solution* s, const Objectives& base,
                                const std::vector<int>& flips) const;
+
+  /// Permanently applies `flips` to `*s` — the accept step of a local
+  /// search move — and updates the incremental cache for the touched
+  /// groups, keeping cached contributions in sync with the new solution.
+  /// Equivalent to flipping the bits by hand, but preserves cache
+  /// freshness so subsequent EvaluateWithFlips calls stay on the O(1)
+  /// cached path.
+  void ApplyFlips(Solution* s, const std::vector<int>& flips) const;
 
   /// Objectives of the empty (all-zeros) solution: ambient everywhere.
   Objectives NoRuleObjectives() const;
@@ -59,14 +86,49 @@ class SlotEvaluator {
   }
 
  private:
-  /// Energy and error contribution of one device group under `s`.
-  Objectives EvaluateGroup(const Solution& s, int group) const;
+  /// Position in members_[group] of the winning member under `s`, or -1
+  /// when no member is adopted. Members are sorted by rule_index
+  /// descending, so the scan stops at the first adopted member.
+  int WinnerPos(const Solution& s, int group) const;
+
+  /// Pre-tabulated contribution of `group` when members_[group][winner_pos]
+  /// wins (winner_pos == -1 selects the no-winner entry).
+  const Objectives& GroupContribution(int group, int winner_pos) const {
+    return contrib_[static_cast<size_t>(
+        contrib_offset_[static_cast<size_t>(group)] + 1 + winner_pos)];
+  }
+
+  /// Full evaluation without touching the cache (used by the degenerate
+  /// many-groups fallback, which evaluates a transient flipped copy).
+  Objectives EvaluateNoSync(const Solution& s) const;
+
+  /// Whether the cached contribution of `group` is valid for `s` (the
+  /// cache mirror agrees with `s` on every member bit of the group).
+  bool GroupFresh(const Solution& s, int group) const;
+
+  /// Recomputes and stores the cache entry of `group` for `*s` and aligns
+  /// the cache mirror's member bits.
+  void RefreshGroup(const Solution& s, int group) const;
 
   const SlotProblem* problem_;  // not owned
-  /// active-rule indices per group.
+  /// active-rule indices per group, sorted by rule_index descending.
   std::vector<std::vector<int>> members_;
   /// rule_index -> position in problem_->active (or -1 if inactive).
   std::vector<int> active_of_rule_;
+  /// Winner-contribution table: for group g, contrib_[offset[g]] is the
+  /// no-winner contribution and contrib_[offset[g] + 1 + k] the
+  /// contribution when members_[g][k] wins.
+  std::vector<Objectives> contrib_;
+  std::vector<int> contrib_offset_;
+
+  // Incremental cache (see header comment). `cache_solution_` mirrors the
+  // solution the cache was last synchronized with; freshness is checked
+  // per group on the member bits only, so the cache self-heals when a
+  // caller mutates the solution without ApplyFlips.
+  mutable Solution cache_solution_;
+  mutable std::vector<Objectives> group_cache_;
+  mutable std::vector<int> group_winner_;
+  mutable std::vector<int> touched_scratch_;
 };
 
 }  // namespace core

@@ -1,6 +1,7 @@
 #include "core/hill_climber.h"
 
 #include <algorithm>
+#include <numeric>
 
 namespace imcf {
 namespace core {
@@ -19,12 +20,28 @@ void SampleDistinct(int n, int k, Rng* rng, std::vector<int>* out) {
     for (int i = 0; i < n; ++i) out->push_back(i);
     return;
   }
-  // Rejection sampling: k is small relative to n in every experiment.
-  while (static_cast<int>(out->size()) < k) {
-    const int candidate = static_cast<int>(rng->UniformInt(0, n - 1));
-    if (std::find(out->begin(), out->end(), candidate) == out->end()) {
-      out->push_back(candidate);
+  if (4 * k < n) {
+    // Rejection sampling: with k a small fraction of n (the usual case —
+    // the EP flips up to 8 of dozens-to-hundreds of rules) the expected
+    // number of retries is negligible and no scratch allocation is needed.
+    while (static_cast<int>(out->size()) < k) {
+      const int candidate = static_cast<int>(rng->UniformInt(0, n - 1));
+      if (std::find(out->begin(), out->end(), candidate) == out->end()) {
+        out->push_back(candidate);
+      }
     }
+    return;
+  }
+  // Dense samples: rejection degrades toward quadratic as k approaches n
+  // (the last draws mostly hit already-taken indices), so run a partial
+  // Fisher–Yates shuffle instead — exactly k swaps, uniform without
+  // retries.
+  std::vector<int> pool(static_cast<size_t>(n));
+  std::iota(pool.begin(), pool.end(), 0);
+  for (int i = 0; i < k; ++i) {
+    const int j = static_cast<int>(rng->UniformInt(i, n - 1));
+    std::swap(pool[static_cast<size_t>(i)], pool[static_cast<size_t>(j)]);
+    out->push_back(pool[static_cast<size_t>(i)]);
   }
 }
 
@@ -63,7 +80,8 @@ void GreedyRepair(const SlotEvaluator& evaluator, double budget,
       }
     }
     if (best_rule < 0) break;  // nothing adopted frees energy
-    outcome->solution.flip(static_cast<size_t>(best_rule));
+    single_flip[0] = best_rule;
+    evaluator.ApplyFlips(&outcome->solution, single_flip);
     outcome->objectives = best_candidate;
   }
   // Full re-evaluation clears the incremental deltas' float residue.
@@ -115,7 +133,7 @@ PlanOutcome HillClimbingPlanner::PlanSlot(const SlotEvaluator& evaluator,
                candidate.energy_kwh < outcome.objectives.energy_kwh;
     }
     if (accept) {
-      for (int i : flips) outcome.solution.flip(static_cast<size_t>(i));
+      evaluator.ApplyFlips(&outcome.solution, flips);
       outcome.objectives = candidate;
       outcome.feasible = candidate_feasible;
     }

@@ -1,9 +1,11 @@
 #include "sim/simulation.h"
 
 #include <chrono>
+#include <optional>
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "core/slot_problem.h"
 
 namespace imcf {
@@ -540,17 +542,53 @@ Result<SimulationReport> Simulator::Run(Policy policy, int rep) const {
   return report;
 }
 
-Result<RepeatedReport> Simulator::RunRepeated(Policy policy,
-                                              int repetitions) const {
-  RepeatedReport out;
-  out.dataset = options_.spec.name;
-  out.policy = PolicyName(policy);
-  for (int rep = 0; rep < repetitions; ++rep) {
-    IMCF_ASSIGN_OR_RETURN(SimulationReport report, Run(policy, rep));
-    out.fce_pct.Add(report.fce_pct);
-    out.fe_kwh.Add(report.fe_kwh);
-    out.ft_seconds.Add(report.ft_seconds);
-    out.co2_kg.Add(report.co2_kg);
+Result<RepeatedReport> Simulator::RunRepeated(Policy policy, int repetitions,
+                                              int threads) const {
+  IMCF_ASSIGN_OR_RETURN(std::vector<RepeatedReport> grid,
+                        RunGrid({policy}, repetitions, threads));
+  return std::move(grid[0]);
+}
+
+Result<std::vector<RepeatedReport>> Simulator::RunGrid(
+    const std::vector<Policy>& policies, int repetitions, int threads) const {
+  if (!prepared_) {
+    return Status::FailedPrecondition("call Prepare() before RunGrid()");
+  }
+  if (threads == 0) threads = options_.threads;
+
+  // Fan the (policy, repetition) grid out as independent work items. Each
+  // item derives its random streams from its own (policy, rep) coordinates
+  // — never from a shared generator — and writes only to its own slot, so
+  // the grid is bit-identical for every thread count (including the inline
+  // threads==1 path of ParallelFor).
+  const int n_cells = static_cast<int>(policies.size()) * repetitions;
+  std::vector<std::optional<Result<SimulationReport>>> cells(
+      static_cast<size_t>(n_cells));
+  ParallelFor(threads, n_cells, [this, &policies, repetitions, &cells](int i) {
+    const Policy policy = policies[static_cast<size_t>(i / repetitions)];
+    const int rep = i % repetitions;
+    cells[static_cast<size_t>(i)].emplace(Run(policy, rep));
+  });
+
+  // Aggregate in (policy, rep) order regardless of completion order.
+  std::vector<RepeatedReport> out;
+  out.reserve(policies.size());
+  for (size_t p = 0; p < policies.size(); ++p) {
+    RepeatedReport agg;
+    agg.dataset = options_.spec.name;
+    agg.policy = PolicyName(policies[p]);
+    for (int rep = 0; rep < repetitions; ++rep) {
+      Result<SimulationReport>& cell =
+          *cells[p * static_cast<size_t>(repetitions) +
+                 static_cast<size_t>(rep)];
+      IMCF_RETURN_IF_ERROR(cell.status());
+      const SimulationReport& report = *cell;
+      agg.fce_pct.Add(report.fce_pct);
+      agg.fe_kwh.Add(report.fe_kwh);
+      agg.ft_seconds.Add(report.ft_seconds);
+      agg.co2_kg.Add(report.co2_kg);
+    }
+    out.push_back(std::move(agg));
   }
   return out;
 }

@@ -89,6 +89,13 @@ struct SimulationOptions {
   /// Grid mix for CO2 accounting (always reported) and for the tilt.
   energy::CarbonProfileOptions carbon;
   uint64_t seed = 1;                ///< master seed (MRT variation, planner)
+  /// Worker threads for fanning out independent repetitions in
+  /// RunRepeated. 1 (the default) keeps the serial reference path; 0
+  /// selects the hardware concurrency. Every repetition derives its random
+  /// streams from MixHash(seed, rep, policy) and is aggregated in
+  /// repetition order, so results are bit-identical for every thread
+  /// count (see DESIGN.md §Concurrency).
+  int threads = 1;
 };
 
 /// Results of one simulation run.
@@ -132,8 +139,21 @@ class Simulator {
   /// Runs one policy once. `rep` seeds the per-repetition random streams.
   Result<SimulationReport> Run(Policy policy, int rep = 0) const;
 
-  /// Runs `repetitions` independent runs (the paper uses ten).
-  Result<RepeatedReport> RunRepeated(Policy policy, int repetitions) const;
+  /// Runs `repetitions` independent runs (the paper uses ten). Repetitions
+  /// fan out across `threads` workers (0 selects options().threads; 1 is
+  /// the inline serial path); per-repetition seeding makes the aggregate
+  /// bit-identical for every thread count.
+  Result<RepeatedReport> RunRepeated(Policy policy, int repetitions,
+                                     int threads = 0) const;
+
+  /// Runs every (policy, repetition) cell of `policies`, fanning the whole
+  /// grid out across `threads` workers. Returns one RepeatedReport per
+  /// policy, in the order given. Equivalent to calling RunRepeated per
+  /// policy; the flat grid keeps all cores busy when some policies are much
+  /// cheaper than others.
+  Result<std::vector<RepeatedReport>> RunGrid(
+      const std::vector<Policy>& policies, int repetitions,
+      int threads = 0) const;
 
   /// Re-tunes the EP/SA parameters between runs (Figs. 7/8 sweeps reuse
   /// one prepared simulator).

@@ -1,0 +1,111 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace imcf {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.thread_count(), 4);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(count.load(), 100);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    // No Wait(): shutdown must still run everything already queued.
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  std::atomic<int> count{0};
+  ThreadPool pool(3);
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(count.load(), (round + 1) * 20);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroThreadsSelectsHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1);
+}
+
+TEST(ParallelForTest, CoversExactlyTheRange) {
+  std::vector<int> hits(257, 0);
+  ParallelFor(4, 257, [&hits](int i) { hits[static_cast<size_t>(i)]++; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelForTest, SerialPathRunsInline) {
+  std::vector<int> order;
+  ParallelFor(1, 5, [&order](int i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoOp) {
+  ParallelFor(4, 0, [](int) { FAIL() << "body must not run"; });
+  ParallelFor(4, -3, [](int) { FAIL() << "body must not run"; });
+}
+
+// The determinism contract: per-index RNG streams make the parallel result
+// bit-identical to the serial one for every thread count.
+TEST(ParallelForTest, IndexSeededStreamsAreThreadCountInvariant) {
+  constexpr int kItems = 64;
+  const uint64_t seed = 0xfeedULL;
+  auto run = [&](int threads) {
+    std::vector<double> out(kItems, 0.0);
+    ParallelFor(threads, kItems, [&out, seed](int i) {
+      Rng rng(MixHash(seed, static_cast<uint64_t>(i)));
+      double acc = 0.0;
+      for (int draw = 0; draw < 100; ++draw) acc += rng.UniformDouble();
+      out[static_cast<size_t>(i)] = acc;
+    });
+    return out;
+  };
+  const std::vector<double> serial = run(1);
+  for (int threads : {2, 3, 4, 8}) {
+    const std::vector<double> parallel = run(threads);
+    for (int i = 0; i < kItems; ++i) {
+      EXPECT_EQ(serial[static_cast<size_t>(i)],
+                parallel[static_cast<size_t>(i)])
+          << "item " << i << " with " << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelForTest, ReusedPoolOverloadMatchesFreshPool) {
+  ThreadPool pool(4);
+  std::vector<int> out(100, 0);
+  for (int round = 0; round < 3; ++round) {
+    ParallelFor(&pool, 100, [&out, round](int i) {
+      out[static_cast<size_t>(i)] = i + round;
+    });
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(out[static_cast<size_t>(i)], i + round);
+  }
+}
+
+}  // namespace
+}  // namespace imcf

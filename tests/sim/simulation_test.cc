@@ -168,6 +168,50 @@ TEST(SimulatorTest, RunRepeatedAggregatesStats) {
   EXPECT_EQ(repeated->policy, "EP");
 }
 
+TEST(SimulatorTest, ParallelRunRepeatedIsBitIdenticalToSerial) {
+  // The determinism contract of the parallel substrate: repetitions derive
+  // their streams from (seed, rep, policy) and aggregate in rep order, so
+  // every thread count reproduces the serial metrics bit for bit (F_T is a
+  // wall-clock measurement and is excluded).
+  SimulationOptions options = TightFlat();
+  options.hours = 30 * 24;  // keep 4 threads × reps affordable
+  Simulator simulator(options);
+  ASSERT_TRUE(simulator.Prepare().ok());
+  const auto serial = simulator.RunRepeated(Policy::kEnergyPlanner, 3,
+                                            /*threads=*/1);
+  ASSERT_TRUE(serial.ok());
+  for (int threads : {2, 4}) {
+    const auto parallel =
+        simulator.RunRepeated(Policy::kEnergyPlanner, 3, threads);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_DOUBLE_EQ(parallel->fce_pct.mean(), serial->fce_pct.mean());
+    EXPECT_DOUBLE_EQ(parallel->fce_pct.stddev(), serial->fce_pct.stddev());
+    EXPECT_DOUBLE_EQ(parallel->fe_kwh.mean(), serial->fe_kwh.mean());
+    EXPECT_DOUBLE_EQ(parallel->fe_kwh.stddev(), serial->fe_kwh.stddev());
+    EXPECT_DOUBLE_EQ(parallel->co2_kg.mean(), serial->co2_kg.mean());
+  }
+}
+
+TEST(SimulatorTest, RunGridMatchesPerPolicyRuns) {
+  SimulationOptions options = TightFlat();
+  options.hours = 30 * 24;
+  Simulator simulator(options);
+  ASSERT_TRUE(simulator.Prepare().ok());
+  const std::vector<Policy> policies = {Policy::kNoRule, Policy::kMetaRule,
+                                        Policy::kEnergyPlanner};
+  const auto grid = simulator.RunGrid(policies, 2, /*threads=*/4);
+  ASSERT_TRUE(grid.ok());
+  ASSERT_EQ(grid->size(), 3u);
+  for (size_t p = 0; p < policies.size(); ++p) {
+    const auto one = simulator.RunRepeated(policies[p], 2, /*threads=*/1);
+    ASSERT_TRUE(one.ok());
+    EXPECT_EQ((*grid)[p].policy, one->policy);
+    EXPECT_DOUBLE_EQ((*grid)[p].fce_pct.mean(), one->fce_pct.mean());
+    EXPECT_DOUBLE_EQ((*grid)[p].fe_kwh.mean(), one->fe_kwh.mean());
+    EXPECT_DOUBLE_EQ((*grid)[p].co2_kg.mean(), one->co2_kg.mean());
+  }
+}
+
 TEST(SimulatorTest, VariedDatasetsHaveConflictsUnderMr) {
   // House MRT variation can shift same-device windows into overlap; MR
   // still reports ~zero error because losers measure against winners.
