@@ -16,7 +16,7 @@ namespace imcf {
 namespace bench {
 namespace {
 
-void RunCellWith(const trace::DatasetSpec& spec,
+void RunCellWith(Report* report, const trace::DatasetSpec& spec,
                  energy::AmortizationKind kind, bool carryover,
                  const char* label) {
   sim::SimulationOptions options;
@@ -27,22 +27,30 @@ void RunCellWith(const trace::DatasetSpec& spec,
   CheckOk(simulator.Prepare());
   const sim::RepeatedReport cell =
       RunCell(simulator, sim::Policy::kEnergyPlanner);
-  std::printf("%-18s %16s %22s\n", label, Cell(cell.fce_pct).c_str(),
-              Cell(cell.fe_kwh, 1).c_str());
+  std::printf("%-18s %16s %22s\n", label,
+              report->Cell(spec.name, label, "fce_pct", cell.fce_pct).c_str(),
+              report->Cell(spec.name, label, "fe_kwh", cell.fe_kwh, 1)
+                  .c_str());
 }
 
 void Run() {
   PrintHeader("Ablation A1 — Amortization formula and budget banking (EP)",
               "design choices behind Alg. 1 lines 2-5 (LAF/BLAF/EAF)");
+  Report report("ablation_amortization");
 
   const trace::DatasetSpec spec = trace::FlatSpec();
   std::printf("\n--- dataset: flat, budget %.0f kWh ---\n", spec.budget_kwh);
   std::printf("%-18s %16s %22s\n", "configuration", "F_CE [%]", "F_E [kWh]");
-  RunCellWith(spec, energy::AmortizationKind::kEaf, true, "EAF + banking");
-  RunCellWith(spec, energy::AmortizationKind::kBlaf, true, "BLAF + banking");
-  RunCellWith(spec, energy::AmortizationKind::kLaf, true, "LAF + banking");
-  RunCellWith(spec, energy::AmortizationKind::kEaf, false, "EAF, no banking");
-  RunCellWith(spec, energy::AmortizationKind::kLaf, false, "LAF, no banking");
+  RunCellWith(&report, spec, energy::AmortizationKind::kEaf, true,
+              "EAF + banking");
+  RunCellWith(&report, spec, energy::AmortizationKind::kBlaf, true,
+              "BLAF + banking");
+  RunCellWith(&report, spec, energy::AmortizationKind::kLaf, true,
+              "LAF + banking");
+  RunCellWith(&report, spec, energy::AmortizationKind::kEaf, false,
+              "EAF, no banking");
+  RunCellWith(&report, spec, energy::AmortizationKind::kLaf, false,
+              "LAF, no banking");
 
   std::printf("\nexpected shape: EAF <= BLAF <= LAF on F_CE under banking; "
               "removing the bank sharply raises F_CE at similar or lower "

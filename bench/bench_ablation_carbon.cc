@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/strings.h"
 #include "energy/load_scheduler.h"
 
 namespace imcf {
@@ -19,6 +20,7 @@ namespace {
 void Run() {
   PrintHeader("Ablation A3 — Carbon-aware budget tilt (EP, alpha sweep)",
               "paper §V future work: CO2-aware planning");
+  Report report("ablation_carbon");
 
   const trace::DatasetSpec spec = trace::FlatSpec();
   std::printf("\n--- dataset: flat, budget %.0f kWh ---\n", spec.budget_kwh);
@@ -34,10 +36,13 @@ void Run() {
     const sim::RepeatedReport cell =
         RunCell(simulator, sim::Policy::kEnergyPlanner);
     if (alpha == 0.0) baseline_co2 = cell.co2_kg.mean();
-    std::printf("%-7.2f %14s %20s %14s (%+.1f%%)\n", alpha,
-                Cell(cell.fce_pct).c_str(), Cell(cell.fe_kwh, 1).c_str(),
-                Cell(cell.co2_kg, 1).c_str(),
-                100.0 * (cell.co2_kg.mean() - baseline_co2) / baseline_co2);
+    const std::string row = StrFormat("alpha=%.2f", alpha);
+    std::printf(
+        "%-7.2f %14s %20s %14s (%+.1f%%)\n", alpha,
+        report.Cell("deep_bank", row, "fce_pct", cell.fce_pct).c_str(),
+        report.Cell("deep_bank", row, "fe_kwh", cell.fe_kwh, 1).c_str(),
+        report.Cell("deep_bank", row, "co2_kg", cell.co2_kg, 1).c_str(),
+        100.0 * (cell.co2_kg.mean() - baseline_co2) / baseline_co2);
   }
 
   // With the default deep net-metering bank, slot budgets rarely bind and
@@ -57,11 +62,13 @@ void Run() {
     const sim::RepeatedReport cell =
         RunCell(simulator, sim::Policy::kEnergyPlanner);
     if (alpha == 0.0) shallow_baseline = cell.co2_kg.mean();
-    std::printf("%-7.2f %14s %20s %14s (%+.1f%%)\n", alpha,
-                Cell(cell.fce_pct).c_str(), Cell(cell.fe_kwh, 1).c_str(),
-                Cell(cell.co2_kg, 1).c_str(),
-                100.0 * (cell.co2_kg.mean() - shallow_baseline) /
-                    shallow_baseline);
+    const std::string row = StrFormat("alpha=%.2f", alpha);
+    std::printf(
+        "%-7.2f %14s %20s %14s (%+.1f%%)\n", alpha,
+        report.Cell("shallow_bank", row, "fce_pct", cell.fce_pct).c_str(),
+        report.Cell("shallow_bank", row, "fe_kwh", cell.fe_kwh, 1).c_str(),
+        report.Cell("shallow_bank", row, "co2_kg", cell.co2_kg, 1).c_str(),
+        100.0 * (cell.co2_kg.mean() - shallow_baseline) / shallow_baseline);
   }
 
   // Shiftable workloads are where carbon-awareness has real leverage:
@@ -97,8 +104,15 @@ void Run() {
     }
   }
   std::printf("%-14s %14s %16s\n", "placement", "CO2 [kg]", "vs naive");
-  std::printf("%-14s %14.1f %16s\n", "earliest", naive_co2 / 1000.0, "--");
-  std::printf("%-14s %14.1f %14.1f%%\n", "carbon-aware", aware_co2 / 1000.0,
+  std::printf("%-14s %14s %16s\n", "earliest",
+              report.Scalar("shiftable", "earliest", "co2_kg",
+                            naive_co2 / 1000.0, 1)
+                  .c_str(),
+              "--");
+  std::printf("%-14s %14s %14.1f%%\n", "carbon-aware",
+              report.Scalar("shiftable", "carbon-aware", "co2_kg",
+                            aware_co2 / 1000.0, 1)
+                  .c_str(),
               100.0 * (aware_co2 - naive_co2) / naive_co2);
   std::printf("(%.0f kWh of shiftable demand served, %d runs unplaced)\n",
               energy_kwh, unplaced);

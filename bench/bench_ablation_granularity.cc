@@ -20,6 +20,7 @@ namespace {
 void Run() {
   PrintHeader("Ablation A4 — Planning granularity (EP, slot width sweep)",
               "Algorithm 1 input t (time granularity)");
+  Report report("ablation_granularity");
 
   const trace::DatasetSpec spec = trace::FlatSpec();
   std::printf("\n--- dataset: flat, budget %.0f kWh ---\n", spec.budget_kwh);
@@ -35,9 +36,13 @@ void Run() {
         RunCell(simulator, sim::Policy::kEnergyPlanner);
     const bool within =
         cell.fe_kwh.mean() <= simulator.total_budget_kwh() + 1e-6;
-    std::printf("%-10d %14s %20s %14s %10s\n", span,
-                Cell(cell.fce_pct).c_str(), Cell(cell.fe_kwh, 1).c_str(),
-                Cell(cell.ft_seconds, 3).c_str(), within ? "yes" : "NO");
+    const std::string row = "slot_hours=" + std::to_string(span);
+    std::printf(
+        "%-10d %14s %20s %14s %10s\n", span,
+        report.Cell(spec.name, row, "fce_pct", cell.fce_pct).c_str(),
+        report.Cell(spec.name, row, "fe_kwh", cell.fe_kwh, 1).c_str(),
+        report.Cell(spec.name, row, "ft_seconds", cell.ft_seconds, 3).c_str(),
+        within ? "yes" : "NO");
   }
 
   std::printf("\nexpected shape: hourly-to-12h slots stay within budget at "

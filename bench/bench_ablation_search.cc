@@ -17,6 +17,7 @@ namespace {
 void Run() {
   PrintHeader("Ablation A2 — Hill climbing vs simulated annealing, tau_max",
               "EP optimization-step variants (paper §II-B, §IV-C)");
+  Report report("ablation_search");
 
   const trace::DatasetSpec spec = trace::FlatSpec();
   sim::SimulationOptions options;
@@ -33,9 +34,13 @@ void Run() {
     simulator.set_ep_options(ep);
     const sim::RepeatedReport cell =
         RunCell(simulator, sim::Policy::kEnergyPlanner);
-    std::printf("%-9d %16s %22s %16s\n", tau, Cell(cell.fce_pct).c_str(),
-                Cell(cell.fe_kwh, 1).c_str(),
-                Cell(cell.ft_seconds, 3).c_str());
+    const std::string row = "tau_max=" + std::to_string(tau);
+    std::printf(
+        "%-9d %16s %22s %16s\n", tau,
+        report.Cell("tau_sweep", row, "fce_pct", cell.fce_pct).c_str(),
+        report.Cell("tau_sweep", row, "fe_kwh", cell.fe_kwh, 1).c_str(),
+        report.Cell("tau_sweep", row, "ft_seconds", cell.ft_seconds, 3)
+            .c_str());
   }
 
   std::printf("\n--- hill climbing vs simulated annealing vs genetic "
@@ -43,16 +48,22 @@ void Run() {
   std::printf("%-9s %16s %22s %16s\n", "planner", "F_CE [%]", "F_E [kWh]",
               "F_T [s]");
   simulator.set_ep_options(core::EpOptions{});
-  const sim::RepeatedReport hc =
-      RunCell(simulator, sim::Policy::kEnergyPlanner);
-  std::printf("%-9s %16s %22s %16s\n", "HC", Cell(hc.fce_pct).c_str(),
-              Cell(hc.fe_kwh, 1).c_str(), Cell(hc.ft_seconds, 3).c_str());
-  const sim::RepeatedReport sa = RunCell(simulator, sim::Policy::kAnnealer);
-  std::printf("%-9s %16s %22s %16s\n", "SA", Cell(sa.fce_pct).c_str(),
-              Cell(sa.fe_kwh, 1).c_str(), Cell(sa.ft_seconds, 3).c_str());
-  const sim::RepeatedReport ga = RunCell(simulator, sim::Policy::kGenetic);
-  std::printf("%-9s %16s %22s %16s\n", "GA", Cell(ga.fce_pct).c_str(),
-              Cell(ga.fe_kwh, 1).c_str(), Cell(ga.ft_seconds, 3).c_str());
+  const struct {
+    const char* row;
+    sim::Policy policy;
+  } planners[] = {{"HC", sim::Policy::kEnergyPlanner},
+                  {"SA", sim::Policy::kAnnealer},
+                  {"GA", sim::Policy::kGenetic}};
+  for (const auto& planner : planners) {
+    const sim::RepeatedReport cell = RunCell(simulator, planner.policy);
+    std::printf(
+        "%-9s %16s %22s %16s\n", planner.row,
+        report.Cell("planners", planner.row, "fce_pct", cell.fce_pct).c_str(),
+        report.Cell("planners", planner.row, "fe_kwh", cell.fe_kwh, 1)
+            .c_str(),
+        report.Cell("planners", planner.row, "ft_seconds", cell.ft_seconds, 3)
+            .c_str());
+  }
 
   std::printf("\nexpected shape: F_T grows linearly in tau_max while F_CE "
               "stays nearly flat — the greedy repair already lands "

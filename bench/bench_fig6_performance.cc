@@ -24,6 +24,7 @@ struct PaperRow {
 void Run() {
   PrintHeader("Fig. 6 — Performance Evaluation (NR / IFTTT / EP / MR)",
               "IMCF paper §III-B, Figure 6");
+  Report report("fig6_performance");
 
   const std::vector<sim::Policy> policies = {
       sim::Policy::kNoRule, sim::Policy::kIfttt, sim::Policy::kEnergyPlanner,
@@ -44,9 +45,14 @@ void Run() {
     for (const sim::RepeatedReport& cell : RunCells(simulator, policies)) {
       const bool within =
           cell.fe_kwh.mean() <= simulator.total_budget_kwh() + 1e-6;
-      std::printf("%-7s %16s %22s %16s %8s\n", cell.policy.c_str(),
-                  Cell(cell.fce_pct).c_str(), Cell(cell.fe_kwh, 1).c_str(),
-                  Cell(cell.ft_seconds, 3).c_str(), within ? "yes" : "NO");
+      std::printf(
+          "%-7s %16s %22s %16s %8s\n", cell.policy.c_str(),
+          report.Cell(spec.name, cell.policy, "fce_pct", cell.fce_pct).c_str(),
+          report.Cell(spec.name, cell.policy, "fe_kwh", cell.fe_kwh, 1)
+              .c_str(),
+          report.Cell(spec.name, cell.policy, "ft_seconds", cell.ft_seconds, 3)
+              .c_str(),
+          within ? "yes" : "NO");
     }
   }
 

@@ -20,6 +20,7 @@ namespace {
 void Run() {
   PrintHeader("Fig. 7 — k-opt Evaluation (EP, k = 1..4)",
               "IMCF paper §III-C, Figure 7");
+  Report report("fig7_kopt");
 
   for (const trace::DatasetSpec& spec : BenchSpecs()) {
     sim::SimulationOptions options;
@@ -41,8 +42,11 @@ void Run() {
       simulator.set_ep_options(ep);
       const sim::RepeatedReport cell =
           RunCell(simulator, sim::Policy::kEnergyPlanner);
-      std::printf("%-4d %16s %22s\n", k, Cell(cell.fce_pct).c_str(),
-                  Cell(cell.fe_kwh, 1).c_str());
+      const std::string row = "k=" + std::to_string(k);
+      std::printf("%-4d %16s %22s\n", k,
+                  report.Cell(spec.name, row, "fce_pct", cell.fce_pct).c_str(),
+                  report.Cell(spec.name, row, "fe_kwh", cell.fe_kwh, 1)
+                      .c_str());
     }
   }
 

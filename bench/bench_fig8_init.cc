@@ -18,6 +18,7 @@ void Run() {
   PrintHeader(
       "Fig. 8 — Initialization Evaluation (EP, all-1s / random / all-0s)",
       "IMCF paper §III-D, Figure 8");
+  Report report("fig8_init");
 
   const core::InitStrategy strategies[] = {core::InitStrategy::kAllOnes,
                                            core::InitStrategy::kRandom,
@@ -41,8 +42,11 @@ void Run() {
       simulator.set_ep_options(ep);
       const sim::RepeatedReport cell =
           RunCell(simulator, sim::Policy::kEnergyPlanner);
-      std::printf("%-8s %16s %22s\n", core::InitStrategyName(strategy),
-                  Cell(cell.fce_pct).c_str(), Cell(cell.fe_kwh, 1).c_str());
+      const std::string row = core::InitStrategyName(strategy);
+      std::printf("%-8s %16s %22s\n", row.c_str(),
+                  report.Cell(spec.name, row, "fce_pct", cell.fce_pct).c_str(),
+                  report.Cell(spec.name, row, "fe_kwh", cell.fe_kwh, 1)
+                      .c_str());
     }
   }
 

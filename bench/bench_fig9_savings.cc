@@ -18,6 +18,7 @@ namespace {
 void Run() {
   PrintHeader("Fig. 9 — Energy Conservation Study (EP, savings 0..40%)",
               "IMCF paper §III-E, Figure 9");
+  Report report("fig9_savings");
 
   for (const trace::DatasetSpec& spec : BenchSpecs()) {
     sim::SimulationOptions options;
@@ -34,8 +35,11 @@ void Run() {
                                     energy::AmortizationKind::kEaf));
       const sim::RepeatedReport cell =
           RunCell(simulator, sim::Policy::kEnergyPlanner);
+      const std::string row = "savings=" + std::to_string(pct) + "%";
       std::printf("%6d%%   %16s %22s %10.0f\n", pct,
-                  Cell(cell.fce_pct).c_str(), Cell(cell.fe_kwh, 1).c_str(),
+                  report.Cell(spec.name, row, "fce_pct", cell.fce_pct).c_str(),
+                  report.Cell(spec.name, row, "fe_kwh", cell.fe_kwh, 1)
+                      .c_str(),
                   simulator.total_budget_kwh());
     }
   }

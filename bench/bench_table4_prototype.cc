@@ -19,6 +19,7 @@ namespace {
 void Run() {
   PrintHeader("Tables IV & V — Prototype Evaluation (one live week)",
               "IMCF paper §III-F, Tables IV and V");
+  Report json_report("table4_prototype");
 
   controller::PrototypeOptions options;
   controller::PrototypeStudy study(options);
@@ -28,8 +29,11 @@ void Run() {
   std::printf("\nTable IV — weekly system evaluation\n");
   std::printf("%-22s %18s %20s\n", "Time Duration",
               "Energy Consumption", "Convenience Error");
-  std::printf("%-22s %15.2f kWh %19.2f%%\n", "Week", report->fe_kwh,
-              report->fce_pct);
+  std::printf("%-22s %15s kWh %19s%%\n", "Week",
+              json_report.Scalar("table4", "week", "fe_kwh", report->fe_kwh)
+                  .c_str(),
+              json_report.Scalar("table4", "week", "fce_pct", report->fce_pct)
+                  .c_str());
   std::printf("  budget: %.0f kWh  within: %s\n", report->budget_kwh,
               report->within_budget ? "yes" : "NO");
   std::printf("  planner cron runs: %d   sensor refreshes: %d\n",
@@ -37,16 +41,24 @@ void Run() {
   std::printf("  commands issued: %lld   dropped by firewall: %lld\n",
               static_cast<long long>(report->commands_issued),
               static_cast<long long>(report->commands_dropped));
-  std::printf("  planner CPU time over the week: %.3f s\n",
-              report->ft_seconds);
-  std::printf("  configuration footprint: %.1f bytes / user\n",
-              report->config_bytes_per_user);
+  std::printf("  planner CPU time over the week: %s s\n",
+              json_report
+                  .Scalar("table4", "week", "ft_seconds", report->ft_seconds,
+                          3)
+                  .c_str());
+  std::printf("  configuration footprint: %s bytes / user\n",
+              json_report
+                  .Scalar("table4", "week", "config_bytes_per_user",
+                          report->config_bytes_per_user, 1)
+                  .c_str());
 
   std::printf("\nTable V — individual resident convenience error\n");
   std::printf("%-12s %20s %14s\n", "User", "Convenience Error",
               "satisfaction");
   for (const controller::ResidentReport& rr : report->residents) {
-    std::printf("%-12s %19.4f%% %13.2f%%\n", rr.name.c_str(), rr.fce_pct,
+    std::printf("%-12s %19s%% %13.2f%%\n", rr.name.c_str(),
+                json_report.Scalar("table5", rr.name, "fce_pct", rr.fce_pct, 4)
+                    .c_str(),
                 100.0 - rr.fce_pct);
   }
 

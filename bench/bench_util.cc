@@ -5,9 +5,99 @@
 
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "obs/export.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
 
 namespace imcf {
 namespace bench {
+
+Report::Report(std::string name) : name_(std::move(name)) {}
+
+Report::~Report() { WriteIfRequested(); }
+
+std::string Report::Cell(const std::string& section, const std::string& row,
+                         const std::string& metric, const RunningStat& stat,
+                         int precision) {
+  CellRecord record;
+  record.section = section;
+  record.row = row;
+  record.metric = metric;
+  record.formatted = stat.ToString(precision);
+  record.mean = stat.mean();
+  record.stddev = stat.stddev();
+  record.min = stat.min();
+  record.max = stat.max();
+  record.count = stat.count();
+  cells_.push_back(record);
+  return record.formatted;
+}
+
+std::string Report::Scalar(const std::string& section, const std::string& row,
+                           const std::string& metric, double value,
+                           int precision) {
+  CellRecord record;
+  record.section = section;
+  record.row = row;
+  record.metric = metric;
+  record.formatted = StrFormat("%.*f", precision, value);
+  record.mean = value;
+  record.min = value;
+  record.max = value;
+  record.count = 1;
+  cells_.push_back(record);
+  return record.formatted;
+}
+
+std::string Report::ToJsonString() const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String(name_);
+  w.Key("repetitions").Int(Repetitions());
+  w.Key("quick").Bool(QuickMode());
+  w.Key("threads").Int(BenchThreads());
+  w.Key("cells").BeginArray();
+  for (const CellRecord& cell : cells_) {
+    w.BeginObject();
+    w.Key("section").String(cell.section);
+    w.Key("row").String(cell.row);
+    w.Key("metric").String(cell.metric);
+    w.Key("formatted").String(cell.formatted);
+    w.Key("mean").Double(cell.mean);
+    w.Key("stddev").Double(cell.stddev);
+    w.Key("min").Double(cell.min);
+    w.Key("max").Double(cell.max);
+    w.Key("count").Int(cell.count);
+    w.EndObject();
+  }
+  w.EndArray();
+  // The instrumentation that produced the numbers above rides along.
+  w.Key("metrics").Raw(obs::ToJson(obs::MetricRegistry::Default()));
+  w.EndObject();
+  return w.str();
+}
+
+void Report::WriteIfRequested() {
+  if (written_) return;
+  const char* env = std::getenv("IMCF_BENCH_JSON");
+  if (env == nullptr || env[0] == '\0') return;
+  written_ = true;
+  std::string path(env);
+  if (!EndsWith(path, ".json")) {
+    if (!path.empty() && path.back() != '/') path += '/';
+    path += "BENCH_" + name_ + ".json";
+  }
+  const std::string body = ToJsonString();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write report to %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("report written: %s\n", path.c_str());
+}
 
 int Repetitions() {
   const char* env = std::getenv("IMCF_BENCH_REPS");

@@ -17,6 +17,62 @@
 namespace imcf {
 namespace bench {
 
+/// Machine-readable run-report for one bench binary.
+///
+/// Every table cell the bench prints is recorded here through Cell() /
+/// Scalar(), which return the exact formatted string the bench puts in the
+/// table — so the JSON report and the printed table agree by construction.
+/// Destruction (or an explicit WriteIfRequested()) writes BENCH_<name>.json
+/// when IMCF_BENCH_JSON is set: a path ending in ".json" names the file
+/// itself, anything else is a directory that receives BENCH_<name>.json.
+/// The report also embeds the full metric-registry snapshot, so planner/
+/// evaluator/pool counters ride along with the figures they explain.
+class Report {
+ public:
+  explicit Report(std::string name);
+
+  /// Not copyable (one report per bench run).
+  Report(const Report&) = delete;
+  Report& operator=(const Report&) = delete;
+
+  ~Report();  ///< writes the JSON if still pending
+
+  /// Records a repetition-aggregated cell; returns "mean ± stddev" at the
+  /// given precision — print exactly this string in the table.
+  std::string Cell(const std::string& section, const std::string& row,
+                   const std::string& metric, const RunningStat& stat,
+                   int precision = 2);
+
+  /// Records a single-valued cell (no repetitions); returns the formatted
+  /// value at the given precision.
+  std::string Scalar(const std::string& section, const std::string& row,
+                     const std::string& metric, double value,
+                     int precision = 2);
+
+  /// Writes the JSON report now if IMCF_BENCH_JSON is set (idempotent).
+  void WriteIfRequested();
+
+  /// The report body as a JSON string (exposed for tests).
+  std::string ToJsonString() const;
+
+ private:
+  struct CellRecord {
+    std::string section;
+    std::string row;
+    std::string metric;
+    std::string formatted;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    int64_t count = 0;
+  };
+
+  std::string name_;
+  std::vector<CellRecord> cells_;
+  bool written_ = false;
+};
+
 /// Repetitions per experimental cell (env IMCF_BENCH_REPS, default 5; the
 /// paper uses 10).
 int Repetitions();

@@ -10,6 +10,8 @@
 #include <cstdio>
 
 #include "controller/prototype.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "rules/conflict.h"
 #include "rules/parser.h"
 
@@ -73,5 +75,11 @@ int main(int argc, char** argv) {
                 rr.name.c_str(), rr.fce_pct, 100.0 - rr.fce_pct,
                 static_cast<long long>(rr.activations));
   }
+
+  // Final telemetry snapshot: everything the instrumented planner,
+  // firewall, scheduler and pool recorded during the week, in Prometheus
+  // text format (what a scrape of a real deployment would return).
+  std::printf("\nMetrics snapshot (Prometheus text format):\n%s",
+              obs::ToPrometheusText(obs::MetricRegistry::Default()).c_str());
   return 0;
 }

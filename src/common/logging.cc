@@ -1,6 +1,7 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 
@@ -29,6 +30,37 @@ const char* Basename(const char* path) {
   return slash ? slash + 1 : path;
 }
 
+/// The default sink: one fprintf per line (atomic enough on POSIX stderr,
+/// which is unbuffered).
+class StderrSink : public LogSink {
+ public:
+  void Write(LogLevel /*level*/, const std::string& line) override {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+};
+
+LogSink* DefaultSink() {
+  static StderrSink* sink = new StderrSink();
+  return sink;
+}
+
+std::atomic<LogSink*> g_sink{nullptr};  // nullptr selects DefaultSink()
+
+/// Monotonic seconds since the first log call of the process.
+double SecondsSinceStart() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Small sequential id per logging thread (t0, t1, ...), assigned in first-
+/// log order — stable within a run and far more readable than native ids.
+int ThreadId() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -39,10 +71,20 @@ LogLevel GetLogLevel() {
   return g_min_level.load(std::memory_order_relaxed);
 }
 
+LogSink* SetLogSink(LogSink* sink) {
+  LogSink* previous = g_sink.exchange(sink, std::memory_order_acq_rel);
+  return previous != nullptr ? previous : DefaultSink();
+}
+
 void LogMessage(LogLevel level, const char* file, int line,
                 const std::string& message) {
-  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), Basename(file),
-               line, message.c_str());
+  char prefix[96];
+  std::snprintf(prefix, sizeof(prefix), "[%.6f t%d %s %s:%d] ",
+                SecondsSinceStart(), ThreadId(), LevelName(level),
+                Basename(file), line);
+  LogSink* sink = g_sink.load(std::memory_order_acquire);
+  if (sink == nullptr) sink = DefaultSink();
+  sink->Write(level, prefix + message);
 }
 
 }  // namespace imcf

@@ -1,8 +1,11 @@
-// Minimal leveled logging to stderr.
+// Minimal leveled logging with a pluggable sink.
 //
 // IMCF runs inside benchmarks and long trace-driven simulations, so logging
 // defaults to WARNING and is cheap when disabled. The macro captures file and
-// line for the message prefix.
+// line for the message prefix. Lines go to the installed LogSink (stderr by
+// default); tests install a capturing sink to assert on log output. Each
+// line is prefixed with seconds since process start (monotonic) and a small
+// sequential thread id, so interleaved pool output stays attributable.
 
 #ifndef IMCF_COMMON_LOGGING_H_
 #define IMCF_COMMON_LOGGING_H_
@@ -22,7 +25,22 @@ void SetLogLevel(LogLevel level);
 /// Returns the current minimum level.
 LogLevel GetLogLevel();
 
-/// Writes one formatted log line to stderr.
+/// Destination for formatted log lines. Write() receives one complete line
+/// (prefix included, no trailing newline) and must be thread-safe — the
+/// pool's workers log concurrently.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void Write(LogLevel level, const std::string& line) = 0;
+};
+
+/// Installs `sink` as the log destination and returns the previous sink.
+/// Passing nullptr restores the default stderr sink. The caller keeps
+/// ownership; the sink must outlive all logging (tests swap it around
+/// scopes, the default sink is a process-lifetime singleton).
+LogSink* SetLogSink(LogSink* sink);
+
+/// Writes one formatted log line to the installed sink.
 void LogMessage(LogLevel level, const char* file, int line,
                 const std::string& message);
 

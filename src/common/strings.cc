@@ -48,6 +48,11 @@ bool StartsWith(std::string_view text, std::string_view prefix) {
          text.substr(0, prefix.size()) == prefix;
 }
 
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
 Result<int64_t> ParseInt(std::string_view text) {
   const std::string s = Trim(text);
   if (s.empty()) return Status::InvalidArgument("empty integer");

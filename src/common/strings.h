@@ -24,6 +24,9 @@ std::string ToLower(std::string_view text);
 /// True iff `text` starts with `prefix`.
 bool StartsWith(std::string_view text, std::string_view prefix);
 
+/// True iff `text` ends with `suffix`.
+bool EndsWith(std::string_view text, std::string_view suffix);
+
 /// Parses a base-10 signed integer, rejecting trailing garbage.
 Result<int64_t> ParseInt(std::string_view text);
 

@@ -4,7 +4,44 @@
 #include <atomic>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+
 namespace imcf {
+
+namespace {
+
+/// Pool instrumentation, resolved once. Queue depth is a gauge (rises on
+/// Submit, falls on dequeue); wait and run latencies are histograms in
+/// wall nanoseconds; tasks_total counts completed tasks.
+struct PoolMetrics {
+  obs::Counter* tasks_total;
+  obs::Gauge* queue_depth;
+  obs::Histogram* task_wait_ns;
+  obs::Histogram* task_run_ns;
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics* m = [] {
+      auto& reg = obs::MetricRegistry::Default();
+      auto* pm = new PoolMetrics();
+      pm->tasks_total = reg.GetCounter("imcf_pool_tasks_total",
+                                       "Tasks executed by the thread pool");
+      pm->queue_depth = reg.GetGauge("imcf_pool_queue_depth",
+                                     "Tasks currently queued (not running)");
+      pm->task_wait_ns = reg.GetHistogram(
+          "imcf_pool_task_wait_ns",
+          "Wall time a task spent queued before a worker picked it up",
+          obs::LatencyBoundsNs());
+      pm->task_run_ns = reg.GetHistogram(
+          "imcf_pool_task_run_ns", "Wall time a task spent executing",
+          obs::LatencyBoundsNs());
+      return pm;
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(int threads) {
   if (threads <= 0) threads = HardwareThreads();
@@ -27,9 +64,10 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (shutdown_) return;
-    queue_.push(std::move(task));
+    queue_.push(QueuedTask{std::move(task), obs::ScopedTimer::NowNs()});
     ++in_flight_;
   }
+  PoolMetrics::Get().queue_depth->Add(1.0);
   work_available_.notify_one();
 }
 
@@ -44,8 +82,9 @@ int ThreadPool::HardwareThreads() {
 }
 
 void ThreadPool::WorkerLoop() {
+  const PoolMetrics& metrics = PoolMetrics::Get();
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_available_.wait(lock,
@@ -54,7 +93,14 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    const int64_t dequeue_ns = obs::ScopedTimer::NowNs();
+    metrics.queue_depth->Add(-1.0);
+    metrics.task_wait_ns->Observe(
+        static_cast<double>(dequeue_ns - task.enqueue_ns));
+    task.fn();
+    metrics.task_run_ns->Observe(
+        static_cast<double>(obs::ScopedTimer::NowNs() - dequeue_ns));
+    metrics.tasks_total->Increment();
     {
       std::unique_lock<std::mutex> lock(mu_);
       if (--in_flight_ == 0) idle_.notify_all();

@@ -51,12 +51,19 @@ class ThreadPool {
   static int HardwareThreads();
 
  private:
+  /// Queued task plus its enqueue timestamp, so dequeue can observe how
+  /// long the task sat in the queue (imcf_pool_task_wait_ns).
+  struct QueuedTask {
+    std::function<void()> fn;
+    int64_t enqueue_ns = 0;
+  };
+
   void WorkerLoop();
 
   std::mutex mu_;
   std::condition_variable work_available_;
   std::condition_variable idle_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<QueuedTask> queue_;
   std::vector<std::thread> workers_;
   int in_flight_ = 0;  // queued + executing tasks
   bool shutdown_ = false;

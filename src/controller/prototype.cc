@@ -12,6 +12,8 @@
 #include "devices/energy_model.h"
 #include "energy/budget.h"
 #include "firewall/imcf_firewall.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
 #include "trace/dataset.h"
 #include "weather/weather.h"
 
@@ -195,10 +197,16 @@ Result<PrototypeReport> PrototypeStudy::Run(
         problem.budget_kwh = hourly + carry;
         core::SlotEvaluator evaluator(&problem);
 
-        const auto t0 = Clock::now();
-        const core::PlanOutcome outcome = planner.PlanSlot(evaluator, &rng);
-        report.ft_seconds +=
-            std::chrono::duration<double>(Clock::now() - t0).count();
+        static obs::Histogram* const plan_ns =
+            obs::MetricRegistry::Default().GetHistogram(
+                "imcf_prototype_plan_wall_ns",
+                "Wall time of one prototype EP cron invocation",
+                obs::LatencyBoundsNs());
+        core::PlanOutcome outcome;
+        {
+          obs::ScopedTimer plan_span(plan_ns, &report.ft_seconds);
+          outcome = planner.PlanSlot(evaluator, &rng);
+        }
 
         // Install firewall verdicts and route the commands.
         std::vector<int> dropped;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strings.h"
+#include "obs/scoped_timer.h"
 
 namespace imcf {
 namespace controller {
@@ -90,12 +91,33 @@ Status VirtualScheduler::Schedule(std::string name,
                                   const std::string& cron_expression,
                                   std::function<void(SimTime)> action) {
   IMCF_ASSIGN_OR_RETURN(CronSpec spec, CronSpec::Parse(cron_expression));
-  jobs_.push_back(CronJob{std::move(name), std::move(spec),
-                          std::move(action)});
+  obs::Counter* fires = obs::MetricRegistry::Default().GetCounter(
+      "imcf_scheduler_job_fires_total", "Cron job firings", {{"job", name}});
+  jobs_.push_back(CronJob{std::move(name), std::move(spec), std::move(action),
+                          fires, /*last_fire=*/-1});
   return Status::Ok();
 }
 
 int64_t VirtualScheduler::AdvanceTo(SimTime until) {
+  // Dual-stamp span: real latency of the advance (wall ns) and how much
+  // virtual time it covered (sim seconds, read back from now_ at scope
+  // exit). The gap between the two clocks is the whole point — a week of
+  // simulated control typically costs milliseconds of wall time.
+  auto& reg = obs::MetricRegistry::Default();
+  static obs::Histogram* const wall_ns = reg.GetHistogram(
+      "imcf_scheduler_advance_wall_ns",
+      "Wall time of one VirtualScheduler::AdvanceTo call",
+      obs::LatencyBoundsNs());
+  static obs::Histogram* const sim_seconds = reg.GetHistogram(
+      "imcf_scheduler_advance_sim_seconds",
+      "Virtual time covered by one AdvanceTo call",
+      obs::ExponentialBuckets(60.0, 4.0, 10));
+  static obs::Histogram* const interfire = reg.GetHistogram(
+      "imcf_scheduler_interfire_seconds",
+      "Virtual gap between consecutive firings of the same job",
+      obs::ExponentialBuckets(60.0, 4.0, 10));
+  obs::ScopedTimer span(wall_ns, &now_, sim_seconds);
+
   int64_t fired = 0;
   while (now_ < until) {
     // Earliest next firing across jobs.
@@ -108,6 +130,11 @@ int64_t VirtualScheduler::AdvanceTo(SimTime until) {
       if (job.spec.Matches(next)) {
         job.action(next);
         ++fired;
+        job.fires->Increment();
+        if (job.last_fire >= 0) {
+          interfire->Observe(static_cast<double>(next - job.last_fire));
+        }
+        job.last_fire = next;
       }
     }
     now_ = next;

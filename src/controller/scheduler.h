@@ -16,6 +16,7 @@
 
 #include "common/result.h"
 #include "common/time.h"
+#include "obs/metrics.h"
 
 namespace imcf {
 namespace controller {
@@ -52,6 +53,13 @@ struct CronJob {
   std::string name;
   CronSpec spec;
   std::function<void(SimTime)> action;
+  /// Fires of this job (imcf_scheduler_job_fires_total{job=name}); bound
+  /// at Schedule() time. Job names are a small closed set per study, so
+  /// the label cardinality stays bounded.
+  obs::Counter* fires = nullptr;
+  /// Virtual time of the previous firing, -1 before the first one. Feeds
+  /// the interfire-gap histogram (scheduling drift between occurrences).
+  SimTime last_fire = -1;
 };
 
 /// Deterministic scheduler over simulation time. Jobs fire in time order;

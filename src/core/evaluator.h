@@ -27,6 +27,7 @@
 #ifndef IMCF_CORE_EVALUATOR_H_
 #define IMCF_CORE_EVALUATOR_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "core/slot_problem.h"
@@ -41,7 +42,21 @@ namespace core {
 /// early-exit winner scans.
 class SlotEvaluator {
  public:
+  /// Tally of the incremental cache's behaviour over this evaluator's
+  /// lifetime. Plain (non-atomic) ints — the evaluator is single-threaded
+  /// by contract; totals flush to the metric registry on destruction.
+  struct CacheStats {
+    int64_t cache_hits = 0;    ///< touched-group "before" read from cache
+    int64_t cache_misses = 0;  ///< touched group was stale, winner rescan
+    int64_t full_evals = 0;    ///< Evaluate() full passes (cache syncs)
+    int64_t apply_flips = 0;   ///< accepted moves applied via ApplyFlips()
+  };
+
   explicit SlotEvaluator(const SlotProblem* problem);
+
+  /// Flushes accumulated CacheStats to the default metric registry
+  /// (imcf_evaluator_* counters).
+  ~SlotEvaluator();
 
   /// Full evaluation of `s` on the slot. Also resynchronizes the
   /// incremental cache to `s` (Evaluate is the cache's sync point).
@@ -77,6 +92,10 @@ class SlotEvaluator {
   }
 
   const SlotProblem& problem() const { return *problem_; }
+
+  /// Incremental-cache behaviour so far (also exported to the registry on
+  /// destruction).
+  const CacheStats& cache_stats() const { return cache_stats_; }
 
   /// Whether solution coordinate `rule_index` is active in this slot.
   bool IsActive(int rule_index) const {
@@ -129,6 +148,7 @@ class SlotEvaluator {
   mutable std::vector<Objectives> group_cache_;
   mutable std::vector<int> group_winner_;
   mutable std::vector<int> touched_scratch_;
+  mutable CacheStats cache_stats_;
 };
 
 }  // namespace core

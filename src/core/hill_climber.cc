@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics.h"
+
 namespace imcf {
 namespace core {
 
@@ -83,6 +85,7 @@ void GreedyRepair(const SlotEvaluator& evaluator, double budget,
     single_flip[0] = best_rule;
     evaluator.ApplyFlips(&outcome->solution, single_flip);
     outcome->objectives = best_candidate;
+    ++outcome->repair_drops;
   }
   // Full re-evaluation clears the incremental deltas' float residue.
   outcome->objectives = evaluator.Evaluate(outcome->solution);
@@ -111,6 +114,7 @@ PlanOutcome HillClimbingPlanner::PlanSlot(const SlotEvaluator& evaluator,
   for (int tau = 0; tau < tau_max; ++tau) {
     if (options_.early_exit && outcome.feasible &&
         outcome.objectives.error_sum <= 0.0) {
+      outcome.early_exit = true;
       break;  // zero-error optimum held; nothing can strictly improve
     }
     // "neighborhoods that involve changing *up to* k components" (§II-B):
@@ -136,6 +140,9 @@ PlanOutcome HillClimbingPlanner::PlanSlot(const SlotEvaluator& evaluator,
       evaluator.ApplyFlips(&outcome.solution, flips);
       outcome.objectives = candidate;
       outcome.feasible = candidate_feasible;
+      ++outcome.moves_accepted;
+    } else {
+      ++outcome.moves_rejected;
     }
     ++outcome.iterations;
   }
@@ -148,7 +155,46 @@ PlanOutcome HillClimbingPlanner::PlanSlot(const SlotEvaluator& evaluator,
       outcome.solution = zeros;
       outcome.objectives = zero_obj;
       outcome.feasible = zero_obj.FeasibleUnder(budget);
+      outcome.zero_fallback = true;
     }
+  }
+
+  // Counters are batched per plan: plain-int tallies in the loop above, one
+  // relaxed atomic add per metric here. Function-local statics keep the
+  // registry lookup off the hot path entirely.
+  {
+    using obs::Counter;
+    auto& reg = obs::MetricRegistry::Default();
+    static Counter* const plans = reg.GetCounter(
+        "imcf_planner_plans_total", "Slots planned by the hill climber");
+    static Counter* const iterations = reg.GetCounter(
+        "imcf_planner_iterations_total", "Hill-climbing iterations spent");
+    static Counter* const accepted = reg.GetCounter(
+        "imcf_planner_moves_accepted_total", "Neighborhood moves accepted");
+    static Counter* const rejected = reg.GetCounter(
+        "imcf_planner_moves_rejected_total", "Neighborhood moves rejected");
+    static Counter* const repairs = reg.GetCounter(
+        "imcf_planner_greedy_repair_drops_total",
+        "Rules dropped during greedy repair");
+    static Counter* const early = reg.GetCounter(
+        "imcf_planner_early_exits_total",
+        "Plans that stopped early at a zero-error optimum");
+    static Counter* const fallbacks = reg.GetCounter(
+        "imcf_planner_infeasible_fallbacks_total",
+        "Plans that fell back to the all-zeros vector");
+    // Skip zero adds: trivial plans (tiny tables, immediate optima) stay at
+    // one atomic op so the flush never shows up in BM_PlanSlotHillClimbing.
+    plans->Increment();
+    if (outcome.iterations != 0) iterations->Increment(outcome.iterations);
+    if (outcome.moves_accepted != 0) {
+      accepted->Increment(outcome.moves_accepted);
+    }
+    if (outcome.moves_rejected != 0) {
+      rejected->Increment(outcome.moves_rejected);
+    }
+    if (outcome.repair_drops != 0) repairs->Increment(outcome.repair_drops);
+    if (outcome.early_exit) early->Increment();
+    if (outcome.zero_fallback) fallbacks->Increment();
   }
   return outcome;
 }

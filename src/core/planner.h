@@ -21,8 +21,13 @@ namespace core {
 struct PlanOutcome {
   Solution solution;
   Objectives objectives;
-  int iterations = 0;    ///< optimization iterations spent
-  bool feasible = false; ///< F_E(s) <= E_p achieved
+  int iterations = 0;      ///< optimization iterations spent
+  bool feasible = false;   ///< F_E(s) <= E_p achieved
+  int moves_accepted = 0;  ///< neighborhood moves taken
+  int moves_rejected = 0;  ///< neighborhood moves evaluated but discarded
+  int repair_drops = 0;    ///< rules dropped by the greedy repair phase
+  bool early_exit = false;    ///< search stopped at a zero-error optimum
+  bool zero_fallback = false; ///< fell back to the all-zeros (NR) vector
 };
 
 /// Strategy interface.

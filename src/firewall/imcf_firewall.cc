@@ -1,5 +1,7 @@
 #include "firewall/imcf_firewall.h"
 
+#include "obs/metrics.h"
+
 namespace imcf {
 namespace firewall {
 
@@ -24,6 +26,38 @@ MetaControlFirewall::MetaControlFirewall(
     : registry_(registry),
       chain_("OUTPUT", Verdict::kAccept),
       audit_capacity_(audit_capacity) {}
+
+MetaControlFirewall::~MetaControlFirewall() {
+  // Firewalls are per-study objects; one flush at teardown exports the
+  // whole lifetime. The reason label is a closed 5-value set, so the
+  // cardinality stays bounded.
+  using obs::Counter;
+  auto& reg = obs::MetricRegistry::Default();
+  static Counter* const commands = reg.GetCounter(
+      "imcf_firewall_commands_total", "Actuation commands filtered");
+  static Counter* const accepted = reg.GetCounter(
+      "imcf_firewall_accepted_total", "Commands accepted");
+  static Counter* const dropped_chain = reg.GetCounter(
+      "imcf_firewall_dropped_by_chain_total",
+      "Commands dropped by the static chain");
+  static Counter* const dropped_plan = reg.GetCounter(
+      "imcf_firewall_dropped_by_plan_total",
+      "Commands dropped by the EP plan filter");
+  commands->Increment(stats_.total);
+  accepted->Increment(stats_.accepted);
+  dropped_chain->Increment(stats_.dropped_by_chain);
+  dropped_plan->Increment(stats_.dropped_by_plan);
+  for (size_t i = 0; i < kNumDecisionReasons; ++i) {
+    // Labelled family: one instance per DecisionReason. Not cached in a
+    // static (the pointer differs per label), but this runs once per
+    // firewall lifetime, not per command.
+    reg.GetCounter("imcf_firewall_decisions_total",
+                   "Filter decisions by reason",
+                   {{"reason",
+                     DecisionReasonName(static_cast<DecisionReason>(i))}})
+        ->Increment(stats_.by_reason[i]);
+  }
+}
 
 void MetaControlFirewall::SetDroppedRules(std::vector<int> dropped_rule_ids) {
   dropped_rules_.clear();
@@ -74,6 +108,7 @@ Decision MetaControlFirewall::Filter(const devices::ActuationCommand& cmd) {
 
 void MetaControlFirewall::Record(Decision decision) {
   ++stats_.total;
+  ++stats_.by_reason[static_cast<size_t>(decision.reason)];
   if (decision.verdict == Verdict::kAccept) {
     ++stats_.accepted;
   } else if (decision.reason == DecisionReason::kPlanDropped) {

@@ -48,12 +48,17 @@ struct Decision {
   devices::ActuationCommand command;
 };
 
+/// Number of DecisionReason values (for per-reason tallies).
+inline constexpr size_t kNumDecisionReasons = 5;
+
 /// Aggregate counters.
 struct FirewallStats {
   int64_t total = 0;
   int64_t accepted = 0;
   int64_t dropped_by_chain = 0;
   int64_t dropped_by_plan = 0;
+  /// Decisions per DecisionReason, indexed by the enum's value.
+  int64_t by_reason[kNumDecisionReasons] = {0, 0, 0, 0, 0};
 };
 
 /// The firewall itself.
@@ -63,6 +68,10 @@ class MetaControlFirewall {
   /// calls but is not owned. `audit_capacity` bounds the decision log.
   explicit MetaControlFirewall(const devices::DeviceRegistry* registry,
                                size_t audit_capacity = 1024);
+
+  /// Flushes accumulated FirewallStats to the default metric registry
+  /// (imcf_firewall_* counters, decisions labelled by reason).
+  ~MetaControlFirewall();
 
   /// The static admin chain (mutable: append iptables-style rules).
   Chain* chain() { return &chain_; }

@@ -1,0 +1,150 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "obs/json_writer.h"
+
+namespace imcf {
+namespace obs {
+
+namespace {
+
+const char* TypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+std::string FormatDouble(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.15g", v);
+  return buf;
+}
+
+/// Escapes a Prometheus label value: backslash, double-quote, newline.
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// Renders `{k="v",...}` including an optional extra (le) label, or an
+/// empty string when there are no labels at all.
+std::string LabelBlock(const Labels& labels, const std::string& extra_key = "",
+                       const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += EscapeLabelValue(v);
+    out += '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += EscapeLabelValue(extra_value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const MetricRegistry& registry) {
+  const std::vector<MetricSnapshot> snapshot = registry.Snapshot();
+  std::string out;
+  std::string last_family;
+  for (const MetricSnapshot& m : snapshot) {
+    if (m.name != last_family) {
+      last_family = m.name;
+      out += "# HELP " + m.name + " " + m.help + "\n";
+      out += "# TYPE " + m.name + " " + TypeName(m.type) + "\n";
+    }
+    if (m.type == MetricType::kHistogram) {
+      int64_t cumulative = 0;
+      for (size_t i = 0; i < m.bounds.size(); ++i) {
+        cumulative += m.buckets[i];
+        out += m.name + "_bucket" +
+               LabelBlock(m.labels, "le", FormatDouble(m.bounds[i])) + " " +
+               std::to_string(cumulative) + "\n";
+      }
+      cumulative += m.buckets.empty() ? 0 : m.buckets.back();
+      out += m.name + "_bucket" + LabelBlock(m.labels, "le", "+Inf") + " " +
+             std::to_string(cumulative) + "\n";
+      out += m.name + "_sum" + LabelBlock(m.labels) + " " +
+             FormatDouble(m.sum) + "\n";
+      out += m.name + "_count" + LabelBlock(m.labels) + " " +
+             std::to_string(m.count) + "\n";
+    } else {
+      out += m.name + LabelBlock(m.labels) + " " + FormatDouble(m.value) +
+             "\n";
+    }
+  }
+  return out;
+}
+
+std::string ToJson(const MetricRegistry& registry) {
+  const std::vector<MetricSnapshot> snapshot = registry.Snapshot();
+  JsonWriter w;
+  w.BeginArray();
+  for (const MetricSnapshot& m : snapshot) {
+    w.BeginObject();
+    w.Key("name").String(m.name);
+    w.Key("type").String(TypeName(m.type));
+    if (!m.labels.empty()) {
+      w.Key("labels").BeginObject();
+      for (const auto& [k, v] : m.labels) {
+        w.Key(k).String(v);
+      }
+      w.EndObject();
+    }
+    if (m.type == MetricType::kHistogram) {
+      w.Key("count").Int(m.count);
+      w.Key("sum").Double(m.sum);
+      w.Key("bounds").BeginArray();
+      for (double b : m.bounds) w.Double(b);
+      w.EndArray();
+      w.Key("buckets").BeginArray();
+      for (int64_t c : m.buckets) w.Int(c);
+      w.EndArray();
+    } else {
+      w.Key("value").Double(m.value);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  return w.str();
+}
+
+}  // namespace obs
+}  // namespace imcf

@@ -1,0 +1,32 @@
+// Registry exposition formats.
+//
+// Two consumers, two formats:
+//   * ToPrometheusText — Prometheus text exposition v0.0.4, for scraping or
+//     eyeballing (`curl`/dump-to-stderr). Histograms expand to cumulative
+//     `_bucket{le="..."}` samples plus `_sum` and `_count`.
+//   * ToJson — one JSON object per metric, embedded verbatim into the
+//     benches' BENCH_<name>.json run-reports.
+//
+// Both walk MetricRegistry::Snapshot(), which is ordered by
+// (name, label-key), so output is deterministic — golden-testable.
+
+#ifndef IMCF_OBS_EXPORT_H_
+#define IMCF_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace imcf {
+namespace obs {
+
+/// Renders the registry in Prometheus text exposition format v0.0.4.
+std::string ToPrometheusText(const MetricRegistry& registry);
+
+/// Renders the registry as a JSON array of metric objects.
+std::string ToJson(const MetricRegistry& registry);
+
+}  // namespace obs
+}  // namespace imcf
+
+#endif  // IMCF_OBS_EXPORT_H_

@@ -1,0 +1,59 @@
+// Minimal streaming JSON emitter (no DOM, no dependencies).
+//
+// Backs the machine-readable exports: the registry's JSON exposition and
+// the benches' BENCH_<name>.json run-reports. Comma placement is handled by
+// a container-state stack, strings are escaped per RFC 8259, and doubles
+// print with %.15g (clean for the repo's values, ~1e-15 relative loss).
+
+#ifndef IMCF_OBS_JSON_WRITER_H_
+#define IMCF_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace imcf {
+namespace obs {
+
+/// Append-only JSON builder. Call sequence must describe a well-formed
+/// document (one top-level value); misuse shows up as malformed output,
+/// which the exporter golden tests pin down.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits the key of the next object member.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Double(double value);  ///< NaN/Inf emit null
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+  /// Splices pre-rendered JSON (e.g. an already-exported registry) as one
+  /// value. The caller guarantees `json` is valid.
+  JsonWriter& Raw(std::string_view json);
+
+  const std::string& str() const { return out_; }
+
+  /// RFC 8259 string escaping (without the surrounding quotes).
+  static std::string Escape(std::string_view text);
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  /// One frame per open container: true = array, false = object.
+  std::vector<bool> is_array_;
+  std::vector<bool> needs_comma_;
+  bool pending_key_ = false;
+};
+
+}  // namespace obs
+}  // namespace imcf
+
+#endif  // IMCF_OBS_JSON_WRITER_H_

@@ -1,0 +1,240 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace imcf {
+namespace obs {
+
+namespace {
+
+void AtomicAddDouble(std::atomic<double>* target, double delta) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(cur, cur + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+/// Canonical key for one label set: "k1=v1,k2=v2" with keys sorted.
+std::string LabelKey(const Labels& labels) {
+  std::string key;
+  for (const auto& [k, v] : labels) {
+    if (!key.empty()) key += ',';
+    key += k;
+    key += '=';
+    key += v;
+  }
+  return key;
+}
+
+Labels Canonicalize(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+[[noreturn]] void DieOnTypeConflict(const std::string& name) {
+  std::fprintf(stderr,
+               "metric '%s' re-registered with a different type\n",
+               name.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<int64_t>[bounds_.size() + 1]) {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(double v) {
+  // First bucket with bound >= v; +Inf bucket otherwise. Bucket counts are
+  // tiny arrays (<= ~20) so a linear scan beats binary search in practice.
+  size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_, v);
+}
+
+double Histogram::mean() const {
+  const int64_t n = count();
+  return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double Histogram::Quantile(double q) const {
+  const int64_t n = count();
+  if (n <= 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(n);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    const int64_t in_bucket = bucket_count(i);
+    if (static_cast<double>(cumulative + in_bucket) < target) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i >= bounds_.size()) {
+      // +Inf bucket: the largest finite bound is the best estimate.
+      return bounds_.empty() ? 0.0 : bounds_.back();
+    }
+    const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+    const double upper = bounds_[i];
+    if (in_bucket == 0) return upper;
+    const double fraction =
+        (target - static_cast<double>(cumulative)) /
+        static_cast<double>(in_bucket);
+    return lower + (upper - lower) * fraction;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       int count) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(std::max(0, count)));
+  double bound = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> LinearBuckets(double start, double width, int count) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(std::max(0, count)));
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(start + width * static_cast<double>(i));
+  }
+  return bounds;
+}
+
+const std::vector<double>& LatencyBoundsNs() {
+  static const std::vector<double> kBounds =
+      ExponentialBuckets(1e3, 4.0, 13);  // 1 µs .. ~16.8 s
+  return kBounds;
+}
+
+const std::vector<double>& DurationBoundsSeconds() {
+  static const std::vector<double> kBounds =
+      ExponentialBuckets(1e-3, 4.0, 10);  // 1 ms .. ~262 s
+  return kBounds;
+}
+
+MetricRegistry& MetricRegistry::Default() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+MetricRegistry::Entry* MetricRegistry::Find(const std::string& name,
+                                            const Labels& canonical,
+                                            MetricType type) {
+  auto family = families_.find(name);
+  if (family == families_.end()) return nullptr;
+  auto entry = family->second.find(LabelKey(canonical));
+  if (entry == family->second.end()) {
+    // The family exists (fixing its type); a new label instance joins it.
+    if (family->second.begin()->second.type != type) {
+      DieOnTypeConflict(name);
+    }
+    return nullptr;
+  }
+  if (entry->second.type != type) DieOnTypeConflict(name);
+  return &entry->second;
+}
+
+MetricRegistry::Entry* MetricRegistry::Register(const std::string& name,
+                                                const std::string& help,
+                                                Labels canonical,
+                                                MetricType type) {
+  Entry entry;
+  entry.type = type;
+  entry.help = help;
+  entry.labels = canonical;
+  auto [it, inserted] =
+      families_[name].emplace(LabelKey(canonical), std::move(entry));
+  (void)inserted;
+  return &it->second;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name,
+                                    const std::string& help, Labels labels) {
+  const Labels canonical = Canonicalize(std::move(labels));
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* entry = Find(name, canonical, MetricType::kCounter);
+  if (entry == nullptr) {
+    entry = Register(name, help, canonical, MetricType::kCounter);
+    entry->counter = std::make_unique<Counter>();
+  }
+  return entry->counter.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name,
+                                const std::string& help, Labels labels) {
+  const Labels canonical = Canonicalize(std::move(labels));
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* entry = Find(name, canonical, MetricType::kGauge);
+  if (entry == nullptr) {
+    entry = Register(name, help, canonical, MetricType::kGauge);
+    entry->gauge = std::make_unique<Gauge>();
+  }
+  return entry->gauge.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name,
+                                        const std::string& help,
+                                        std::vector<double> bounds,
+                                        Labels labels) {
+  const Labels canonical = Canonicalize(std::move(labels));
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* entry = Find(name, canonical, MetricType::kHistogram);
+  if (entry == nullptr) {
+    entry = Register(name, help, canonical, MetricType::kHistogram);
+    entry->histogram.reset(new Histogram(std::move(bounds)));
+  }
+  return entry->histogram.get();
+}
+
+std::vector<MetricSnapshot> MetricRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSnapshot> out;
+  for (const auto& [name, family] : families_) {
+    for (const auto& [label_key, entry] : family) {
+      (void)label_key;
+      MetricSnapshot snap;
+      snap.name = name;
+      snap.help = entry.help;
+      snap.type = entry.type;
+      snap.labels = entry.labels;
+      switch (entry.type) {
+        case MetricType::kCounter:
+          snap.value = static_cast<double>(entry.counter->value());
+          break;
+        case MetricType::kGauge:
+          snap.value = entry.gauge->value();
+          break;
+        case MetricType::kHistogram: {
+          const Histogram& h = *entry.histogram;
+          snap.bounds = h.bounds();
+          snap.buckets.reserve(snap.bounds.size() + 1);
+          for (size_t i = 0; i <= snap.bounds.size(); ++i) {
+            snap.buckets.push_back(h.bucket_count(i));
+          }
+          snap.count = h.count();
+          snap.sum = h.sum();
+          break;
+        }
+      }
+      out.push_back(std::move(snap));
+    }
+  }
+  // std::map iteration is already (name, label-key) ordered — deterministic.
+  return out;
+}
+
+}  // namespace obs
+}  // namespace imcf

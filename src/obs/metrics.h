@@ -1,0 +1,183 @@
+// Lock-cheap metrics registry: monotonic counters, gauges and fixed-bucket
+// histograms, all safe to update concurrently from the thread pool's
+// workers.
+//
+// The paper's evaluation is entirely about *measured* planner behaviour
+// (response time F_T, iterations to convergence, commands filtered), so the
+// hot and decision paths publish first-class telemetry instead of ad-hoc
+// prints. Design rules:
+//
+//   * Updates are single relaxed atomic operations — no locks, no
+//     allocation — so instrumenting a path costs nanoseconds. Hot loops
+//     should still batch locally and flush once per unit of work (the
+//     planner flushes once per PlanSlot, the evaluator once per lifetime).
+//   * Registration (name -> metric lookup) takes a mutex; callers cache the
+//     returned pointer (function-local static), which stays valid for the
+//     registry's lifetime.
+//   * Naming scheme: `imcf_<subsystem>_<name>`, counters suffixed `_total`,
+//     durations suffixed with their unit (`_ns`, `_seconds`). Labels are
+//     for small closed sets only (a DecisionReason, a cron job name) —
+//     never per-device or per-rule cardinality.
+//
+// This module is a dependency leaf (std only) so even `common/` (thread
+// pool, logging) can publish metrics without a cycle.
+
+#ifndef IMCF_OBS_METRICS_H_
+#define IMCF_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace imcf {
+namespace obs {
+
+/// Metric labels: small, closed key/value sets (see cardinality rules in
+/// the header comment). Order-insensitive — the registry canonicalizes.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  void Increment(int64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-value gauge (queue depths, clock readings).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with cumulative-bucket quantile estimates.
+/// Observations land in the first bucket whose upper bound is >= the value
+/// (Prometheus `le` semantics); values above every bound land in the
+/// implicit +Inf bucket.
+class Histogram {
+ public:
+  void Observe(double v);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Mean observation (0 when empty).
+  double mean() const;
+
+  /// Upper bounds, ascending, excluding the implicit +Inf bucket.
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Non-cumulative count of bucket `i` in [0, bounds().size()] — the last
+  /// index is the +Inf bucket.
+  int64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Estimated q-quantile (q in [0, 1]) by linear interpolation inside the
+  /// target bucket; observations in the +Inf bucket report the largest
+  /// finite bound. 0 when empty.
+  double Quantile(double q) const;
+
+ private:
+  friend class MetricRegistry;
+  explicit Histogram(std::vector<double> bounds);
+
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<int64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// `count` exponential bucket bounds: start, start*factor, ...
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       int count);
+/// `count` linear bucket bounds: start, start+width, ...
+std::vector<double> LinearBuckets(double start, double width, int count);
+/// Canonical latency bounds in nanoseconds (1 µs .. ~17 s, ×4 steps).
+const std::vector<double>& LatencyBoundsNs();
+/// Canonical duration bounds in seconds (1 ms .. ~4 min, ×4 steps).
+const std::vector<double>& DurationBoundsSeconds();
+
+/// What a metric is, for exporters.
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// Point-in-time copy of one metric, consumed by the exporters.
+struct MetricSnapshot {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kCounter;
+  Labels labels;               ///< canonicalized (sorted by key)
+  double value = 0.0;          ///< counter / gauge
+  std::vector<double> bounds;  ///< histogram only
+  std::vector<int64_t> buckets;
+  int64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Owns metrics and hands out stable pointers. Get* registers on first use
+/// and returns the existing instance afterwards; re-registering a name
+/// with a different metric type aborts (a programming error, caught in
+/// tests). Instances never move or die before the registry does.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// The process-wide registry all built-in instrumentation publishes to.
+  static MetricRegistry& Default();
+
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      Labels labels = {});
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  Labels labels = {});
+  /// `bounds` must be ascending; only the first registration's bounds are
+  /// used for a given (name, labels).
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          std::vector<double> bounds, Labels labels = {});
+
+  /// Consistent copy of every metric, sorted by (name, labels) so exporter
+  /// output is deterministic regardless of registration order.
+  std::vector<MetricSnapshot> Snapshot() const;
+
+ private:
+  struct Entry {
+    MetricType type;
+    std::string help;
+    Labels labels;  // canonicalized
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* Find(const std::string& name, const Labels& canonical,
+              MetricType type);
+  Entry* Register(const std::string& name, const std::string& help,
+                  Labels canonical, MetricType type);
+
+  mutable std::mutex mu_;
+  /// name -> one entry per canonical label set (keyed by serialization).
+  std::map<std::string, std::map<std::string, Entry>> families_;
+};
+
+}  // namespace obs
+}  // namespace imcf
+
+#endif  // IMCF_OBS_METRICS_H_

@@ -1,0 +1,28 @@
+#include "obs/scoped_timer.h"
+
+#include <chrono>
+
+namespace imcf {
+namespace obs {
+
+int64_t ScopedTimer::NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+ScopedTimer::~ScopedTimer() {
+  const int64_t elapsed = NowNs() - start_ns_;
+  if (wall_ns_ != nullptr) {
+    wall_ns_->Observe(static_cast<double>(elapsed));
+  }
+  if (wall_seconds_accum_ != nullptr) {
+    *wall_seconds_accum_ += static_cast<double>(elapsed) * 1e-9;
+  }
+  if (sim_clock_ != nullptr && sim_seconds_ != nullptr) {
+    sim_seconds_->Observe(static_cast<double>(*sim_clock_ - sim_start_));
+  }
+}
+
+}  // namespace obs
+}  // namespace imcf

@@ -1,0 +1,68 @@
+// RAII timing spans, virtual-time-aware.
+//
+// IMCF code runs on two clocks at once: the wall clock (how long planning
+// *really* takes — the paper's F_T) and the simulation clock (how much
+// virtual time a span covers — e.g. one VirtualScheduler::AdvanceTo over a
+// week). A ScopedTimer dual-stamps a span: elapsed wall nanoseconds go to
+// one histogram, and, when bound to a simulation clock, the SimTime the
+// span advanced goes to a second histogram in simulated seconds. Either
+// stamp can be omitted (null histogram) for single-clock spans.
+
+#ifndef IMCF_OBS_SCOPED_TIMER_H_
+#define IMCF_OBS_SCOPED_TIMER_H_
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace imcf {
+namespace obs {
+
+/// Times the enclosing scope. Destruction observes:
+///   * wall nanoseconds into `wall_ns` (if non-null), and also adds wall
+///     seconds to `*wall_seconds_accum` (if non-null) so callers keeping a
+///     running F_T total need no second clock read;
+///   * the simulation-time delta (in seconds) into `sim_seconds` when the
+///     timer was bound to a simulation clock via the three-arg constructor
+///     (`sim_clock` points at a SimTime — seconds since epoch — that the
+///     span mutates, e.g. VirtualScheduler's now).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* wall_ns,
+                       double* wall_seconds_accum = nullptr)
+      : wall_ns_(wall_ns),
+        wall_seconds_accum_(wall_seconds_accum),
+        start_ns_(NowNs()) {}
+
+  ScopedTimer(Histogram* wall_ns, const int64_t* sim_clock,
+              Histogram* sim_seconds)
+      : wall_ns_(wall_ns),
+        sim_clock_(sim_clock),
+        sim_seconds_(sim_seconds),
+        start_ns_(NowNs()),
+        sim_start_(sim_clock != nullptr ? *sim_clock : 0) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer();
+
+  /// Wall nanoseconds elapsed so far.
+  int64_t ElapsedNs() const { return NowNs() - start_ns_; }
+
+  /// Monotonic wall clock reading in nanoseconds.
+  static int64_t NowNs();
+
+ private:
+  Histogram* wall_ns_ = nullptr;
+  double* wall_seconds_accum_ = nullptr;
+  const int64_t* sim_clock_ = nullptr;
+  Histogram* sim_seconds_ = nullptr;
+  int64_t start_ns_ = 0;
+  int64_t sim_start_ = 0;
+};
+
+}  // namespace obs
+}  // namespace imcf
+
+#endif  // IMCF_OBS_SCOPED_TIMER_H_

@@ -7,6 +7,8 @@
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "core/slot_problem.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
 
 namespace imcf {
 namespace sim {
@@ -17,6 +19,17 @@ using Clock = std::chrono::steady_clock;
 
 double SecondsSince(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Wall latency of one per-slot planning step (also accumulated into the
+/// run's F_T total through the ScopedTimer's seconds accumulator).
+obs::Histogram* PlanWallNsHist() {
+  static obs::Histogram* const hist =
+      obs::MetricRegistry::Default().GetHistogram(
+          "imcf_planner_plan_wall_ns",
+          "Wall time of one per-slot planning step",
+          obs::LatencyBoundsNs());
+  return hist;
 }
 
 /// Dense device-group id for (unit, kind).
@@ -298,19 +311,20 @@ Result<SimulationReport> Simulator::Run(Policy policy, int rep) const {
     // the firewall.
     accepted.assign(problem.active.size(), 0);
     if (policy == Policy::kIfttt) {
-      const auto t0 = Clock::now();
-      for (int u = 0; u < spec.units; ++u) {
-        rules::EvaluationContext ctx;
-        ctx.time = midpoint;
-        ctx.weather = weather_->At(midpoint);
-        ctx.ambient_temp_c = ambient_->temp(u, hm);
-        ctx.ambient_light_pct = ambient_->light(u, hm);
-        ctx.door_open =
-            unit_ambient_models_[static_cast<size_t>(u)].DoorOpen(midpoint);
-        decisions[static_cast<size_t>(u)] =
-            ifttt_.Evaluate(ctx, options_.ifttt_policy);
+      {
+        obs::ScopedTimer plan_span(PlanWallNsHist(), &planner_seconds);
+        for (int u = 0; u < spec.units; ++u) {
+          rules::EvaluationContext ctx;
+          ctx.time = midpoint;
+          ctx.weather = weather_->At(midpoint);
+          ctx.ambient_temp_c = ambient_->temp(u, hm);
+          ctx.ambient_light_pct = ambient_->light(u, hm);
+          ctx.door_open =
+              unit_ambient_models_[static_cast<size_t>(u)].DoorOpen(midpoint);
+          decisions[static_cast<size_t>(u)] =
+              ifttt_.Evaluate(ctx, options_.ifttt_policy);
+        }
       }
-      planner_seconds += SecondsSince(t0);
       for (int u = 0; u < spec.units; ++u) {
         const rules::TriggerDecision& d = decisions[static_cast<size_t>(u)];
         if (d.temperature) {
@@ -345,9 +359,11 @@ Result<SimulationReport> Simulator::Run(Policy policy, int rep) const {
         adopted_fraction_sum += 1.0;  // IFTTT executes regardless of the MRT
       }
     } else {
-      const auto t0 = Clock::now();
-      const core::PlanOutcome outcome = planner->PlanSlot(evaluator, &rng);
-      planner_seconds += SecondsSince(t0);
+      core::PlanOutcome outcome;
+      {
+        obs::ScopedTimer plan_span(PlanWallNsHist(), &planner_seconds);
+        outcome = planner->PlanSlot(evaluator, &rng);
+      }
 
       dropped_ids.clear();
       for (const core::ActiveRule& active : problem.active) {
@@ -564,13 +580,26 @@ Result<std::vector<RepeatedReport>> Simulator::RunGrid(
   const int n_cells = static_cast<int>(policies.size()) * repetitions;
   std::vector<std::optional<Result<SimulationReport>>> cells(
       static_cast<size_t>(n_cells));
+  auto& reg = obs::MetricRegistry::Default();
+  static obs::Histogram* const cell_seconds = reg.GetHistogram(
+      "imcf_sim_cell_seconds",
+      "Wall time of one (policy, repetition) simulation cell",
+      obs::DurationBoundsSeconds());
+  static obs::Counter* const cells_total = reg.GetCounter(
+      "imcf_sim_cells_total", "Simulation grid cells executed");
   ParallelFor(threads, n_cells, [this, &policies, repetitions, &cells](int i) {
     const Policy policy = policies[static_cast<size_t>(i / repetitions)];
     const int rep = i % repetitions;
+    const auto t0 = Clock::now();
     cells[static_cast<size_t>(i)].emplace(Run(policy, rep));
+    cell_seconds->Observe(SecondsSince(t0));
+    cells_total->Increment();
   });
 
-  // Aggregate in (policy, rep) order regardless of completion order.
+  // Aggregate in (policy, rep) order regardless of completion order. Each
+  // cell contributes a single-sample RunningStat merged via Merge() — the
+  // same parallel-merge formula the bench fan-out uses — so the aggregate
+  // is a pure function of the rep-ordered cell values for any thread count.
   std::vector<RepeatedReport> out;
   out.reserve(policies.size());
   for (size_t p = 0; p < policies.size(); ++p) {
@@ -583,10 +612,15 @@ Result<std::vector<RepeatedReport>> Simulator::RunGrid(
                  static_cast<size_t>(rep)];
       IMCF_RETURN_IF_ERROR(cell.status());
       const SimulationReport& report = *cell;
-      agg.fce_pct.Add(report.fce_pct);
-      agg.fe_kwh.Add(report.fe_kwh);
-      agg.ft_seconds.Add(report.ft_seconds);
-      agg.co2_kg.Add(report.co2_kg);
+      RunningStat fce, fe, ft, co2;
+      fce.Add(report.fce_pct);
+      fe.Add(report.fe_kwh);
+      ft.Add(report.ft_seconds);
+      co2.Add(report.co2_kg);
+      agg.fce_pct.Merge(fce);
+      agg.fe_kwh.Merge(fe);
+      agg.ft_seconds.Merge(ft);
+      agg.co2_kg.Merge(co2);
     }
     out.push_back(std::move(agg));
   }

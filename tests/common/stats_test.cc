@@ -54,6 +54,29 @@ TEST(RunningStatTest, MergeMatchesSequential) {
   EXPECT_DOUBLE_EQ(left.max(), all.max());
 }
 
+TEST(RunningStatTest, MergeOfSingleSampleSplitsIsBitIdenticalToAdd) {
+  // RunGrid aggregates repetitions by merging one single-sample stat per
+  // cell (in rep order) instead of calling Add directly. For n2 == 1 the
+  // Chan merge's mean update reduces to the exact Welford step (delta * 1 /
+  // n), so means agree bit-for-bit; the m2 term is algebraically equal but
+  // rounds differently, so variance agrees to rounding error only.
+  RunningStat added, merged;
+  Rng rng(11);
+  for (int i = 0; i < 257; ++i) {
+    const double x = rng.Gaussian(40.0, 15.0);
+    added.Add(x);
+    RunningStat single;
+    single.Add(x);
+    merged.Merge(single);
+  }
+  EXPECT_EQ(merged.count(), added.count());
+  EXPECT_DOUBLE_EQ(merged.mean(), added.mean());
+  EXPECT_NEAR(merged.variance(), added.variance(),
+              1e-12 * added.variance());
+  EXPECT_DOUBLE_EQ(merged.min(), added.min());
+  EXPECT_DOUBLE_EQ(merged.max(), added.max());
+}
+
 TEST(RunningStatTest, MergeWithEmpty) {
   RunningStat a, empty;
   a.Add(1.0);

@@ -1,0 +1,235 @@
+// Tests for the metrics registry: concurrent update exactness under the
+// thread pool, quantile estimation, bucket helpers, and the dual-stamp
+// ScopedTimer. Tests build their own MetricRegistry instances rather than
+// touching Default(), so they cannot observe (or pollute) the counters the
+// instrumented production code publishes.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+
+namespace imcf {
+namespace obs {
+namespace {
+
+TEST(MetricRegistryTest, GetReturnsStablePointers) {
+  MetricRegistry registry;
+  Counter* a = registry.GetCounter("imcf_test_total", "help");
+  Counter* b = registry.GetCounter("imcf_test_total", "help");
+  EXPECT_EQ(a, b);
+  // Distinct label sets are distinct metrics within the same family.
+  Counter* la = registry.GetCounter("imcf_test_labeled_total", "help",
+                                    {{"reason", "allow"}});
+  Counter* lb = registry.GetCounter("imcf_test_labeled_total", "help",
+                                    {{"reason", "drop"}});
+  EXPECT_NE(la, lb);
+  EXPECT_EQ(la, registry.GetCounter("imcf_test_labeled_total", "help",
+                                    {{"reason", "allow"}}));
+}
+
+TEST(MetricRegistryTest, LabelOrderIsCanonicalized) {
+  MetricRegistry registry;
+  Counter* ab = registry.GetCounter("imcf_test_pair_total", "help",
+                                    {{"a", "1"}, {"b", "2"}});
+  Counter* ba = registry.GetCounter("imcf_test_pair_total", "help",
+                                    {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(ab, ba);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  MetricRegistry registry;
+  Counter* counter = registry.GetCounter("imcf_test_hammer_total", "help");
+  constexpr int kThreads = 8;
+  constexpr int kTasks = 64;
+  constexpr int kPerTask = 10000;
+  ParallelFor(kThreads, kTasks, [counter](int) {
+    for (int i = 0; i < kPerTask; ++i) counter->Increment();
+  });
+  EXPECT_EQ(counter->value(),
+            static_cast<int64_t>(kTasks) * kPerTask);
+}
+
+TEST(GaugeTest, ConcurrentAddsAreExact) {
+  MetricRegistry registry;
+  Gauge* gauge = registry.GetGauge("imcf_test_depth", "help");
+  constexpr int kTasks = 64;
+  constexpr int kPerTask = 1000;
+  // +1 then -1 per iteration, plus one net +1 per task: the CAS loop must
+  // lose no updates, so the final value is exactly kTasks.
+  ParallelFor(8, kTasks, [gauge](int) {
+    for (int i = 0; i < kPerTask; ++i) {
+      gauge->Add(1.0);
+      gauge->Add(-1.0);
+    }
+    gauge->Add(1.0);
+  });
+  EXPECT_DOUBLE_EQ(gauge->value(), static_cast<double>(kTasks));
+  gauge->Set(-3.5);
+  EXPECT_DOUBLE_EQ(gauge->value(), -3.5);
+}
+
+TEST(HistogramTest, ConcurrentObservationsAreExact) {
+  MetricRegistry registry;
+  Histogram* hist = registry.GetHistogram("imcf_test_latency_ns", "help",
+                                          LinearBuckets(1.0, 1.0, 4));
+  constexpr int kTasks = 32;
+  constexpr int kPerTask = 5000;
+  // Every task observes the same integer sequence 1..4 plus one over-range
+  // value; integer sums this small are exact in double, so both count and
+  // sum must match exactly despite concurrent CAS adds.
+  ParallelFor(8, kTasks, [hist](int) {
+    for (int i = 0; i < kPerTask; ++i) {
+      hist->Observe(1.0);
+      hist->Observe(2.0);
+      hist->Observe(3.0);
+      hist->Observe(4.0);
+      hist->Observe(100.0);
+    }
+  });
+  const int64_t per_bucket = static_cast<int64_t>(kTasks) * kPerTask;
+  EXPECT_EQ(hist->count(), 5 * per_bucket);
+  EXPECT_DOUBLE_EQ(hist->sum(), static_cast<double>(110 * per_bucket));
+  ASSERT_EQ(hist->bounds().size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(hist->bucket_count(i), per_bucket) << "bucket " << i;
+  }
+  EXPECT_EQ(hist->bucket_count(4), per_bucket);  // +Inf bucket
+}
+
+TEST(HistogramTest, ObserveUsesLeSemantics) {
+  MetricRegistry registry;
+  Histogram* hist = registry.GetHistogram("imcf_test_le", "help",
+                                          {1.0, 2.0, 4.0});
+  hist->Observe(1.0);  // le="1" (bound >= value)
+  hist->Observe(1.5);  // le="2"
+  hist->Observe(4.0);  // le="4"
+  hist->Observe(4.1);  // +Inf
+  EXPECT_EQ(hist->bucket_count(0), 1);
+  EXPECT_EQ(hist->bucket_count(1), 1);
+  EXPECT_EQ(hist->bucket_count(2), 1);
+  EXPECT_EQ(hist->bucket_count(3), 1);
+  EXPECT_DOUBLE_EQ(hist->mean(), (1.0 + 1.5 + 4.0 + 4.1) / 4.0);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBucket) {
+  MetricRegistry registry;
+  Histogram* hist = registry.GetHistogram("imcf_test_quantile", "help",
+                                          LinearBuckets(10.0, 10.0, 10));
+  EXPECT_DOUBLE_EQ(hist->Quantile(0.5), 0.0);  // empty
+  // 100 observations uniform over (0, 100]: one per unit.
+  for (int i = 1; i <= 100; ++i) hist->Observe(static_cast<double>(i));
+  // Each bucket holds exactly 10 observations, so quantiles should land
+  // close to the uniform ideal (within one bucket width).
+  EXPECT_NEAR(hist->Quantile(0.5), 50.0, 10.0);
+  EXPECT_NEAR(hist->Quantile(0.9), 90.0, 10.0);
+  EXPECT_NEAR(hist->Quantile(0.99), 99.0, 10.0);
+  // Quantiles are monotone in q.
+  EXPECT_LE(hist->Quantile(0.1), hist->Quantile(0.5));
+  EXPECT_LE(hist->Quantile(0.5), hist->Quantile(0.9));
+}
+
+TEST(HistogramTest, QuantileCapsAtLargestFiniteBound) {
+  MetricRegistry registry;
+  Histogram* hist = registry.GetHistogram("imcf_test_overflow", "help",
+                                          {1.0, 2.0});
+  hist->Observe(50.0);
+  hist->Observe(60.0);
+  // All mass in +Inf: the estimate reports the largest finite bound.
+  EXPECT_DOUBLE_EQ(hist->Quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(hist->Quantile(0.99), 2.0);
+}
+
+TEST(BucketHelpersTest, ExponentialAndLinear) {
+  const std::vector<double> expo = ExponentialBuckets(1.0, 4.0, 4);
+  ASSERT_EQ(expo.size(), 4u);
+  EXPECT_DOUBLE_EQ(expo[0], 1.0);
+  EXPECT_DOUBLE_EQ(expo[1], 4.0);
+  EXPECT_DOUBLE_EQ(expo[2], 16.0);
+  EXPECT_DOUBLE_EQ(expo[3], 64.0);
+  const std::vector<double> lin = LinearBuckets(5.0, 2.5, 3);
+  ASSERT_EQ(lin.size(), 3u);
+  EXPECT_DOUBLE_EQ(lin[0], 5.0);
+  EXPECT_DOUBLE_EQ(lin[1], 7.5);
+  EXPECT_DOUBLE_EQ(lin[2], 10.0);
+  // Canonical bounds are ascending (a Histogram precondition).
+  const std::vector<double>& latency = LatencyBoundsNs();
+  for (size_t i = 1; i < latency.size(); ++i) {
+    EXPECT_LT(latency[i - 1], latency[i]);
+  }
+  const std::vector<double>& duration = DurationBoundsSeconds();
+  for (size_t i = 1; i < duration.size(); ++i) {
+    EXPECT_LT(duration[i - 1], duration[i]);
+  }
+}
+
+TEST(ScopedTimerTest, ObservesWallTimeOnDestruction) {
+  MetricRegistry registry;
+  Histogram* wall = registry.GetHistogram("imcf_test_span_ns", "help",
+                                          LatencyBoundsNs());
+  double accum = 0.0;
+  {
+    ScopedTimer span(wall, &accum);
+    EXPECT_GE(span.ElapsedNs(), 0);
+    EXPECT_EQ(wall->count(), 0);  // nothing observed until scope exit
+  }
+  EXPECT_EQ(wall->count(), 1);
+  EXPECT_GE(wall->sum(), 0.0);
+  EXPECT_GE(accum, 0.0);
+  EXPECT_DOUBLE_EQ(accum * 1e9, wall->sum());  // same clock read
+}
+
+TEST(ScopedTimerTest, DualStampObservesSimDelta) {
+  MetricRegistry registry;
+  Histogram* wall = registry.GetHistogram("imcf_test_dual_wall_ns", "help",
+                                          LatencyBoundsNs());
+  Histogram* sim = registry.GetHistogram("imcf_test_dual_sim_seconds",
+                                         "help", {60.0, 3600.0, 86400.0});
+  int64_t sim_clock = 1000;
+  {
+    ScopedTimer span(wall, &sim_clock, sim);
+    sim_clock += 3600;  // the span advances the simulation by one hour
+  }
+  EXPECT_EQ(wall->count(), 1);
+  ASSERT_EQ(sim->count(), 1);
+  EXPECT_DOUBLE_EQ(sim->sum(), 3600.0);
+  EXPECT_EQ(sim->bucket_count(1), 1);  // le="3600"
+}
+
+TEST(ScopedTimerTest, NullHistogramsAreSafe) {
+  // Single-clock spans pass nullptr for the stamps they skip.
+  int64_t sim_clock = 0;
+  { ScopedTimer span(nullptr); }
+  { ScopedTimer span(nullptr, &sim_clock, nullptr); }
+  { ScopedTimer span(nullptr, nullptr, nullptr); }
+}
+
+TEST(MetricRegistryTest, SnapshotIsSortedAndComplete) {
+  MetricRegistry registry;
+  // Register out of order; Snapshot must come back sorted by name then
+  // label serialization.
+  registry.GetGauge("imcf_z_gauge", "z")->Set(1.0);
+  registry.GetCounter("imcf_a_total", "a")->Increment(7);
+  registry.GetCounter("imcf_m_total", "m", {{"reason", "drop"}})
+      ->Increment(2);
+  registry.GetCounter("imcf_m_total", "m", {{"reason", "allow"}})
+      ->Increment(3);
+  const std::vector<MetricSnapshot> snap = registry.Snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap[0].name, "imcf_a_total");
+  EXPECT_DOUBLE_EQ(snap[0].value, 7.0);
+  EXPECT_EQ(snap[1].name, "imcf_m_total");
+  ASSERT_EQ(snap[1].labels.size(), 1u);
+  EXPECT_EQ(snap[1].labels[0].second, "allow");
+  EXPECT_EQ(snap[2].labels[0].second, "drop");
+  EXPECT_EQ(snap[3].name, "imcf_z_gauge");
+  EXPECT_EQ(snap[3].type, MetricType::kGauge);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace imcf
