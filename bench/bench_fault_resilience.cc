@@ -1,0 +1,132 @@
+// Fault resilience — degradation under command-path fault injection.
+//
+// The paper's prototype actuates real devices over a real network
+// ("IMCF works actually like a real network firewall"), where commands
+// drop, links stall and the weather API goes out. This bench sweeps the
+// injected fault rate on the command/weather path and reports how the
+// planner's three metrics degrade: F_E falls (undeliverable actuations
+// are never charged), F_CE rises (the missed actuations surface as
+// discomfort), and the delivery counters quantify how much work the
+// retry layer recovers versus gives up on.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "common/strings.h"
+#include "fault/fault_plan.h"
+
+namespace imcf {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintHeader("Fault resilience — metric degradation vs injected fault rate",
+              "robustness study over the §III-A pipeline");
+  Report report("fault_resilience");
+
+  const trace::DatasetSpec spec = trace::FlatSpec();
+  const int reps = Repetitions();
+
+  for (const sim::Policy policy :
+       {sim::Policy::kMetaRule, sim::Policy::kEnergyPlanner}) {
+    std::printf("\n--- dataset: flat, policy %s ---\n",
+                sim::PolicyName(policy));
+    std::printf("%-7s %14s %18s %14s %14s\n", "rate", "F_CE [%]",
+                "F_E [kWh]", "failed", "recovered");
+    for (const double rate : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+      sim::SimulationOptions options;
+      options.spec = spec;
+      options.start = FromCivil(2014, 1, 1);
+      options.hours = (QuickMode() ? 2 : 6) * 30 * 24;
+      // Pro-rate the 3-year budget onto the winter-heavy window so it
+      // binds and EP actually has to plan (otherwise EP == MR).
+      options.budget_kwh = spec.budget_kwh *
+                           static_cast<double>(options.hours) /
+                           (3.0 * 365.0 * 24.0);
+      if (rate > 0.0) {
+        options.fault = fault::FaultOptions::UniformRate(rate, /*seed=*/17);
+      }
+      sim::Simulator simulator(options);
+      CheckOk(simulator.Prepare());
+
+      RunningStat fce, fe, failed, recovered;
+      for (int rep = 0; rep < reps; ++rep) {
+        const auto run = simulator.Run(policy, rep);
+        CheckOk(run.status());
+        fce.Add(run->fce_pct);
+        fe.Add(run->fe_kwh);
+        failed.Add(static_cast<double>(run->commands_failed));
+        // Commands the retry layer saved = issued - dropped - the clean
+        // deliveries a zero-rate run would make; report the failure count
+        // directly and let the drop in `failed` vs a no-retry policy
+        // speak. Here: commands that needed >1 attempt are visible in the
+        // obs counters embedded in the JSON report.
+        recovered.Add(static_cast<double>(run->commands_issued -
+                                          run->commands_dropped));
+      }
+      const std::string row = StrFormat("%s/rate=%.2f",
+                                        sim::PolicyName(policy), rate);
+      std::printf(
+          "%-7.2f %14s %18s %14s %14s\n", rate,
+          report.Cell("degradation", row, "fce_pct", fce).c_str(),
+          report.Cell("degradation", row, "fe_kwh", fe, 1).c_str(),
+          report.Cell("degradation", row, "commands_failed", failed, 0)
+              .c_str(),
+          report.Cell("degradation", row, "commands_delivered", recovered, 0)
+              .c_str());
+    }
+  }
+
+  // Retry-policy ablation: the same fault rate with retries disabled
+  // (max_attempts=1) versus the default bounded backoff. The gap between
+  // the two failure counts is what the retry layer buys.
+  std::printf("\n--- retry ablation (rate 0.2, MR) ---\n");
+  std::printf("%-22s %14s %14s %14s\n", "policy", "F_CE [%]", "F_E [kWh]",
+              "failed");
+  for (const int max_attempts : {1, 3, 5}) {
+    sim::SimulationOptions options;
+    options.spec = spec;
+    options.start = FromCivil(2014, 1, 1);
+    options.hours = (QuickMode() ? 2 : 6) * 30 * 24;
+    options.budget_kwh = spec.budget_kwh *
+                         static_cast<double>(options.hours) /
+                         (3.0 * 365.0 * 24.0);
+    options.fault = fault::FaultOptions::UniformRate(0.2, /*seed=*/17);
+    options.retry.max_attempts = max_attempts;
+    sim::Simulator simulator(options);
+    CheckOk(simulator.Prepare());
+
+    RunningStat fce, fe, failed;
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto run = simulator.Run(sim::Policy::kMetaRule, rep);
+      CheckOk(run.status());
+      fce.Add(run->fce_pct);
+      fe.Add(run->fe_kwh);
+      failed.Add(static_cast<double>(run->commands_failed));
+    }
+    const std::string row = StrFormat("max_attempts=%d", max_attempts);
+    std::printf(
+        "%-22s %14s %14s %14s\n", row.c_str(),
+        report.Cell("retry_ablation", row, "fce_pct", fce).c_str(),
+        report.Cell("retry_ablation", row, "fe_kwh", fe, 1).c_str(),
+        report.Cell("retry_ablation", row, "commands_failed", failed, 0)
+            .c_str());
+  }
+
+  std::printf(
+      "\nexpected shape: at rate 0 the columns equal the fault-free "
+      "baseline bit for bit. As the rate grows, failed deliveries rise, "
+      "F_E falls (undelivered commands are never charged) and F_CE "
+      "climbs. More retry attempts recover more deliveries at the same "
+      "rate; max_attempts=1 shows the raw fault rate unmitigated.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace imcf
+
+int main() {
+  imcf::bench::Run();
+  return 0;
+}

@@ -16,6 +16,7 @@ namespace {
 /// wall nanoseconds; tasks_total counts completed tasks.
 struct PoolMetrics {
   obs::Counter* tasks_total;
+  obs::Counter* task_exceptions_total;
   obs::Gauge* queue_depth;
   obs::Histogram* task_wait_ns;
   obs::Histogram* task_run_ns;
@@ -26,6 +27,9 @@ struct PoolMetrics {
       auto* pm = new PoolMetrics();
       pm->tasks_total = reg.GetCounter("imcf_pool_tasks_total",
                                        "Tasks executed by the thread pool");
+      pm->task_exceptions_total = reg.GetCounter(
+          "imcf_pool_task_exceptions_total",
+          "Tasks that threw; the exception was swallowed by the worker");
       pm->queue_depth = reg.GetGauge("imcf_pool_queue_depth",
                                      "Tasks currently queued (not running)");
       pm->task_wait_ns = reg.GetHistogram(
@@ -57,7 +61,13 @@ ThreadPool::~ThreadPool() {
     shutdown_ = true;
   }
   work_available_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+  // joinable() guards against a worker that failed to start and against a
+  // second pass over already-joined threads; clearing afterwards makes the
+  // teardown idempotent.
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
@@ -97,7 +107,13 @@ void ThreadPool::WorkerLoop() {
     metrics.queue_depth->Add(-1.0);
     metrics.task_wait_ns->Observe(
         static_cast<double>(dequeue_ns - task.enqueue_ns));
-    task.fn();
+    // A throwing task must neither take down the worker (std::terminate)
+    // nor leak its in_flight_ slot (which would wedge Wait() forever).
+    try {
+      task.fn();
+    } catch (...) {
+      metrics.task_exceptions_total->Increment();
+    }
     metrics.task_run_ns->Observe(
         static_cast<double>(obs::ScopedTimer::NowNs() - dequeue_ns));
     metrics.tasks_total->Increment();
@@ -137,7 +153,14 @@ void ParallelFor(ThreadPool* pool, int n,
     pool->Submit([&body, &next, n] {
       for (int i = next.fetch_add(1, std::memory_order_relaxed); i < n;
            i = next.fetch_add(1, std::memory_order_relaxed)) {
-        body(i);
+        // Isolate each item: a throwing body must not take the claiming
+        // loop (and with it every item this claimer would still have
+        // picked up) down with it.
+        try {
+          body(i);
+        } catch (...) {
+          PoolMetrics::Get().task_exceptions_total->Increment();
+        }
       }
     });
   }

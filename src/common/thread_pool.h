@@ -27,7 +27,10 @@ namespace imcf {
 
 /// Fixed pool of worker threads consuming a FIFO work queue. Threads start
 /// in the constructor and join in the destructor; Submit after shutdown is
-/// a programming error (the task is silently dropped).
+/// a programming error (the task is silently dropped). A task that throws
+/// does not kill its worker or wedge Wait(): the exception is swallowed and
+/// counted (imcf_pool_task_exceptions_total) — report failures through the
+/// task's output slot instead of throwing.
 class ThreadPool {
  public:
   /// Creates `threads` workers. `threads <= 0` selects the hardware
@@ -71,9 +74,10 @@ class ThreadPool {
 
 /// Runs body(i) for every i in [0, n) across up to `threads` workers.
 /// `threads <= 1` (or n <= 1) executes inline on the caller's thread in
-/// index order — the serial reference path. Exceptions thrown by `body`
-/// terminate (tasks run on detached-from-caller stacks); keep bodies
-/// noexcept in spirit and report failures through their output slots.
+/// index order — the serial reference path (where exceptions propagate to
+/// the caller as usual). On worker threads an exception from `body` is
+/// swallowed and counted, and the remaining items still run; report
+/// failures through per-index output slots (e.g. a Result<T> per item).
 void ParallelFor(int threads, int n, const std::function<void(int)>& body);
 
 /// ParallelFor over an existing pool (amortizes thread startup across many

@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace imcf {
 namespace controller {
@@ -30,9 +31,47 @@ struct CloudMetaController::Household {
 };
 
 CloudMetaController::CloudMetaController(CloudOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)), fault_plan_(options_.fault) {
+  probe_base_ =
+      options_.start != 0 ? options_.start : trace::EvaluationStart();
+}
 
-CloudMetaController::~CloudMetaController() = default;
+CloudMetaController::~CloudMetaController() {
+  auto& reg = obs::MetricRegistry::Default();
+  static obs::Counter* const attempts = reg.GetCounter(
+      "imcf_fault_cmc_probe_attempts_total",
+      "CMC probe attempts against household Local Controllers");
+  static obs::Counter* const failures = reg.GetCounter(
+      "imcf_fault_cmc_probe_failures_total",
+      "CMC probes that stayed unreachable after retries");
+  static obs::Counter* const fallbacks = reg.GetCounter(
+      "imcf_fault_cmc_demand_fallbacks_total",
+      "Demand forecasts degraded to the household's configured cap");
+  attempts->Increment(probe_attempts_);
+  failures->Increment(probe_failures_);
+  fallbacks->Increment(demand_fallbacks_);
+}
+
+bool CloudMetaController::ProbeAvailable(const std::string& name,
+                                         SimTime probe_time) {
+  if (!fault_plan_.enabled()) return true;
+  const std::string channel = "cmc:" + name;
+  const uint64_t token = MixHash(fault::ChannelHash(channel),
+                                 static_cast<uint64_t>(probe_time));
+  const fault::RetryTrace trace = fault::RunWithRetry(
+      options_.retry, token, probe_time, [&](SimTime when) {
+        fault::AttemptResult result;
+        const fault::FaultDecision decision = fault_plan_.At(channel, when);
+        result.fault = decision.kind;
+        if (decision.kind == fault::FaultKind::kDelay) {
+          result.latency_seconds = decision.delay_seconds;
+        }
+        return result;
+      });
+  probe_attempts_ += trace.attempts;
+  if (!trace.success) ++probe_failures_;
+  return trace.success;
+}
 
 Status CloudMetaController::AddHousehold(std::string name,
                                          trace::DatasetSpec spec) {
@@ -53,6 +92,10 @@ Status CloudMetaController::AddHousehold(std::string name,
   // Placeholder budget; Run() overrides it with the allocation.
   sim_options.budget_kwh = household->spec.budget_kwh;
   sim_options.seed = MixHash(options_.seed, households_.size() + 1);
+  // Households inherit the community's fault schedule: their own command
+  // buses and weather links degrade alongside the CMC's probe channels.
+  sim_options.fault = options_.fault;
+  sim_options.retry = options_.retry;
   household->simulator = std::make_unique<sim::Simulator>(sim_options);
   IMCF_RETURN_IF_ERROR(household->simulator->Prepare());
   households_.push_back(std::move(household));
@@ -60,8 +103,18 @@ Status CloudMetaController::AddHousehold(std::string name,
 }
 
 Status CloudMetaController::ForecastDemands() {
-  for (auto& household : households_) {
+  for (size_t i = 0; i < households_.size(); ++i) {
+    Household* household = households_[i].get();
     if (household->demand_kwh > 0.0) continue;  // cached
+    const SimTime probe_time =
+        probe_base_ + static_cast<SimTime>(i) * kSecondsPerMinute;
+    if (!ProbeAvailable(household->name, probe_time)) {
+      // The LC never answered: degrade to the household's configured cap
+      // as the demand estimate instead of failing the whole allocation.
+      household->demand_kwh = household->spec.budget_kwh;
+      ++demand_fallbacks_;
+      continue;
+    }
     IMCF_ASSIGN_OR_RETURN(
         sim::SimulationReport report,
         household->simulator->Run(sim::Policy::kMetaRule));
@@ -106,6 +159,14 @@ Result<std::vector<double>> CloudMetaController::Allocate() {
         double best_gain = 0.0, best_loss = 1e18;
         int gainer = -1, donor = -1;
         for (size_t i = 0; i < n; ++i) {
+          // One probe slot per (round, household); an unreachable LC sits
+          // the round out (neither donor nor gainer) rather than aborting
+          // the refinement.
+          const SimTime probe_time =
+              probe_base_ +
+              static_cast<SimTime>(round + 1) * kSecondsPerHour +
+              static_cast<SimTime>(i) * kSecondsPerMinute;
+          if (!ProbeAvailable(households_[i]->name, probe_time)) continue;
           const double a = shares[i];
           const double delta = a * options_.transfer_fraction;
           IMCF_ASSIGN_OR_RETURN(sim::SimulationReport at,
@@ -172,6 +233,8 @@ Result<CloudReport> CloudMetaController::Run() {
   }
   report.mean_fce_pct = fce.mean();
   report.fairness_stddev = fce.stddev();
+  report.probe_failures = probe_failures_;
+  report.demand_fallbacks = demand_fallbacks_;
   report.within_budget =
       report.total_fe_kwh <= report.community_budget_kwh + 1e-6;
   return report;

@@ -27,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_plan.h"
+#include "fault/retry.h"
 #include "sim/simulation.h"
 
 namespace imcf {
@@ -52,6 +54,13 @@ struct CloudOptions {
   int utilitarian_rounds = 3;
   /// Fraction of a household's share moved per utilitarian transfer.
   double transfer_fraction = 0.15;
+  /// Fault injection: "cmc:<household>" channels gate the CMC's probe
+  /// simulations (an unreachable Local Controller degrades the allocation
+  /// instead of failing it); the options also propagate into each
+  /// household's simulator. Disabled by default.
+  fault::FaultOptions fault;
+  /// Retry/backoff for CMC probes (and the household command buses).
+  fault::RetryPolicy retry;
   uint64_t seed = 99;
 };
 
@@ -72,6 +81,10 @@ struct CloudReport {
   bool within_budget = false;
   double mean_fce_pct = 0.0;      ///< community convenience error
   double fairness_stddev = 0.0;   ///< spread of per-household F_CE
+  /// Probe operations that stayed unreachable after retries.
+  int64_t probe_failures = 0;
+  /// Demand forecasts degraded to the household's configured cap.
+  int64_t demand_fallbacks = 0;
   std::vector<HouseholdReport> households;
 };
 
@@ -107,7 +120,17 @@ class CloudMetaController {
   Result<sim::SimulationReport> RunHousehold(Household* household,
                                              double allocation_kwh);
 
+  /// Whether the CMC can reach `name`'s Local Controller for a probe at
+  /// `probe_time`, after retries under the configured policy. Always true
+  /// when fault injection is disabled.
+  bool ProbeAvailable(const std::string& name, SimTime probe_time);
+
   CloudOptions options_;
+  fault::FaultPlan fault_plan_;
+  SimTime probe_base_ = 0;
+  int64_t probe_attempts_ = 0;
+  int64_t probe_failures_ = 0;
+  int64_t demand_fallbacks_ = 0;
   std::vector<std::unique_ptr<Household>> households_;
 };
 

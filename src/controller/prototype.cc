@@ -11,6 +11,8 @@
 #include "core/slot_problem.h"
 #include "devices/energy_model.h"
 #include "energy/budget.h"
+#include "fault/command_bus.h"
+#include "fault/fallback_weather.h"
 #include "firewall/imcf_firewall.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
@@ -109,9 +111,13 @@ Result<PrototypeReport> PrototypeStudy::Run(
   IMCF_RETURN_IF_ERROR(items.BindDevices(registry));
 
   weather::SyntheticWeather weather(spec.climate);
+  const fault::FaultPlan fault_plan(options_.fault);
+  // The prototype reads "data from the open weather API" — a link the
+  // fault plan can take down; sensor models then see last-known weather.
+  const fault::FallbackWeather degraded_weather(&weather, &fault_plan);
   std::vector<trace::AmbientModel> ambient;
   for (int u = 0; u < spec.units; ++u) {
-    ambient.emplace_back(&weather, spec.ambient,
+    ambient.emplace_back(&degraded_weather, spec.ambient,
                          MixHash(spec.seed, static_cast<uint64_t>(u)));
   }
   devices::UnitEnergyModels models;
@@ -130,6 +136,12 @@ Result<PrototypeReport> PrototypeStudy::Run(
   energy::BudgetLedger ledger(&plan);
 
   firewall::MetaControlFirewall fw(&registry, /*audit_capacity=*/512);
+  std::unique_ptr<fault::CommandBus> bus;
+  if (fault_plan.enabled()) {
+    bus = std::make_unique<fault::CommandBus>(&fault_plan, options_.retry,
+                                              &registry);
+    fw.set_command_bus(bus.get());
+  }
   core::HillClimbingPlanner planner(options_.ep);
   Rng rng(options_.seed);
 
@@ -237,6 +249,10 @@ Result<PrototypeReport> PrototypeStudy::Run(
           const firewall::Decision decision = fw.Filter(cmd);
           if (decision.verdict == firewall::Verdict::kDrop) {
             ++report.commands_dropped;
+            if (decision.reason ==
+                firewall::DecisionReason::kDeviceUnavailable) {
+              ++report.commands_failed;
+            }
             continue;
           }
           (void)items.ApplyCommand(cmd);

@@ -22,6 +22,8 @@
 #include "core/hill_climber.h"
 #include "controller/resident.h"
 #include "energy/amortization.h"
+#include "fault/fault_plan.h"
+#include "fault/retry.h"
 #include "trace/ambient.h"
 
 namespace imcf {
@@ -32,6 +34,11 @@ struct PrototypeOptions {
   SimTime week_start = 0;         ///< 0 selects the default autumn week
   double weekly_budget_kwh = 165; ///< the family's configured limit
   core::EpOptions ep;             ///< planner configuration
+  /// Fault injection on the LAN command path and the weather link.
+  /// Disabled by default (the healthy deployment of §III-F).
+  fault::FaultOptions fault;
+  /// Retry/backoff for command delivery when faults are enabled.
+  fault::RetryPolicy retry;
   uint64_t seed = 21;
   std::string store_dir;          ///< persistence dir; empty = in-memory only
 };
@@ -54,6 +61,8 @@ struct PrototypeReport {
   int sensor_refreshes = 0;      ///< cron firings of the item-update job
   int64_t commands_issued = 0;
   int64_t commands_dropped = 0;
+  /// Commands the plan accepted but the bus could not deliver.
+  int64_t commands_failed = 0;
   double config_bytes_per_user = 0.0;  ///< persisted footprint (~65 B/user)
   std::vector<ResidentReport> residents;  ///< Table V
 };

@@ -1,0 +1,77 @@
+// The command bus: fault-aware delivery of accepted actuation commands.
+//
+// In the paper's prototype the Local Controller actuates Things over the
+// LAN; a command that passes the firewall can still fail in transit. The
+// CommandBus models that last hop: each delivery consults the FaultPlan on
+// the device's channel and, on failure, retries under the RetryPolicy with
+// deterministic backoff. Callers treat an undeliverable command exactly like
+// a dropped one for energy/convenience accounting — the device never moved,
+// so nothing may be charged (the consistency invariant of DESIGN.md §9).
+//
+// Stats are tallied locally (the bus is a per-run object, like the
+// firewall) and flushed to the obs registry once at destruction.
+
+#ifndef IMCF_FAULT_COMMAND_BUS_H_
+#define IMCF_FAULT_COMMAND_BUS_H_
+
+#include <cstdint>
+
+#include "devices/device.h"
+#include "fault/fault_plan.h"
+#include "fault/retry.h"
+
+namespace imcf {
+namespace fault {
+
+/// Aggregate delivery counters for one bus lifetime.
+struct BusStats {
+  int64_t deliveries = 0;            ///< Deliver() calls
+  int64_t delivered = 0;             ///< eventually succeeded
+  int64_t delivered_after_retry = 0; ///< succeeded with attempts > 1
+  int64_t undeliverable = 0;         ///< exhausted retries / timed out
+  int64_t attempts = 0;              ///< total attempts across deliveries
+  int64_t retries = 0;               ///< attempts beyond the first
+  /// Injected faults observed, indexed by FaultKind.
+  int64_t faults[kNumFaultKinds] = {};
+};
+
+/// Outcome of one delivery.
+struct Delivery {
+  bool delivered = false;
+  int attempts = 0;
+  SimTime latency_seconds = 0;  ///< virtual time from issue to completion
+  FaultKind last_fault = FaultKind::kNone;
+};
+
+/// Fault-aware delivery of accepted commands to devices.
+class CommandBus {
+ public:
+  /// `plan` and `registry` are borrowed and must outlive the bus. A null or
+  /// disabled plan delivers everything instantly on the first attempt.
+  CommandBus(const FaultPlan* plan, RetryPolicy policy,
+             const devices::DeviceRegistry* registry);
+
+  /// Flushes BusStats to the default metric registry (imcf_fault_*).
+  ~CommandBus();
+
+  CommandBus(const CommandBus&) = delete;
+  CommandBus& operator=(const CommandBus&) = delete;
+
+  /// Attempts delivery of `cmd` at virtual time `cmd.time`. Deterministic
+  /// in (plan seed, device channel, cmd.time).
+  Delivery Deliver(const devices::ActuationCommand& cmd);
+
+  const BusStats& stats() const { return stats_; }
+  const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  const FaultPlan* plan_;                    // not owned, may be null
+  RetryPolicy policy_;
+  const devices::DeviceRegistry* registry_;  // not owned, may be null
+  BusStats stats_;
+};
+
+}  // namespace fault
+}  // namespace imcf
+
+#endif  // IMCF_FAULT_COMMAND_BUS_H_

@@ -1,0 +1,56 @@
+#include "fault/fallback_weather.h"
+
+#include "obs/metrics.h"
+
+namespace imcf {
+namespace fault {
+
+namespace {
+
+constexpr std::string_view kWeatherChannel = "weather";
+
+SimTime AlignToHour(SimTime t) {
+  const SimTime rem = ((t % kSecondsPerHour) + kSecondsPerHour) %
+                      kSecondsPerHour;
+  return t - rem;
+}
+
+}  // namespace
+
+FallbackWeather::FallbackWeather(const weather::WeatherService* inner,
+                                 const FaultPlan* plan)
+    : inner_(inner), plan_(plan) {}
+
+FallbackWeather::~FallbackWeather() {
+  auto& reg = obs::MetricRegistry::Default();
+  static obs::Counter* const outages = reg.GetCounter(
+      "imcf_fault_weather_outages_total",
+      "Weather requests that hit an injected outage");
+  static obs::Counter* const fallbacks = reg.GetCounter(
+      "imcf_fault_weather_fallbacks_total",
+      "Weather requests served from the last-known healthy sample");
+  outages->Increment(outages_.load(std::memory_order_relaxed));
+  fallbacks->Increment(fallbacks_.load(std::memory_order_relaxed));
+}
+
+weather::WeatherSample FallbackWeather::At(SimTime t) const {
+  if (plan_ == nullptr || !plan_->enabled()) return inner_->At(t);
+  const SimTime hour = AlignToHour(t);
+  if (!plan_->At(kWeatherChannel, hour).faulted()) return inner_->At(t);
+
+  outages_.fetch_add(1, std::memory_order_relaxed);
+  for (int back = 1; back <= kMaxLookbackHours; ++back) {
+    const SimTime earlier =
+        hour - static_cast<SimTime>(back) * kSecondsPerHour;
+    if (!plan_->At(kWeatherChannel, earlier).faulted()) {
+      fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      return inner_->At(earlier);
+    }
+  }
+  // Outage longer than the lookback: degrade to the synthetic model
+  // directly rather than fail (it is the last line of defence).
+  return inner_->At(t);
+}
+
+}  // namespace fault
+}  // namespace imcf

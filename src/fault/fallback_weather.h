@@ -1,0 +1,60 @@
+// Graceful degradation of the weather service.
+//
+// The prototype "uses data from the open weather API" — a link that goes
+// down in practice. FallbackWeather wraps any WeatherService with the
+// FaultPlan's "weather" channel: when the service is out at hour H, it
+// serves the last-known sample (the newest earlier hour the plan reports
+// healthy, within a bounded lookback), so the planner keeps planning from
+// slightly stale conditions instead of failing.
+//
+// The fallback is *stateless*: instead of caching the last response (which
+// would make At() depend on call order and break deterministic replay), it
+// re-derives the last healthy hour from the plan itself — a pure function
+// of t, identical across runs and threads.
+
+#ifndef IMCF_FAULT_FALLBACK_WEATHER_H_
+#define IMCF_FAULT_FALLBACK_WEATHER_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "fault/fault_plan.h"
+#include "weather/weather.h"
+
+namespace imcf {
+namespace fault {
+
+/// Weather proxy with outage fallback.
+class FallbackWeather : public weather::WeatherService {
+ public:
+  /// `inner` and `plan` are borrowed and must outlive the proxy.
+  FallbackWeather(const weather::WeatherService* inner, const FaultPlan* plan);
+
+  /// Flushes outage/fallback tallies to the obs registry.
+  ~FallbackWeather() override;
+
+  /// Weather at `t`; on outage, the last-known healthy sample within
+  /// `kMaxLookbackHours`. Deterministic in t.
+  weather::WeatherSample At(SimTime t) const override;
+
+  /// Outage decisions observed (requests that hit a faulted hour).
+  int64_t outages() const { return outages_.load(std::memory_order_relaxed); }
+  /// Requests served from an earlier healthy hour.
+  int64_t fallbacks() const {
+    return fallbacks_.load(std::memory_order_relaxed);
+  }
+
+  /// How far back an outage may reach for a healthy sample.
+  static constexpr int kMaxLookbackHours = 48;
+
+ private:
+  const weather::WeatherService* inner_;  // not owned
+  const FaultPlan* plan_;                 // not owned, may be null
+  mutable std::atomic<int64_t> outages_{0};
+  mutable std::atomic<int64_t> fallbacks_{0};
+};
+
+}  // namespace fault
+}  // namespace imcf
+
+#endif  // IMCF_FAULT_FALLBACK_WEATHER_H_

@@ -1,0 +1,66 @@
+#include "fault/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace imcf {
+namespace fault {
+
+SimTime RetryPolicy::BackoffSeconds(int attempt, uint64_t token) const {
+  if (attempt < 1) attempt = 1;
+  double backoff = static_cast<double>(initial_backoff_seconds) *
+                   std::pow(backoff_multiplier, attempt - 1);
+  backoff = std::min(backoff, static_cast<double>(max_backoff_seconds));
+  if (jitter_fraction > 0.0) {
+    // Deterministic jitter: the stream is keyed on (token, attempt), never
+    // on shared state, so replay is exact for any interleaving.
+    Rng rng(MixHash(token, static_cast<uint64_t>(attempt)));
+    backoff *= 1.0 + rng.UniformDouble() * jitter_fraction;
+  }
+  return static_cast<SimTime>(std::llround(backoff));
+}
+
+RetryTrace RunWithRetry(
+    const RetryPolicy& policy, uint64_t token, SimTime start,
+    const std::function<AttemptResult(SimTime when)>& attempt) {
+  RetryTrace trace;
+  const int max_attempts = std::max(1, policy.max_attempts);
+  for (int a = 1; a <= max_attempts; ++a) {
+    if (a > 1) {
+      const SimTime backoff = policy.BackoffSeconds(a - 1, token);
+      if (trace.elapsed_seconds + backoff > policy.command_timeout_seconds) {
+        trace.timed_out = true;
+        break;
+      }
+      trace.elapsed_seconds += backoff;
+    }
+    ++trace.attempts;
+    const AttemptResult result = attempt(start + trace.elapsed_seconds);
+    trace.last_fault = result.fault;
+    switch (result.fault) {
+      case FaultKind::kNone:
+      case FaultKind::kDelay:
+        trace.elapsed_seconds += result.latency_seconds;
+        trace.success = true;
+        return trace;
+      case FaultKind::kDrop:
+      case FaultKind::kStuck:
+        // Nothing comes back; the sender detects the loss by timeout.
+        trace.elapsed_seconds += policy.attempt_timeout_seconds;
+        break;
+      case FaultKind::kTransientError:
+        // An explicit error response is immediate.
+        break;
+    }
+    if (trace.elapsed_seconds >= policy.command_timeout_seconds) {
+      trace.timed_out = true;
+      break;
+    }
+  }
+  return trace;
+}
+
+}  // namespace fault
+}  // namespace imcf

@@ -17,6 +17,8 @@ const char* DecisionReasonName(DecisionReason reason) {
       return "plan-adopted";
     case DecisionReason::kBypass:
       return "bypass";
+    case DecisionReason::kDeviceUnavailable:
+      return "device-unavailable";
   }
   return "?";
 }
@@ -43,10 +45,14 @@ MetaControlFirewall::~MetaControlFirewall() {
   static Counter* const dropped_plan = reg.GetCounter(
       "imcf_firewall_dropped_by_plan_total",
       "Commands dropped by the EP plan filter");
+  static Counter* const unavailable = reg.GetCounter(
+      "imcf_firewall_device_unavailable_total",
+      "Accepted commands that failed fault-aware delivery");
   commands->Increment(stats_.total);
   accepted->Increment(stats_.accepted);
   dropped_chain->Increment(stats_.dropped_by_chain);
   dropped_plan->Increment(stats_.dropped_by_plan);
+  unavailable->Increment(stats_.device_unavailable);
   for (size_t i = 0; i < kNumDecisionReasons; ++i) {
     // Labelled family: one instance per DecisionReason. Not cached in a
     // static (the pointer differs per label), but this runs once per
@@ -102,6 +108,16 @@ Decision MetaControlFirewall::Filter(const devices::ActuationCommand& cmd) {
     decision.reason = DecisionReason::kBypass;
   }
 
+  // Layer 3 (optional): fault-aware delivery. An accepted command only
+  // counts as accepted if the bus actually delivered it.
+  if (bus_ != nullptr && decision.verdict == Verdict::kAccept) {
+    const fault::Delivery delivery = bus_->Deliver(cmd);
+    if (!delivery.delivered) {
+      decision.verdict = Verdict::kDrop;
+      decision.reason = DecisionReason::kDeviceUnavailable;
+    }
+  }
+
   Record(decision);
   return decision;
 }
@@ -113,6 +129,8 @@ void MetaControlFirewall::Record(Decision decision) {
     ++stats_.accepted;
   } else if (decision.reason == DecisionReason::kPlanDropped) {
     ++stats_.dropped_by_plan;
+  } else if (decision.reason == DecisionReason::kDeviceUnavailable) {
+    ++stats_.device_unavailable;
   } else {
     ++stats_.dropped_by_chain;
   }

@@ -12,6 +12,11 @@
 //      (s_i = 0) are DROPped; necessity rules and manual commands bypass
 //      this layer.
 //
+// When a fault::CommandBus is attached, accepted commands additionally go
+// through fault-aware delivery: a command whose device stays unreachable
+// after bounded retries is reported as kDeviceUnavailable (verdict kDrop),
+// so callers never account energy for an actuation that did not happen.
+//
 // Decisions are recorded in a bounded audit log so examples and tests can
 // observe exactly which RAW pipelines the firewall filtered — the paper's
 // headline metaphor.
@@ -25,6 +30,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "fault/command_bus.h"
 #include "firewall/chain.h"
 
 namespace imcf {
@@ -32,11 +38,12 @@ namespace firewall {
 
 /// Why a command was accepted or dropped.
 enum class DecisionReason : uint8_t {
-  kDefaultPolicy = 0,   ///< no rule matched; chain default applied
-  kChainRule = 1,       ///< a static chain rule matched
-  kPlanDropped = 2,     ///< the EP dropped the originating meta-rule
-  kPlanAdopted = 3,     ///< the EP adopted the originating meta-rule
-  kBypass = 4,          ///< manual/necessity command, plan layer bypassed
+  kDefaultPolicy = 0,      ///< no rule matched; chain default applied
+  kChainRule = 1,          ///< a static chain rule matched
+  kPlanDropped = 2,        ///< the EP dropped the originating meta-rule
+  kPlanAdopted = 3,        ///< the EP adopted the originating meta-rule
+  kBypass = 4,             ///< manual/necessity command, plan layer bypassed
+  kDeviceUnavailable = 5,  ///< accepted but undeliverable after retries
 };
 
 const char* DecisionReasonName(DecisionReason reason);
@@ -49,7 +56,7 @@ struct Decision {
 };
 
 /// Number of DecisionReason values (for per-reason tallies).
-inline constexpr size_t kNumDecisionReasons = 5;
+inline constexpr size_t kNumDecisionReasons = 6;
 
 /// Aggregate counters.
 struct FirewallStats {
@@ -57,8 +64,9 @@ struct FirewallStats {
   int64_t accepted = 0;
   int64_t dropped_by_chain = 0;
   int64_t dropped_by_plan = 0;
+  int64_t device_unavailable = 0;
   /// Decisions per DecisionReason, indexed by the enum's value.
-  int64_t by_reason[kNumDecisionReasons] = {0, 0, 0, 0, 0};
+  int64_t by_reason[kNumDecisionReasons] = {};
 };
 
 /// The firewall itself.
@@ -81,7 +89,13 @@ class MetaControlFirewall {
   /// whose commands must be dropped. Replaces the previous slot's set.
   void SetDroppedRules(std::vector<int> dropped_rule_ids);
 
-  /// Filters one command, recording the decision.
+  /// Attaches fault-aware delivery: accepted commands are handed to `bus`
+  /// (borrowed; may be null to detach) and undeliverable ones come back as
+  /// kDeviceUnavailable. Without a bus, acceptance implies actuation.
+  void set_command_bus(fault::CommandBus* bus) { bus_ = bus; }
+
+  /// Filters one command (and, with a command bus attached, delivers it),
+  /// recording the decision.
   Decision Filter(const devices::ActuationCommand& cmd);
 
   const FirewallStats& stats() const { return stats_; }
@@ -92,6 +106,7 @@ class MetaControlFirewall {
   void Record(Decision decision);
 
   const devices::DeviceRegistry* registry_;  // not owned
+  fault::CommandBus* bus_ = nullptr;         // not owned, may be null
   Chain chain_;
   std::unordered_set<int> dropped_rules_;
   FirewallStats stats_;

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -69,11 +70,19 @@ double Histogram::Quantile(double q) const {
   const int64_t n = count();
   if (n <= 0) return 0.0;
   q = std::min(1.0, std::max(0.0, q));
-  const double target = q * static_cast<double>(n);
+  // Rank statistics: report the bucket holding the ceil(q*n)-th
+  // observation (1-based; rank 0 would sit before the first sample, so it
+  // clamps up). Selecting by rank — first *non-empty* bucket with
+  // cumulative count >= rank — rather than a strict `< target` scan keeps
+  // empty leading buckets from being reported and puts exact-boundary
+  // ranks in the bucket that actually holds the observation.
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(q * static_cast<double>(n))));
   int64_t cumulative = 0;
   for (size_t i = 0; i <= bounds_.size(); ++i) {
     const int64_t in_bucket = bucket_count(i);
-    if (static_cast<double>(cumulative + in_bucket) < target) {
+    if (in_bucket <= 0) continue;
+    if (cumulative + in_bucket < rank) {
       cumulative += in_bucket;
       continue;
     }
@@ -83,10 +92,8 @@ double Histogram::Quantile(double q) const {
     }
     const double lower = i == 0 ? 0.0 : bounds_[i - 1];
     const double upper = bounds_[i];
-    if (in_bucket == 0) return upper;
-    const double fraction =
-        (target - static_cast<double>(cumulative)) /
-        static_cast<double>(in_bucket);
+    const double fraction = static_cast<double>(rank - cumulative) /
+                            static_cast<double>(in_bucket);
     return lower + (upper - lower) * fraction;
   }
   return bounds_.empty() ? 0.0 : bounds_.back();

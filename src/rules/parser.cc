@@ -1,5 +1,7 @@
 #include "rules/parser.h"
 
+#include <cmath>
+
 #include "common/strings.h"
 
 namespace imcf {
@@ -29,6 +31,9 @@ Status ApplyExtraField(const std::string& field, MetaRule* rule) {
   const std::string value = Trim(kv[1]);
   if (key == "unit") {
     IMCF_ASSIGN_OR_RETURN(int64_t unit, ParseInt(value));
+    if (unit < 0) {
+      return Status::OutOfRange("unit must be >= 0: '" + value + "'");
+    }
     rule->unit = static_cast<int>(unit);
     return Status::Ok();
   }
@@ -59,8 +64,16 @@ Result<MetaRule> ParseMetaRuleLine(std::string_view line) {
   }
   MetaRule rule;
   rule.description = Trim(fields[0]);
+  if (rule.description.empty()) {
+    return Status::InvalidArgument("meta-rule description is empty: '" +
+                                   std::string(line) + "'");
+  }
   IMCF_ASSIGN_OR_RETURN(rule.action, ParseAction(Trim(fields[2])));
   IMCF_ASSIGN_OR_RETURN(rule.value, ParseDouble(fields[3]));
+  if (!std::isfinite(rule.value)) {
+    return Status::OutOfRange("meta-rule value must be finite: '" +
+                              Trim(fields[3]) + "'");
+  }
   if (rule.IsConvenience()) {
     IMCF_ASSIGN_OR_RETURN(rule.window, ParseTimeWindow(Trim(fields[1])));
   } else {
@@ -74,6 +87,15 @@ Result<MetaRule> ParseMetaRuleLine(std::string_view line) {
   if (rule.action == RuleAction::kSetLight &&
       (rule.value < 0.0 || rule.value > 100.0)) {
     return Status::OutOfRange("light value outside [0,100]");
+  }
+  if (rule.action == RuleAction::kSetTemperature &&
+      (rule.value < -30.0 || rule.value > 50.0)) {
+    return Status::OutOfRange(
+        StrFormat("temperature setpoint outside [-30,50] C: %g", rule.value));
+  }
+  if (rule.action == RuleAction::kSetKwhLimit && rule.value <= 0.0) {
+    return Status::OutOfRange(
+        StrFormat("kWh limit must be positive: %g", rule.value));
   }
   return rule;
 }
@@ -120,6 +142,10 @@ Result<TriggerRule> ParseTriggerRuleLine(std::string_view line) {
   const std::string condition = Trim(fields[1]);
   IMCF_ASSIGN_OR_RETURN(RuleAction action, ParseAction(Trim(fields[2])));
   IMCF_ASSIGN_OR_RETURN(double value, ParseDouble(fields[3]));
+  if (!std::isfinite(value)) {
+    return Status::OutOfRange("trigger value must be finite: '" +
+                              Trim(fields[3]) + "'");
+  }
 
   if (field_name == "season") {
     const std::string s = ToLower(condition);
@@ -165,6 +191,10 @@ Result<TriggerRule> ParseTriggerRuleLine(std::string_view line) {
     }
     IMCF_ASSIGN_OR_RETURN(double threshold,
                           ParseDouble(condition.substr(skip)));
+    if (!std::isfinite(threshold)) {
+      return Status::OutOfRange("trigger threshold must be finite: '" +
+                                condition + "'");
+    }
     return field_name == "temperature"
                ? TriggerRule::OnTemperature(op, threshold, action, value)
                : TriggerRule::OnLightLevel(op, threshold, action, value);

@@ -7,6 +7,8 @@
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "core/slot_problem.h"
+#include "fault/command_bus.h"
+#include "fault/fallback_weather.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
 
@@ -181,7 +183,16 @@ Result<SimulationReport> Simulator::Run(Policy policy, int rep) const {
 
   Rng rng(MixHash(MixHash(options_.seed, static_cast<uint64_t>(rep)),
                   static_cast<uint64_t>(policy)));
+  const fault::FaultPlan fault_plan(options_.fault);
   firewall::MetaControlFirewall fw(&registry_, /*audit_capacity=*/256);
+  std::unique_ptr<fault::CommandBus> bus;
+  if (fault_plan.enabled()) {
+    bus = std::make_unique<fault::CommandBus>(&fault_plan, options_.retry,
+                                              &registry_);
+    fw.set_command_bus(bus.get());
+  }
+  if (options_.chain_setup) options_.chain_setup(fw.chain());
+  const fault::FallbackWeather degraded_weather(weather_.get(), &fault_plan);
   energy::BudgetLedger ledger(plan_.get());
 
   SimulationReport report;
@@ -207,6 +218,7 @@ Result<SimulationReport> Simulator::Run(Policy policy, int rep) const {
   std::vector<int> dropped_ids;
   std::vector<char> accepted;  // firewall verdict per active rule
   std::vector<int> necessity_active;
+  std::vector<char> necessity_ok;  // firewall verdict per necessity rule
   std::vector<const core::ActiveRule*> winner(static_cast<size_t>(n_groups),
                                               nullptr);
   std::vector<rules::TriggerDecision> decisions(
@@ -316,7 +328,7 @@ Result<SimulationReport> Simulator::Run(Policy policy, int rep) const {
         for (int u = 0; u < spec.units; ++u) {
           rules::EvaluationContext ctx;
           ctx.time = midpoint;
-          ctx.weather = weather_->At(midpoint);
+          ctx.weather = degraded_weather.At(midpoint);
           ctx.ambient_temp_c = ambient_->temp(u, hm);
           ctx.ambient_light_pct = ambient_->light(u, hm);
           ctx.door_open =
@@ -335,8 +347,13 @@ Result<SimulationReport> Simulator::Run(Policy policy, int rep) const {
           cmd.time = slot_time;
           cmd.source = "ifttt";
           ++report.commands_issued;
-          if (fw.Filter(cmd).verdict == firewall::Verdict::kDrop) {
+          const firewall::Decision decision = fw.Filter(cmd);
+          if (decision.verdict == firewall::Verdict::kDrop) {
             ++report.commands_dropped;
+            if (decision.reason ==
+                firewall::DecisionReason::kDeviceUnavailable) {
+              ++report.commands_failed;
+            }
             decisions[static_cast<size_t>(u)].temperature.reset();
           }
         }
@@ -348,8 +365,13 @@ Result<SimulationReport> Simulator::Run(Policy policy, int rep) const {
           cmd.time = slot_time;
           cmd.source = "ifttt";
           ++report.commands_issued;
-          if (fw.Filter(cmd).verdict == firewall::Verdict::kDrop) {
+          const firewall::Decision decision = fw.Filter(cmd);
+          if (decision.verdict == firewall::Verdict::kDrop) {
             ++report.commands_dropped;
+            if (decision.reason ==
+                firewall::DecisionReason::kDeviceUnavailable) {
+              ++report.commands_failed;
+            }
             decisions[static_cast<size_t>(u)].light.reset();
           }
         }
@@ -394,6 +416,10 @@ Result<SimulationReport> Simulator::Run(Policy policy, int rep) const {
         const firewall::Decision decision = fw.Filter(cmd);
         if (decision.verdict == firewall::Verdict::kDrop) {
           ++report.commands_dropped;
+          if (decision.reason ==
+              firewall::DecisionReason::kDeviceUnavailable) {
+            ++report.commands_failed;
+          }
         } else {
           accepted[a] = 1;
         }
@@ -409,10 +435,12 @@ Result<SimulationReport> Simulator::Run(Policy policy, int rep) const {
       }
     }
 
-    // Necessity commands, once per slot; only an admin chain rule can
-    // block them.
-    for (int id : necessity_active) {
-      const rules::MetaRule& rule = *mrt_.Get(id).value();
+    // Necessity commands, once per slot; only an admin chain rule (or an
+    // unavailable device) can block them — and a blocked one must not be
+    // charged as if it actuated.
+    necessity_ok.assign(necessity_active.size(), 0);
+    for (size_t ni = 0; ni < necessity_active.size(); ++ni) {
+      const rules::MetaRule& rule = *mrt_.Get(necessity_active[ni]).value();
       devices::ActuationCommand cmd;
       cmd.device = rule.TargetKind() == devices::DeviceKind::kHvac
                        ? hvac_ids_[static_cast<size_t>(rule.unit)]
@@ -423,8 +451,15 @@ Result<SimulationReport> Simulator::Run(Policy policy, int rep) const {
       cmd.time = slot_time;
       cmd.source = "mrt-necessity";
       ++report.commands_issued;
-      if (fw.Filter(cmd).verdict == firewall::Verdict::kDrop) {
+      const firewall::Decision decision = fw.Filter(cmd);
+      if (decision.verdict == firewall::Verdict::kDrop) {
         ++report.commands_dropped;
+        if (decision.reason ==
+            firewall::DecisionReason::kDeviceUnavailable) {
+          ++report.commands_failed;
+        }
+      } else {
+        necessity_ok[ni] = 1;
       }
     }
 
@@ -513,17 +548,26 @@ Result<SimulationReport> Simulator::Run(Policy policy, int rep) const {
         ++activations;
       }
 
-      // Necessity rules: always held at their setpoint (zero error).
-      for (int id : necessity_active) {
-        const rules::MetaRule& rule = *mrt_.Get(id).value();
+      // Necessity rules: when their command went through they hold the
+      // setpoint (zero error); when the firewall/bus blocked it the device
+      // never moved, so no energy is charged and the full ambient gap
+      // counts as convenience error.
+      for (size_t ni = 0; ni < necessity_active.size(); ++ni) {
+        const rules::MetaRule& rule =
+            *mrt_.Get(necessity_active[ni]).value();
         if (!rule.window.ContainsMinute(hour_minute)) continue;
         const int unit = rule.unit;
         const double amb =
             rule.TargetKind() == devices::DeviceKind::kLight
                 ? ambient_->light(unit, hh)
                 : ambient_->temp(unit, hh);
-        hour_energy += unit_models_.CommandEnergyKwh(rule.TargetCommand(),
-                                                     rule.value, amb, 1.0);
+        if (necessity_ok[ni] != 0) {
+          hour_energy += unit_models_.CommandEnergyKwh(
+              rule.TargetCommand(), rule.value, amb, 1.0);
+        } else {
+          error_sum += core::NormalizedError(rule.TargetCommand(),
+                                             rule.value, amb);
+        }
         ++activations;
       }
 

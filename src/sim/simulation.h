@@ -18,6 +18,7 @@
 #ifndef IMCF_SIM_SIMULATION_H_
 #define IMCF_SIM_SIMULATION_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,6 +32,8 @@
 #include "energy/amortization.h"
 #include "energy/budget.h"
 #include "energy/carbon.h"
+#include "fault/fault_plan.h"
+#include "fault/retry.h"
 #include "firewall/imcf_firewall.h"
 #include "rules/meta_rule.h"
 #include "rules/trigger_rule.h"
@@ -88,6 +91,15 @@ struct SimulationOptions {
   double carbon_alpha = 0.0;
   /// Grid mix for CO2 accounting (always reported) and for the tilt.
   energy::CarbonProfileOptions carbon;
+  /// Fault injection on the command/weather path. Disabled by default, in
+  /// which case the run is bit-identical to a build without the fault
+  /// layer (no bus is constructed, no plan is consulted).
+  fault::FaultOptions fault;
+  /// Retry/backoff policy the command bus applies when faults are enabled.
+  fault::RetryPolicy retry;
+  /// Test seam: invoked on each run's firewall admin chain before the slot
+  /// loop (e.g. to install deny rules for accounting tests).
+  std::function<void(firewall::Chain*)> chain_setup;
   uint64_t seed = 1;                ///< master seed (MRT variation, planner)
   /// Worker threads for fanning out independent repetitions in
   /// RunRepeated. 1 (the default) keeps the serial reference path; 0
@@ -111,6 +123,9 @@ struct SimulationReport {
   int64_t activations = 0;    ///< rule-slot activations measured
   int64_t commands_issued = 0;
   int64_t commands_dropped = 0;
+  /// Commands the plan accepted but the bus could not deliver
+  /// (DecisionReason::kDeviceUnavailable); subset of commands_dropped.
+  int64_t commands_failed = 0;
   double mean_adopted_fraction = 0.0;  ///< avg share of active rules adopted
   double co2_kg = 0.0;  ///< grid CO2 footprint of the consumed energy
 };

@@ -12,8 +12,12 @@ namespace {
 
 constexpr double kTau = 2.0 * M_PI;
 
-// Coldest day of the year (mid January) as a day-of-year anchor.
-constexpr double kColdestDoy = 15.0;
+// Annual-phase anchors as fractions of the year. Using YearFraction(t)
+// (which divides by the *actual* 365/366-day year) instead of an integer
+// day-of-year over 365.25 keeps the annual phase exactly continuous across
+// Dec 31 -> Jan 1 midnight and drift-free through leap days.
+constexpr double kColdestFrac = 14.5 / 365.25;   // mid January
+constexpr double kSolsticeFrac = 171.5 / 365.25; // June solstice
 
 // Coldest hour of the day (pre-dawn).
 constexpr double kColdestHour = 5.0;
@@ -88,12 +92,12 @@ WeatherSample SyntheticWeather::At(SimTime t) const {
   sample.season = SeasonOf(t);
 
   const int64_t day_index = DayIndexOf(t);
-  const double doy = static_cast<double>(DayOfYear(t));
+  const double yfrac = YearFraction(t);
   const double hour = static_cast<double>(MinuteOfDay(t)) / 60.0;
 
   // Annual component: minimum (-A) around mid January, maximum mid July.
   const double annual =
-      -options_.annual_amplitude_c * std::cos(kTau * (doy - kColdestDoy) / 365.25);
+      -options_.annual_amplitude_c * std::cos(kTau * (yfrac - kColdestFrac));
 
   // Diurnal component: coldest pre-dawn, warmest mid afternoon.
   const double diurnal =
@@ -116,7 +120,8 @@ WeatherSample SyntheticWeather::At(SimTime t) const {
       0.5 * (options_.min_day_length_h + options_.max_day_length_h);
   const double half =
       0.5 * (options_.max_day_length_h - options_.min_day_length_h);
-  sample.day_length_hours = mid + half * std::cos(kTau * (doy - 172.0) / 365.25);
+  sample.day_length_hours =
+      mid + half * std::cos(kTau * (yfrac - kSolsticeFrac));
 
   // Daylight: sine arch between sunrise and sunset, scaled down on cloudy
   // days.

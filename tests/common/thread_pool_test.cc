@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -51,6 +52,40 @@ TEST(ThreadPoolTest, WaitIsReusable) {
 TEST(ThreadPoolTest, ZeroThreadsSelectsHardwareConcurrency) {
   ThreadPool pool(0);
   EXPECT_GE(pool.thread_count(), 1);
+}
+
+// A task that throws must not kill its worker or wedge Wait(): the pool
+// swallows the exception and keeps draining the queue. Before the fix, the
+// first throw unwound WorkerLoop, leaking the in-flight count and leaving
+// Wait() (and the destructor) blocked forever.
+TEST(ThreadPoolTest, ThrowingTasksDoNotWedgeWaitOrShutdown) {
+  std::atomic<int> survivors{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      if (i % 3 == 0) {
+        pool.Submit([] { throw std::runtime_error("injected"); });
+      } else {
+        pool.Submit([&survivors] { survivors.fetch_add(1); });
+      }
+    }
+    pool.Wait();  // must return despite 67 throwing tasks
+    EXPECT_EQ(survivors.load(), 200 - 67);
+    // The workers are still alive and accept more work after the throws.
+    pool.Submit([&survivors] { survivors.fetch_add(1); });
+    pool.Wait();
+    EXPECT_EQ(survivors.load(), 200 - 67 + 1);
+  }  // destructor must join cleanly, not deadlock
+}
+
+TEST(ThreadPoolTest, ParallelForSurvivesThrowingBodies) {
+  std::vector<int> hits(64, 0);
+  ParallelFor(4, 64, [&hits](int i) {
+    hits[static_cast<size_t>(i)] = 1;
+    if (i % 2 == 0) throw std::runtime_error("injected");
+  });
+  // Every index ran even though half of them threw afterwards.
+  for (int h : hits) EXPECT_EQ(h, 1);
 }
 
 TEST(ParallelForTest, CoversExactlyTheRange) {

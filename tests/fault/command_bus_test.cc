@@ -1,0 +1,130 @@
+#include "fault/command_bus.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace imcf {
+namespace fault {
+namespace {
+
+devices::DeviceRegistry MakeRegistry(devices::DeviceId* ac,
+                                     devices::DeviceId* light) {
+  devices::DeviceRegistry registry;
+  *ac = *registry.Add("unit00_ac", devices::DeviceKind::kHvac, 0, "10.0.0.1");
+  *light =
+      *registry.Add("unit00_light", devices::DeviceKind::kLight, 0, "10.0.0.2");
+  return registry;
+}
+
+devices::ActuationCommand MakeCommand(devices::DeviceId device, SimTime t) {
+  devices::ActuationCommand cmd;
+  cmd.device = device;
+  cmd.type = devices::CommandType::kSetTemperature;
+  cmd.value = 22.0;
+  cmd.time = t;
+  cmd.source = "test";
+  return cmd;
+}
+
+TEST(CommandBusTest, NullPlanDeliversFirstAttempt) {
+  devices::DeviceId ac, light;
+  devices::DeviceRegistry registry = MakeRegistry(&ac, &light);
+  CommandBus bus(nullptr, RetryPolicy{}, &registry);
+  const Delivery d = bus.Deliver(MakeCommand(ac, 0));
+  EXPECT_TRUE(d.delivered);
+  EXPECT_EQ(d.attempts, 1);
+  EXPECT_EQ(d.latency_seconds, 0);
+  EXPECT_EQ(bus.stats().deliveries, 1);
+  EXPECT_EQ(bus.stats().delivered, 1);
+  EXPECT_EQ(bus.stats().undeliverable, 0);
+}
+
+TEST(CommandBusTest, DisabledPlanDeliversFirstAttempt) {
+  devices::DeviceId ac, light;
+  devices::DeviceRegistry registry = MakeRegistry(&ac, &light);
+  FaultPlan plan;  // default: disabled
+  CommandBus bus(&plan, RetryPolicy{}, &registry);
+  for (int i = 0; i < 50; ++i) {
+    const Delivery d =
+        bus.Deliver(MakeCommand(ac, static_cast<SimTime>(i) * 60));
+    EXPECT_TRUE(d.delivered);
+    EXPECT_EQ(d.attempts, 1);
+  }
+  EXPECT_EQ(bus.stats().retries, 0);
+}
+
+TEST(CommandBusTest, PermanentDropExhaustsRetries) {
+  devices::DeviceId ac, light;
+  devices::DeviceRegistry registry = MakeRegistry(&ac, &light);
+  FaultOptions options;
+  options.enabled = true;
+  options.device.drop_prob = 1.0;
+  FaultPlan plan(options);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  CommandBus bus(&plan, policy, &registry);
+  const Delivery d = bus.Deliver(MakeCommand(ac, 1000));
+  EXPECT_FALSE(d.delivered);
+  EXPECT_EQ(d.attempts, 3);
+  EXPECT_EQ(d.last_fault, FaultKind::kDrop);
+  EXPECT_EQ(bus.stats().undeliverable, 1);
+  EXPECT_EQ(bus.stats().retries, 2);
+  EXPECT_EQ(bus.stats().faults[static_cast<size_t>(FaultKind::kDrop)], 3);
+}
+
+TEST(CommandBusTest, ModerateFaultsStatsStayConsistent) {
+  devices::DeviceId ac, light;
+  devices::DeviceRegistry registry = MakeRegistry(&ac, &light);
+  FaultPlan plan(FaultOptions::UniformRate(0.4, 5));
+  CommandBus bus(&plan, RetryPolicy{}, &registry);
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    (void)bus.Deliver(
+        MakeCommand(i % 2 == 0 ? ac : light,
+                    static_cast<SimTime>(i) * kSecondsPerHour));
+  }
+  const BusStats& stats = bus.stats();
+  EXPECT_EQ(stats.deliveries, n);
+  EXPECT_EQ(stats.delivered + stats.undeliverable, n);
+  EXPECT_GE(stats.attempts, stats.deliveries);
+  EXPECT_EQ(stats.retries, stats.attempts - stats.deliveries);
+  // At 40% fault rate with 3 attempts, both outcomes and retries occur.
+  EXPECT_GT(stats.delivered, 0);
+  EXPECT_GT(stats.delivered_after_retry, 0);
+  EXPECT_GT(stats.retries, 0);
+}
+
+TEST(CommandBusTest, DeterministicAcrossInstances) {
+  devices::DeviceId ac, light;
+  devices::DeviceRegistry registry = MakeRegistry(&ac, &light);
+  const FaultOptions options = FaultOptions::UniformRate(0.5, 11);
+  FaultPlan plan_a(options);
+  FaultPlan plan_b(options);
+  CommandBus bus_a(&plan_a, RetryPolicy{}, &registry);
+  CommandBus bus_b(&plan_b, RetryPolicy{}, &registry);
+  for (int i = 0; i < 200; ++i) {
+    const devices::ActuationCommand cmd =
+        MakeCommand(ac, static_cast<SimTime>(i) * kSecondsPerHour);
+    const Delivery da = bus_a.Deliver(cmd);
+    const Delivery db = bus_b.Deliver(cmd);
+    EXPECT_EQ(da.delivered, db.delivered);
+    EXPECT_EQ(da.attempts, db.attempts);
+    EXPECT_EQ(da.latency_seconds, db.latency_seconds);
+  }
+}
+
+TEST(CommandBusTest, UnknownDeviceStillGetsAChannel) {
+  FaultOptions options;
+  options.enabled = true;
+  options.device.transient_error_prob = 1.0;
+  FaultPlan plan(options);
+  CommandBus bus(&plan, RetryPolicy{}, /*registry=*/nullptr);
+  const Delivery d = bus.Deliver(MakeCommand(devices::DeviceId{42}, 0));
+  EXPECT_FALSE(d.delivered);
+  EXPECT_EQ(d.last_fault, FaultKind::kTransientError);
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace imcf

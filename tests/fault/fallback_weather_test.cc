@@ -1,0 +1,113 @@
+#include "fault/fallback_weather.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace imcf {
+namespace fault {
+namespace {
+
+weather::ClimateOptions TestClimate() {
+  weather::ClimateOptions climate;
+  climate.seed = 3;
+  return climate;
+}
+
+TEST(FallbackWeatherTest, DisabledPlanPassesThrough) {
+  weather::SyntheticWeather inner(TestClimate());
+  FaultPlan plan;  // disabled
+  FallbackWeather proxy(&inner, &plan);
+  for (SimTime t = 0; t < 72 * kSecondsPerHour; t += kSecondsPerHour / 2) {
+    const weather::WeatherSample a = inner.At(t);
+    const weather::WeatherSample b = proxy.At(t);
+    EXPECT_EQ(a.outdoor_temp_c, b.outdoor_temp_c);
+    EXPECT_EQ(a.daylight, b.daylight);
+    EXPECT_EQ(a.sky, b.sky);
+  }
+  EXPECT_EQ(proxy.outages(), 0);
+  EXPECT_EQ(proxy.fallbacks(), 0);
+}
+
+TEST(FallbackWeatherTest, OutageServesLastHealthyHour) {
+  weather::SyntheticWeather inner(TestClimate());
+  FaultOptions options;
+  options.enabled = true;
+  options.weather.drop_prob = 0.3;
+  FaultPlan plan(options);
+  FallbackWeather proxy(&inner, &plan);
+
+  // Find an outage hour whose previous hour is healthy.
+  SimTime outage = -1;
+  for (SimTime h = 1; h < 1000; ++h) {
+    const SimTime t = h * kSecondsPerHour;
+    if (plan.At("weather", t).faulted() &&
+        !plan.At("weather", t - kSecondsPerHour).faulted()) {
+      outage = t;
+      break;
+    }
+  }
+  ASSERT_GE(outage, 0) << "no isolated outage hour found at p=0.3";
+
+  const weather::WeatherSample served = proxy.At(outage);
+  const weather::WeatherSample previous = inner.At(outage - kSecondsPerHour);
+  EXPECT_EQ(served.outdoor_temp_c, previous.outdoor_temp_c);
+  EXPECT_EQ(served.daylight, previous.daylight);
+  EXPECT_GE(proxy.outages(), 1);
+  EXPECT_GE(proxy.fallbacks(), 1);
+}
+
+TEST(FallbackWeatherTest, HealthyHoursUnaffectedByOutagesElsewhere) {
+  weather::SyntheticWeather inner(TestClimate());
+  FaultOptions options;
+  options.enabled = true;
+  options.weather.drop_prob = 0.3;
+  FaultPlan plan(options);
+  FallbackWeather proxy(&inner, &plan);
+  for (SimTime h = 0; h < 500; ++h) {
+    const SimTime t = h * kSecondsPerHour;
+    if (!plan.At("weather", t).faulted()) {
+      EXPECT_EQ(proxy.At(t).outdoor_temp_c, inner.At(t).outdoor_temp_c);
+    }
+  }
+}
+
+TEST(FallbackWeatherTest, StatelessDeterministicInT) {
+  weather::SyntheticWeather inner(TestClimate());
+  FaultOptions options;
+  options.enabled = true;
+  options.weather.drop_prob = 0.4;
+  FaultPlan plan(options);
+  FallbackWeather forward(&inner, &plan);
+  FallbackWeather backward(&inner, &plan);
+  // Query one proxy forward and the other backward: samples must agree —
+  // the fallback derives from the plan, never from the call history.
+  const int hours = 300;
+  std::vector<double> f(hours), b(hours);
+  for (int h = 0; h < hours; ++h) {
+    f[static_cast<size_t>(h)] = forward.At(h * kSecondsPerHour).outdoor_temp_c;
+  }
+  for (int h = hours - 1; h >= 0; --h) {
+    b[static_cast<size_t>(h)] = backward.At(h * kSecondsPerHour).outdoor_temp_c;
+  }
+  EXPECT_EQ(f, b);
+}
+
+TEST(FallbackWeatherTest, TotalOutageDegradesToInnerModel) {
+  weather::SyntheticWeather inner(TestClimate());
+  FaultOptions options;
+  options.enabled = true;
+  options.weather.drop_prob = 1.0;  // every hour faulted
+  FaultPlan plan(options);
+  FallbackWeather proxy(&inner, &plan);
+  const SimTime t = 100 * kSecondsPerHour;
+  // No healthy hour within lookback: the proxy still answers (synthetic
+  // model as last line of defence) instead of failing.
+  EXPECT_EQ(proxy.At(t).outdoor_temp_c, inner.At(t).outdoor_temp_c);
+  EXPECT_GE(proxy.outages(), 1);
+  EXPECT_EQ(proxy.fallbacks(), 0);
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace imcf

@@ -133,6 +133,50 @@ TEST(HistogramTest, QuantileInterpolatesWithinBucket) {
   EXPECT_LE(hist->Quantile(0.5), hist->Quantile(0.9));
 }
 
+TEST(HistogramTest, QuantileMatchesHandComputedRanks) {
+  MetricRegistry registry;
+  // Single bucket (0, 10] holding 4 observations. The rank-based estimate
+  // is lower + (upper - lower) * rank / in_bucket with rank = ceil(q * n):
+  //   q=0.25 -> rank 1 -> 2.5      q=0.5 -> rank 2 -> 5.0
+  //   q=0.75 -> rank 3 -> 7.5      q=1.0 -> rank 4 -> 10.0
+  Histogram* single = registry.GetHistogram("imcf_test_q_single", "help",
+                                            {10.0});
+  for (int i = 0; i < 4; ++i) single->Observe(5.0);
+  EXPECT_DOUBLE_EQ(single->Quantile(0.25), 2.5);
+  EXPECT_DOUBLE_EQ(single->Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(single->Quantile(0.75), 7.5);
+  EXPECT_DOUBLE_EQ(single->Quantile(1.0), 10.0);
+  // q=0 clamps the rank to the first observation, not below it.
+  EXPECT_DOUBLE_EQ(single->Quantile(0.0), 2.5);
+}
+
+TEST(HistogramTest, QuantileExactAtBucketBoundary) {
+  MetricRegistry registry;
+  Histogram* hist = registry.GetHistogram("imcf_test_q_boundary", "help",
+                                          {10.0, 20.0});
+  for (int i = 0; i < 5; ++i) hist->Observe(5.0);    // le="10"
+  for (int i = 0; i < 5; ++i) hist->Observe(15.0);   // le="20"
+  // The median rank (5 of 10) is the last observation of the first bucket,
+  // so the estimate must sit exactly on the bucket boundary — the old
+  // cumulative-fraction code overshot into the next bucket here.
+  EXPECT_DOUBLE_EQ(hist->Quantile(0.5), 10.0);
+  // Rank 6 is the first observation of the second bucket: 1/5 into it.
+  EXPECT_DOUBLE_EQ(hist->Quantile(0.6), 12.0);
+  EXPECT_DOUBLE_EQ(hist->Quantile(1.0), 20.0);
+}
+
+TEST(HistogramTest, QuantileSkipsEmptyLeadingBuckets) {
+  MetricRegistry registry;
+  Histogram* hist = registry.GetHistogram("imcf_test_q_sparse", "help",
+                                          {1.0, 2.0, 10.0, 20.0});
+  // All mass in (2, 10]: empty buckets must contribute nothing, and the
+  // interpolation must use that bucket's own lower edge (2), not zero.
+  for (int i = 0; i < 4; ++i) hist->Observe(5.0);
+  EXPECT_DOUBLE_EQ(hist->Quantile(0.5), 2.0 + (10.0 - 2.0) * 2.0 / 4.0);
+  EXPECT_DOUBLE_EQ(hist->Quantile(0.25), 2.0 + (10.0 - 2.0) * 1.0 / 4.0);
+  EXPECT_DOUBLE_EQ(hist->Quantile(1.0), 10.0);
+}
+
 TEST(HistogramTest, QuantileCapsAtLargestFiniteBound) {
   MetricRegistry registry;
   Histogram* hist = registry.GetHistogram("imcf_test_overflow", "help",

@@ -63,6 +63,61 @@ TEST(MetaRuleParseTest, Rejections) {
       ParseMetaRuleLine("x | 01:00-02:00 | temp | 22 | bogus=1").ok());
 }
 
+TEST(MetaRuleParseTest, RejectsMissingOrEmptyFields) {
+  EXPECT_TRUE(
+      ParseMetaRuleLine("x | 01:00-02:00 | temp").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseMetaRuleLine("").status().IsInvalidArgument());
+  // A line with the right arity but an empty description is still malformed.
+  EXPECT_TRUE(ParseMetaRuleLine(" | 01:00-02:00 | temp | 22")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(MetaRuleParseTest, RejectsNonNumericAndNonFiniteValues) {
+  EXPECT_FALSE(ParseMetaRuleLine("x | 01:00-02:00 | temp | 22C").ok());
+  EXPECT_TRUE(ParseMetaRuleLine("x | 01:00-02:00 | temp | inf")
+                  .status()
+                  .IsOutOfRange());
+  EXPECT_TRUE(ParseMetaRuleLine("x | 01:00-02:00 | temp | nan")
+                  .status()
+                  .IsOutOfRange());
+  EXPECT_FALSE(ParseMetaRuleLine("x | 01:00-02:00 | temp | 22 | unit=two").ok());
+}
+
+TEST(MetaRuleParseTest, RejectsOutOfRangeValues) {
+  // 25:00 is not a clock time.
+  EXPECT_TRUE(ParseMetaRuleLine("x | 25:00-26:00 | temp | 22")
+                  .status()
+                  .IsOutOfRange());
+  // A 100 C room setpoint is a corrupt row, not a preference.
+  EXPECT_TRUE(
+      ParseMetaRuleLine("x | 01:00-02:00 | temp | 100").status().IsOutOfRange());
+  EXPECT_TRUE(ParseMetaRuleLine("x | 01:00-02:00 | temp | -100")
+                  .status()
+                  .IsOutOfRange());
+  // Negative units would index off the dataset.
+  EXPECT_TRUE(ParseMetaRuleLine("x | 01:00-02:00 | temp | 22 | unit=-1")
+                  .status()
+                  .IsOutOfRange());
+  // A zero or negative kWh budget makes every plan infeasible.
+  EXPECT_TRUE(
+      ParseMetaRuleLine("x | forever | kwh | 0").status().IsOutOfRange());
+  EXPECT_TRUE(
+      ParseMetaRuleLine("x | forever | kwh | -5").status().IsOutOfRange());
+}
+
+TEST(IftttParseTest, RejectsNonFiniteNumbers) {
+  EXPECT_TRUE(ParseTriggerRuleLine("Temperature | >30 | temp | inf")
+                  .status()
+                  .IsOutOfRange());
+  EXPECT_TRUE(ParseTriggerRuleLine("Temperature | >inf | temp | 22")
+                  .status()
+                  .IsOutOfRange());
+  EXPECT_TRUE(ParseTriggerRuleLine("Light Level | >nan | light | 9")
+                  .status()
+                  .IsOutOfRange());
+}
+
 TEST(MrtParseTest, DocumentWithCommentsAndBlanks) {
   const char* text = R"(
 # Table II (flat experiments)

@@ -169,6 +169,54 @@ TEST(SyntheticWeatherTest, TemperatureContinuousAcrossMidnight) {
   }
 }
 
+// The annual phase is a function of YearFraction(t), which divides by the
+// actual year length — so the sinusoids close exactly at Dec 31 -> Jan 1
+// midnight. The old integer day-of-year phase jumped here (doy 365 -> 0
+// against a 365.25 denominator) by ~0.5 C and ~2 minutes of day length.
+TEST(SyntheticWeatherTest, AnnualPhaseContinuousAcrossNewYear) {
+  SyntheticWeather weather;
+  for (int year : {2014, 2015, 2016, 2017}) {  // 2016 is a leap year
+    const double before =
+        weather.At(FromCivil(year, 12, 31, 23, 59)).outdoor_daily_mean_c;
+    const double after =
+        weather.At(FromCivil(year + 1, 1, 1, 0, 1)).outdoor_daily_mean_c;
+    // Two minutes apart: only the smooth offset interpolation moves the
+    // daily mean, by a sliver.
+    EXPECT_NEAR(after, before, 0.1) << "new year " << year + 1;
+  }
+}
+
+TEST(SyntheticWeatherTest, DayLengthContinuousAcrossNewYear) {
+  SyntheticWeather weather;
+  for (int year : {2015, 2016}) {
+    const double before =
+        weather.At(FromCivil(year, 12, 31, 23, 59)).day_length_hours;
+    const double after =
+        weather.At(FromCivil(year + 1, 1, 1, 0, 1)).day_length_hours;
+    EXPECT_NEAR(after, before, 0.01) << "new year " << year + 1;
+  }
+}
+
+TEST(SyntheticWeatherTest, LeapDayIsOrdinaryWinter) {
+  SyntheticWeather weather;
+  const WeatherSample leap = weather.At(FromCivil(2016, 2, 29, 12));
+  EXPECT_EQ(leap.season, Season::kWinter);
+  EXPECT_TRUE(std::isfinite(leap.outdoor_temp_c));
+  EXPECT_GT(leap.outdoor_temp_c, -25.0);
+  EXPECT_LT(leap.outdoor_temp_c, 20.0);
+  // The phase walks smoothly through the inserted day on both sides.
+  const double into =
+      weather.At(FromCivil(2016, 2, 28, 23, 59)).outdoor_daily_mean_c;
+  const double on =
+      weather.At(FromCivil(2016, 2, 29, 0, 1)).outdoor_daily_mean_c;
+  const double out =
+      weather.At(FromCivil(2016, 2, 29, 23, 59)).outdoor_daily_mean_c;
+  const double past =
+      weather.At(FromCivil(2016, 3, 1, 0, 1)).outdoor_daily_mean_c;
+  EXPECT_NEAR(on, into, 0.1);
+  EXPECT_NEAR(past, out, 0.1);
+}
+
 class WeatherRangeSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(WeatherRangeSweep, TemperaturesPhysicallyPlausible) {
