@@ -1,0 +1,174 @@
+// Fleet serving scalability: open-loop traffic over the FleetService.
+//
+// Drives synthetic plan traffic across a {tenant count} x {worker threads}
+// grid and reports throughput (plans/sec), end-to-end wall latency (p50 /
+// p99) and the shed rate of a deliberately undersized admission queue.
+// Plan outcomes are bit-identical across worker counts (the serve
+// determinism contract); only the timing columns are measurements.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "obs/scoped_timer.h"
+#include "serve/fleet_service.h"
+
+namespace imcf {
+namespace {
+
+constexpr uint64_t kSeed = 2026;
+
+serve::TenantConfig TenantAt(int index, int hours) {
+  serve::TenantConfig config;
+  config.id = StrFormat("home%03d", index);
+  config.seed = MixHash(kSeed, static_cast<uint64_t>(index));
+  config.hours = hours;
+  // Conflicting interests, as in DefaultNeighborhood: device sizes vary.
+  Rng rng(MixHash(kSeed, static_cast<uint64_t>(index) + 1000));
+  config.appetite = rng.UniformDouble(0.7, 1.3);
+  return config;
+}
+
+double PercentileMs(std::vector<int64_t> wall_ns, double pct) {
+  if (wall_ns.empty()) return 0.0;
+  std::sort(wall_ns.begin(), wall_ns.end());
+  const size_t rank = std::min(
+      wall_ns.size() - 1,
+      static_cast<size_t>(pct / 100.0 * static_cast<double>(wall_ns.size())));
+  return static_cast<double>(wall_ns[rank]) / 1e6;
+}
+
+struct CellResult {
+  double plans_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double fe_sum_kwh = 0.0;  ///< determinism witness across worker counts
+};
+
+CellResult RunCell(int tenants, int workers, int hours, int plans_per_tenant) {
+  serve::FleetOptions options;
+  options.shards = 8;
+  options.workers = workers;
+  options.queue_capacity = tenants * plans_per_tenant;  // no shedding here
+  auto service_or = serve::FleetService::Create(options);
+  bench::CheckOk(service_or.status());
+  serve::FleetService& service = **service_or;
+  for (int i = 0; i < tenants; ++i) {
+    bench::CheckOk(service.AddTenant(TenantAt(i, hours)));
+  }
+
+  const SimTime start = trace::EvaluationStart();
+  const int64_t t0 = obs::ScopedTimer::NowNs();
+  for (int rep = 0; rep < plans_per_tenant; ++rep) {
+    for (int i = 0; i < tenants; ++i) {
+      serve::Request request;
+      request.tenant = StrFormat("home%03d", i);
+      request.kind = serve::RequestKind::kPlan;
+      request.issue_time = start;
+      request.plan.policy = sim::Policy::kEnergyPlanner;
+      request.plan.rep = rep;
+      auto immediate = service.Submit(std::move(request));
+      if (immediate.has_value()) {
+        std::fprintf(stderr, "unexpected immediate outcome: %s\n",
+                     serve::ServeOutcomeName(immediate->outcome));
+        std::exit(1);
+      }
+    }
+  }
+  const std::vector<serve::Response> responses =
+      service.Drain(start + kSecondsPerHour);
+  const int64_t elapsed_ns = obs::ScopedTimer::NowNs() - t0;
+
+  CellResult result;
+  std::vector<int64_t> wall_ns;
+  wall_ns.reserve(responses.size());
+  for (const serve::Response& response : responses) {
+    bench::CheckOk(response.status);
+    wall_ns.push_back(response.wall_ns);
+    result.fe_sum_kwh += response.plan.fe_kwh;
+  }
+  result.plans_per_sec = static_cast<double>(responses.size()) /
+                         (static_cast<double>(elapsed_ns) / 1e9);
+  result.p50_ms = PercentileMs(wall_ns, 50.0);
+  result.p99_ms = PercentileMs(wall_ns, 99.0);
+  return result;
+}
+
+/// Shed-rate probe: a queue sized below the offered load must reject the
+/// overflow with retry-after, not buffer or crash.
+double ShedRate(int tenants, int offered_per_tenant, int capacity) {
+  serve::FleetOptions options;
+  options.shards = 1;  // one queue so capacity is exact
+  options.workers = 1;
+  options.queue_capacity = capacity;
+  auto service_or = serve::FleetService::Create(options);
+  bench::CheckOk(service_or.status());
+  serve::FleetService& service = **service_or;
+  for (int i = 0; i < tenants; ++i) {
+    bench::CheckOk(service.AddTenant(TenantAt(i, 24)));
+  }
+  int shed = 0;
+  const int offered = tenants * offered_per_tenant;
+  for (int i = 0; i < offered; ++i) {
+    serve::Request request;
+    request.tenant = StrFormat("home%03d", i % tenants);
+    request.kind = serve::RequestKind::kQuery;
+    request.issue_time = trace::EvaluationStart();
+    auto immediate = service.Submit(std::move(request));
+    if (immediate.has_value() &&
+        immediate->outcome == serve::ServeOutcome::kShed) {
+      ++shed;
+    }
+  }
+  (void)service.Drain(trace::EvaluationStart());
+  return static_cast<double>(shed) / static_cast<double>(offered);
+}
+
+}  // namespace
+}  // namespace imcf
+
+int main() {
+  using namespace imcf;
+  bench::PrintHeader("Fleet serving scalability",
+                     "serving layer (ISSUE 5); not a paper figure");
+  bench::Report report("fleet_scaling");
+
+  const bool quick = bench::QuickMode();
+  const std::vector<int> tenant_counts = quick ? std::vector<int>{8}
+                                               : std::vector<int>{16, 64};
+  const std::vector<int> worker_counts = {1, 2, 4, 8};
+  const int hours = quick ? 24 : 24 * 7;
+  const int plans_per_tenant = 2;
+
+  std::printf("%-22s %12s %10s %10s %14s\n", "cell", "plans/sec", "p50 ms",
+              "p99 ms", "sum F_E kWh");
+  for (int tenants : tenant_counts) {
+    for (int workers : worker_counts) {
+      const CellResult cell =
+          RunCell(tenants, workers, hours, plans_per_tenant);
+      const std::string row =
+          StrFormat("tenants=%d,workers=%d", tenants, workers);
+      std::printf(
+          "%-22s %12s %10s %10s %14s\n", row.c_str(),
+          report.Scalar("throughput", row, "plans_per_sec",
+                        cell.plans_per_sec, 1)
+              .c_str(),
+          report.Scalar("latency", row, "p50_ms", cell.p50_ms, 2).c_str(),
+          report.Scalar("latency", row, "p99_ms", cell.p99_ms, 2).c_str(),
+          report.Scalar("determinism", row, "fe_sum_kwh", cell.fe_sum_kwh, 3)
+              .c_str());
+    }
+  }
+
+  const double shed_rate = ShedRate(/*tenants=*/4, /*offered_per_tenant=*/8,
+                                    /*capacity=*/8);
+  std::printf("\nadmission: %s shed at 4x overload (capacity 8, offered 32)\n",
+              report.Scalar("admission", "capacity=8,offered=32", "shed_rate",
+                            shed_rate, 3)
+                  .c_str());
+  report.WriteIfRequested();
+  return 0;
+}

@@ -23,17 +23,17 @@ const char* AllocationPolicyName(AllocationPolicy policy) {
   return "?";
 }
 
-struct CloudMetaController::Household {
-  std::string name;
-  trace::DatasetSpec spec;
-  std::unique_ptr<sim::Simulator> simulator;
-  double demand_kwh = 0.0;  ///< MR forecast, filled by ForecastDemands()
-};
-
 CloudMetaController::CloudMetaController(CloudOptions options)
     : options_(std::move(options)), fault_plan_(options_.fault) {
   probe_base_ =
       options_.start != 0 ? options_.start : trace::EvaluationStart();
+  if (options_.registry != nullptr) {
+    registry_ = options_.registry;
+  } else {
+    owned_registry_ = std::make_unique<serve::TenantRegistry>(
+        /*shards=*/4, options_.fault, options_.retry);
+    registry_ = owned_registry_.get();
+  }
 }
 
 CloudMetaController::~CloudMetaController() {
@@ -75,62 +75,77 @@ bool CloudMetaController::ProbeAvailable(const std::string& name,
 
 Status CloudMetaController::AddHousehold(std::string name,
                                          trace::DatasetSpec spec) {
-  for (const auto& h : households_) {
-    if (h->name == name) {
-      return Status::AlreadyExists("household exists: " + name);
-    }
-  }
-  auto household = std::make_unique<Household>();
-  household->name = std::move(name);
-  household->spec = std::move(spec);
+  serve::TenantConfig config;
+  config.id = name;
+  config.seed = MixHash(options_.seed, names_.size() + 1);
+  config.budget_kwh = spec.budget_kwh;  // placeholder; Run() allocates
+  config.start = options_.start;
+  config.hours = options_.hours;
+  config.mrt_variation = spec.mrt_variation;
+  IMCF_RETURN_IF_ERROR(registry_->AdmitWithSpec(config, std::move(spec)));
+  names_.push_back(std::move(name));
+  return Status::Ok();
+}
 
-  sim::SimulationOptions sim_options;
-  sim_options.spec = household->spec;
-  sim_options.start =
-      options_.start != 0 ? options_.start : trace::EvaluationStart();
-  sim_options.hours = options_.hours != 0 ? options_.hours : 365 * 24;
-  // Placeholder budget; Run() overrides it with the allocation.
-  sim_options.budget_kwh = household->spec.budget_kwh;
-  sim_options.seed = MixHash(options_.seed, households_.size() + 1);
-  // Households inherit the community's fault schedule: their own command
-  // buses and weather links degrade alongside the CMC's probe channels.
-  sim_options.fault = options_.fault;
-  sim_options.retry = options_.retry;
-  household->simulator = std::make_unique<sim::Simulator>(sim_options);
-  IMCF_RETURN_IF_ERROR(household->simulator->Prepare());
-  households_.push_back(std::move(household));
+Status CloudMetaController::Adopt(const std::string& name) {
+  if (std::find(names_.begin(), names_.end(), name) != names_.end()) {
+    return Status::AlreadyExists("household adopted: " + name);
+  }
+  if (!registry_->Contains(name)) {
+    return Status::NotFound("no such tenant: " + name);
+  }
+  names_.push_back(name);
   return Status::Ok();
 }
 
 Status CloudMetaController::ForecastDemands() {
-  for (size_t i = 0; i < households_.size(); ++i) {
-    Household* household = households_[i].get();
-    if (household->demand_kwh > 0.0) continue;  // cached
+  for (size_t i = 0; i < names_.size(); ++i) {
+    const std::string& name = names_[i];
+    if (demand_kwh_.count(name) > 0) continue;  // cached
     const SimTime probe_time =
         probe_base_ + static_cast<SimTime>(i) * kSecondsPerMinute;
-    if (!ProbeAvailable(household->name, probe_time)) {
+    if (!ProbeAvailable(name, probe_time)) {
       // The LC never answered: degrade to the household's configured cap
       // as the demand estimate instead of failing the whole allocation.
-      household->demand_kwh = household->spec.budget_kwh;
+      double cap = 0.0;
+      IMCF_RETURN_IF_ERROR(
+          registry_->WithTenant(name, [&cap](serve::Tenant& tenant) {
+            cap = tenant.simulator().options().spec.budget_kwh;
+            return Status::Ok();
+          }));
+      demand_kwh_[name] = cap;
       ++demand_fallbacks_;
       continue;
     }
-    IMCF_ASSIGN_OR_RETURN(
-        sim::SimulationReport report,
-        household->simulator->Run(sim::Policy::kMetaRule));
-    household->demand_kwh = report.fe_kwh;
+    double demand = 0.0;
+    IMCF_RETURN_IF_ERROR(
+        registry_->WithTenant(name, [&demand](serve::Tenant& tenant) {
+          IMCF_ASSIGN_OR_RETURN(
+              sim::SimulationReport report,
+              tenant.simulator().Run(sim::Policy::kMetaRule));
+          demand = report.fe_kwh;
+          return Status::Ok();
+        }));
+    demand_kwh_[name] = demand;
   }
   return Status::Ok();
 }
 
 Result<sim::SimulationReport> CloudMetaController::RunHousehold(
-    Household* household, double allocation_kwh) {
-  IMCF_RETURN_IF_ERROR(household->simulator->SetBudget(allocation_kwh));
-  return household->simulator->Run(sim::Policy::kEnergyPlanner);
+    const std::string& name, double allocation_kwh) {
+  sim::SimulationReport report;
+  IMCF_RETURN_IF_ERROR(registry_->WithTenant(
+      name, [allocation_kwh, &report](serve::Tenant& tenant) {
+        IMCF_RETURN_IF_ERROR(tenant.simulator().SetBudget(allocation_kwh));
+        IMCF_ASSIGN_OR_RETURN(
+            report, tenant.simulator().Run(sim::Policy::kEnergyPlanner));
+        return Status::Ok();
+      }));
+  return report;
 }
 
 Result<std::vector<double>> CloudMetaController::Allocate() {
-  const size_t n = households_.size();
+  const size_t n = names_.size();
   std::vector<double> shares(n, 0.0);
   switch (options_.policy) {
     case AllocationPolicy::kEqualShare: {
@@ -142,12 +157,12 @@ Result<std::vector<double>> CloudMetaController::Allocate() {
     case AllocationPolicy::kUtilitarian: {
       IMCF_RETURN_IF_ERROR(ForecastDemands());
       double total_demand = 0.0;
-      for (const auto& h : households_) total_demand += h->demand_kwh;
+      for (const std::string& name : names_) total_demand += demand_kwh_[name];
       if (total_demand <= 0.0) {
         return Status::FailedPrecondition("no household demand");
       }
       for (size_t i = 0; i < n; ++i) {
-        shares[i] = options_.community_budget_kwh * households_[i]->demand_kwh /
+        shares[i] = options_.community_budget_kwh * demand_kwh_[names_[i]] /
                     total_demand;
       }
       if (options_.policy == AllocationPolicy::kDemandProportional) {
@@ -166,17 +181,16 @@ Result<std::vector<double>> CloudMetaController::Allocate() {
               probe_base_ +
               static_cast<SimTime>(round + 1) * kSecondsPerHour +
               static_cast<SimTime>(i) * kSecondsPerMinute;
-          if (!ProbeAvailable(households_[i]->name, probe_time)) continue;
+          if (!ProbeAvailable(names_[i], probe_time)) continue;
           const double a = shares[i];
           const double delta = a * options_.transfer_fraction;
           IMCF_ASSIGN_OR_RETURN(sim::SimulationReport at,
-                                RunHousehold(households_[i].get(), a));
-          IMCF_ASSIGN_OR_RETURN(
-              sim::SimulationReport more,
-              RunHousehold(households_[i].get(), a + delta));
+                                RunHousehold(names_[i], a));
+          IMCF_ASSIGN_OR_RETURN(sim::SimulationReport more,
+                                RunHousehold(names_[i], a + delta));
           IMCF_ASSIGN_OR_RETURN(
               sim::SimulationReport less,
-              RunHousehold(households_[i].get(), std::max(1.0, a - delta)));
+              RunHousehold(names_[i], std::max(1.0, a - delta)));
           const double gain = at.fce_pct - more.fce_pct;   // F_CE saved
           const double loss = less.fce_pct - at.fce_pct;   // F_CE lost
           if (gain > best_gain) {
@@ -204,7 +218,7 @@ Result<std::vector<double>> CloudMetaController::Allocate() {
 }
 
 Result<CloudReport> CloudMetaController::Run() {
-  if (households_.empty()) {
+  if (names_.empty()) {
     return Status::FailedPrecondition("no households registered");
   }
   if (options_.community_budget_kwh <= 0.0) {
@@ -217,14 +231,15 @@ Result<CloudReport> CloudMetaController::Run() {
   report.community_budget_kwh = options_.community_budget_kwh;
 
   RunningStat fce;
-  for (size_t i = 0; i < households_.size(); ++i) {
-    Household* household = households_[i].get();
+  for (size_t i = 0; i < names_.size(); ++i) {
+    const std::string& name = names_[i];
     IMCF_ASSIGN_OR_RETURN(sim::SimulationReport sim_report,
-                          RunHousehold(household, shares[i]));
+                          RunHousehold(name, shares[i]));
     HouseholdReport hr;
-    hr.name = household->name;
+    hr.name = name;
     hr.allocation_kwh = shares[i];
-    hr.demand_kwh = household->demand_kwh;
+    const auto demand = demand_kwh_.find(name);
+    hr.demand_kwh = demand != demand_kwh_.end() ? demand->second : 0.0;
     hr.fce_pct = sim_report.fce_pct;
     hr.fe_kwh = sim_report.fe_kwh;
     report.households.push_back(hr);

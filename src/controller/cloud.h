@@ -9,6 +9,13 @@
 // decides each household's allocation; each household then plans within its
 // share exactly as in the single-home system.
 //
+// Households live in a serve::TenantRegistry, not in the controller: the
+// CMC either owns a private registry (the standalone/batch path) or borrows
+// the fleet service's registry and coordinates tenants the service already
+// admitted (CloudOptions::registry + Adopt). Either way all per-household
+// state — simulator, budget ledger, firewall — hangs off the tenant, and
+// the CMC holds only the community roster and its demand-forecast cache.
+//
 // Allocation policies:
 //   * kEqualShare          — budget / N, the naive baseline.
 //   * kDemandProportional  — shares proportional to each household's
@@ -23,12 +30,14 @@
 #ifndef IMCF_CONTROLLER_CLOUD_H_
 #define IMCF_CONTROLLER_CLOUD_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "fault/fault_plan.h"
 #include "fault/retry.h"
+#include "serve/tenant_registry.h"
 #include "sim/simulation.h"
 
 namespace imcf {
@@ -62,6 +71,10 @@ struct CloudOptions {
   /// Retry/backoff for CMC probes (and the household command buses).
   fault::RetryPolicy retry;
   uint64_t seed = 99;
+  /// Borrowed tenant registry (must outlive the controller). Null: the CMC
+  /// owns a private registry built from `fault`/`retry`. When borrowing,
+  /// the registry's own fault/retry options govern admitted tenants.
+  serve::TenantRegistry* registry = nullptr;
 };
 
 /// Per-household outcome.
@@ -97,19 +110,25 @@ class CloudMetaController {
   CloudMetaController(const CloudMetaController&) = delete;
   CloudMetaController& operator=(const CloudMetaController&) = delete;
 
-  /// Registers one household. `spec` describes its building (typically a
-  /// flat variant); names must be unique.
+  /// Registers one household: admits it into the registry (spec wins for
+  /// simulator construction) and adds it to the community roster. Names
+  /// must be unique across the registry.
   Status AddHousehold(std::string name, trace::DatasetSpec spec);
+
+  /// Adds an already-admitted registry tenant to the community roster —
+  /// the borrowed-registry path, where the fleet service admits tenants
+  /// and the CMC coordinates their shared budget.
+  Status Adopt(const std::string& name);
 
   /// Allocates the community budget per the policy and runs every
   /// household's planner within its share.
   Result<CloudReport> Run();
 
-  size_t household_count() const { return households_.size(); }
+  size_t household_count() const { return names_.size(); }
+
+  serve::TenantRegistry& registry() { return *registry_; }
 
  private:
-  struct Household;
-
   /// MR-demand forecasts for every household (cached).
   Status ForecastDemands();
 
@@ -117,7 +136,7 @@ class CloudMetaController {
   Result<std::vector<double>> Allocate();
 
   /// Runs one household's EP at the given allocation.
-  Result<sim::SimulationReport> RunHousehold(Household* household,
+  Result<sim::SimulationReport> RunHousehold(const std::string& name,
                                              double allocation_kwh);
 
   /// Whether the CMC can reach `name`'s Local Controller for a probe at
@@ -131,7 +150,10 @@ class CloudMetaController {
   int64_t probe_attempts_ = 0;
   int64_t probe_failures_ = 0;
   int64_t demand_fallbacks_ = 0;
-  std::vector<std::unique_ptr<Household>> households_;
+  std::unique_ptr<serve::TenantRegistry> owned_registry_;  // null if borrowed
+  serve::TenantRegistry* registry_ = nullptr;
+  std::vector<std::string> names_;  ///< community roster, insertion order
+  std::map<std::string, double> demand_kwh_;  ///< MR forecast cache
 };
 
 /// A small community of `n` flats with varied rule tables and ambient

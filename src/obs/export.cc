@@ -52,6 +52,26 @@ std::string EscapeLabelValue(const std::string& v) {
   return out;
 }
 
+/// Escapes HELP text per the exposition format: backslash and newline
+/// (double quotes are legal in help, unlike in label values).
+std::string EscapeHelpText(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 /// Renders `{k="v",...}` including an optional extra (le) label, or an
 /// empty string when there are no labels at all.
 std::string LabelBlock(const Labels& labels, const std::string& extra_key = "",
@@ -87,7 +107,7 @@ std::string ToPrometheusText(const MetricRegistry& registry) {
   for (const MetricSnapshot& m : snapshot) {
     if (m.name != last_family) {
       last_family = m.name;
-      out += "# HELP " + m.name + " " + m.help + "\n";
+      out += "# HELP " + m.name + " " + EscapeHelpText(m.help) + "\n";
       out += "# TYPE " + m.name + " " + TypeName(m.type) + "\n";
     }
     if (m.type == MetricType::kHistogram) {

@@ -1,0 +1,367 @@
+#include "serve/fleet_service.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "fault/command_bus.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+
+namespace imcf {
+namespace serve {
+
+namespace {
+
+/// Serve instrumentation, resolved once (ISSUE: per-outcome serve metrics,
+/// queue depth gauge, admission rejections, end-to-end latency).
+struct ServeMetrics {
+  obs::Counter* requests[3];
+  obs::Counter* responses[kNumServeOutcomes];
+  obs::Counter* shed_total;
+  obs::Gauge* queue_depth;
+  obs::Gauge* tenants;
+  obs::Histogram* latency_ns;
+
+  static const ServeMetrics& Get() {
+    static const ServeMetrics* m = [] {
+      auto& reg = obs::MetricRegistry::Default();
+      auto* sm = new ServeMetrics();
+      for (int k = 0; k < 3; ++k) {
+        sm->requests[k] = reg.GetCounter(
+            "imcf_serve_requests_total", "Requests submitted, by kind",
+            {{"kind", RequestKindName(static_cast<RequestKind>(k))}});
+      }
+      for (size_t o = 0; o < kNumServeOutcomes; ++o) {
+        sm->responses[o] = reg.GetCounter(
+            "imcf_serve_responses_total", "Responses produced, by outcome",
+            {{"outcome", ServeOutcomeName(static_cast<ServeOutcome>(o))}});
+      }
+      sm->shed_total = reg.GetCounter(
+          "imcf_serve_admission_rejections_total",
+          "Requests shed by admission control (shard queue full)");
+      sm->queue_depth = reg.GetGauge("imcf_serve_queue_depth",
+                                     "Requests queued across all shards");
+      sm->tenants =
+          reg.GetGauge("imcf_serve_tenants", "Tenants in the fleet");
+      sm->latency_ns = reg.GetHistogram(
+          "imcf_serve_request_latency_ns",
+          "Wall execution latency of served requests",
+          obs::LatencyBoundsNs());
+      return sm;
+    }();
+    return *m;
+  }
+};
+
+/// Sort key placing deadline-free requests after every dated one.
+SimTime DeadlineKey(const Request& request) {
+  return request.deadline == 0 ? std::numeric_limits<SimTime>::max()
+                               : request.deadline;
+}
+
+}  // namespace
+
+FleetService::FleetService(FleetOptions options)
+    : options_(std::move(options)), fault_plan_(options_.fault) {
+  if (options_.shards < 1) options_.shards = 1;
+  if (options_.queue_capacity < 1) options_.queue_capacity = 1;
+  if (options_.workers <= 0) options_.workers = ThreadPool::HardwareThreads();
+  registry_ = std::make_unique<TenantRegistry>(options_.shards,
+                                               options_.fault,
+                                               options_.retry);
+  queues_.reserve(static_cast<size_t>(options_.shards));
+  for (int i = 0; i < options_.shards; ++i) {
+    queues_.push_back(std::make_unique<QueueShard>());
+  }
+  // workers == 1 keeps the serial reference path (ParallelFor runs inline).
+  if (options_.workers > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.workers);
+  }
+}
+
+FleetService::~FleetService() = default;
+
+Result<std::unique_ptr<FleetService>> FleetService::Create(
+    FleetOptions options) {
+  auto service =
+      std::unique_ptr<FleetService>(new FleetService(std::move(options)));
+  if (!service->options_.store_dir.empty()) {
+    IMCF_ASSIGN_OR_RETURN(service->store_,
+                          TableStore::Open(service->options_.store_dir));
+    IMCF_ASSIGN_OR_RETURN(int recovered,
+                          service->registry_->Load(service->store_.get()));
+    (void)recovered;
+    ServeMetrics::Get().tenants->Set(
+        static_cast<double>(service->registry_->size()));
+  }
+  return service;
+}
+
+Status FleetService::AddTenant(const TenantConfig& config) {
+  IMCF_RETURN_IF_ERROR(registry_->Admit(config));
+  ServeMetrics::Get().tenants->Set(static_cast<double>(registry_->size()));
+  return Status::Ok();
+}
+
+std::optional<Response> FleetService::Submit(Request request) {
+  const ServeMetrics& metrics = ServeMetrics::Get();
+  const uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  metrics.requests[static_cast<int>(request.kind)]->Increment();
+
+  Response rejection;
+  rejection.id = id;
+  rejection.tenant = request.tenant;
+  rejection.kind = request.kind;
+  if (!registry_->Contains(request.tenant)) {
+    rejection.outcome = ServeOutcome::kTenantNotFound;
+    rejection.status = Status::NotFound("no such tenant: " + request.tenant);
+    CountResponse(rejection);
+    return rejection;
+  }
+  QueueShard& shard =
+      *queues_[static_cast<size_t>(registry_->ShardOf(request.tenant))];
+  bool queued_item = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.items.size() <
+        static_cast<size_t>(options_.queue_capacity)) {
+      shard.items.push_back(QueuedItem{id, std::move(request)});
+      queued_item = true;
+    }
+  }
+  if (queued_item) {
+    // Outside the shard lock: the gauge update re-reads every shard.
+    UpdateQueueDepthGauge();
+    return std::nullopt;
+  }
+  // Load shedding: reject-with-retry-after instead of buffering without
+  // bound; the submitter owns the backoff.
+  rejection.outcome = ServeOutcome::kShed;
+  rejection.retry_after_seconds = options_.shed_retry_after_seconds;
+  metrics.shed_total->Increment();
+  CountResponse(rejection);
+  return rejection;
+}
+
+Status FleetService::ExecutePlan(Tenant& tenant, const Request& request,
+                                 Response* response) {
+  IMCF_ASSIGN_OR_RETURN(
+      sim::SimulationReport report,
+      tenant.simulator().Run(request.plan.policy, request.plan.rep));
+  response->plan.fce_pct = report.fce_pct;
+  response->plan.fe_kwh = report.fe_kwh;
+  response->plan.within_budget = report.within_budget;
+  response->plan.commands_issued = report.commands_issued;
+  response->plan.commands_dropped = report.commands_dropped;
+  tenant.stats().plans_served += 1;
+  tenant.stats().fe_kwh_total += report.fe_kwh;
+  return Status::Ok();
+}
+
+Status FleetService::ExecuteCommand(Tenant& tenant, const Request& request,
+                                    Response* response) {
+  const devices::DeviceKind kind =
+      request.command.type == devices::CommandType::kSetLight
+          ? devices::DeviceKind::kLight
+          : devices::DeviceKind::kHvac;
+  IMCF_ASSIGN_OR_RETURN(
+      devices::DeviceId device,
+      tenant.simulator().registry().FindByUnitAndKind(request.command.unit,
+                                                      kind));
+  devices::ActuationCommand cmd;
+  cmd.device = device;
+  cmd.type = request.command.type;
+  cmd.value = request.command.value;
+  cmd.time = request.command.time != 0 ? request.command.time
+                                       : request.issue_time;
+  cmd.source = "serve";
+  // The fleet's FaultPlan gates the last hop to the tenant's device; the
+  // decision is a pure function of (seed, device channel, cmd.time), so
+  // delivery outcomes replay identically at any worker count.
+  fault::CommandBus bus(&fault_plan_, options_.retry,
+                        &tenant.simulator().registry());
+  const fault::Delivery delivery = bus.Deliver(cmd);
+  response->command_delivered = delivery.delivered;
+  response->command_attempts = delivery.attempts;
+  if (delivery.delivered) tenant.stats().commands_served += 1;
+  return Status::Ok();
+}
+
+Status FleetService::ExecuteQuery(Tenant& tenant, const Request& request,
+                                  Response* response) {
+  (void)request;
+  TenantStatus& status = response->tenant_status;
+  status.plans_served = tenant.stats().plans_served;
+  status.commands_served = tenant.stats().commands_served;
+  status.budget_kwh = tenant.simulator().total_budget_kwh();
+  status.devices = static_cast<int>(tenant.simulator().registry().size());
+  status.units = tenant.simulator().options().spec.units;
+  tenant.stats().queries_served += 1;
+  return Status::Ok();
+}
+
+Response FleetService::Execute(const QueuedItem& item, SimTime now) {
+  const Request& request = item.request;
+  Response response;
+  response.id = item.id;
+  response.tenant = request.tenant;
+  response.kind = request.kind;
+  response.virtual_latency_seconds = now - request.issue_time;
+
+  // Deadline check against the drain's virtual now — never wall time — so
+  // expiry is independent of scheduling order and worker count.
+  if (request.deadline != 0 && request.deadline < now) {
+    response.outcome = ServeOutcome::kDeadlineExceeded;
+    (void)registry_->WithTenant(request.tenant, [](Tenant& tenant) {
+      tenant.stats().deadline_expired += 1;
+      return Status::Ok();
+    });
+    return response;
+  }
+
+  const int64_t start_ns = obs::ScopedTimer::NowNs();
+  const Status lookup =
+      registry_->WithTenant(request.tenant, [&](Tenant& tenant) {
+        Status work;
+        switch (request.kind) {
+          case RequestKind::kPlan:
+            work = ExecutePlan(tenant, request, &response);
+            break;
+          case RequestKind::kCommand:
+            work = ExecuteCommand(tenant, request, &response);
+            break;
+          case RequestKind::kQuery:
+            work = ExecuteQuery(tenant, request, &response);
+            break;
+        }
+        if (work.ok()) {
+          response.outcome = ServeOutcome::kOk;
+        } else {
+          response.outcome = ServeOutcome::kError;
+          response.status = work;
+        }
+        return Status::Ok();
+      });
+  response.wall_ns = obs::ScopedTimer::NowNs() - start_ns;
+  if (!lookup.ok()) {
+    // Tenant removed between admission and execution.
+    response.outcome = ServeOutcome::kTenantNotFound;
+    response.status = lookup;
+  }
+  return response;
+}
+
+std::vector<Response> FleetService::Drain(SimTime now) {
+  // 1. Snapshot every shard queue (per-tenant FIFO is the shard order).
+  std::map<TenantId, std::vector<QueuedItem>> per_tenant;
+  for (const auto& shard : queues_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (QueuedItem& item : shard->items) {
+      per_tenant[item.request.tenant].push_back(std::move(item));
+    }
+    shard->items.clear();
+  }
+  UpdateQueueDepthGauge();
+
+  // 2. Deadline-aware order within each tenant: earliest deadline first,
+  // submission order among equals (stable + id tiebreak = deterministic).
+  for (auto& [tenant, items] : per_tenant) {
+    std::stable_sort(items.begin(), items.end(),
+                     [](const QueuedItem& a, const QueuedItem& b) {
+                       const SimTime da = DeadlineKey(a.request);
+                       const SimTime db = DeadlineKey(b.request);
+                       if (da != db) return da < db;
+                       return a.id < b.id;
+                     });
+  }
+
+  // 3. Fair round-robin interleave across tenants (sorted by id via the
+  // map): round r takes each tenant's r-th request, so a tenant with a
+  // deep backlog cannot monopolize the pool ahead of everyone's first
+  // request.
+  std::vector<QueuedItem> dispatch;
+  for (size_t round = 0;; ++round) {
+    bool any = false;
+    for (auto& [tenant, items] : per_tenant) {
+      if (round < items.size()) {
+        dispatch.push_back(std::move(items[round]));
+        any = true;
+      }
+    }
+    if (!any) break;
+  }
+
+  // 4. Fan out on the pool; each item writes only its own response slot.
+  const int n = static_cast<int>(dispatch.size());
+  std::vector<Response> responses(static_cast<size_t>(n));
+  ParallelFor(pool_.get(), n, [&](int i) {
+    responses[static_cast<size_t>(i)] =
+        Execute(dispatch[static_cast<size_t>(i)], now);
+  });
+
+  // 5. Deterministic response order + metrics, on the draining thread.
+  std::sort(responses.begin(), responses.end(),
+            [](const Response& a, const Response& b) { return a.id < b.id; });
+  for (const Response& response : responses) CountResponse(response);
+  return responses;
+}
+
+Response FleetService::Call(Request request, SimTime now) {
+  // RPC convenience: drains everything queued; intended for callers that
+  // interleave submits and drains one request at a time.
+  std::optional<Response> immediate = Submit(std::move(request));
+  if (immediate.has_value()) return *immediate;
+  const uint64_t id = next_id_.load(std::memory_order_relaxed) - 1;
+  std::vector<Response> responses = Drain(now);
+  for (Response& response : responses) {
+    if (response.id == id) return std::move(response);
+  }
+  Response lost;
+  lost.id = id;
+  lost.outcome = ServeOutcome::kError;
+  lost.status = Status::Internal("drained without a response");
+  return lost;
+}
+
+Status FleetService::Checkpoint() {
+  if (store_ == nullptr) return Status::Ok();
+  return registry_->Save(store_.get());
+}
+
+Status FleetService::Stop(SimTime now) {
+  (void)Drain(now);
+  return Checkpoint();
+}
+
+size_t FleetService::queued() const {
+  size_t n = 0;
+  for (const auto& shard : queues_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->items.size();
+  }
+  return n;
+}
+
+void FleetService::CountResponse(const Response& response) {
+  const ServeMetrics& metrics = ServeMetrics::Get();
+  metrics.responses[static_cast<size_t>(response.outcome)]->Increment();
+  if (response.outcome == ServeOutcome::kOk && response.wall_ns > 0) {
+    metrics.latency_ns->Observe(static_cast<double>(response.wall_ns));
+  }
+  if (options_.per_tenant_metrics && !response.tenant.empty()) {
+    obs::MetricRegistry::Default()
+        .GetCounter("imcf_serve_tenant_responses_total",
+                    "Responses produced, by tenant",
+                    {{"tenant", response.tenant}})
+        ->Increment();
+  }
+}
+
+void FleetService::UpdateQueueDepthGauge() {
+  ServeMetrics::Get().queue_depth->Set(static_cast<double>(queued()));
+}
+
+}  // namespace serve
+}  // namespace imcf

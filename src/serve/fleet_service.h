@@ -1,0 +1,158 @@
+// FleetService: the multi-tenant planning service front door.
+//
+// One in-process service owns a fleet of households (a TenantRegistry) and
+// executes plan / command / query work for them concurrently — the
+// "IMCF-Cloud" controller of the paper's §V future work, run as a service
+// rather than a batch job. The serving pipeline is:
+//
+//   Submit(request)          — admission control: the request lands in its
+//                              tenant's shard queue; a full queue sheds the
+//                              request immediately with a retry-after hint
+//                              (load-shedding, never unbounded buffering).
+//   Drain(now)               — scheduling: queued requests are
+//                              deadline-checked against the drain's virtual
+//                              `now`, ordered deadline-first within each
+//                              tenant, interleaved round-robin across
+//                              tenants (one hot tenant cannot starve the
+//                              rest) and fanned out on the worker pool.
+//                              Responses come back sorted by request id.
+//
+// Determinism: with a single submitting thread, the full response stream —
+// shed decisions, deadline expiries and every per-tenant plan outcome — is
+// a pure function of (service options, tenant configs, request stream,
+// drain times), bit-identical for every worker count. See DESIGN.md §10.
+//
+// Persistence: with `store_dir` set, Create() recovers the fleet from the
+// TableStore snapshot and Checkpoint()/Stop() rewrite it, so a restarted
+// service resumes with the same tenants and counters.
+
+#ifndef IMCF_SERVE_FLEET_SERVICE_H_
+#define IMCF_SERVE_FLEET_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "fault/fault_plan.h"
+#include "fault/retry.h"
+#include "serve/request.h"
+#include "serve/tenant_registry.h"
+#include "storage/table_store.h"
+
+namespace imcf {
+namespace serve {
+
+/// Service configuration.
+struct FleetOptions {
+  /// Tenant-registry shards (mutex stripes); also the queue stripes.
+  int shards = 8;
+  /// Worker threads draining the queues. 1 is the serial reference path
+  /// (no pool is constructed); 0 selects the hardware concurrency.
+  int workers = 1;
+  /// Bounded queue capacity per shard; a submit beyond it is shed.
+  int queue_capacity = 64;
+  /// Retry-after hint attached to shed responses, in (virtual) seconds.
+  SimTime shed_retry_after_seconds = 60;
+  /// Snapshot directory; empty disables persistence.
+  std::string store_dir;
+  /// Fault injection for tenant command delivery and weather links; the
+  /// plan's channels gate every tenant command the service delivers.
+  fault::FaultOptions fault;
+  fault::RetryPolicy retry;
+  /// Publish per-tenant counters labelled {tenant="<id>"}. Off by default:
+  /// the obs cardinality rules reserve labels for small closed sets, so
+  /// only fleets of bounded size should enable this.
+  bool per_tenant_metrics = false;
+};
+
+/// The service.
+class FleetService {
+ public:
+  /// Builds a service; with `store_dir` set, recovers any snapshotted
+  /// fleet from it.
+  static Result<std::unique_ptr<FleetService>> Create(FleetOptions options);
+
+  ~FleetService();
+
+  FleetService(const FleetService&) = delete;
+  FleetService& operator=(const FleetService&) = delete;
+
+  /// Admits a tenant (prepares its simulator — the expensive step).
+  Status AddTenant(const TenantConfig& config);
+
+  /// Submits one request. Returns nullopt when the request was queued (its
+  /// response arrives from the next Drain), or the immediate response when
+  /// admission rejected it (kShed / kTenantNotFound).
+  std::optional<Response> Submit(Request request);
+
+  /// Executes every queued request at virtual time `now` and returns their
+  /// responses sorted by request id. Requests whose deadline lies before
+  /// `now` complete as kDeadlineExceeded without executing.
+  std::vector<Response> Drain(SimTime now);
+
+  /// Submit + immediate single-request drain, for callers that want RPC
+  /// semantics rather than open-loop batching.
+  Response Call(Request request, SimTime now);
+
+  /// Rewrites the fleet snapshot (no-op without a store).
+  Status Checkpoint();
+
+  /// Drains outstanding work at `now`, then checkpoints.
+  Status Stop(SimTime now);
+
+  /// Requests currently queued across all shards.
+  size_t queued() const;
+
+  TenantRegistry& registry() { return *registry_; }
+  const TenantRegistry& registry() const { return *registry_; }
+  const FleetOptions& options() const { return options_; }
+
+ private:
+  struct QueuedItem {
+    uint64_t id = 0;
+    Request request;
+  };
+
+  struct QueueShard {
+    mutable std::mutex mu;
+    std::deque<QueuedItem> items;
+  };
+
+  explicit FleetService(FleetOptions options);
+
+  /// Executes one admitted item at virtual time `now` (deadline check,
+  /// tenant lookup, work dispatch). Pure function of (item, now, tenant
+  /// state) — the unit of the determinism contract.
+  Response Execute(const QueuedItem& item, SimTime now);
+
+  /// The per-kind work, run with the tenant's mutex held.
+  Status ExecutePlan(Tenant& tenant, const Request& request,
+                     Response* response);
+  Status ExecuteCommand(Tenant& tenant, const Request& request,
+                        Response* response);
+  Status ExecuteQuery(Tenant& tenant, const Request& request,
+                      Response* response);
+
+  void CountResponse(const Response& response);
+  void UpdateQueueDepthGauge();
+
+  FleetOptions options_;
+  std::unique_ptr<TenantRegistry> registry_;
+  std::unique_ptr<TableStore> store_;      // null without persistence
+  std::unique_ptr<ThreadPool> pool_;       // null when workers == 1
+  fault::FaultPlan fault_plan_;
+  std::vector<std::unique_ptr<QueueShard>> queues_;
+  std::atomic<uint64_t> next_id_{1};
+};
+
+}  // namespace serve
+}  // namespace imcf
+
+#endif  // IMCF_SERVE_FLEET_SERVICE_H_

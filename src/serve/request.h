@@ -1,0 +1,133 @@
+// Typed request/response vocabulary of the fleet serving layer.
+//
+// The paper's §V names "IMCF-Cloud extensions that will enable IMCF to
+// operate as a CMC controller in the cloud"; a cloud controller is a
+// *service*, so its work arrives as requests. Three request kinds cover the
+// IMCF surface: plan (run a policy over the tenant's window), command
+// (deliver one actuation through the tenant's fault-gated bus) and query
+// (read tenant status). Every request carries an issue time and an optional
+// deadline on the simulation clock; responses report the outcome, the plan
+// metrics where applicable, and both virtual and wall latency.
+//
+// Deadlines use the sim clock deliberately: expiry is decided against the
+// drain's virtual `now`, never against wall time, so the same request
+// stream produces bit-identical outcomes at any worker count (the fleet
+// extension of the DESIGN.md §7 determinism contract).
+
+#ifndef IMCF_SERVE_REQUEST_H_
+#define IMCF_SERVE_REQUEST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "devices/device.h"
+#include "sim/simulation.h"
+
+namespace imcf {
+namespace serve {
+
+/// Tenants are addressed by opaque string ids (a household name).
+using TenantId = std::string;
+
+/// What a request asks the fleet to do.
+enum class RequestKind : uint8_t { kPlan = 0, kCommand = 1, kQuery = 2 };
+
+const char* RequestKindName(RequestKind kind);
+
+/// How the service disposed of a request.
+enum class ServeOutcome : uint8_t {
+  kOk = 0,                ///< executed successfully
+  kShed = 1,              ///< admission control rejected (queue full)
+  kDeadlineExceeded = 2,  ///< expired before a worker reached it
+  kTenantNotFound = 3,    ///< unknown tenant id
+  kError = 4,             ///< execution failed (see Response::status)
+};
+
+/// Number of ServeOutcome values (for per-outcome tallies).
+inline constexpr size_t kNumServeOutcomes = 5;
+
+const char* ServeOutcomeName(ServeOutcome outcome);
+
+/// Plan work: run one policy over the tenant's configured window. `rep`
+/// seeds the per-run random streams exactly as in Simulator::Run, so a
+/// (tenant, policy, rep) triple names a reproducible unit of work.
+struct PlanRequest {
+  sim::Policy policy = sim::Policy::kEnergyPlanner;
+  int rep = 0;
+};
+
+/// Command work: one actuation addressed by (unit, command type), delivered
+/// through the tenant's command bus where the FaultPlan gates the last hop.
+struct CommandRequest {
+  int unit = 0;
+  devices::CommandType type = devices::CommandType::kSetTemperature;
+  double value = 0.0;
+  SimTime time = 0;  ///< virtual delivery time (0: the request issue time)
+};
+
+/// Query work: read-only tenant state.
+enum class QueryKind : uint8_t { kStatus = 0 };
+
+struct QueryRequest {
+  QueryKind kind = QueryKind::kStatus;
+};
+
+/// One unit of fleet work. Exactly the member named by `kind` is consulted.
+struct Request {
+  TenantId tenant;
+  RequestKind kind = RequestKind::kPlan;
+  SimTime issue_time = 0;  ///< sim clock at submission
+  /// Absolute sim-clock deadline; 0 means none. A request whose deadline
+  /// lies before the drain's `now` completes as kDeadlineExceeded without
+  /// executing.
+  SimTime deadline = 0;
+  PlanRequest plan;
+  CommandRequest command;
+  QueryRequest query;
+};
+
+/// Plan metrics carried back on a successful plan response (the paper's
+/// F_CE / F_E plus the firewall's command accounting).
+struct PlanOutcome {
+  double fce_pct = 0.0;
+  double fe_kwh = 0.0;
+  bool within_budget = false;
+  int64_t commands_issued = 0;
+  int64_t commands_dropped = 0;
+};
+
+/// Tenant status carried back on a query response.
+struct TenantStatus {
+  int64_t plans_served = 0;
+  int64_t commands_served = 0;
+  double budget_kwh = 0.0;
+  int devices = 0;
+  int units = 0;
+};
+
+/// The service's answer to one request.
+struct Response {
+  uint64_t id = 0;  ///< assigned at submission, dense per service
+  TenantId tenant;
+  RequestKind kind = RequestKind::kPlan;
+  ServeOutcome outcome = ServeOutcome::kOk;
+  Status status;  ///< non-OK iff outcome == kError
+  /// Suggested resubmission backoff, set iff outcome == kShed.
+  SimTime retry_after_seconds = 0;
+  /// now - issue_time at completion, on the sim clock (deterministic).
+  SimTime virtual_latency_seconds = 0;
+  /// Wall execution time of the work item (a measurement; not part of the
+  /// determinism contract).
+  int64_t wall_ns = 0;
+  PlanOutcome plan;         ///< kPlan, outcome kOk
+  bool command_delivered = false;  ///< kCommand
+  int command_attempts = 0;        ///< kCommand
+  TenantStatus tenant_status;      ///< kQuery
+};
+
+}  // namespace serve
+}  // namespace imcf
+
+#endif  // IMCF_SERVE_REQUEST_H_

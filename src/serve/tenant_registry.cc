@@ -1,0 +1,274 @@
+#include "serve/tenant_registry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace imcf {
+namespace serve {
+
+const char* RequestKindName(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kPlan:
+      return "plan";
+    case RequestKind::kCommand:
+      return "command";
+    case RequestKind::kQuery:
+      return "query";
+  }
+  return "?";
+}
+
+const char* ServeOutcomeName(ServeOutcome outcome) {
+  switch (outcome) {
+    case ServeOutcome::kOk:
+      return "ok";
+    case ServeOutcome::kShed:
+      return "shed";
+    case ServeOutcome::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ServeOutcome::kTenantNotFound:
+      return "tenant_not_found";
+    case ServeOutcome::kError:
+      return "error";
+  }
+  return "?";
+}
+
+Result<trace::DatasetSpec> SpecForConfig(const TenantConfig& config) {
+  if (config.id.empty()) {
+    return Status::InvalidArgument("tenant id must not be empty");
+  }
+  trace::DatasetSpec spec;
+  if (config.dataset == "flat") {
+    spec = trace::FlatSpec();
+  } else if (config.dataset == "house") {
+    spec = trace::HouseSpec();
+  } else if (config.dataset == "dorms") {
+    spec = trace::DormsSpec();
+  } else {
+    return Status::InvalidArgument("unknown tenant dataset: " +
+                                   config.dataset);
+  }
+  if (!(config.appetite > 0.0) || !std::isfinite(config.appetite)) {
+    return Status::InvalidArgument("tenant appetite must be positive");
+  }
+  spec.name = config.id;
+  spec.seed = config.seed;
+  if (config.mrt_variation > 0.0) spec.mrt_variation = config.mrt_variation;
+  spec.hvac.kw_per_degree *= config.appetite;
+  spec.light.max_power_kw *= config.appetite;
+  return spec;
+}
+
+TenantRegistry::TenantRegistry(int shards, fault::FaultOptions fault,
+                               fault::RetryPolicy retry)
+    : fault_(fault), retry_(retry) {
+  if (shards < 1) shards = 1;
+  shards_.reserve(static_cast<size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+int TenantRegistry::ShardOf(const TenantId& id) const {
+  // ChannelHash is the repo's stable string hash (same value on every
+  // platform/run), so shard placement is part of the determinism contract.
+  return static_cast<int>(fault::ChannelHash(id) %
+                          static_cast<uint64_t>(shards_.size()));
+}
+
+std::shared_ptr<Tenant> TenantRegistry::Find(const TenantId& id) const {
+  const Shard& shard = *shards_[static_cast<size_t>(ShardOf(id))];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.tenants.find(id);
+  return it == shard.tenants.end() ? nullptr : it->second;
+}
+
+Status TenantRegistry::AdmitPrepared(const TenantId& id,
+                                     std::shared_ptr<Tenant> tenant) {
+  Shard& shard = *shards_[static_cast<size_t>(ShardOf(id))];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.tenants.count(id) > 0) {
+    return Status::AlreadyExists("tenant exists: " + id);
+  }
+  shard.tenants[id] = std::move(tenant);
+  return Status::Ok();
+}
+
+Status TenantRegistry::Admit(const TenantConfig& config) {
+  IMCF_ASSIGN_OR_RETURN(trace::DatasetSpec spec, SpecForConfig(config));
+  return AdmitWithSpec(config, std::move(spec));
+}
+
+Status TenantRegistry::AdmitWithSpec(const TenantConfig& config,
+                                     trace::DatasetSpec spec) {
+  if (config.id.empty()) {
+    return Status::InvalidArgument("tenant id must not be empty");
+  }
+  if (Find(config.id) != nullptr) {
+    return Status::AlreadyExists("tenant exists: " + config.id);
+  }
+  sim::SimulationOptions options;
+  options.spec = std::move(spec);
+  options.start =
+      config.start != 0 ? config.start : trace::EvaluationStart();
+  options.hours = config.hours != 0 ? config.hours : 365 * 24;
+  options.slot_hours = config.slot_hours;
+  options.budget_kwh = config.budget_kwh;  // 0 selects the spec budget
+  options.seed = config.seed;
+  options.fault = fault_;
+  options.retry = retry_;
+  auto simulator = std::make_unique<sim::Simulator>(options);
+  // Prepare outside all locks: it builds the ambient series, the expensive
+  // part, and touches no shared state.
+  IMCF_RETURN_IF_ERROR(simulator->Prepare());
+  auto tenant = std::make_shared<Tenant>(config, std::move(simulator));
+  return AdmitPrepared(config.id, std::move(tenant));
+}
+
+Status TenantRegistry::RestoreStats(const TenantId& id,
+                                    const TenantStats& stats) {
+  return WithTenant(id, [&stats](Tenant& tenant) {
+    tenant.stats() = stats;
+    return Status::Ok();
+  });
+}
+
+Status TenantRegistry::Remove(const TenantId& id) {
+  Shard& shard = *shards_[static_cast<size_t>(ShardOf(id))];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.tenants.erase(id) == 0) {
+    return Status::NotFound("no such tenant: " + id);
+  }
+  return Status::Ok();
+}
+
+bool TenantRegistry::Contains(const TenantId& id) const {
+  return Find(id) != nullptr;
+}
+
+size_t TenantRegistry::size() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->tenants.size();
+  }
+  return n;
+}
+
+std::vector<TenantId> TenantRegistry::TenantIds() const {
+  std::vector<TenantId> ids;
+  ids.reserve(size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [id, _] : shard->tenants) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+Status TenantRegistry::WithTenant(const TenantId& id,
+                                  const std::function<Status(Tenant&)>& fn) {
+  std::shared_ptr<Tenant> tenant = Find(id);
+  if (tenant == nullptr) return Status::NotFound("no such tenant: " + id);
+  std::lock_guard<std::mutex> lock(tenant->mu_);
+  return fn(*tenant);
+}
+
+Result<TenantConfig> TenantRegistry::GetConfig(const TenantId& id) const {
+  std::shared_ptr<Tenant> tenant = Find(id);
+  if (tenant == nullptr) return Status::NotFound("no such tenant: " + id);
+  // The config is immutable after admission; no tenant lock needed.
+  return tenant->config();
+}
+
+Result<TenantStats> TenantRegistry::GetStats(const TenantId& id) const {
+  std::shared_ptr<Tenant> tenant = Find(id);
+  if (tenant == nullptr) return Status::NotFound("no such tenant: " + id);
+  std::lock_guard<std::mutex> lock(tenant->mu_);
+  return tenant->stats();
+}
+
+TableSchema TenantSnapshotSchema() {
+  return TableSchema{"tenants",
+                     {{"id", ColumnType::kString},
+                      {"dataset", ColumnType::kString},
+                      {"seed", ColumnType::kInt},
+                      {"budget_kwh", ColumnType::kDouble},
+                      {"start", ColumnType::kInt},
+                      {"hours", ColumnType::kInt},
+                      {"slot_hours", ColumnType::kInt},
+                      {"mrt_variation", ColumnType::kDouble},
+                      {"appetite", ColumnType::kDouble},
+                      {"plans_served", ColumnType::kInt},
+                      {"commands_served", ColumnType::kInt},
+                      {"queries_served", ColumnType::kInt},
+                      {"deadline_expired", ColumnType::kInt},
+                      {"fe_kwh_total", ColumnType::kDouble}}};
+}
+
+Status TenantRegistry::Save(TableStore* store) const {
+  if (store == nullptr) {
+    return Status::InvalidArgument("snapshot store is null");
+  }
+  IMCF_ASSIGN_OR_RETURN(Table * table,
+                        store->OpenOrCreateTable(TenantSnapshotSchema()));
+  // Truncate-and-rewrite keeps the table equal to the live fleet; the
+  // marker-based truncate plus auto-compaction keeps the backing log
+  // bounded under frequent checkpoints (storage/table_store.h).
+  IMCF_RETURN_IF_ERROR(table->Truncate());
+  for (const TenantId& id : TenantIds()) {
+    std::shared_ptr<Tenant> tenant = Find(id);
+    if (tenant == nullptr) continue;  // removed since listing
+    TenantConfig config = tenant->config();
+    TenantStats stats;
+    {
+      std::lock_guard<std::mutex> lock(tenant->mu_);
+      stats = tenant->stats();
+    }
+    IMCF_RETURN_IF_ERROR(table->Insert(
+        {config.id, config.dataset, static_cast<int64_t>(config.seed),
+         config.budget_kwh, static_cast<int64_t>(config.start),
+         static_cast<int64_t>(config.hours),
+         static_cast<int64_t>(config.slot_hours), config.mrt_variation,
+         config.appetite, stats.plans_served, stats.commands_served,
+         stats.queries_served, stats.deadline_expired, stats.fe_kwh_total}));
+  }
+  return table->Flush();
+}
+
+Result<int> TenantRegistry::Load(TableStore* store) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("snapshot store is null");
+  }
+  IMCF_ASSIGN_OR_RETURN(Table * table,
+                        store->OpenOrCreateTable(TenantSnapshotSchema()));
+  int recovered = 0;
+  for (const Row& row : table->rows()) {
+    TenantConfig config;
+    config.id = std::get<std::string>(row[0]);
+    config.dataset = std::get<std::string>(row[1]);
+    config.seed = static_cast<uint64_t>(std::get<int64_t>(row[2]));
+    config.budget_kwh = std::get<double>(row[3]);
+    config.start = std::get<int64_t>(row[4]);
+    config.hours = static_cast<int>(std::get<int64_t>(row[5]));
+    config.slot_hours = static_cast<int>(std::get<int64_t>(row[6]));
+    config.mrt_variation = std::get<double>(row[7]);
+    config.appetite = std::get<double>(row[8]);
+    TenantStats stats;
+    stats.plans_served = std::get<int64_t>(row[9]);
+    stats.commands_served = std::get<int64_t>(row[10]);
+    stats.queries_served = std::get<int64_t>(row[11]);
+    stats.deadline_expired = std::get<int64_t>(row[12]);
+    stats.fe_kwh_total = std::get<double>(row[13]);
+    IMCF_RETURN_IF_ERROR(Admit(config));
+    IMCF_RETURN_IF_ERROR(RestoreStats(config.id, stats));
+    ++recovered;
+  }
+  return recovered;
+}
+
+}  // namespace serve
+}  // namespace imcf

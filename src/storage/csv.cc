@@ -77,6 +77,14 @@ Result<std::vector<CsvRow>> ParseCsv(std::string_view text) {
   // Quote-aware document scan: newlines inside quoted fields belong to the
   // field, so records cannot be found by naive line splitting.
   std::vector<CsvRow> rows;
+  // First pass: newline count bounds the record count (quoted newlines make
+  // it an overestimate, which reserve tolerates), so the row vector never
+  // reallocates while large documents stream in.
+  size_t newlines = 0;
+  for (char c : text) {
+    if (c == '\n') ++newlines;
+  }
+  rows.reserve(newlines + 1);
   CsvRow row;
   std::string field;
   bool in_quotes = false;

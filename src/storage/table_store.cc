@@ -140,6 +140,11 @@ Status Table::Recover() {
               "schema mismatch for table " + schema_.name);
         }
         saw_schema = true;
+      } else if (record[0] == 2) {
+        // Truncation marker: every row before it (and the marker itself)
+        // is stale until the next compaction.
+        stale_records_ += rows_.size() + 1;
+        rows_.clear();
       } else {
         IMCF_ASSIGN_OR_RETURN(Row row, DecodeRow(schema_, record));
         rows_.push_back(std::move(row));
@@ -191,14 +196,39 @@ std::vector<Row> Table::Select(
 }
 
 Status Table::Truncate() {
-  IMCF_RETURN_IF_ERROR(log_.Close());
-  std::FILE* f = std::fopen(log_path_.c_str(), "wb");
-  if (f == nullptr) return Status::IOError("cannot truncate " + log_path_);
-  std::fclose(f);
+  // An empty table replays to empty at this point in the log already; a
+  // marker would only add a stale record.
+  if (rows_.empty()) return Status::Ok();
+  std::string marker(1, static_cast<char>(2));
+  IMCF_RETURN_IF_ERROR(log_.Append(marker));
+  IMCF_RETURN_IF_ERROR(log_.Flush());
+  stale_records_ += rows_.size() + 1;  // dead rows + the marker itself
   rows_.clear();
-  IMCF_RETURN_IF_ERROR(log_.Open(log_path_));
-  IMCF_RETURN_IF_ERROR(log_.Append(EncodeSchema(schema_)));
-  return log_.Flush();
+  if (compaction_threshold_ > 0 && stale_records_ >= compaction_threshold_) {
+    return Compact();
+  }
+  return Status::Ok();
+}
+
+Status Table::Compact() {
+  if (stale_records_ == 0) return Status::Ok();
+  const std::string tmp_path = log_path_ + ".compacting";
+  std::remove(tmp_path.c_str());  // leftover from a crashed compaction
+  {
+    RecordLogWriter tmp;
+    IMCF_RETURN_IF_ERROR(tmp.Open(tmp_path));
+    IMCF_RETURN_IF_ERROR(tmp.Append(EncodeSchema(schema_)));
+    for (const Row& row : rows_) {
+      IMCF_RETURN_IF_ERROR(tmp.Append(EncodeRow(schema_, row)));
+    }
+    IMCF_RETURN_IF_ERROR(tmp.Close());
+  }
+  IMCF_RETURN_IF_ERROR(log_.Close());
+  if (std::rename(tmp_path.c_str(), log_path_.c_str()) != 0) {
+    return Status::IOError("cannot rename compacted log: " + log_path_);
+  }
+  stale_records_ = 0;
+  return log_.Open(log_path_);
 }
 
 Status Table::Flush() { return log_.Flush(); }

@@ -69,8 +69,24 @@ class Table {
   /// Rows matching `pred`.
   std::vector<Row> Select(const std::function<bool(const Row&)>& pred) const;
 
-  /// Deletes all rows (truncates the backing log).
+  /// Deletes all rows. O(1): appends a truncation marker to the log (the
+  /// superseded rows become stale records) instead of rewriting the file,
+  /// then compacts once stale records cross the threshold. Crash-safe at
+  /// every step — the log is never destroyed in place.
   Status Truncate();
+
+  /// Rewrites the backing log to schema + live rows, dropping stale
+  /// records. Writes `<path>.compacting` fully, then renames it over the
+  /// log, so a crash leaves either the old or the new log intact.
+  Status Compact();
+
+  /// Log records recovery would discard (superseded rows + markers).
+  size_t stale_records() const { return stale_records_; }
+
+  /// Stale-record count at which Truncate() auto-compacts; 0 disables
+  /// automatic compaction (Compact() stays available).
+  void set_compaction_threshold(size_t n) { compaction_threshold_ = n; }
+  size_t compaction_threshold() const { return compaction_threshold_; }
 
   const TableSchema& schema() const { return schema_; }
   size_t size() const { return rows_.size(); }
@@ -85,6 +101,8 @@ class Table {
   std::string log_path_;
   RecordLogWriter log_;
   std::vector<Row> rows_;
+  size_t stale_records_ = 0;
+  size_t compaction_threshold_ = 1024;
 };
 
 /// A directory of tables. Each table lives in `<dir>/<name>.tlog`, with the

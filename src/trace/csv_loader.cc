@@ -1,0 +1,99 @@
+#include "trace/csv_loader.h"
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/strings.h"
+#include "common/time.h"
+#include "storage/csv.h"
+
+namespace imcf {
+namespace trace {
+
+namespace {
+
+Status RowError(const std::string& source, size_t line,
+                const std::string& message) {
+  return Status::InvalidArgument(
+      StrFormat("%s:%zu: %s", source.c_str(), line, message.c_str()));
+}
+
+Result<SimTime> ParseTimeCell(const std::string& cell) {
+  if (Result<int64_t> seconds = ParseInt(cell); seconds.ok()) {
+    return *seconds;
+  }
+  return ParseTime(cell);
+}
+
+Result<SensorKind> ParseKindCell(const std::string& cell) {
+  if (Result<int64_t> numeric = ParseInt(cell); numeric.ok()) {
+    if (*numeric < 0 || *numeric > 2) {
+      return Status::InvalidArgument("sensor kind out of range: " + cell);
+    }
+    return static_cast<SensorKind>(*numeric);
+  }
+  const std::string name = ToLower(Trim(cell));
+  if (name == "temperature") return SensorKind::kTemperature;
+  if (name == "light") return SensorKind::kLight;
+  if (name == "door") return SensorKind::kDoor;
+  return Status::InvalidArgument("unknown sensor kind: " + cell);
+}
+
+}  // namespace
+
+Result<std::vector<Reading>> ParseReadingsCsv(std::string_view text,
+                                              const std::string& source_name) {
+  IMCF_ASSIGN_OR_RETURN(std::vector<CsvRow> rows, ParseCsv(text));
+  std::vector<Reading> readings;
+  readings.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const CsvRow& row = rows[i];
+    const size_t line = i + 1;
+    if (row.size() == 1 && Trim(row[0]).empty()) continue;  // blank line
+    if (row.size() != 4) {
+      return RowError(source_name, line,
+                      StrFormat("expected 4 columns (time,sensor_id,kind,"
+                                "value), got %zu",
+                                row.size()));
+    }
+    if (i == 0 && !ParseTimeCell(row[0]).ok()) {
+      continue;  // header row
+    }
+    Reading reading;
+    Result<SimTime> time = ParseTimeCell(row[0]);
+    if (!time.ok()) {
+      return RowError(source_name, line, "bad time: " + row[0]);
+    }
+    reading.time = *time;
+    Result<int64_t> sensor_id = ParseInt(row[1]);
+    if (!sensor_id.ok() || *sensor_id < 0 || *sensor_id > UINT32_MAX) {
+      return RowError(source_name, line, "bad sensor id: " + row[1]);
+    }
+    reading.sensor_id = static_cast<uint32_t>(*sensor_id);
+    Result<SensorKind> kind = ParseKindCell(row[2]);
+    if (!kind.ok()) {
+      return RowError(source_name, line, kind.status().message());
+    }
+    reading.kind = *kind;
+    Result<double> value = ParseDouble(row[3]);
+    if (!value.ok() || !std::isfinite(*value)) {
+      return RowError(source_name, line, "bad value: " + row[3]);
+    }
+    reading.value = static_cast<float>(*value);
+    readings.push_back(reading);
+  }
+  return readings;
+}
+
+Result<std::vector<Reading>> LoadReadingsCsv(const std::string& path) {
+  IMCF_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  // Errors carry the file's base name so messages stay stable across
+  // temp-directory runs.
+  size_t slash = path.find_last_of('/');
+  const std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  return ParseReadingsCsv(text, base);
+}
+
+}  // namespace trace
+}  // namespace imcf

@@ -1,0 +1,41 @@
+// CSV loader for sensor-reading traces.
+//
+// The paper's datasets arrive as CASAS-style CSV exports; this loader turns
+// a `time,sensor_id,kind,value` document into trace::Readings. Malformed
+// input is a Status error carrying the source name and 1-based line number
+// ("trace.csv:17: ...") — a bad row never silently disappears from the
+// trace, because a dropped reading skews every downstream energy figure.
+//
+// Accepted forms per column:
+//   time       integer seconds on the sim clock, or "YYYY-MM-DD HH:MM:SS"
+//   sensor_id  non-negative integer (see trace::MakeSensorId)
+//   kind       0/1/2 or temperature|light|door (case-insensitive)
+//   value      finite float
+// A first line starting with a non-numeric `time` cell is treated as a
+// header and skipped.
+
+#ifndef IMCF_TRACE_CSV_LOADER_H_
+#define IMCF_TRACE_CSV_LOADER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "trace/sensor.h"
+
+namespace imcf {
+namespace trace {
+
+/// Parses a CSV document into readings. `source_name` labels errors
+/// (typically the file name; any tag works for in-memory documents).
+Result<std::vector<Reading>> ParseReadingsCsv(std::string_view text,
+                                              const std::string& source_name);
+
+/// Reads and parses a CSV trace file from disk.
+Result<std::vector<Reading>> LoadReadingsCsv(const std::string& path);
+
+}  // namespace trace
+}  // namespace imcf
+
+#endif  // IMCF_TRACE_CSV_LOADER_H_

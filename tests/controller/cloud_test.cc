@@ -4,6 +4,8 @@
 
 #include <numeric>
 
+#include "common/strings.h"
+
 namespace imcf {
 namespace controller {
 namespace {
@@ -128,6 +130,37 @@ TEST(CloudTest, UtilitarianDoesNotRegressTheMean) {
   EXPECT_NEAR(TotalAllocation(*refined_report), 1500.0, 1e-6);
   EXPECT_LE(refined_report->mean_fce_pct,
             prop_report->mean_fce_pct + 0.05);
+}
+
+TEST(CloudTest, CoordinatesTenantsFromBorrowedRegistry) {
+  // The fleet-integration path: the service's registry admits tenants; the
+  // CMC borrows it and coordinates their shared budget.
+  serve::TenantRegistry registry(/*shards=*/2);
+  for (int i = 0; i < 2; ++i) {
+    serve::TenantConfig config;
+    config.id = StrFormat("t%d", i);
+    config.seed = 10 + static_cast<uint64_t>(i);
+    config.start = FromCivil(2014, 1, 1);
+    config.hours = 31 * 24;
+    ASSERT_TRUE(registry.Admit(config).ok());
+  }
+  CloudOptions options = FastOptions(AllocationPolicy::kEqualShare);
+  options.hours = 31 * 24;
+  options.community_budget_kwh = 1200.0;
+  options.registry = &registry;
+  CloudMetaController cmc(options);
+  ASSERT_TRUE(cmc.Adopt("t0").ok());
+  ASSERT_TRUE(cmc.Adopt("t1").ok());
+  EXPECT_TRUE(cmc.Adopt("t0").IsAlreadyExists());
+  EXPECT_TRUE(cmc.Adopt("missing").IsNotFound());
+  EXPECT_EQ(cmc.household_count(), 2u);
+  EXPECT_EQ(&cmc.registry(), &registry);  // borrowed, not copied
+
+  auto report = cmc.Run();
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->households.size(), 2u);
+  EXPECT_DOUBLE_EQ(report->households[0].allocation_kwh, 600.0);
+  EXPECT_GT(report->total_fe_kwh, 0.0);
 }
 
 TEST(CloudTest, PolicyNames) {

@@ -72,6 +72,36 @@ TEST(ExportTest, PrometheusEscapesLabelValues) {
             "imcf_test_escaped_total{job=\"a\\\"b\\\\c\\nd\"} 1\n");
 }
 
+TEST(ExportTest, PrometheusEscapesHostileTenantLabel) {
+  // Tenant ids flow straight into label values in the serving layer; a
+  // hostile id must not be able to break out of the sample line.
+  MetricRegistry registry;
+  registry
+      .GetCounter("imcf_serve_tenant_responses_total", "Per-tenant.",
+                  {{"tenant", "evil\"} 999\ninjected_metric 1\n#\\"}})
+      ->Increment(4);
+  EXPECT_EQ(ToPrometheusText(registry),
+            "# HELP imcf_serve_tenant_responses_total Per-tenant.\n"
+            "# TYPE imcf_serve_tenant_responses_total counter\n"
+            "imcf_serve_tenant_responses_total{tenant="
+            "\"evil\\\"} 999\\ninjected_metric 1\\n#\\\\\"} 4\n");
+}
+
+TEST(ExportTest, PrometheusEscapesHelpText) {
+  // HELP is free text per the exposition format, but backslash and newline
+  // must be escaped or the line structure breaks.
+  MetricRegistry registry;
+  registry
+      .GetCounter("imcf_test_help_total",
+                  "Path C:\\temp\nsecond \"quoted\" line")
+      ->Increment(1);
+  EXPECT_EQ(ToPrometheusText(registry),
+            "# HELP imcf_test_help_total "
+            "Path C:\\\\temp\\nsecond \"quoted\" line\n"
+            "# TYPE imcf_test_help_total counter\n"
+            "imcf_test_help_total 1\n");
+}
+
 TEST(ExportTest, JsonGolden) {
   MetricRegistry* registry = BuildSampleRegistry();
   EXPECT_EQ(

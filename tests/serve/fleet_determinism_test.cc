@@ -1,0 +1,133 @@
+// Fleet determinism: identical seeds and request streams must produce
+// bit-identical per-tenant plan outcomes at every worker count. This is the
+// serving-layer extension of the simulator's determinism contract — the
+// worker pool may execute requests in any order, but every outcome is a
+// pure function of (options, tenant configs, request stream, drain times).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/strings.h"
+#include "serve/fleet_service.h"
+#include "trace/dataset.h"
+
+namespace imcf {
+namespace serve {
+namespace {
+
+constexpr int kTenants = 6;
+constexpr int kPlansPerTenant = 2;
+
+TenantConfig ConfigAt(int index) {
+  TenantConfig config;
+  config.id = StrFormat("t%d", index);
+  config.seed = 100 + static_cast<uint64_t>(index);
+  config.hours = 24;
+  config.appetite = 0.8 + 0.1 * index;
+  return config;
+}
+
+/// The full deterministic portion of one response.
+struct Outcome {
+  TenantId tenant;
+  ServeOutcome outcome;
+  double fce_pct;
+  double fe_kwh;
+  int64_t commands_issued;
+  SimTime virtual_latency;
+
+  friend bool operator==(const Outcome&, const Outcome&) = default;
+};
+
+std::vector<Outcome> RunFleet(int workers) {
+  FleetOptions options;
+  options.shards = 4;
+  options.workers = workers;
+  options.queue_capacity = kTenants * kPlansPerTenant + 4;
+  // Fault injection on: delivery outcomes must replay too.
+  options.fault = fault::FaultOptions::UniformRate(0.2, /*seed=*/7);
+  auto service = FleetService::Create(options);
+  EXPECT_TRUE(service.ok());
+  for (int i = 0; i < kTenants; ++i) {
+    EXPECT_TRUE((*service)->AddTenant(ConfigAt(i)).ok());
+  }
+  const SimTime start = trace::EvaluationStart();
+  for (int rep = 0; rep < kPlansPerTenant; ++rep) {
+    for (int i = 0; i < kTenants; ++i) {
+      Request request;
+      request.tenant = StrFormat("t%d", i);
+      request.kind = RequestKind::kPlan;
+      request.issue_time = start;
+      // One request per tenant carries a tight deadline so expiry is part
+      // of the replayed stream.
+      if (rep == 1 && i % 3 == 0) request.deadline = start + 1;
+      request.plan.policy = sim::Policy::kEnergyPlanner;
+      request.plan.rep = rep;
+      EXPECT_FALSE((*service)->Submit(std::move(request)).has_value());
+    }
+  }
+  std::vector<Response> responses =
+      (*service)->Drain(start + kSecondsPerHour);
+  std::vector<Outcome> outcomes;
+  outcomes.reserve(responses.size());
+  for (const Response& r : responses) {
+    outcomes.push_back(Outcome{r.tenant, r.outcome, r.plan.fce_pct,
+                               r.plan.fe_kwh, r.plan.commands_issued,
+                               r.virtual_latency_seconds});
+  }
+  return outcomes;
+}
+
+TEST(FleetDeterminismTest, BitIdenticalOutcomesAtOneFourEightWorkers) {
+  const std::vector<Outcome> serial = RunFleet(1);
+  ASSERT_EQ(serial.size(),
+            static_cast<size_t>(kTenants * kPlansPerTenant));
+  // The serial run itself must do real work: plans succeeded, deadlines
+  // expired where planted.
+  int ok = 0, expired = 0;
+  for (const Outcome& o : serial) {
+    if (o.outcome == ServeOutcome::kOk) ++ok;
+    if (o.outcome == ServeOutcome::kDeadlineExceeded) ++expired;
+  }
+  EXPECT_EQ(expired, 2);  // tenants 0 and 3, rep 1
+  EXPECT_EQ(ok, static_cast<int>(serial.size()) - expired);
+
+  EXPECT_EQ(RunFleet(4), serial);
+  EXPECT_EQ(RunFleet(8), serial);
+}
+
+TEST(FleetDeterminismTest, PerTenantStatsIdenticalAcrossWorkerCounts) {
+  auto stats_at = [](int workers) {
+    FleetOptions options;
+    options.workers = workers;
+    options.queue_capacity = 64;
+    auto service = FleetService::Create(options);
+    EXPECT_TRUE(service.ok());
+    for (int i = 0; i < kTenants; ++i) {
+      EXPECT_TRUE((*service)->AddTenant(ConfigAt(i)).ok());
+    }
+    const SimTime start = trace::EvaluationStart();
+    for (int i = 0; i < kTenants; ++i) {
+      Request request;
+      request.tenant = StrFormat("t%d", i);
+      request.kind = RequestKind::kPlan;
+      request.issue_time = start;
+      EXPECT_FALSE((*service)->Submit(std::move(request)).has_value());
+    }
+    (void)(*service)->Drain(start);
+    std::map<TenantId, TenantStats> stats;
+    for (const TenantId& id : (*service)->registry().TenantIds()) {
+      stats[id] = *(*service)->registry().GetStats(id);
+    }
+    return stats;
+  };
+  const auto serial = stats_at(1);
+  EXPECT_EQ(stats_at(4), serial);
+  EXPECT_EQ(stats_at(8), serial);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace imcf

@@ -1,0 +1,155 @@
+#include "serve/tenant_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace imcf {
+namespace serve {
+namespace {
+
+TenantConfig FastConfig(const std::string& id, uint64_t seed = 1) {
+  TenantConfig config;
+  config.id = id;
+  config.seed = seed;
+  config.hours = 24;  // one-day window keeps Prepare/Run cheap
+  return config;
+}
+
+class TenantRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/imcf_registry_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST(SpecForConfigTest, BuildsBaseDatasets) {
+  for (const char* dataset : {"flat", "house", "dorms"}) {
+    TenantConfig config = FastConfig("t");
+    config.dataset = dataset;
+    auto spec = SpecForConfig(config);
+    ASSERT_TRUE(spec.ok()) << dataset;
+    EXPECT_EQ(spec->name, "t");  // tenant id wins over the dataset name
+  }
+}
+
+TEST(SpecForConfigTest, RejectsBadConfigs) {
+  EXPECT_TRUE(SpecForConfig(FastConfig("")).status().IsInvalidArgument());
+  TenantConfig unknown = FastConfig("t");
+  unknown.dataset = "mansion";
+  EXPECT_TRUE(SpecForConfig(unknown).status().IsInvalidArgument());
+  TenantConfig negative = FastConfig("t");
+  negative.appetite = -1.0;
+  EXPECT_TRUE(SpecForConfig(negative).status().IsInvalidArgument());
+}
+
+TEST(SpecForConfigTest, AppetiteScalesDevices) {
+  TenantConfig config = FastConfig("t");
+  config.appetite = 2.0;
+  auto base = SpecForConfig(FastConfig("t"));
+  auto scaled = SpecForConfig(config);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(scaled.ok());
+  EXPECT_DOUBLE_EQ(scaled->hvac.kw_per_degree, 2.0 * base->hvac.kw_per_degree);
+  EXPECT_DOUBLE_EQ(scaled->light.max_power_kw,
+                   2.0 * base->light.max_power_kw);
+}
+
+TEST_F(TenantRegistryTest, AdmitFindRemove) {
+  TenantRegistry registry(/*shards=*/4);
+  ASSERT_TRUE(registry.Admit(FastConfig("a")).ok());
+  ASSERT_TRUE(registry.Admit(FastConfig("b")).ok());
+  EXPECT_TRUE(registry.Admit(FastConfig("a")).IsAlreadyExists());
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_TRUE(registry.Contains("a"));
+  EXPECT_FALSE(registry.Contains("zz"));
+  EXPECT_EQ(registry.TenantIds(), (std::vector<TenantId>{"a", "b"}));
+  EXPECT_TRUE(registry.Remove("a").ok());
+  EXPECT_TRUE(registry.Remove("a").IsNotFound());
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST_F(TenantRegistryTest, ShardPlacementIsStableAndInRange) {
+  TenantRegistry registry(/*shards=*/8);
+  for (const char* id : {"a", "b", "home42", "x/y\"z"}) {
+    const int shard = registry.ShardOf(id);
+    EXPECT_GE(shard, 0);
+    EXPECT_LT(shard, registry.shards());
+    EXPECT_EQ(shard, registry.ShardOf(id));  // stable
+  }
+}
+
+TEST_F(TenantRegistryTest, WithTenantRunsUnderTenantAndReportsNotFound) {
+  TenantRegistry registry(/*shards=*/2);
+  ASSERT_TRUE(registry.Admit(FastConfig("a")).ok());
+  bool ran = false;
+  ASSERT_TRUE(registry
+                  .WithTenant("a",
+                              [&ran](Tenant& tenant) {
+                                ran = true;
+                                tenant.stats().plans_served = 7;
+                                return Status::Ok();
+                              })
+                  .ok());
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(registry.GetStats("a")->plans_served, 7);
+  EXPECT_TRUE(registry
+                  .WithTenant("missing",
+                              [](Tenant&) { return Status::Ok(); })
+                  .IsNotFound());
+}
+
+TEST_F(TenantRegistryTest, SaveAndLoadRoundTripsConfigsAndStats) {
+  auto store = TableStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  TenantRegistry registry(/*shards=*/4);
+  TenantConfig a = FastConfig("a", /*seed=*/11);
+  a.appetite = 1.2;
+  a.budget_kwh = 42.0;
+  TenantConfig b = FastConfig("b", /*seed=*/22);
+  b.dataset = "house";
+  ASSERT_TRUE(registry.Admit(a).ok());
+  ASSERT_TRUE(registry.Admit(b).ok());
+  TenantStats stats;
+  stats.plans_served = 3;
+  stats.fe_kwh_total = 9.5;
+  ASSERT_TRUE(registry.RestoreStats("a", stats).ok());
+  ASSERT_TRUE(registry.Save(store->get()).ok());
+
+  // Fresh registry, fresh store handle: full recovery path.
+  auto reopened = TableStore::Open(dir_);
+  ASSERT_TRUE(reopened.ok());
+  TenantRegistry recovered(/*shards=*/4);
+  auto n = recovered.Load(reopened->get());
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 2);
+  auto a2 = recovered.GetConfig("a");
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(a2->seed, 11u);
+  EXPECT_DOUBLE_EQ(a2->appetite, 1.2);
+  EXPECT_DOUBLE_EQ(a2->budget_kwh, 42.0);
+  EXPECT_EQ(recovered.GetConfig("b")->dataset, "house");
+  EXPECT_EQ(*recovered.GetStats("a"), stats);
+  EXPECT_EQ(*recovered.GetStats("b"), TenantStats{});
+}
+
+TEST_F(TenantRegistryTest, RepeatedSaveKeepsSnapshotEqualToFleet) {
+  auto store = TableStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  TenantRegistry registry(/*shards=*/2);
+  ASSERT_TRUE(registry.Admit(FastConfig("a")).ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(registry.Save(store->get()).ok());
+  }
+  Table* table = store->get()->GetTable("tenants").value();
+  EXPECT_EQ(table->size(), 1u);  // not 3: each Save rewrites, not appends
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace imcf

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "common/strings.h"
+
 namespace imcf {
 namespace {
 
@@ -120,6 +122,90 @@ TEST_F(TableStoreTest, TruncateClearsRowsDurably) {
   Table* table = (*store)->OpenOrCreateTable(RuleSchema()).value();
   ASSERT_EQ(table->size(), 1u);
   EXPECT_EQ(std::get<std::string>(table->rows()[0][0]), "y");
+}
+
+TEST_F(TableStoreTest, TruncateTracksStaleRecordsAndCompacts) {
+  auto store = TableStore::Open(dir_);
+  Table* table = (*store)->CreateTable(RuleSchema()).value();
+  table->set_compaction_threshold(0);  // manual compaction only
+  ASSERT_TRUE(table->Insert({std::string("x"), 1.0, int64_t{0}}).ok());
+  ASSERT_TRUE(table->Insert({std::string("y"), 2.0, int64_t{1}}).ok());
+  EXPECT_EQ(table->stale_records(), 0u);
+  ASSERT_TRUE(table->Truncate().ok());
+  EXPECT_EQ(table->stale_records(), 3u);  // two rows + the marker
+  ASSERT_TRUE(table->Insert({std::string("z"), 3.0, int64_t{2}}).ok());
+  ASSERT_TRUE(table->Compact().ok());
+  EXPECT_EQ(table->stale_records(), 0u);
+  EXPECT_EQ(table->size(), 1u);
+  ASSERT_TRUE(table->Truncate().ok());
+  EXPECT_EQ(table->stale_records(), 2u);  // one live row + marker
+  // Truncating an already-empty table appends nothing.
+  ASSERT_TRUE(table->Truncate().ok());
+  EXPECT_EQ(table->stale_records(), 2u);
+}
+
+TEST_F(TableStoreTest, ReopenAfterCompactionYieldsIdenticalRows) {
+  std::vector<Row> expected;
+  {
+    auto store = TableStore::Open(dir_);
+    Table* table = (*store)->CreateTable(RuleSchema()).value();
+    table->set_compaction_threshold(0);
+    for (int round = 0; round < 3; ++round) {
+      ASSERT_TRUE(table->Truncate().ok());
+      for (int u = 0; u <= round; ++u) {
+        ASSERT_TRUE(table
+                        ->Insert({StrFormat("rule%d", u), 20.0 + u,
+                                  static_cast<int64_t>(u)})
+                        .ok());
+      }
+    }
+    expected = table->rows();
+    ASSERT_TRUE(table->Compact().ok());
+    EXPECT_EQ(table->rows(), expected);  // compaction preserves live rows
+    ASSERT_TRUE(table->Flush().ok());
+  }
+  auto store = TableStore::Open(dir_);
+  Table* table = (*store)->OpenOrCreateTable(RuleSchema()).value();
+  EXPECT_EQ(table->rows(), expected);
+  EXPECT_EQ(table->stale_records(), 0u);  // the compacted log is all live
+  // The table stays writable after reopen (the log reopened in append
+  // mode at the right offset).
+  ASSERT_TRUE(table->Insert({std::string("post"), 1.0, int64_t{9}}).ok());
+  ASSERT_TRUE(table->Flush().ok());
+}
+
+TEST_F(TableStoreTest, AutoCompactionTriggersAtThreshold) {
+  auto store = TableStore::Open(dir_);
+  Table* table = (*store)->CreateTable(RuleSchema()).value();
+  table->set_compaction_threshold(4);
+  ASSERT_TRUE(table->Insert({std::string("a"), 1.0, int64_t{0}}).ok());
+  ASSERT_TRUE(table->Truncate().ok());  // 2 stale: below threshold
+  EXPECT_EQ(table->stale_records(), 2u);
+  ASSERT_TRUE(table->Insert({std::string("b"), 2.0, int64_t{1}}).ok());
+  ASSERT_TRUE(table->Truncate().ok());  // crosses 4: auto-compacts
+  EXPECT_EQ(table->stale_records(), 0u);
+  const auto log_size =
+      std::filesystem::file_size(dir_ + "/rules.tlog");
+  // Compacted empty table = schema record only (12-byte frame + payload).
+  EXPECT_LT(log_size, 100u);
+}
+
+TEST_F(TableStoreTest, MarkerBasedTruncateRecoversAcrossReopen) {
+  // Truncate without compaction, reopen: recovery must replay the marker.
+  {
+    auto store = TableStore::Open(dir_);
+    Table* table = (*store)->CreateTable(RuleSchema()).value();
+    table->set_compaction_threshold(0);
+    ASSERT_TRUE(table->Insert({std::string("old"), 1.0, int64_t{0}}).ok());
+    ASSERT_TRUE(table->Truncate().ok());
+    ASSERT_TRUE(table->Insert({std::string("new"), 2.0, int64_t{1}}).ok());
+    ASSERT_TRUE(table->Flush().ok());
+  }
+  auto store = TableStore::Open(dir_);
+  Table* table = (*store)->OpenOrCreateTable(RuleSchema()).value();
+  ASSERT_EQ(table->size(), 1u);
+  EXPECT_EQ(std::get<std::string>(table->rows()[0][0]), "new");
+  EXPECT_EQ(table->stale_records(), 2u);  // dead row + marker, until compact
 }
 
 TEST_F(TableStoreTest, SchemaColumnIndex) {

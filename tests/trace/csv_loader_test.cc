@@ -1,0 +1,92 @@
+#include "trace/csv_loader.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "storage/csv.h"
+
+namespace imcf {
+namespace trace {
+namespace {
+
+TEST(CsvLoaderTest, ParsesWellFormedDocument) {
+  const std::string text =
+      "time,sensor_id,kind,value\n"
+      "100,0,temperature,21.5\n"
+      "160,1,light,80\n"
+      "220,2,2,1\n";
+  auto readings = ParseReadingsCsv(text, "test.csv");
+  ASSERT_TRUE(readings.ok());
+  ASSERT_EQ(readings->size(), 3u);
+  EXPECT_EQ((*readings)[0],
+            (Reading{100, 0, SensorKind::kTemperature, 21.5f}));
+  EXPECT_EQ((*readings)[1], (Reading{160, 1, SensorKind::kLight, 80.0f}));
+  EXPECT_EQ((*readings)[2], (Reading{220, 2, SensorKind::kDoor, 1.0f}));
+}
+
+TEST(CsvLoaderTest, ParsesCalendarTimesAndSkipsBlankLines) {
+  const std::string text =
+      "2024-01-01 00:00:00,0,0,20\n"
+      "\n"
+      "2024-01-01 01:00:00,0,0,21\n";
+  auto readings = ParseReadingsCsv(text, "test.csv");
+  ASSERT_TRUE(readings.ok());
+  ASSERT_EQ(readings->size(), 2u);
+  EXPECT_EQ((*readings)[1].time - (*readings)[0].time, kSecondsPerHour);
+}
+
+TEST(CsvLoaderTest, HeaderlessDocumentParses) {
+  auto readings = ParseReadingsCsv("5,0,0,20\n", "test.csv");
+  ASSERT_TRUE(readings.ok());
+  EXPECT_EQ(readings->size(), 1u);
+}
+
+TEST(CsvLoaderTest, ErrorsCarrySourceAndLineNumber) {
+  // Malformed rows are errors, never silent skips.
+  struct Case {
+    const char* text;
+    const char* fragment;  // expected in the message
+  } cases[] = {
+      {"time,sensor_id,kind,value\n100,0,temperature\n", "test.csv:2"},
+      {"100,0,temperature,21.5,extra\n", "test.csv:1"},
+      {"100,0,9,21.5\n", "out of range"},
+      {"100,0,smoke,21.5\n", "unknown sensor kind"},
+      {"100,-3,0,21.5\n", "bad sensor id"},
+      {"100,0,0,warm\n", "bad value"},
+      {"100,0,0,inf\n", "bad value"},
+      {"noon,0,0,21.5\n100,0,0,21.5\nnope,0,0,1\n", "test.csv:3"},
+  };
+  for (const Case& c : cases) {
+    auto result = ParseReadingsCsv(c.text, "test.csv");
+    ASSERT_FALSE(result.ok()) << c.text;
+    EXPECT_TRUE(result.status().IsInvalidArgument()) << c.text;
+    EXPECT_NE(result.status().message().find(c.fragment), std::string::npos)
+        << "missing '" << c.fragment << "' in: "
+        << result.status().message();
+  }
+}
+
+TEST(CsvLoaderTest, LoadsFromDiskAndLabelsErrorsWithBaseName) {
+  const std::string dir = ::testing::TempDir();
+  const std::string good = dir + "/good_trace.csv";
+  ASSERT_TRUE(
+      WriteStringToFile(good, "time,sensor_id,kind,value\n7,0,1,55\n").ok());
+  auto readings = LoadReadingsCsv(good);
+  ASSERT_TRUE(readings.ok());
+  EXPECT_EQ(readings->size(), 1u);
+
+  const std::string bad = dir + "/bad_trace.csv";
+  ASSERT_TRUE(WriteStringToFile(bad, "7,0,1\n").ok());
+  auto error = LoadReadingsCsv(bad);
+  ASSERT_FALSE(error.ok());
+  EXPECT_NE(error.status().message().find("bad_trace.csv:1"),
+            std::string::npos)
+      << error.status().message();
+
+  EXPECT_TRUE(LoadReadingsCsv(dir + "/missing.csv").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace trace
+}  // namespace imcf
