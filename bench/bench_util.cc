@@ -2,15 +2,54 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
+#include "obs/trace_export.h"
+
+#ifndef IMCF_GIT_SHA
+#define IMCF_GIT_SHA "unknown"
+#endif
+#ifndef IMCF_BUILD_TYPE
+#define IMCF_BUILD_TYPE "unknown"
+#endif
 
 namespace imcf {
 namespace bench {
+
+namespace {
+
+/// Current wall time as an RFC 3339 UTC stamp ("2026-08-08T12:34:56Z").
+std::string UtcTimestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm parts{};
+  gmtime_r(&now, &parts);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &parts);
+  return buf;
+}
+
+/// Resolves an env-var path with the shared file-or-directory semantics:
+/// ".json" suffix names the file, anything else is a directory receiving
+/// `<prefix><name>.json`. Empty when the variable is unset.
+std::string ReportPath(const char* env_var, const std::string& prefix,
+                       const std::string& name) {
+  const char* env = std::getenv(env_var);
+  if (env == nullptr || env[0] == '\0') return "";
+  std::string path(env);
+  if (!EndsWith(path, ".json")) {
+    if (!path.empty() && path.back() != '/') path += '/';
+    path += prefix + name + ".json";
+  }
+  return path;
+}
+
+}  // namespace
 
 Report::Report(std::string name) : name_(std::move(name)) {}
 
@@ -53,6 +92,16 @@ std::string Report::ToJsonString() const {
   obs::JsonWriter w;
   w.BeginObject();
   w.Key("bench").String(name_);
+  // Run metadata so reports from different commits/machines compare
+  // honestly: a 3% regression means nothing without the sha and build type
+  // that produced each side.
+  w.Key("meta").BeginObject();
+  w.Key("git_sha").String(IMCF_GIT_SHA);
+  w.Key("build_type").String(IMCF_BUILD_TYPE);
+  w.Key("compiler").String(__VERSION__);
+  w.Key("threads").Int(BenchThreads());
+  w.Key("timestamp_utc").String(UtcTimestamp());
+  w.EndObject();
   w.Key("repetitions").Int(Repetitions());
   w.Key("quick").Bool(QuickMode());
   w.Key("threads").Int(BenchThreads());
@@ -79,14 +128,10 @@ std::string Report::ToJsonString() const {
 
 void Report::WriteIfRequested() {
   if (written_) return;
-  const char* env = std::getenv("IMCF_BENCH_JSON");
-  if (env == nullptr || env[0] == '\0') return;
   written_ = true;
-  std::string path(env);
-  if (!EndsWith(path, ".json")) {
-    if (!path.empty() && path.back() != '/') path += '/';
-    path += "BENCH_" + name_ + ".json";
-  }
+  MaybeDumpTrace(name_);
+  const std::string path = ReportPath("IMCF_BENCH_JSON", "BENCH_", name_);
+  if (path.empty()) return;
   const std::string body = ToJsonString();
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -164,6 +209,20 @@ std::vector<sim::RepeatedReport> RunCells(
 std::vector<trace::DatasetSpec> BenchSpecs() {
   if (QuickMode()) return {trace::FlatSpec()};
   return trace::AllSpecs();
+}
+
+void MaybeDumpTrace(const std::string& name) {
+  const std::string path = ReportPath("IMCF_TRACE_JSON", "TRACE_", name);
+  if (path.empty()) return;
+  if (!obs::WriteTraceJson(obs::FlightRecorder::Default(), path)) {
+    std::fprintf(stderr, "bench: cannot write trace to %s\n", path.c_str());
+    return;
+  }
+  std::printf("trace written: %s (%lld spans recorded, ring capacity %zu)\n",
+              path.c_str(),
+              static_cast<long long>(
+                  obs::FlightRecorder::Default().total_recorded()),
+              obs::FlightRecorder::Default().capacity());
 }
 
 }  // namespace bench

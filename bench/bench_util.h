@@ -49,7 +49,8 @@ class Report {
                      const std::string& metric, double value,
                      int precision = 2);
 
-  /// Writes the JSON report now if IMCF_BENCH_JSON is set (idempotent).
+  /// Writes the JSON report now if IMCF_BENCH_JSON is set, and the flight
+  /// recorder as Perfetto JSON if IMCF_TRACE_JSON is set (idempotent).
   void WriteIfRequested();
 
   /// The report body as a JSON string (exposed for tests).
@@ -110,6 +111,12 @@ std::vector<sim::RepeatedReport> RunCells(
 
 /// The datasets a sweep covers (flat only in quick mode).
 std::vector<trace::DatasetSpec> BenchSpecs();
+
+/// Dumps the process flight recorder as Chrome/Perfetto trace-event JSON
+/// when IMCF_TRACE_JSON is set. Same path semantics as IMCF_BENCH_JSON: a
+/// value ending in ".json" names the file, anything else is a directory
+/// that receives TRACE_<name>.json. Called automatically by ~Report().
+void MaybeDumpTrace(const std::string& name);
 
 }  // namespace bench
 }  // namespace imcf

@@ -4,6 +4,12 @@
 // on the worker pool, then checkpoints and restarts the service from its
 // TableStore snapshot to show recovery.
 //
+// Tracing is on throughout: the deadline expiry trips the spike detector
+// (an auto-dump lands in store_dir), and the full flight recorder is
+// exported as <store_dir>/fleet_trace.json — open it in
+// https://ui.perfetto.dev or chrome://tracing and follow one request's
+// serve.submit -> serve.execute -> sim.run -> plan.slot -> ep.search tree.
+//
 //   ./examples/fleet_service [tenants] [workers] [store_dir]
 
 #include <cstdio>
@@ -32,6 +38,13 @@ int Run(int tenants, int workers, const std::string& store_dir) {
   options.workers = workers;
   options.queue_capacity = 2 * tenants + 8;
   options.store_dir = store_dir;
+  // Observability wiring: log any request slower than 50 ms wall with its
+  // collapsed span tree, and auto-dump the flight recorder when a drain
+  // sees a shed/deadline-exceeded spike (the planted expiry below trips
+  // it, so the demo always produces a trace_spike_0.json).
+  options.slow_request_wall_ns = 50'000'000;
+  options.trace_dump_dir = store_dir;
+  options.spike_dump_threshold = 1;
   auto service = serve::FleetService::Create(options);
   if (!service.ok()) {
     std::fprintf(stderr, "create failed: %s\n",
@@ -67,6 +80,14 @@ int Run(int tenants, int workers, const std::string& store_dir) {
                 serve::ServeOutcomeName(r.outcome), r.plan.fce_pct,
                 r.plan.fe_kwh,
                 static_cast<long long>(r.plan.commands_issued));
+  }
+
+  const std::string trace_path = store_dir + "/fleet_trace.json";
+  if ((*service)->DumpTrace(trace_path)) {
+    std::printf("trace: %s (open in https://ui.perfetto.dev)\n",
+                trace_path.c_str());
+  } else {
+    std::fprintf(stderr, "trace dump failed: %s\n", trace_path.c_str());
   }
 
   if (Status s = (*service)->Stop(start + kSecondsPerHour); !s.ok()) {

@@ -7,6 +7,7 @@
 #include "common/stats.h"
 #include "common/strings.h"
 #include "obs/metrics.h"
+#include "obs/tracer.h"
 
 namespace imcf {
 namespace controller {
@@ -69,7 +70,11 @@ bool CloudMetaController::ProbeAvailable(const std::string& name,
         return result;
       });
   probe_attempts_ += trace.attempts;
-  if (!trace.success) ++probe_failures_;
+  if (!trace.success) {
+    ++probe_failures_;
+    IMCF_TRACE_EVENT("cmc.probe_failed", "controller", name, "attempts",
+                     trace.attempts);
+  }
   return trace.success;
 }
 
@@ -99,6 +104,7 @@ Status CloudMetaController::Adopt(const std::string& name) {
 }
 
 Status CloudMetaController::ForecastDemands() {
+  IMCF_TRACE_SPAN(span, "cmc.forecast", "controller");
   for (size_t i = 0; i < names_.size(); ++i) {
     const std::string& name = names_[i];
     if (demand_kwh_.count(name) > 0) continue;  // cached
@@ -133,6 +139,8 @@ Status CloudMetaController::ForecastDemands() {
 
 Result<sim::SimulationReport> CloudMetaController::RunHousehold(
     const std::string& name, double allocation_kwh) {
+  IMCF_TRACE_SPAN(span, "cmc.household", "controller");
+  span.Detail(name);
   sim::SimulationReport report;
   IMCF_RETURN_IF_ERROR(registry_->WithTenant(
       name, [allocation_kwh, &report](serve::Tenant& tenant) {
@@ -145,6 +153,8 @@ Result<sim::SimulationReport> CloudMetaController::RunHousehold(
 }
 
 Result<std::vector<double>> CloudMetaController::Allocate() {
+  IMCF_TRACE_SPAN(span, "cmc.allocate", "controller");
+  span.Detail(AllocationPolicyName(options_.policy));
   const size_t n = names_.size();
   std::vector<double> shares(n, 0.0);
   switch (options_.policy) {
@@ -224,6 +234,14 @@ Result<CloudReport> CloudMetaController::Run() {
   if (options_.community_budget_kwh <= 0.0) {
     return Status::InvalidArgument("community budget must be positive");
   }
+  // A coordination round is its own trace root unless a caller already
+  // opened one (e.g. a traced bench harness).
+  [[maybe_unused]] const obs::TraceContext ambient = obs::Tracer::Current();
+  IMCF_TRACE_SPAN_IN(
+      run_span, "cmc.run", "controller",
+      ambient.valid() ? ambient
+                      : obs::Tracer::Root(obs::Tracer::MintTraceId()));
+  run_span.Arg("households", static_cast<int64_t>(names_.size()));
   IMCF_ASSIGN_OR_RETURN(std::vector<double> shares, Allocate());
 
   CloudReport report;

@@ -4,6 +4,7 @@
 
 #include "common/rng.h"
 #include "obs/metrics.h"
+#include "obs/tracer.h"
 
 namespace imcf {
 namespace fault {
@@ -84,6 +85,17 @@ Delivery CommandBus::Deliver(const devices::ActuationCommand& cmd) {
   delivery.attempts = trace.attempts;
   delivery.latency_seconds = trace.elapsed_seconds;
   delivery.last_fault = trace.last_fault;
+  // Clean first-attempt deliveries stay span-free; only retries and
+  // failures leave events (the channel names the device, the attempt count
+  // the retry depth). Fault decisions are (seed, channel, time)-pure, so
+  // these events are deterministic.
+  if (!trace.success) {
+    IMCF_TRACE_EVENT("bus.undeliverable", "fault", channel, "attempts",
+                     trace.attempts);
+  } else if (trace.attempts > 1) {
+    IMCF_TRACE_EVENT("bus.retry_delivered", "fault", channel, "attempts",
+                     trace.attempts);
+  }
   stats_.attempts += trace.attempts;
   stats_.retries += trace.attempts > 0 ? trace.attempts - 1 : 0;
   if (trace.success) {

@@ -1,6 +1,7 @@
 #include "firewall/imcf_firewall.h"
 
 #include "obs/metrics.h"
+#include "obs/tracer.h"
 
 namespace imcf {
 namespace firewall {
@@ -123,6 +124,14 @@ Decision MetaControlFirewall::Filter(const devices::ActuationCommand& cmd) {
 }
 
 void MetaControlFirewall::Record(Decision decision) {
+  // Drops only: accepted commands are the common case and stay span-free;
+  // each drop leaves one event naming the deciding layer (the reason) and
+  // the rule, nested under the slot/request span that issued the command.
+  if (decision.verdict == Verdict::kDrop) {
+    IMCF_TRACE_EVENT("fw.drop", "firewall",
+                     DecisionReasonName(decision.reason), "rule",
+                     decision.command.rule_id);
+  }
   ++stats_.total;
   ++stats_.by_reason[static_cast<size_t>(decision.reason)];
   if (decision.verdict == Verdict::kAccept) {

@@ -1,5 +1,6 @@
 #include "obs/export.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -70,6 +71,35 @@ std::string EscapeHelpText(const std::string& v) {
     }
   }
   return out;
+}
+
+/// Quantile over snapshot bucket data — the same rank statistic as
+/// Histogram::Quantile (report the bucket holding the 1-based ceil(q*n)-th
+/// observation; the +Inf bucket degrades to the largest finite bound), so
+/// the JSON export quotes the numbers the live histogram would.
+double SnapshotQuantile(const MetricSnapshot& m, double q) {
+  if (m.count <= 0) return 0.0;
+  const int64_t rank = std::max<int64_t>(
+      1,
+      static_cast<int64_t>(std::ceil(q * static_cast<double>(m.count))));
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < m.buckets.size(); ++i) {
+    const int64_t in_bucket = m.buckets[i];
+    if (in_bucket <= 0) continue;
+    if (cumulative + in_bucket < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i >= m.bounds.size()) {
+      return m.bounds.empty() ? 0.0 : m.bounds.back();
+    }
+    const double lower = i == 0 ? 0.0 : m.bounds[i - 1];
+    const double upper = m.bounds[i];
+    const double fraction = static_cast<double>(rank - cumulative) /
+                            static_cast<double>(in_bucket);
+    return lower + (upper - lower) * fraction;
+  }
+  return m.bounds.empty() ? 0.0 : m.bounds.back();
 }
 
 /// Renders `{k="v",...}` including an optional extra (le) label, or an
@@ -149,8 +179,17 @@ std::string ToJson(const MetricRegistry& registry) {
       w.EndObject();
     }
     if (m.type == MetricType::kHistogram) {
+      // count + sum travel with the quantiles so merged snapshots can
+      // recompute exact means; quantiles alone cannot.
       w.Key("count").Int(m.count);
       w.Key("sum").Double(m.sum);
+      w.Key("mean").Double(
+          m.count > 0 ? m.sum / static_cast<double>(m.count) : 0.0);
+      w.Key("quantiles").BeginObject();
+      w.Key("p50").Double(SnapshotQuantile(m, 0.50));
+      w.Key("p90").Double(SnapshotQuantile(m, 0.90));
+      w.Key("p99").Double(SnapshotQuantile(m, 0.99));
+      w.EndObject();
       w.Key("bounds").BeginArray();
       for (double b : m.bounds) w.Double(b);
       w.EndArray();

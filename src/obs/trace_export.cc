@@ -1,0 +1,228 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <unordered_map>
+
+#include "obs/json_writer.h"
+
+namespace imcf {
+namespace obs {
+
+namespace {
+
+std::string HexId(uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+/// (trace_id -> span_id -> children in creation order), plus per-trace
+/// roots. Span ids are globally monotone, so sorting siblings by span id
+/// recovers creation order.
+struct TraceForest {
+  /// Trace id -> root records, creation order.
+  std::map<uint64_t, std::vector<const SpanRecord*>> roots;
+  /// Span id -> child records, creation order.
+  std::unordered_map<uint64_t, std::vector<const SpanRecord*>> children;
+};
+
+TraceForest BuildForest(const std::vector<SpanRecord>& records) {
+  std::unordered_map<uint64_t, const SpanRecord*> by_id;
+  by_id.reserve(records.size());
+  for (const SpanRecord& r : records) by_id[r.span_id] = &r;
+
+  TraceForest forest;
+  for (const SpanRecord& r : records) {
+    // A parent that was overwritten in the ring orphans the subtree; treat
+    // the orphan as a root so its spans still render.
+    if (r.parent_span_id != 0 && by_id.count(r.parent_span_id) > 0) {
+      forest.children[r.parent_span_id].push_back(&r);
+    } else {
+      forest.roots[r.trace_id].push_back(&r);
+    }
+  }
+  auto by_creation = [](const SpanRecord* a, const SpanRecord* b) {
+    return a->span_id < b->span_id;
+  };
+  for (auto& [trace_id, roots] : forest.roots) {
+    std::sort(roots.begin(), roots.end(), by_creation);
+  }
+  for (auto& [span_id, kids] : forest.children) {
+    std::sort(kids.begin(), kids.end(), by_creation);
+  }
+  return forest;
+}
+
+void CanonicalNode(const TraceForest& forest, const SpanRecord& r, int depth,
+                   std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += r.name;
+  *out += " [";
+  *out += r.category;
+  *out += ']';
+  if (r.sim_start != 0 || r.sim_end != 0) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " sim=[%lld..%lld]",
+                  static_cast<long long>(r.sim_start),
+                  static_cast<long long>(r.sim_end));
+    *out += buf;
+  }
+  for (const auto& [name, value] :
+       {std::pair<const char*, int64_t>{r.arg_name, r.arg_value},
+        std::pair<const char*, int64_t>{r.arg2_name, r.arg2_value}}) {
+    if (name == nullptr) continue;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), " %s=%lld", name,
+                  static_cast<long long>(value));
+    *out += buf;
+  }
+  if (r.detail[0] != '\0') {
+    *out += " \"";
+    *out += r.detail;
+    *out += '"';
+  }
+  *out += '\n';
+  auto it = forest.children.find(r.span_id);
+  if (it == forest.children.end()) return;
+  for (const SpanRecord* child : it->second) {
+    CanonicalNode(forest, *child, depth + 1, out);
+  }
+}
+
+void CompactNode(const TraceForest& forest, const SpanRecord& r,
+                 std::string* out) {
+  *out += r.name;
+  if (r.detail[0] != '\0') {
+    *out += '(';
+    *out += r.detail;
+    *out += ')';
+  }
+  auto it = forest.children.find(r.span_id);
+  if (it == forest.children.end()) return;
+  // Render each child subtree, then collapse runs of identical renderings
+  // (8760 hourly slots become `plan.slot x8760`, not a 100 KB line).
+  std::vector<std::string> rendered;
+  rendered.reserve(it->second.size());
+  for (const SpanRecord* child : it->second) {
+    std::string s;
+    CompactNode(forest, *child, &s);
+    rendered.push_back(std::move(s));
+  }
+  *out += '{';
+  for (size_t i = 0; i < rendered.size();) {
+    size_t run = 1;
+    while (i + run < rendered.size() && rendered[i + run] == rendered[i]) {
+      ++run;
+    }
+    if (i > 0) *out += ',';
+    *out += rendered[i];
+    if (run > 1) {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), " x%zu", run);
+      *out += buf;
+    }
+    i += run;
+  }
+  *out += '}';
+}
+
+}  // namespace
+
+std::string TraceEventJson(const std::vector<SpanRecord>& records) {
+  std::vector<const SpanRecord*> sorted;
+  sorted.reserve(records.size());
+  for (const SpanRecord& r : records) sorted.push_back(&r);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SpanRecord* a, const SpanRecord* b) {
+              if (a->wall_start_ns != b->wall_start_ns) {
+                return a->wall_start_ns < b->wall_start_ns;
+              }
+              return a->span_id < b->span_id;
+            });
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents").BeginArray();
+  for (const SpanRecord* r : sorted) {
+    const bool instant = r->wall_end_ns == r->wall_start_ns;
+    w.BeginObject();
+    w.Key("name").String(r->name);
+    w.Key("cat").String(r->category);
+    w.Key("ph").String(instant ? "i" : "X");
+    // Chrome trace timestamps are microseconds (fractional allowed).
+    w.Key("ts").Double(static_cast<double>(r->wall_start_ns) / 1000.0);
+    if (instant) {
+      w.Key("s").String("t");  // thread-scoped instant marker
+    } else {
+      w.Key("dur").Double(
+          static_cast<double>(r->wall_end_ns - r->wall_start_ns) / 1000.0);
+    }
+    w.Key("pid").Int(1);
+    w.Key("tid").Int(r->thread_index);
+    w.Key("args").BeginObject();
+    w.Key("trace_id").String(HexId(r->trace_id));
+    w.Key("span_id").String(HexId(r->span_id));
+    if (r->parent_span_id != 0) {
+      w.Key("parent_span_id").String(HexId(r->parent_span_id));
+    }
+    if (r->sim_start != 0 || r->sim_end != 0) {
+      w.Key("sim_start").Int(r->sim_start);
+      w.Key("sim_end").Int(r->sim_end);
+    }
+    if (r->arg_name != nullptr) w.Key(r->arg_name).Int(r->arg_value);
+    if (r->arg2_name != nullptr) w.Key(r->arg2_name).Int(r->arg2_value);
+    if (r->detail[0] != '\0') w.Key("detail").String(r->detail);
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("displayTimeUnit").String("ms");
+  w.EndObject();
+  return w.str();
+}
+
+bool WriteTraceJson(const FlightRecorder& recorder, const std::string& path) {
+  const std::string json = TraceEventJson(recorder.Snapshot());
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return false;
+  out << json << '\n';
+  return out.good();
+}
+
+std::string CanonicalTraceText(const std::vector<SpanRecord>& records) {
+  const TraceForest forest = BuildForest(records);
+  std::string out;
+  for (const auto& [trace_id, roots] : forest.roots) {
+    out += "trace ";
+    out += HexId(trace_id);
+    out += '\n';
+    for (const SpanRecord* root : roots) {
+      CanonicalNode(forest, *root, 1, &out);
+    }
+  }
+  return out;
+}
+
+std::string CompactTraceLine(const std::vector<SpanRecord>& records,
+                             uint64_t trace_id) {
+  std::vector<SpanRecord> mine;
+  for (const SpanRecord& r : records) {
+    if (r.trace_id == trace_id) mine.push_back(r);
+  }
+  const TraceForest forest = BuildForest(mine);
+  auto it = forest.roots.find(trace_id);
+  if (it == forest.roots.end()) return "";
+  std::string out;
+  for (size_t i = 0; i < it->second.size(); ++i) {
+    if (i > 0) out += ';';
+    CompactNode(forest, *it->second[i], &out);
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace imcf

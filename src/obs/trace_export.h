@@ -1,0 +1,53 @@
+// Sinks for flight-recorder snapshots.
+//
+// Three renderings of the same std::vector<SpanRecord>:
+//
+//   * TraceEventJson — Chrome trace-event JSON, loadable in Perfetto
+//     (https://ui.perfetto.dev) or chrome://tracing. Wall stamps become the
+//     timeline; trace/span ids, sim-time stamps and details ride in args.
+//   * CanonicalTraceText — the determinism witness: span trees with every
+//     measurement (wall stamps, raw ids, thread indices) masked, children
+//     in creation order. Two runs of the same workload produce identical
+//     canonical text regardless of worker count.
+//   * CompactTraceLine — a one-line span-tree collapse for the serving
+//     layer's slow-request log: `root{child,leaf(detail)x3{...}}`.
+
+#ifndef IMCF_OBS_TRACE_EXPORT_H_
+#define IMCF_OBS_TRACE_EXPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+
+namespace imcf {
+namespace obs {
+
+/// Renders spans as a Chrome trace-event JSON document:
+/// {"traceEvents":[...],"displayTimeUnit":"ms"}. Events are sorted by
+/// (wall start, span id) so the output is stable for a fixed snapshot;
+/// zero-duration spans become instant events (ph "i").
+std::string TraceEventJson(const std::vector<SpanRecord>& records);
+
+/// Snapshots `recorder` and writes TraceEventJson to `path`. Returns false
+/// when the file cannot be written (obs is a dependency leaf, so no Status
+/// here; callers log).
+bool WriteTraceJson(const FlightRecorder& recorder, const std::string& path);
+
+/// Renders spans as indented per-trace trees with all nondeterministic
+/// fields masked: traces sorted by trace id, children in creation order,
+/// printing name, category, sim stamps, args and detail only. Spans whose
+/// parent is missing (overwritten in the ring) root their own subtree.
+std::string CanonicalTraceText(const std::vector<SpanRecord>& records);
+
+/// Renders one trace as a single line for the slow-request log:
+/// `name{child,child}`, detail appended as `name(detail)`, runs of
+/// identical consecutive sibling subtrees collapsed as `...xN`.
+std::string CompactTraceLine(const std::vector<SpanRecord>& records,
+                             uint64_t trace_id);
+
+}  // namespace obs
+}  // namespace imcf
+
+#endif  // IMCF_OBS_TRACE_EXPORT_H_

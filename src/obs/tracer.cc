@@ -1,0 +1,155 @@
+#include "obs/tracer.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "obs/scoped_timer.h"
+
+namespace imcf {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+/// Span ids are process-unique and monotone: a span created after another
+/// gets a larger id. Within one trace all spans are created on one logical
+/// request path, so sorting children by span id recovers creation order —
+/// that is what makes the canonical export deterministic even though the
+/// raw ids are not.
+std::atomic<uint64_t> g_next_span_id{1};
+
+std::atomic<uint64_t> g_next_trace_id{1};
+
+/// Fixed-depth ambient context stack per thread. Depth 32 is far beyond
+/// the deepest real nesting (request -> plan -> search -> ...); overflow
+/// spans still record, they just cannot parent further ambient children.
+constexpr int kMaxContextDepth = 32;
+
+struct ContextStack {
+  TraceContext frames[kMaxContextDepth];
+  int depth = 0;
+};
+
+thread_local ContextStack t_context_stack;
+
+}  // namespace
+
+bool Tracer::enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void Tracer::set_enabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+TraceContext Tracer::Current() {
+  const ContextStack& stack = t_context_stack;
+  if (stack.depth == 0) return {};
+  return stack.frames[stack.depth - 1];
+}
+
+uint64_t Tracer::MintTraceId() {
+  return g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t Tracer::NextSpanId() {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Tracer::Push(TraceContext context) {
+  ContextStack& stack = t_context_stack;
+  if (stack.depth >= kMaxContextDepth) return;
+  stack.frames[stack.depth++] = context;
+}
+
+void Tracer::Pop() {
+  ContextStack& stack = t_context_stack;
+  if (stack.depth > 0) --stack.depth;
+}
+
+ScopedSpan::ScopedSpan(const char* name, const char* category)
+    : ScopedSpan(name, category, Tracer::Current()) {}
+
+ScopedSpan::ScopedSpan(const char* name, const char* category,
+                       TraceContext parent) {
+  if (!Tracer::enabled() || !parent.valid()) return;
+  active_ = true;
+  record_.trace_id = parent.trace_id;
+  record_.span_id = Tracer::NextSpanId();
+  record_.parent_span_id = parent.span_id;
+  record_.name = name;
+  record_.category = category;
+  record_.wall_start_ns = ScopedTimer::NowNs();
+  Tracer::Push({record_.trace_id, record_.span_id});
+  pushed_ = true;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  if (pushed_) Tracer::Pop();
+  record_.wall_end_ns = ScopedTimer::NowNs();
+  if (sim_clock_ != nullptr) record_.sim_end = *sim_clock_;
+  FlightRecorder::Default().Record(record_);
+}
+
+void ScopedSpan::Detail(std::string_view text) {
+  if (!active_) return;
+  const size_t n = text.size() < kSpanDetailBytes - 1
+                       ? text.size()
+                       : kSpanDetailBytes - 1;
+  if (n > 0) std::memcpy(record_.detail, text.data(), n);
+  record_.detail[n] = '\0';
+}
+
+void ScopedSpan::Arg(const char* name, int64_t value) {
+  if (!active_) return;
+  if (record_.arg_name == nullptr) {
+    record_.arg_name = name;
+    record_.arg_value = value;
+  } else if (record_.arg2_name == nullptr) {
+    record_.arg2_name = name;
+    record_.arg2_value = value;
+  }
+}
+
+void ScopedSpan::SimSpan(int64_t sim_start, int64_t sim_end) {
+  if (!active_) return;
+  record_.sim_start = sim_start;
+  record_.sim_end = sim_end;
+  sim_clock_ = nullptr;
+}
+
+void ScopedSpan::BindSimClock(const int64_t* sim_clock) {
+  if (!active_ || sim_clock == nullptr) return;
+  sim_clock_ = sim_clock;
+  record_.sim_start = *sim_clock;
+}
+
+void TraceEvent(const char* name, const char* category,
+                std::string_view detail, const char* arg_name,
+                int64_t arg_value) {
+  if (!Tracer::enabled()) return;
+  const TraceContext parent = Tracer::Current();
+  if (!parent.valid()) return;
+  SpanRecord record;
+  record.trace_id = parent.trace_id;
+  record.span_id = Tracer::NextSpanId();
+  record.parent_span_id = parent.span_id;
+  record.name = name;
+  record.category = category;
+  const int64_t now = ScopedTimer::NowNs();
+  record.wall_start_ns = now;
+  record.wall_end_ns = now;
+  if (arg_name != nullptr) {
+    record.arg_name = arg_name;
+    record.arg_value = arg_value;
+  }
+  const size_t n = detail.size() < kSpanDetailBytes - 1
+                       ? detail.size()
+                       : kSpanDetailBytes - 1;
+  if (n > 0) std::memcpy(record.detail, detail.data(), n);
+  record.detail[n] = '\0';
+  FlightRecorder::Default().Record(record);
+}
+
+}  // namespace obs
+}  // namespace imcf

@@ -1,0 +1,180 @@
+// Request-scoped span tracing.
+//
+// The metrics registry says how MUCH (counters, histograms); spans say
+// WHERE one request spent its time. A TraceContext (trace id + parent span
+// id) is minted per unit of root work — a FleetService request, a
+// simulation grid cell, a CMC coordination round — and flows through the
+// layers two ways:
+//
+//   * implicitly, via a thread-local context stack: a ScopedSpan opened
+//     while another span is live on the same thread becomes its child
+//     (firewall decisions under the planner under the simulator...);
+//   * explicitly, across threads: the serving layer stores the submit
+//     span's context() in the queued request, and the draining worker
+//     opens its execute span with that context as parent — the
+//     enqueue -> drain handoff keeps one request one tree.
+//
+// Spans dual-stamp like obs::ScopedTimer: wall nanoseconds always, and
+// SimTime seconds when bound via SimSpan()/BindSimClock(). Completed spans
+// land in the FlightRecorder (obs/flight_recorder.h); obs/trace_export.h
+// turns snapshots into Perfetto JSON, canonical (determinism-witness) text
+// and compact slow-request lines.
+//
+// Determinism contract: span *content* (names, details, args, sim stamps,
+// parent links, per-trace creation order) is a pure function of the
+// request stream for any worker count; only wall stamps, raw ids and
+// thread indices are measurements. CanonicalTraceText masks the latter, so
+// span trees are bit-comparable at 1/4/8 workers.
+//
+// Cost: recording a span is ~a dozen relaxed atomic stores; a span that is
+// runtime-disabled (Tracer::set_enabled(false)) or has no trace context
+// costs one TLS read and a branch. Compiling with -DIMCF_DISABLE_TRACING
+// (CMake option IMCF_DISABLE_TRACING) replaces the IMCF_TRACE_* macros
+// with empty NoopSpan stubs, removing the instrumentation entirely.
+//
+// Names, categories and arg names MUST be string literals — the flight
+// recorder stores the pointers. Dynamic text goes in Detail() (48 bytes,
+// truncated).
+
+#ifndef IMCF_OBS_TRACER_H_
+#define IMCF_OBS_TRACER_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "obs/flight_recorder.h"
+
+namespace imcf {
+namespace obs {
+
+/// Where a new span attaches: the trace it belongs to and the span that
+/// becomes its parent (0 = the new span is the trace root).
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  bool valid() const { return trace_id != 0; }
+};
+
+/// Static tracer state: the runtime switch, span-id minting and the
+/// thread-local ambient context.
+class Tracer {
+ public:
+  /// Runtime switch (default on — the flight recorder is always on).
+  /// Disabled spans cost one relaxed load and a branch.
+  static bool enabled();
+  static void set_enabled(bool enabled);
+
+  /// Ambient context: the innermost live span on this thread, or an
+  /// invalid context when none is open.
+  static TraceContext Current();
+
+  /// Root context for an explicitly minted trace id.
+  static TraceContext Root(uint64_t trace_id) { return {trace_id, 0}; }
+
+  /// Fresh process-unique trace id for ad-hoc roots (examples, CMC runs).
+  /// Deterministic callers (serve, sim grid) derive ids from request/cell
+  /// coordinates instead — see DESIGN.md §11.
+  static uint64_t MintTraceId();
+
+ private:
+  friend class ScopedSpan;
+  friend void TraceEvent(const char* name, const char* category,
+                         std::string_view detail, const char* arg_name,
+                         int64_t arg_value);
+  static uint64_t NextSpanId();
+  static void Push(TraceContext context);
+  static void Pop();
+};
+
+/// RAII span. Construction stamps wall start and pushes the span onto the
+/// thread's context stack; destruction stamps wall end and records into
+/// FlightRecorder::Default(). A span constructed while tracing is disabled
+/// or without a valid trace context is inert (no stamps, no record).
+class ScopedSpan {
+ public:
+  /// Child of the thread's ambient context (inert when there is none).
+  ScopedSpan(const char* name, const char* category);
+
+  /// Child of an explicit context — the cross-thread handoff constructor —
+  /// or a trace root when `parent` is Tracer::Root(id).
+  ScopedSpan(const char* name, const char* category, TraceContext parent);
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan();
+
+  /// Sets the span's text annotation (truncated to 47 bytes).
+  void Detail(std::string_view text);
+
+  /// Attaches a numeric annotation; the first two calls win, later ones
+  /// are dropped. `name` must be a string literal.
+  void Arg(const char* name, int64_t value);
+
+  /// Stamps the simulation-time interval the span covers (seconds).
+  void SimSpan(int64_t sim_start, int64_t sim_end);
+
+  /// Binds the span to a simulation clock (SimTime seconds, borrowed,
+  /// must outlive the span): sim_start is read now, sim_end at
+  /// destruction — the dual-stamp pattern of obs::ScopedTimer.
+  void BindSimClock(const int64_t* sim_clock);
+
+  /// Context for children of this span (cross-thread propagation).
+  TraceContext context() const {
+    return {record_.trace_id, record_.span_id};
+  }
+
+  /// Whether this span records anything (false when disabled/contextless).
+  bool active() const { return active_; }
+
+ private:
+  SpanRecord record_;
+  const int64_t* sim_clock_ = nullptr;
+  bool active_ = false;
+  bool pushed_ = false;
+};
+
+/// Records an instantaneous event (wall start == end) under the thread's
+/// ambient context; dropped when there is none. Cheap enough for per-drop
+/// firewall verdicts and per-retry bus annotations.
+void TraceEvent(const char* name, const char* category,
+                std::string_view detail = {},
+                const char* arg_name = nullptr, int64_t arg_value = 0);
+
+/// No-op stand-in the disabled macro path expands to: same surface as
+/// ScopedSpan, empty bodies, no storage beyond one byte, no allocation.
+class NoopSpan {
+ public:
+  void Detail(std::string_view) {}
+  void Arg(const char*, int64_t) {}
+  void SimSpan(int64_t, int64_t) {}
+  void BindSimClock(const int64_t*) {}
+  TraceContext context() const { return {}; }
+  bool active() const { return false; }
+};
+
+#if defined(IMCF_DISABLE_TRACING)
+#define IMCF_TRACING_ENABLED 0
+#define IMCF_TRACE_SPAN(var, name, category) \
+  [[maybe_unused]] ::imcf::obs::NoopSpan var
+#define IMCF_TRACE_SPAN_IN(var, name, category, parent) \
+  [[maybe_unused]] ::imcf::obs::NoopSpan var
+#define IMCF_TRACE_EVENT(...) \
+  do {                        \
+  } while (0)
+#else
+#define IMCF_TRACING_ENABLED 1
+/// Opens span `var` as a child of the thread's ambient context.
+#define IMCF_TRACE_SPAN(var, name, category) \
+  ::imcf::obs::ScopedSpan var((name), (category))
+/// Opens span `var` under an explicit TraceContext (cross-thread handoff).
+#define IMCF_TRACE_SPAN_IN(var, name, category, parent) \
+  ::imcf::obs::ScopedSpan var((name), (category), (parent))
+/// Records an instant event under the ambient context.
+#define IMCF_TRACE_EVENT(...) ::imcf::obs::TraceEvent(__VA_ARGS__)
+#endif
+
+}  // namespace obs
+}  // namespace imcf
+
+#endif  // IMCF_OBS_TRACER_H_

@@ -5,9 +5,14 @@
 #include <map>
 #include <utility>
 
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/strings.h"
 #include "fault/command_bus.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
+#include "obs/trace_export.h"
+#include "obs/tracer.h"
 
 namespace imcf {
 namespace serve {
@@ -61,6 +66,15 @@ SimTime DeadlineKey(const Request& request) {
                                : request.deadline;
 }
 
+/// Deterministic trace id for a request: a pure function of the dense
+/// submission id, so every worker count (and a replayed run) produces the
+/// same ids and the canonical span trees compare bit-identical.
+uint64_t ServeTraceId(uint64_t request_id) {
+  constexpr uint64_t kServeTraceSalt = 0x53455256u;  // "SERV"
+  const uint64_t id = MixHash(kServeTraceSalt, request_id);
+  return id != 0 ? id : 1;
+}
+
 }  // namespace
 
 FleetService::FleetService(FleetOptions options)
@@ -72,8 +86,19 @@ FleetService::FleetService(FleetOptions options)
                                                options_.fault,
                                                options_.retry);
   queues_.reserve(static_cast<size_t>(options_.shards));
+  auto& reg = obs::MetricRegistry::Default();
   for (int i = 0; i < options_.shards; ++i) {
     queues_.push_back(std::make_unique<QueueShard>());
+    // Shard count is a small fixed config value, so the per-shard label set
+    // stays within the obs cardinality rules.
+    const obs::Labels labels = {{"shard", std::to_string(i)}};
+    shard_depth_.push_back(reg.GetGauge("imcf_serve_queue_depth",
+                                        "Requests queued across all shards",
+                                        labels));
+    shard_wait_ns_.push_back(
+        reg.GetHistogram("imcf_serve_queue_wait_ns",
+                         "Wall time requests spent queued, by shard",
+                         obs::LatencyBoundsNs(), labels));
   }
   // workers == 1 keeps the serial reference path (ParallelFor runs inline).
   if (options_.workers > 1) {
@@ -110,24 +135,35 @@ std::optional<Response> FleetService::Submit(Request request) {
   const uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
   metrics.requests[static_cast<int>(request.kind)]->Increment();
 
+  // The request's trace root. The id-derived trace id makes the span tree
+  // replayable; the context crosses the enqueue -> drain thread handoff
+  // inside the queued request.
+  IMCF_TRACE_SPAN_IN(submit_span, "serve.submit", "serve",
+                     obs::Tracer::Root(ServeTraceId(id)));
+  submit_span.Detail(RequestKindName(request.kind));
+  request.trace = submit_span.context();
+
   Response rejection;
   rejection.id = id;
   rejection.tenant = request.tenant;
   rejection.kind = request.kind;
   if (!registry_->Contains(request.tenant)) {
+    IMCF_TRACE_EVENT("serve.tenant_not_found", "serve");
     rejection.outcome = ServeOutcome::kTenantNotFound;
     rejection.status = Status::NotFound("no such tenant: " + request.tenant);
     CountResponse(rejection);
     return rejection;
   }
-  QueueShard& shard =
-      *queues_[static_cast<size_t>(registry_->ShardOf(request.tenant))];
+  const int shard_index = registry_->ShardOf(request.tenant);
+  QueueShard& shard = *queues_[static_cast<size_t>(shard_index)];
   bool queued_item = false;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     if (shard.items.size() <
         static_cast<size_t>(options_.queue_capacity)) {
-      shard.items.push_back(QueuedItem{id, std::move(request)});
+      shard.items.push_back(QueuedItem{id, shard_index,
+                                       obs::ScopedTimer::NowNs(),
+                                       std::move(request)});
       queued_item = true;
     }
   }
@@ -138,6 +174,9 @@ std::optional<Response> FleetService::Submit(Request request) {
   }
   // Load shedding: reject-with-retry-after instead of buffering without
   // bound; the submitter owns the backoff.
+  IMCF_TRACE_EVENT("serve.shed", "serve", /*detail=*/{}, "shard",
+                   shard_index);
+  sheds_since_check_.fetch_add(1, std::memory_order_relaxed);
   rejection.outcome = ServeOutcome::kShed;
   rejection.retry_after_seconds = options_.shed_retry_after_seconds;
   metrics.shed_total->Increment();
@@ -210,9 +249,16 @@ Response FleetService::Execute(const QueuedItem& item, SimTime now) {
   response.kind = request.kind;
   response.virtual_latency_seconds = now - request.issue_time;
 
+  // The worker half of the request's trace: parented on the submit span
+  // carried inside the request, so the cross-thread handoff keeps one
+  // request one tree.
+  IMCF_TRACE_SPAN_IN(execute_span, "serve.execute", "serve", request.trace);
+  execute_span.SimSpan(request.issue_time, now);
+
   // Deadline check against the drain's virtual now — never wall time — so
   // expiry is independent of scheduling order and worker count.
   if (request.deadline != 0 && request.deadline < now) {
+    execute_span.Detail("deadline_exceeded");
     response.outcome = ServeOutcome::kDeadlineExceeded;
     (void)registry_->WithTenant(request.tenant, [](Tenant& tenant) {
       tenant.stats().deadline_expired += 1;
@@ -250,15 +296,21 @@ Response FleetService::Execute(const QueuedItem& item, SimTime now) {
     response.outcome = ServeOutcome::kTenantNotFound;
     response.status = lookup;
   }
+  execute_span.Detail(ServeOutcomeName(response.outcome));
   return response;
 }
 
 std::vector<Response> FleetService::Drain(SimTime now) {
   // 1. Snapshot every shard queue (per-tenant FIFO is the shard order).
+  // Queue wait is observed here, on the draining thread: it is a wall
+  // measurement, so it feeds the per-shard histogram but never a span arg.
+  const int64_t drain_start_ns = obs::ScopedTimer::NowNs();
   std::map<TenantId, std::vector<QueuedItem>> per_tenant;
   for (const auto& shard : queues_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     for (QueuedItem& item : shard->items) {
+      shard_wait_ns_[static_cast<size_t>(item.shard)]->Observe(
+          static_cast<double>(drain_start_ns - item.enqueue_ns));
       per_tenant[item.request.tenant].push_back(std::move(item));
     }
     shard->items.clear();
@@ -305,7 +357,62 @@ std::vector<Response> FleetService::Drain(SimTime now) {
   std::sort(responses.begin(), responses.end(),
             [](const Response& a, const Response& b) { return a.id < b.id; });
   for (const Response& response : responses) CountResponse(response);
+
+  MaybeDumpSpike(responses);
+  LogSlowRequests(responses);
   return responses;
+}
+
+void FleetService::MaybeDumpSpike(const std::vector<Response>& responses) {
+  // Spike detector: a burst of shed/deadline-exceeded outcomes is exactly
+  // the moment the flight recorder exists for — dump it before the rings
+  // overwrite the evidence.
+  int64_t spikes = sheds_since_check_.exchange(0, std::memory_order_relaxed);
+  for (const Response& response : responses) {
+    if (response.outcome == ServeOutcome::kDeadlineExceeded) ++spikes;
+  }
+  if (options_.spike_dump_threshold <= 0 || options_.trace_dump_dir.empty() ||
+      spikes < options_.spike_dump_threshold) {
+    return;
+  }
+  const int seq = spike_dumps_.fetch_add(1, std::memory_order_relaxed);
+  const std::string path =
+      options_.trace_dump_dir + StrFormat("/trace_spike_%d.json", seq);
+  if (DumpTrace(path)) {
+    IMCF_LOG(kWarning) << "serve spike (" << spikes
+                       << " shed/deadline-exceeded): dumped trace to "
+                       << path;
+  } else {
+    IMCF_LOG(kWarning) << "serve spike: failed to write trace to " << path;
+  }
+}
+
+void FleetService::LogSlowRequests(const std::vector<Response>& responses) {
+  if (options_.slow_request_wall_ns <= 0) return;
+  // One recorder snapshot covers every outlier in this drain; the sampled
+  // structured line carries the collapsed span tree (firewall verdicts
+  // included as fw.drop events) so an outlier is explainable post hoc.
+  std::vector<obs::SpanRecord> snapshot;
+  bool snapshotted = false;
+  for (const Response& response : responses) {
+    if (response.wall_ns < options_.slow_request_wall_ns) continue;
+    if (!snapshotted) {
+      snapshot = obs::FlightRecorder::Default().Snapshot();
+      snapshotted = true;
+    }
+    IMCF_LOG(kWarning) << "slow request id=" << response.id << " tenant="
+                       << response.tenant << " kind="
+                       << RequestKindName(response.kind) << " outcome="
+                       << ServeOutcomeName(response.outcome) << " wall_ns="
+                       << response.wall_ns << " vlat_s="
+                       << response.virtual_latency_seconds << " spans="
+                       << obs::CompactTraceLine(snapshot,
+                                                ServeTraceId(response.id));
+  }
+}
+
+bool FleetService::DumpTrace(const std::string& path) const {
+  return obs::WriteTraceJson(obs::FlightRecorder::Default(), path);
 }
 
 Response FleetService::Call(Request request, SimTime now) {
@@ -360,7 +467,17 @@ void FleetService::CountResponse(const Response& response) {
 }
 
 void FleetService::UpdateQueueDepthGauge() {
-  ServeMetrics::Get().queue_depth->Set(static_cast<double>(queued()));
+  size_t total = 0;
+  for (size_t i = 0; i < queues_.size(); ++i) {
+    size_t depth;
+    {
+      std::lock_guard<std::mutex> lock(queues_[i]->mu);
+      depth = queues_[i]->items.size();
+    }
+    shard_depth_[i]->Set(static_cast<double>(depth));
+    total += depth;
+  }
+  ServeMetrics::Get().queue_depth->Set(static_cast<double>(total));
 }
 
 }  // namespace serve

@@ -42,6 +42,7 @@
 #include "common/thread_pool.h"
 #include "fault/fault_plan.h"
 #include "fault/retry.h"
+#include "obs/metrics.h"
 #include "serve/request.h"
 #include "serve/tenant_registry.h"
 #include "storage/table_store.h"
@@ -70,6 +71,16 @@ struct FleetOptions {
   /// the obs cardinality rules reserve labels for small closed sets, so
   /// only fleets of bounded size should enable this.
   bool per_tenant_metrics = false;
+  /// Slow-request log threshold: an executed request whose wall latency
+  /// meets or exceeds this logs one structured line with its collapsed
+  /// span tree (including firewall verdict events). 0 disables.
+  int64_t slow_request_wall_ns = 0;
+  /// Directory for automatic flight-recorder dumps. When a single drain
+  /// observes at least `spike_dump_threshold` shed + deadline-exceeded
+  /// responses, the recorder is dumped to
+  /// `<trace_dump_dir>/trace_spike_<n>.json`. Empty disables.
+  std::string trace_dump_dir;
+  int spike_dump_threshold = 0;
 };
 
 /// The service.
@@ -110,6 +121,10 @@ class FleetService {
   /// Requests currently queued across all shards.
   size_t queued() const;
 
+  /// Dumps the process flight recorder as Perfetto JSON to `path` (the
+  /// on-demand trace sink). Returns false when the file cannot be written.
+  bool DumpTrace(const std::string& path) const;
+
   TenantRegistry& registry() { return *registry_; }
   const TenantRegistry& registry() const { return *registry_; }
   const FleetOptions& options() const { return options_; }
@@ -117,6 +132,8 @@ class FleetService {
  private:
   struct QueuedItem {
     uint64_t id = 0;
+    int shard = 0;           ///< queue stripe the item waited on
+    int64_t enqueue_ns = 0;  ///< wall clock at admission (queue-wait metric)
     Request request;
   };
 
@@ -143,13 +160,27 @@ class FleetService {
   void CountResponse(const Response& response);
   void UpdateQueueDepthGauge();
 
+  /// Spike detector: dumps the flight recorder when one drain saw at least
+  /// `spike_dump_threshold` shed + deadline-exceeded outcomes.
+  void MaybeDumpSpike(const std::vector<Response>& responses);
+  /// Emits one structured line per response over the slow-request
+  /// threshold, with its collapsed span tree.
+  void LogSlowRequests(const std::vector<Response>& responses);
+
   FleetOptions options_;
   std::unique_ptr<TenantRegistry> registry_;
   std::unique_ptr<TableStore> store_;      // null without persistence
   std::unique_ptr<ThreadPool> pool_;       // null when workers == 1
   fault::FaultPlan fault_plan_;
   std::vector<std::unique_ptr<QueueShard>> queues_;
+  /// Per-shard instrumentation (satellite of the aggregate gauges in
+  /// ServeMetrics): hot-shard skew is visible instead of averaged away.
+  std::vector<obs::Gauge*> shard_depth_;
+  std::vector<obs::Histogram*> shard_wait_ns_;
   std::atomic<uint64_t> next_id_{1};
+  /// Sheds since the last spike check (drained by Drain's spike detector).
+  std::atomic<int64_t> sheds_since_check_{0};
+  std::atomic<int> spike_dumps_{0};
 };
 
 }  // namespace serve

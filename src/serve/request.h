@@ -23,6 +23,7 @@
 #include "common/status.h"
 #include "common/time.h"
 #include "devices/device.h"
+#include "obs/tracer.h"
 #include "sim/simulation.h"
 
 namespace imcf {
@@ -83,6 +84,10 @@ struct Request {
   /// lies before the drain's `now` completes as kDeadlineExceeded without
   /// executing.
   SimTime deadline = 0;
+  /// Trace context minted at submission (the submit span), carried across
+  /// the enqueue -> drain thread handoff so the executing worker's spans
+  /// join the request's trace. Set by FleetService::Submit.
+  obs::TraceContext trace;
   PlanRequest plan;
   CommandRequest command;
   QueryRequest query;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/strings.h"
+#include "obs/tracer.h"
 
 namespace imcf {
 namespace serve {
@@ -173,6 +174,9 @@ Status TenantRegistry::WithTenant(const TenantId& id,
                                   const std::function<Status(Tenant&)>& fn) {
   std::shared_ptr<Tenant> tenant = Find(id);
   if (tenant == nullptr) return Status::NotFound("no such tenant: " + id);
+  // The span covers the tenant-mutex wait plus `fn`; contention on a hot
+  // tenant shows up as serve.execute time spent here before any sim span.
+  IMCF_TRACE_SPAN(span, "tenant.with", "serve");
   std::lock_guard<std::mutex> lock(tenant->mu_);
   return fn(*tenant);
 }

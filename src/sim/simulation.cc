@@ -11,6 +11,7 @@
 #include "fault/fallback_weather.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
+#include "obs/tracer.h"
 
 namespace imcf {
 namespace sim {
@@ -37,6 +38,15 @@ obs::Histogram* PlanWallNsHist() {
 /// Dense device-group id for (unit, kind).
 int GroupId(int unit, devices::DeviceKind kind) {
   return unit * 2 + (kind == devices::DeviceKind::kLight ? 1 : 0);
+}
+
+/// Deterministic trace id for one (policy, rep) grid cell: a pure function
+/// of the cell index, so grid traces compare bit-identical at any thread
+/// count.
+[[maybe_unused]] uint64_t CellTraceId(int cell) {
+  constexpr uint64_t kSimTraceSalt = 0x53494d43u;  // "SIMC"
+  const uint64_t id = MixHash(kSimTraceSalt, static_cast<uint64_t>(cell));
+  return id != 0 ? id : 1;
 }
 
 }  // namespace
@@ -155,6 +165,12 @@ Result<SimulationReport> Simulator::Run(Policy policy, int rep) const {
   if (!prepared_) {
     return Status::FailedPrecondition("call Prepare() before Run()");
   }
+  // Child of whatever requested this run (a serve.execute/tenant.with span
+  // or a sim.cell root); a bare Run() with no ambient context stays
+  // untraced and pays only the context probe.
+  IMCF_TRACE_SPAN(run_span, "sim.run", "sim");
+  run_span.Detail(PolicyName(policy));
+  run_span.Arg("rep", rep);
   const trace::DatasetSpec& spec = options_.spec;
   const size_t n_rules = mrt_.convenience_count();
   const int n_groups = spec.units * 2;
@@ -200,6 +216,8 @@ Result<SimulationReport> Simulator::Run(Policy policy, int rep) const {
   report.policy = PolicyName(policy);
   report.budget_kwh = total_budget_;
   report.slots = hours_;
+  run_span.SimSpan(start_,
+                   start_ + static_cast<SimTime>(hours_) * kSecondsPerHour);
 
   double error_sum = 0.0;
   int64_t activations = 0;
@@ -231,6 +249,17 @@ Result<SimulationReport> Simulator::Run(Policy policy, int rep) const {
     const SimTime slot_time = ambient_->TimeOfHour(h);
     const SimTime midpoint =
         slot_time + static_cast<SimTime>(span) * kSecondsPerHour / 2;
+
+    // One span per slot, covering planning, firewall routing and execution
+    // accounting; firewall fw.drop events and the planner's ep.search span
+    // nest under it.
+    IMCF_TRACE_SPAN(slot_span, "plan.slot", "sim");
+    slot_span.SimSpan(slot_time,
+                      slot_time + static_cast<SimTime>(span) * kSecondsPerHour);
+    [[maybe_unused]] const int64_t slot_issued_before =
+        report.commands_issued;
+    [[maybe_unused]] const int64_t slot_dropped_before =
+        report.commands_dropped;
 
     // Hours of the slot a daily window covers (1 for hourly slots).
     auto overlap_hours = [&](const TimeWindow& window) {
@@ -463,6 +492,12 @@ Result<SimulationReport> Simulator::Run(Policy policy, int rep) const {
       }
     }
 
+    // Per-slot firewall verdict summary on the slot span (the per-drop
+    // reasons are the fw.drop child events).
+    slot_span.Arg("cmd_issued", report.commands_issued - slot_issued_before);
+    slot_span.Arg("cmd_dropped",
+                  report.commands_dropped - slot_dropped_before);
+
     // --- Execution and accounting, hour by hour against ground truth.
     // With hourly slots this coincides with the planning view; with
     // coarser slots it measures what the coarse plan actually causes.
@@ -634,6 +669,11 @@ Result<std::vector<RepeatedReport>> Simulator::RunGrid(
   ParallelFor(threads, n_cells, [this, &policies, repetitions, &cells](int i) {
     const Policy policy = policies[static_cast<size_t>(i / repetitions)];
     const int rep = i % repetitions;
+    // Each grid cell is a trace root with an id derived from its index, so
+    // cell span trees replay identically at any thread count.
+    IMCF_TRACE_SPAN_IN(cell_span, "sim.cell", "sim",
+                       obs::Tracer::Root(CellTraceId(i)));
+    cell_span.Arg("cell", i);
     const auto t0 = Clock::now();
     cells[static_cast<size_t>(i)].emplace(Run(policy, rep));
     cell_seconds->Observe(SecondsSince(t0));

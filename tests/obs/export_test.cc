@@ -114,8 +114,9 @@ TEST(ExportTest, JsonGolden) {
       "\"labels\":{\"reason\":\"drop\"},\"value\":1},"
       "{\"name\":\"imcf_test_depth\",\"type\":\"gauge\",\"value\":2.5},"
       "{\"name\":\"imcf_test_latency_ns\",\"type\":\"histogram\","
-      "\"count\":3,\"sum\":104,\"bounds\":[1,2,4],"
-      "\"buckets\":[1,0,1,1]}]");
+      "\"count\":3,\"sum\":104,\"mean\":34.6666666666667,"
+      "\"quantiles\":{\"p50\":4,\"p90\":4,\"p99\":4},"
+      "\"bounds\":[1,2,4],\"buckets\":[1,0,1,1]}]");
   delete registry;
 }
 

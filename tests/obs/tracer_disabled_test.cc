@@ -1,0 +1,72 @@
+// The compile-out contract: with IMCF_DISABLE_TRACING defined the
+// IMCF_TRACE_* macros must expand to inert NoopSpan stubs — no span
+// records, no heap allocation, macro arguments never evaluated. This TU
+// defines the macro itself (the library stays instrumented), which is
+// exactly how a -DIMCF_DISABLE_TRACING build sees every call site.
+
+#ifndef IMCF_DISABLE_TRACING  // already global in a -DIMCF_DISABLE_TRACING build
+#define IMCF_DISABLE_TRACING
+#endif
+#include "obs/tracer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "obs/flight_recorder.h"
+
+namespace {
+std::atomic<int64_t> g_news{0};
+}  // namespace
+
+// Binary-wide allocation counter; the zero-allocation assertion measures
+// the delta across a block containing only disabled trace macros.
+void* operator new(std::size_t n) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace imcf {
+namespace obs {
+namespace {
+
+[[maybe_unused]] uint64_t MustNotBeCalled() {
+  ADD_FAILURE() << "disabled macro evaluated its arguments";
+  return 1;
+}
+
+TEST(TracerDisabledTest, MacrosAreInertAndAllocationFree) {
+  static_assert(IMCF_TRACING_ENABLED == 0);
+  static_assert(sizeof(NoopSpan) == 1);
+
+  const int64_t records_before = FlightRecorder::Default().total_recorded();
+  const int64_t news_before = g_news.load(std::memory_order_relaxed);
+  {
+    IMCF_TRACE_SPAN(span, "test.root", "test");
+    span.Detail("ignored");
+    span.Arg("n", 1);
+    span.SimSpan(0, 3600);
+    span.BindSimClock(nullptr);
+    EXPECT_FALSE(span.active());
+    EXPECT_FALSE(span.context().valid());
+
+    // The parent expression must not run: disabled macros drop their
+    // arguments entirely.
+    IMCF_TRACE_SPAN_IN(child, "test.child", "test",
+                       Tracer::Root(MustNotBeCalled()));
+    EXPECT_FALSE(child.active());
+    IMCF_TRACE_EVENT("test.event", "test", "detail", "n", MustNotBeCalled());
+  }
+  EXPECT_EQ(g_news.load(std::memory_order_relaxed), news_before);
+  EXPECT_EQ(FlightRecorder::Default().total_recorded(), records_before);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace imcf

@@ -1,0 +1,279 @@
+// Tracer + flight recorder + exporters.
+//
+// The Perfetto golden is byte-exact over hand-built SpanRecords (the
+// exporter sorts by wall start, formats doubles with %.15g); the live-span
+// tests exercise the TLS ambient stack, cross-thread handoff and the
+// recorder's wraparound, filtering the shared Default() recorder by
+// test-unique trace ids.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/trace_export.h"
+#include "obs/tracer.h"
+
+namespace imcf {
+namespace obs {
+namespace {
+
+SpanRecord MakeRecord(uint64_t trace_id, uint64_t span_id, uint64_t parent,
+                      const char* name, const char* category) {
+  SpanRecord r;
+  r.trace_id = trace_id;
+  r.span_id = span_id;
+  r.parent_span_id = parent;
+  r.name = name;
+  r.category = category;
+  return r;
+}
+
+TEST(TraceExportTest, PerfettoJsonGolden) {
+  SpanRecord root = MakeRecord(0xab, 1, 0, "serve.execute", "serve");
+  root.wall_start_ns = 1000;
+  root.wall_end_ns = 3500;
+  root.sim_start = 100;
+  root.sim_end = 160;
+  root.arg_name = "rep";
+  root.arg_value = 2;
+  std::strcpy(root.detail, "plan");
+
+  SpanRecord drop = MakeRecord(0xab, 2, 1, "fw.drop", "firewall");
+  drop.wall_start_ns = 2000;
+  drop.wall_end_ns = 2000;  // instant event
+  drop.thread_index = 1;
+  drop.arg_name = "rule";
+  drop.arg_value = 7;
+  std::strcpy(drop.detail, "quiet-hours");
+
+  // Deliberately out of wall order: the exporter sorts.
+  EXPECT_EQ(
+      TraceEventJson({drop, root}),
+      "{\"traceEvents\":["
+      "{\"name\":\"serve.execute\",\"cat\":\"serve\",\"ph\":\"X\","
+      "\"ts\":1,\"dur\":2.5,\"pid\":1,\"tid\":0,"
+      "\"args\":{\"trace_id\":\"0xab\",\"span_id\":\"0x1\","
+      "\"sim_start\":100,\"sim_end\":160,\"rep\":2,\"detail\":\"plan\"}},"
+      "{\"name\":\"fw.drop\",\"cat\":\"firewall\",\"ph\":\"i\","
+      "\"ts\":2,\"s\":\"t\",\"pid\":1,\"tid\":1,"
+      "\"args\":{\"trace_id\":\"0xab\",\"span_id\":\"0x2\","
+      "\"parent_span_id\":\"0x1\",\"rule\":7,"
+      "\"detail\":\"quiet-hours\"}}"
+      "],\"displayTimeUnit\":\"ms\"}");
+}
+
+TEST(TraceExportTest, CanonicalTextMasksMeasurementsAndIndentsChildren) {
+  SpanRecord run = MakeRecord(0x2, 10, 0, "sim.run", "sim");
+  run.sim_start = 0;
+  run.sim_end = 3600;
+  run.wall_start_ns = 555;  // masked
+  std::strcpy(run.detail, "EP");
+  SpanRecord slot1 = MakeRecord(0x2, 11, 10, "plan.slot", "sim");
+  slot1.sim_start = 0;
+  slot1.sim_end = 1800;
+  SpanRecord search = MakeRecord(0x2, 13, 11, "ep.search", "core");
+  search.arg_name = "iterations";
+  search.arg_value = 5;
+  SpanRecord slot2 = MakeRecord(0x2, 12, 10, "plan.slot", "sim");
+  slot2.sim_start = 1800;
+  slot2.sim_end = 3600;
+
+  EXPECT_EQ(CanonicalTraceText({search, slot2, run, slot1}),
+            "trace 0x2\n"
+            "  sim.run [sim] sim=[0..3600] \"EP\"\n"
+            "    plan.slot [sim] sim=[0..1800]\n"
+            "      ep.search [core] iterations=5\n"
+            "    plan.slot [sim] sim=[1800..3600]\n");
+}
+
+TEST(TraceExportTest, OrphanedSubtreeRootsItself) {
+  // Parent span 999 was overwritten in the ring: the child still renders,
+  // promoted to a root of its trace.
+  SpanRecord orphan = MakeRecord(0x3, 20, 999, "ep.search", "core");
+  EXPECT_EQ(CanonicalTraceText({orphan}),
+            "trace 0x3\n"
+            "  ep.search [core]\n");
+}
+
+TEST(TraceExportTest, CompactLineCollapsesIdenticalSiblingRuns) {
+  SpanRecord root = MakeRecord(0x9, 1, 0, "serve.execute", "serve");
+  std::strcpy(root.detail, "plan");
+  std::vector<SpanRecord> records = {root};
+  for (uint64_t i = 0; i < 3; ++i) {
+    records.push_back(MakeRecord(0x9, 2 + i, 1, "plan.slot", "sim"));
+  }
+  SpanRecord search = MakeRecord(0x9, 5, 1, "ep.search", "core");
+  std::strcpy(search.detail, "early_exit");
+  records.push_back(search);
+  // A record from another trace must not leak in.
+  records.push_back(MakeRecord(0x7, 6, 0, "noise", "test"));
+
+  EXPECT_EQ(CompactTraceLine(records, 0x9),
+            "serve.execute(plan){plan.slot x3,ep.search(early_exit)}");
+  EXPECT_EQ(CompactTraceLine(records, 0x1234), "");
+}
+
+TEST(FlightRecorderTest, WraparoundKeepsNewestCapacitySpans) {
+  FlightRecorder recorder(64);  // the smallest ring the clamp allows
+  EXPECT_EQ(recorder.capacity(), 64u);
+  for (uint64_t i = 1; i <= 150; ++i) {
+    recorder.Record(MakeRecord(0x1, i, 0, "s", "test"));
+  }
+  EXPECT_EQ(recorder.total_recorded(), 150);
+  EXPECT_EQ(recorder.ring_count(), 1u);
+  const std::vector<SpanRecord> snapshot = recorder.Snapshot();
+  ASSERT_EQ(snapshot.size(), 64u);
+  // Oldest-first within the ring: spans 87..150 survive, 1..86 were
+  // overwritten.
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    EXPECT_EQ(snapshot[i].span_id, 87 + i);
+  }
+  recorder.Clear();
+  EXPECT_TRUE(recorder.Snapshot().empty());
+}
+
+TEST(FlightRecorderTest, CapacityClampsAndRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(FlightRecorder(100).capacity(), 128u);  // round up
+  EXPECT_EQ(FlightRecorder(10).capacity(), 64u);    // clamp to minimum
+  EXPECT_EQ(FlightRecorder(0).capacity(), 8192u);   // default
+}
+
+TEST(TracerTest, SpanWithoutAmbientContextIsInert) {
+  const int64_t before = FlightRecorder::Default().total_recorded();
+  {
+    ScopedSpan span("test.orphan", "test");
+    EXPECT_FALSE(span.active());
+    EXPECT_FALSE(span.context().valid());
+  }
+  EXPECT_EQ(FlightRecorder::Default().total_recorded(), before);
+}
+
+TEST(TracerTest, RuntimeDisableMakesSpansInert) {
+  Tracer::set_enabled(false);
+  const int64_t before = FlightRecorder::Default().total_recorded();
+  {
+    ScopedSpan span("test.disabled", "test", Tracer::Root(0xd15ab1e));
+    EXPECT_FALSE(span.active());
+  }
+  Tracer::set_enabled(true);
+  EXPECT_EQ(FlightRecorder::Default().total_recorded(), before);
+}
+
+TEST(TracerTest, AmbientNestingLinksChildToInnermostSpan) {
+  constexpr uint64_t kTrace = 0xa111;
+  uint64_t root_id = 0;
+  uint64_t child_id = 0;
+  {
+    ScopedSpan root("test.root", "test", Tracer::Root(kTrace));
+    ASSERT_TRUE(root.active());
+    root.SimSpan(10, 20);
+    root.Arg("n", 1);
+    root_id = root.context().span_id;
+    EXPECT_EQ(Tracer::Current().span_id, root_id);
+    {
+      ScopedSpan child("test.child", "test");
+      ASSERT_TRUE(child.active());
+      child.Detail("leaf");
+      child_id = child.context().span_id;
+      EXPECT_EQ(child.context().trace_id, kTrace);
+    }
+    EXPECT_EQ(Tracer::Current().span_id, root_id);
+  }
+  EXPECT_FALSE(Tracer::Current().valid());
+  EXPECT_GT(child_id, root_id);  // span ids are creation-ordered
+
+  int found = 0;
+  for (const SpanRecord& r : FlightRecorder::Default().Snapshot()) {
+    if (r.trace_id != kTrace) continue;
+    ++found;
+    if (r.span_id == child_id) {
+      EXPECT_EQ(r.parent_span_id, root_id);
+      EXPECT_STREQ(r.detail, "leaf");
+    } else {
+      EXPECT_EQ(r.span_id, root_id);
+      EXPECT_EQ(r.parent_span_id, 0u);
+      EXPECT_EQ(r.sim_start, 10);
+      EXPECT_EQ(r.sim_end, 20);
+      EXPECT_GE(r.wall_end_ns, r.wall_start_ns);
+    }
+  }
+  EXPECT_EQ(found, 2);
+}
+
+TEST(TracerTest, ExplicitContextCrossesThreads) {
+  constexpr uint64_t kTrace = 0xa222;
+  TraceContext handoff;
+  uint64_t submit_id = 0;
+  {
+    ScopedSpan submit("test.submit", "test", Tracer::Root(kTrace));
+    submit_id = submit.context().span_id;
+    handoff = submit.context();
+  }
+  std::thread worker([handoff] {
+    ScopedSpan execute("test.execute", "test", handoff);
+    EXPECT_TRUE(execute.active());
+    ScopedSpan inner("test.inner", "test");  // ambient works on the worker
+    EXPECT_EQ(inner.context().trace_id, handoff.trace_id);
+  });
+  worker.join();
+
+  int found = 0;
+  for (const SpanRecord& r : FlightRecorder::Default().Snapshot()) {
+    if (r.trace_id != kTrace) continue;
+    ++found;
+    if (std::string(r.name) == "test.execute") {
+      EXPECT_EQ(r.parent_span_id, submit_id);
+    }
+  }
+  EXPECT_EQ(found, 3);
+}
+
+TEST(TracerTest, TraceEventRecordsInstantUnderAmbient) {
+  constexpr uint64_t kTrace = 0xa333;
+  {
+    ScopedSpan root("test.root", "test", Tracer::Root(kTrace));
+    TraceEvent("test.event", "test", "why", "rule", 42);
+  }
+  bool seen = false;
+  for (const SpanRecord& r : FlightRecorder::Default().Snapshot()) {
+    if (r.trace_id != kTrace || std::string(r.name) != "test.event") continue;
+    seen = true;
+    EXPECT_EQ(r.wall_start_ns, r.wall_end_ns);
+    EXPECT_STREQ(r.detail, "why");
+    EXPECT_STREQ(r.arg_name, "rule");
+    EXPECT_EQ(r.arg_value, 42);
+  }
+  EXPECT_TRUE(seen);
+
+  // Without an ambient span the event is dropped, not a stray root.
+  const int64_t before = FlightRecorder::Default().total_recorded();
+  TraceEvent("test.dropped", "test");
+  EXPECT_EQ(FlightRecorder::Default().total_recorded(), before);
+}
+
+TEST(TracerTest, DetailTruncatesAndExtraArgsAreDropped) {
+  constexpr uint64_t kTrace = 0xa444;
+  const std::string long_text(100, 'x');
+  {
+    ScopedSpan span("test.root", "test", Tracer::Root(kTrace));
+    span.Detail(long_text);
+    span.Arg("a", 1);
+    span.Arg("b", 2);
+    span.Arg("c", 3);  // dropped: first two win
+  }
+  for (const SpanRecord& r : FlightRecorder::Default().Snapshot()) {
+    if (r.trace_id != kTrace) continue;
+    EXPECT_EQ(std::string(r.detail), std::string(kSpanDetailBytes - 1, 'x'));
+    EXPECT_STREQ(r.arg_name, "a");
+    EXPECT_STREQ(r.arg2_name, "b");
+    EXPECT_EQ(r.arg2_value, 2);
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace imcf
