@@ -13,52 +13,11 @@ uint64_t SplitMix64(uint64_t* state) {
   return z ^ (z >> 31);
 }
 
-uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
 }  // namespace
 
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& s : s_) s = SplitMix64(&sm);
-}
-
-uint64_t Rng::Next() {
-  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
-  const uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = Rotl(s_[3], 45);
-  return result;
-}
-
-int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
-  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
-  if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
-  // Rejection sampling to avoid modulo bias.
-  const uint64_t limit = UINT64_MAX - UINT64_MAX % range;
-  uint64_t v;
-  do {
-    v = Next();
-  } while (v >= limit);
-  return lo + static_cast<int64_t>(v % range);
-}
-
-double Rng::UniformDouble() {
-  // 53 high-quality bits -> [0, 1).
-  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
-}
-
-double Rng::UniformDouble(double lo, double hi) {
-  return lo + (hi - lo) * UniformDouble();
-}
-
-bool Rng::Bernoulli(double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return UniformDouble() < p;
 }
 
 double Rng::Gaussian() {

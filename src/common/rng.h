@@ -6,6 +6,12 @@
 // The generator is xoshiro256++ seeded via splitmix64 — small, fast, and
 // high-quality; <random> engines are avoided because their distributions are
 // not portable across standard libraries.
+//
+// The integer paths (Next / UniformInt) are defined inline: the planners
+// draw several bounded integers per move, and out-of-line calls would both
+// cost the call and hide the loop-invariant `limit` computation (one 64-bit
+// division) from the optimizer. The algorithms are fixed — any change to
+// the draw sequence breaks every seeded witness in the repo.
 
 #ifndef IMCF_COMMON_RNG_H_
 #define IMCF_COMMON_RNG_H_
@@ -22,19 +28,48 @@ class Rng {
   explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
   /// Next raw 64-bit value.
-  uint64_t Next();
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
 
   /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
-  int64_t UniformInt(int64_t lo, int64_t hi);
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+    uint64_t v;
+    do {
+      v = Next();
+    } while (v >= limit);
+    return lo + static_cast<int64_t>(v % range);
+  }
 
   /// Uniform double in [0, 1).
-  double UniformDouble();
+  double UniformDouble() {
+    // 53 high-quality bits -> [0, 1).
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi).
-  double UniformDouble(double lo, double hi);
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
 
   /// Bernoulli trial with success probability p (clamped to [0,1]).
-  bool Bernoulli(double p);
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return UniformDouble() < p;
+  }
 
   /// Standard normal deviate (Box–Muller; consumes two uniforms).
   double Gaussian();
@@ -47,6 +82,10 @@ class Rng {
   Rng Fork();
 
  private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   uint64_t s_[4];
 };
 

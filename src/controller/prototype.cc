@@ -9,6 +9,7 @@
 #include "controller/scheduler.h"
 #include "core/evaluator.h"
 #include "core/slot_problem.h"
+#include "core/soa_evaluator.h"
 #include "devices/energy_model.h"
 #include "energy/budget.h"
 #include "fault/command_bus.h"
@@ -144,6 +145,9 @@ Result<PrototypeReport> PrototypeStudy::Run(
   }
   core::HillClimbingPlanner planner(options_.ep);
   Rng rng(options_.seed);
+  // Reused across cron invocations: after the first plan the evaluator
+  // tables are carved from retained arena blocks.
+  core::PlanArena plan_arena;
 
   // Per-resident error accounting (Table V).
   std::map<std::string, ResidentReport> per_user;
@@ -207,7 +211,9 @@ Result<PrototypeReport> PrototypeStudy::Run(
         }
         const double hourly = plan.HourlyBudget(midpoint);
         problem.budget_kwh = hourly + carry;
-        core::SlotEvaluator evaluator(&problem);
+        plan_arena.Reset();
+        const std::unique_ptr<core::Evaluator> evaluator =
+            core::MakeSlotEvaluator(&problem, &plan_arena);
 
         static obs::Histogram* const plan_ns =
             obs::MetricRegistry::Default().GetHistogram(
@@ -217,7 +223,7 @@ Result<PrototypeReport> PrototypeStudy::Run(
         core::PlanOutcome outcome;
         {
           obs::ScopedTimer plan_span(plan_ns, &report.ft_seconds);
-          outcome = planner.PlanSlot(evaluator, &rng);
+          outcome = planner.PlanSlot(*evaluator, &rng);
         }
 
         // Install firewall verdicts and route the commands.

@@ -11,11 +11,12 @@ namespace core {
 SimulatedAnnealingPlanner::SimulatedAnnealingPlanner(SaOptions options)
     : options_(options) {}
 
-PlanOutcome SimulatedAnnealingPlanner::PlanSlot(const SlotEvaluator& evaluator,
+PlanOutcome SimulatedAnnealingPlanner::PlanSlot(const Evaluator& evaluator,
                                                 Rng* rng) const {
   const SlotProblem& problem = evaluator.problem();
   const int n = problem.n_rules;
   const double budget = problem.budget_kwh;
+  const int k = std::min(options_.k, FlipBuffer::kCapacity);
   const int tau_max =
       options_.tau_max > 0 ? options_.tau_max : std::max(40, 2 * n);
 
@@ -32,10 +33,11 @@ PlanOutcome SimulatedAnnealingPlanner::PlanSlot(const SlotEvaluator& evaluator,
   outcome.feasible = current_feasible;
 
   double temperature = options_.initial_temperature;
-  std::vector<int> flips;
+  FlipBuffer flips;
   for (int tau = 0; tau < tau_max; ++tau) {
-    // Same up-to-k neighbourhood as the hill climber.
-    const int j = 1 + static_cast<int>(rng->UniformInt(0, options_.k - 1));
+    // Same up-to-k neighbourhood (and allocation-free flip buffer) as the
+    // hill climber.
+    const int j = 1 + static_cast<int>(rng->UniformInt(0, k - 1));
     SampleDistinct(n, j, rng, &flips);
     const Objectives candidate =
         evaluator.EvaluateWithFlips(&current, current_obj, flips);

@@ -1,0 +1,26 @@
+#include "core/batch_planner.h"
+
+namespace imcf {
+namespace core {
+
+BatchPlanner::BatchPlanner(const SlotPlanner* planner) : planner_(planner) {}
+
+PlanOutcome BatchPlanner::PlanOne(const SlotProblem& problem, Rng* rng) {
+  arena_.Reset();
+  const std::unique_ptr<Evaluator> evaluator =
+      MakeSlotEvaluator(&problem, &arena_);
+  return planner_->PlanSlot(*evaluator, rng);
+}
+
+std::vector<PlanOutcome> BatchPlanner::PlanBatch(
+    std::span<const BatchPlanItem> items) {
+  std::vector<PlanOutcome> outcomes;
+  outcomes.reserve(items.size());
+  for (const BatchPlanItem& item : items) {
+    outcomes.push_back(PlanOne(*item.problem, item.rng));
+  }
+  return outcomes;
+}
+
+}  // namespace core
+}  // namespace imcf

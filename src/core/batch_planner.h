@@ -1,0 +1,65 @@
+// Cross-household batched planning (ROADMAP item 2).
+//
+// The fleet drain and the cloud controller plan many independent slot
+// problems back-to-back. Solo planning pays per-problem setup every time:
+// evaluator table construction from freshly heap-allocated storage, then
+// freeing it all again. BatchPlanner amortizes that across a pass — one
+// PlanArena is reused for every problem in the batch, so after the first
+// problem grows the arena to steady state, evaluator construction performs
+// zero heap allocations (Reset() retains the blocks).
+//
+// Planning itself is deliberately NOT interleaved across problems: each
+// item is planned start-to-finish with its own rng, so every outcome is
+// bit-identical to a solo `planner.PlanSlot(...)` call with the same rng
+// stream. Batching changes where the evaluator's memory comes from, never
+// what the planner computes (batch_planner_test.cc holds this as an
+// invariant; execution model in DESIGN.md §12).
+
+#ifndef IMCF_CORE_BATCH_PLANNER_H_
+#define IMCF_CORE_BATCH_PLANNER_H_
+
+#include <span>
+#include <vector>
+
+#include "core/plan_arena.h"
+#include "core/planner.h"
+#include "core/soa_evaluator.h"
+
+namespace imcf {
+namespace core {
+
+/// One slot problem of a batch, paired with its private rng.
+struct BatchPlanItem {
+  const SlotProblem* problem = nullptr;
+  Rng* rng = nullptr;
+};
+
+/// Plans sequences of independent slot problems through one shared arena.
+/// Not thread-safe: one BatchPlanner per draining thread.
+class BatchPlanner {
+ public:
+  /// Does not take ownership of `planner`, which must outlive this object.
+  explicit BatchPlanner(const SlotPlanner* planner);
+
+  /// Plans one problem. The arena is reset first, so any evaluator storage
+  /// from the previous call is recycled in place.
+  PlanOutcome PlanOne(const SlotProblem& problem, Rng* rng);
+
+  /// Plans every item in order. Outcomes are positionally aligned with
+  /// `items` and bit-identical to per-item solo planning.
+  std::vector<PlanOutcome> PlanBatch(std::span<const BatchPlanItem> items);
+
+  const SlotPlanner& planner() const { return *planner_; }
+
+  /// The shared arena (capacity introspection for tests and benches).
+  const PlanArena& arena() const { return arena_; }
+
+ private:
+  const SlotPlanner* planner_;
+  PlanArena arena_;
+};
+
+}  // namespace core
+}  // namespace imcf
+
+#endif  // IMCF_CORE_BATCH_PLANNER_H_

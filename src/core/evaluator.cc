@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "obs/metrics.h"
 
@@ -23,7 +24,55 @@ double NormalizedError(devices::CommandType type, double desired,
   return Clamp((desired - actual) / kLightErrorRange, 0.0, 1.0);
 }
 
-SlotEvaluator::SlotEvaluator(const SlotProblem* problem) : problem_(problem) {
+void Evaluator::FlushCacheStats(const char* kernel) const {
+  // Evaluators are per-(thread, slot), so flushing once at destruction
+  // turns millions of plain-int bumps into four relaxed atomic adds. Both
+  // kernels aggregate under one counter family distinguished by the
+  // kernel= label, so legacy vs SoA hit rates compare directly in a
+  // metrics snapshot.
+  using obs::Counter;
+  struct Family {
+    Counter* hits;
+    Counter* misses;
+    Counter* fulls;
+    Counter* applies;
+  };
+  static const auto make = [](const char* name) {
+    auto& reg = obs::MetricRegistry::Default();
+    const obs::Labels labels = {{"kernel", name}};
+    return Family{
+        reg.GetCounter(
+            "imcf_evaluator_cache_hits_total",
+            "Touched-group contributions served from the incremental cache",
+            labels),
+        reg.GetCounter(
+            "imcf_evaluator_cache_misses_total",
+            "Touched-group contributions recomputed via winner rescan",
+            labels),
+        reg.GetCounter("imcf_evaluator_full_evals_total",
+                       "Full Evaluate() passes", labels),
+        reg.GetCounter("imcf_evaluator_apply_flips_total",
+                       "Accepted moves applied", labels)};
+  };
+  static const Family legacy = make("legacy");
+  static const Family soa = make("soa");
+  const Family& family = std::strcmp(kernel, "soa") == 0 ? soa : legacy;
+  if (cache_stats_.cache_hits != 0) {
+    family.hits->Increment(cache_stats_.cache_hits);
+  }
+  if (cache_stats_.cache_misses != 0) {
+    family.misses->Increment(cache_stats_.cache_misses);
+  }
+  if (cache_stats_.full_evals != 0) {
+    family.fulls->Increment(cache_stats_.full_evals);
+  }
+  if (cache_stats_.apply_flips != 0) {
+    family.applies->Increment(cache_stats_.apply_flips);
+  }
+}
+
+SlotEvaluator::SlotEvaluator(const SlotProblem* problem)
+    : Evaluator(problem) {
   members_.resize(problem_->groups.size());
   active_of_rule_.assign(static_cast<size_t>(problem_->n_rules), -1);
   for (size_t i = 0; i < problem_->active.size(); ++i) {
@@ -76,26 +125,7 @@ SlotEvaluator::SlotEvaluator(const SlotProblem* problem) : problem_(problem) {
   // trivial), so every group reads as stale until the first Evaluate.
 }
 
-SlotEvaluator::~SlotEvaluator() {
-  // Evaluators are per-(thread, slot), so flushing once at destruction
-  // turns millions of plain-int bumps into four relaxed atomic adds.
-  using obs::Counter;
-  auto& reg = obs::MetricRegistry::Default();
-  static Counter* const hits = reg.GetCounter(
-      "imcf_evaluator_cache_hits_total",
-      "Touched-group contributions served from the incremental cache");
-  static Counter* const misses = reg.GetCounter(
-      "imcf_evaluator_cache_misses_total",
-      "Touched-group contributions recomputed via winner rescan");
-  static Counter* const fulls = reg.GetCounter(
-      "imcf_evaluator_full_evals_total", "Full Evaluate() passes");
-  static Counter* const applies = reg.GetCounter(
-      "imcf_evaluator_apply_flips_total", "Accepted moves applied");
-  hits->Increment(cache_stats_.cache_hits);
-  misses->Increment(cache_stats_.cache_misses);
-  fulls->Increment(cache_stats_.full_evals);
-  applies->Increment(cache_stats_.apply_flips);
-}
+SlotEvaluator::~SlotEvaluator() { FlushCacheStats("legacy"); }
 
 int SlotEvaluator::WinnerPos(const Solution& s, int group) const {
   const std::vector<int>& member_ids = members_[static_cast<size_t>(group)];
@@ -105,6 +135,19 @@ int SlotEvaluator::WinnerPos(const Solution& s, int group) const {
     if (s.adopted(static_cast<size_t>(rule.rule_index))) {
       return static_cast<int>(k);
     }
+  }
+  return -1;
+}
+
+int SlotEvaluator::WinnerPosFlippedOne(const Solution& s, int group,
+                                       int rule_index) const {
+  const std::vector<int>& member_ids = members_[static_cast<size_t>(group)];
+  for (size_t k = 0; k < member_ids.size(); ++k) {
+    const ActiveRule& rule =
+        problem_->active[static_cast<size_t>(member_ids[k])];
+    bool bit = s.adopted(static_cast<size_t>(rule.rule_index));
+    if (rule.rule_index == rule_index) bit = !bit;
+    if (bit) return static_cast<int>(k);
   }
   return -1;
 }
@@ -159,8 +202,7 @@ Objectives SlotEvaluator::Evaluate(const Solution& s) const {
 }
 
 Objectives SlotEvaluator::EvaluateWithFlips(
-    Solution* s, const Objectives& base,
-    const std::vector<int>& flips) const {
+    Solution* s, const Objectives& base, std::span<const int> flips) const {
   // Collect the distinct groups touched by active flipped rules. k is tiny
   // (≤ 8 in all experiments) so a linear dedup suffices.
   int touched[16];
@@ -214,8 +256,32 @@ Objectives SlotEvaluator::EvaluateWithFlips(
   return out;
 }
 
+Evaluator::FlipDelta SlotEvaluator::SingleFlipDelta(const Solution& s,
+                                                    int rule_index) const {
+  FlipDelta delta;
+  const int active_id = active_of_rule_[static_cast<size_t>(rule_index)];
+  if (active_id < 0) return delta;  // inactive: nothing changes
+  const int group = problem_->active[static_cast<size_t>(active_id)].group;
+  const bool fresh = GroupFresh(s, group);
+  if (fresh) {
+    ++cache_stats_.cache_hits;
+  } else {
+    ++cache_stats_.cache_misses;
+  }
+  const Objectives& before =
+      fresh ? group_cache_[static_cast<size_t>(group)]
+            : GroupContribution(group, WinnerPos(s, group));
+  const Objectives& after =
+      GroupContribution(group, WinnerPosFlippedOne(s, group, rule_index));
+  delta.before_energy = before.energy_kwh;
+  delta.before_error = before.error_sum;
+  delta.after_energy = after.energy_kwh;
+  delta.after_error = after.error_sum;
+  return delta;
+}
+
 void SlotEvaluator::ApplyFlips(Solution* s,
-                               const std::vector<int>& flips) const {
+                               std::span<const int> flips) const {
   ++cache_stats_.apply_flips;
   for (int rule_index : flips) s->flip(static_cast<size_t>(rule_index));
   if (cache_solution_.size() != s->size()) {

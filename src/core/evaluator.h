@@ -1,5 +1,5 @@
-// Slot evaluator: computes F_E (Eq. 2) and F_CE (Eq. 1) of a solution on a
-// SlotProblem (Alg. 1 lines 9/12).
+// Slot evaluation: computes F_E (Eq. 2) and F_CE (Eq. 1) of a solution on
+// a SlotProblem (Alg. 1 lines 9/12).
 //
 // Semantics per device group: among the group's *adopted* active rules, the
 // one latest in the table drives the device (later rules override earlier
@@ -10,17 +10,16 @@
 // every group has at most one active rule, and this reduces exactly to the
 // additive form of Eqs. (1)-(2).
 //
-// A group's contribution therefore depends only on the identity of its
-// winner. The constructor precomputes the contribution for every possible
-// winner (and the no-winner case) per group, member lists are sorted by
-// rule_index descending so the winner scan early-exits at the first adopted
-// member, and an incremental cache keeps per-group contributions plus the
-// current winner index synchronized with the planner's working solution so
-// EvaluateWithFlips subtracts "before" contributions in O(1) per touched
-// group.
+// Two kernels implement the contract:
+//  * SlotEvaluator (this header) — the original pointer-rich layout with
+//    the incremental group cache; retained as the differential-testing
+//    oracle and selected by -DIMCF_SOA_EVAL=OFF.
+//  * SoaEvaluator (soa_evaluator.h) — the structure-of-arrays rebuild of
+//    the same semantics: contiguous CSR member columns, packed contribution
+//    columns, SIMD objective accumulation. Default kernel.
 //
-// Thread-safety: the incremental cache is internal mutable state, so a
-// SlotEvaluator instance must not be shared across threads. Construction is
+// Thread-safety: the incremental cache is internal mutable state, so an
+// evaluator instance must not be shared across threads. Construction is
 // cheap — the parallel simulation layer builds one evaluator per (thread,
 // slot) and never shares them.
 
@@ -28,6 +27,7 @@
 #define IMCF_CORE_EVALUATOR_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/slot_problem.h"
@@ -36,15 +36,17 @@
 namespace imcf {
 namespace core {
 
-/// Evaluator bound to one SlotProblem. Groups are pre-indexed and their
-/// winner contributions pre-tabulated, so full evaluation is O(groups +
-/// winner scans) and k-flip delta evaluation is O(k) cache lookups plus k
-/// early-exit winner scans.
-class SlotEvaluator {
+class SoaEvaluator;
+
+/// Kernel-independent slot-evaluation contract. Planners program against
+/// this interface, so the SoA kernel slots in behind the IMCF_SOA_EVAL
+/// feature flag without touching any search code.
+class Evaluator {
  public:
   /// Tally of the incremental cache's behaviour over this evaluator's
   /// lifetime. Plain (non-atomic) ints — the evaluator is single-threaded
-  /// by contract; totals flush to the metric registry on destruction.
+  /// by contract; totals flush to the metric registry on destruction under
+  /// one counter family labelled kernel="legacy"|"soa".
   struct CacheStats {
     int64_t cache_hits = 0;    ///< touched-group "before" read from cache
     int64_t cache_misses = 0;  ///< touched group was stale, winner rescan
@@ -52,25 +54,36 @@ class SlotEvaluator {
     int64_t apply_flips = 0;   ///< accepted moves applied via ApplyFlips()
   };
 
-  explicit SlotEvaluator(const SlotProblem* problem);
+  /// Contribution change of flipping one rule on top of a solution: the
+  /// touched group's contribution before and after the flip. Applying it
+  /// with the same subtract-before-then-add-after order as
+  /// EvaluateWithFlips reproduces that call bit-for-bit, which is what the
+  /// greedy repair's delta cache relies on.
+  struct FlipDelta {
+    double before_energy = 0.0;
+    double after_energy = 0.0;
+    double before_error = 0.0;
+    double after_error = 0.0;
+  };
 
-  /// Flushes accumulated CacheStats to the default metric registry
-  /// (imcf_evaluator_* counters).
-  ~SlotEvaluator();
+  virtual ~Evaluator() = default;
+
+  Evaluator(const Evaluator&) = delete;
+  Evaluator& operator=(const Evaluator&) = delete;
 
   /// Full evaluation of `s` on the slot. Also resynchronizes the
   /// incremental cache to `s` (Evaluate is the cache's sync point).
-  Objectives Evaluate(const Solution& s) const;
+  virtual Objectives Evaluate(const Solution& s) const = 0;
 
   /// Objectives after flipping `flips` (indices into the solution vector)
   /// on top of `*s`, given `s`'s objectives `base`. Only the groups touched
   /// by the flipped rules are recomputed; their "before" contributions come
   /// from the incremental cache when it is fresh for the group (the cached
-  /// path) and from a winner rescan otherwise (the fallback path). The
-  /// flips are applied and then reverted, so `*s` is unchanged on return
-  /// (the pointer makes the transient mutation explicit).
-  Objectives EvaluateWithFlips(Solution* s, const Objectives& base,
-                               const std::vector<int>& flips) const;
+  /// path) and from a winner rescan otherwise (the fallback path). `*s` is
+  /// unchanged on return (the pointer marks kernels that transiently
+  /// mutate it, as the legacy flip-and-revert implementation does).
+  virtual Objectives EvaluateWithFlips(Solution* s, const Objectives& base,
+                                       std::span<const int> flips) const = 0;
 
   /// Permanently applies `flips` to `*s` — the accept step of a local
   /// search move — and updates the incremental cache for the touched
@@ -78,13 +91,29 @@ class SlotEvaluator {
   /// Equivalent to flipping the bits by hand, but preserves cache
   /// freshness so subsequent EvaluateWithFlips calls stay on the O(1)
   /// cached path.
-  void ApplyFlips(Solution* s, const std::vector<int>& flips) const;
+  virtual void ApplyFlips(Solution* s, std::span<const int> flips) const = 0;
+
+  /// The touched group's contribution before/after flipping `rule_index`
+  /// alone on top of `s` (zero deltas when the rule is inactive). Same
+  /// cache policy as EvaluateWithFlips; `s` is never mutated.
+  virtual FlipDelta SingleFlipDelta(const Solution& s,
+                                    int rule_index) const = 0;
 
   /// Objectives of the empty (all-zeros) solution: ambient everywhere.
-  Objectives NoRuleObjectives() const;
+  virtual Objectives NoRuleObjectives() const = 0;
 
   /// Objectives of the full (all-ones) solution.
-  Objectives AllRulesObjectives() const;
+  virtual Objectives AllRulesObjectives() const = 0;
+
+  /// Whether solution coordinate `rule_index` is active in this slot.
+  virtual bool IsActive(int rule_index) const = 0;
+
+  /// Kernel tag for metrics and reports: "legacy" or "soa".
+  virtual const char* kernel_name() const = 0;
+
+  /// Cheap devirtualization hook: the hill climber runs a statically-bound
+  /// loop when the evaluator is the SoA kernel. Avoids RTTI.
+  virtual const SoaEvaluator* AsSoa() const { return nullptr; }
 
   /// Number of rule activations in this slot (|active|).
   int Activations() const {
@@ -97,8 +126,42 @@ class SlotEvaluator {
   /// destruction).
   const CacheStats& cache_stats() const { return cache_stats_; }
 
-  /// Whether solution coordinate `rule_index` is active in this slot.
-  bool IsActive(int rule_index) const {
+ protected:
+  explicit Evaluator(const SlotProblem* problem) : problem_(problem) {}
+
+  /// Flushes cache_stats_ to the imcf_evaluator_*_total{kernel=...} counter
+  /// family. Called once from each kernel's destructor.
+  void FlushCacheStats(const char* kernel) const;
+
+  const SlotProblem* problem_;  // not owned
+  mutable CacheStats cache_stats_;
+};
+
+/// The original evaluator: per-group member vectors plus an incremental
+/// group cache. Groups are pre-indexed and their winner contributions
+/// pre-tabulated, so full evaluation is O(groups + winner scans) and k-flip
+/// delta evaluation is O(k) cache lookups plus k early-exit winner scans.
+/// Kept bit-for-bit intact as the oracle the SoA kernel is differentially
+/// tested against.
+class SlotEvaluator : public Evaluator {
+ public:
+  explicit SlotEvaluator(const SlotProblem* problem);
+
+  /// Flushes accumulated CacheStats to the default metric registry
+  /// (imcf_evaluator_* counters, kernel="legacy").
+  ~SlotEvaluator() override;
+
+  Objectives Evaluate(const Solution& s) const override;
+  Objectives EvaluateWithFlips(Solution* s, const Objectives& base,
+                               std::span<const int> flips) const override;
+  void ApplyFlips(Solution* s, std::span<const int> flips) const override;
+  FlipDelta SingleFlipDelta(const Solution& s,
+                            int rule_index) const override;
+  Objectives NoRuleObjectives() const override;
+  Objectives AllRulesObjectives() const override;
+  const char* kernel_name() const override { return "legacy"; }
+
+  bool IsActive(int rule_index) const override {
     return rule_index >= 0 &&
            rule_index < static_cast<int>(active_of_rule_.size()) &&
            active_of_rule_[static_cast<size_t>(rule_index)] >= 0;
@@ -109,6 +172,10 @@ class SlotEvaluator {
   /// when no member is adopted. Members are sorted by rule_index
   /// descending, so the scan stops at the first adopted member.
   int WinnerPos(const Solution& s, int group) const;
+
+  /// Winner position of `group` when `rule_index` is flipped on top of `s`
+  /// (without mutating `s`).
+  int WinnerPosFlippedOne(const Solution& s, int group, int rule_index) const;
 
   /// Pre-tabulated contribution of `group` when members_[group][winner_pos]
   /// wins (winner_pos == -1 selects the no-winner entry).
@@ -129,7 +196,6 @@ class SlotEvaluator {
   /// the cache mirror's member bits.
   void RefreshGroup(const Solution& s, int group) const;
 
-  const SlotProblem* problem_;  // not owned
   /// active-rule indices per group, sorted by rule_index descending.
   std::vector<std::vector<int>> members_;
   /// rule_index -> position in problem_->active (or -1 if inactive).
@@ -148,7 +214,6 @@ class SlotEvaluator {
   mutable std::vector<Objectives> group_cache_;
   mutable std::vector<int> group_winner_;
   mutable std::vector<int> touched_scratch_;
-  mutable CacheStats cache_stats_;
 };
 
 }  // namespace core

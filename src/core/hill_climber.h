@@ -23,6 +23,9 @@
 #ifndef IMCF_CORE_HILL_CLIMBER_H_
 #define IMCF_CORE_HILL_CLIMBER_H_
 
+#include <span>
+#include <vector>
+
 #include "core/planner.h"
 
 namespace imcf {
@@ -31,7 +34,9 @@ namespace core {
 /// EP tuning knobs (the control parameters studied in §III-C/D).
 struct EpOptions {
   /// k-opt width: maximum components flipped per move (Fig. 7 sweeps
-  /// 1..4). Each move flips between 1 and k components.
+  /// 1..4). Each move flips between 1 and k components. Values above
+  /// FlipBuffer::kCapacity are clamped to it (far beyond anything the
+  /// paper or the benches exercise).
   int k = 4;
   /// Iteration budget τ_max. 0 selects max(40, 2·N) so large rule tables
   /// (dorms: 600 rules) still converge.
@@ -50,12 +55,34 @@ struct EpOptions {
   bool greedy_repair = true;
 };
 
+/// Fixed-capacity candidate-flip scratch. The planners draw up-to-k flip
+/// sets thousands of times per slot; the indices live in this stack buffer
+/// and reach the evaluator as a std::span, so the move loop performs no
+/// heap traffic at all.
+class FlipBuffer {
+ public:
+  static constexpr int kCapacity = 32;
+
+  int* data() { return data_; }
+  const int* data() const { return data_; }
+  int size() const { return size_; }
+  void set_size(int n) { size_ = n; }
+
+  operator std::span<const int>() const {
+    return {data_, static_cast<size_t>(size_)};
+  }
+
+ private:
+  int data_[kCapacity];
+  int size_ = 0;
+};
+
 /// Hill-climbing Energy Planner.
 class HillClimbingPlanner : public SlotPlanner {
  public:
   explicit HillClimbingPlanner(EpOptions options = {});
 
-  PlanOutcome PlanSlot(const SlotEvaluator& evaluator,
+  PlanOutcome PlanSlot(const Evaluator& evaluator,
                        Rng* rng) const override;
 
   std::string name() const override { return "EP"; }
@@ -72,6 +99,11 @@ class HillClimbingPlanner : public SlotPlanner {
 /// Samples `k` distinct indices in [0, n) into `out` (size k). If k >= n,
 /// every index is selected once.
 void SampleDistinct(int n, int k, Rng* rng, std::vector<int>* out);
+
+/// Allocation-free variant: fills `out` with min(k, n) distinct indices.
+/// Same sampling algorithm and rng stream as the vector overload. Requires
+/// k <= FlipBuffer::kCapacity.
+void SampleDistinct(int n, int k, Rng* rng, FlipBuffer* out);
 
 }  // namespace core
 }  // namespace imcf

@@ -1,0 +1,67 @@
+#include "core/plan_arena.h"
+
+#include <algorithm>
+#include <new>
+
+namespace imcf {
+namespace core {
+
+namespace {
+
+size_t RoundUp(size_t bytes) {
+  return (bytes + PlanArena::kAlignment - 1) &
+         ~(PlanArena::kAlignment - 1);
+}
+
+}  // namespace
+
+PlanArena::PlanArena(size_t first_block_bytes) {
+  AddBlock(std::max<size_t>(first_block_bytes, kAlignment));
+}
+
+PlanArena::~PlanArena() {
+  for (Block& block : blocks_) {
+    ::operator delete[](block.data, std::align_val_t(kAlignment));
+  }
+}
+
+PlanArena::Block& PlanArena::AddBlock(size_t min_bytes) {
+  // Geometric growth keeps the block count logarithmic in the high-water
+  // mark, so Reset()'s first-fit walk stays cheap.
+  const size_t prev = blocks_.empty() ? 0 : blocks_.back().size;
+  const size_t size = std::max(RoundUp(min_bytes), 2 * prev);
+  Block block;
+  block.data = static_cast<char*>(
+      ::operator new[](size, std::align_val_t(kAlignment)));
+  block.size = size;
+  blocks_.push_back(block);
+  return blocks_.back();
+}
+
+void* PlanArena::AllocateBytes(size_t bytes) {
+  allocated_bytes_ += bytes;
+  high_water_bytes_ = std::max(high_water_bytes_, allocated_bytes_);
+  const size_t rounded = RoundUp(bytes);
+  while (current_ < blocks_.size()) {
+    Block& block = blocks_[current_];
+    if (block.size - block.used >= rounded) {
+      void* out = block.data + block.used;
+      block.used += rounded;
+      return out;
+    }
+    ++current_;
+  }
+  Block& block = AddBlock(rounded);
+  current_ = blocks_.size() - 1;
+  block.used = rounded;
+  return block.data;
+}
+
+void PlanArena::Reset() {
+  for (Block& block : blocks_) block.used = 0;
+  current_ = 0;
+  allocated_bytes_ = 0;
+}
+
+}  // namespace core
+}  // namespace imcf

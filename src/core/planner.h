@@ -36,8 +36,9 @@ class SlotPlanner {
   virtual ~SlotPlanner() = default;
 
   /// Produces an adoption vector for the evaluator's slot. Implementations
-  /// must be deterministic given the Rng stream.
-  virtual PlanOutcome PlanSlot(const SlotEvaluator& evaluator,
+  /// must be deterministic given the Rng stream, and work against any
+  /// Evaluator kernel (legacy or SoA).
+  virtual PlanOutcome PlanSlot(const Evaluator& evaluator,
                                Rng* rng) const = 0;
 
   /// Display name ("EP", "NR", "MR", "SA").

@@ -1,0 +1,280 @@
+// Structure-of-arrays slot-evaluation kernel (ROADMAP item 2).
+//
+// Same semantics as SlotEvaluator (see evaluator.h), different layout: the
+// group/member/contribution tables are flattened into contiguous parallel
+// columns allocated from a PlanArena, so the hot loops are branch-light
+// linear sweeps over packed memory instead of vector-of-vector pointer
+// chases:
+//
+//   group_off_[g]..group_off_[g+1]   CSR range of group g's members
+//   member_rule_[m]                  rule_index of member m (descending
+//                                    within each group: winner scans
+//                                    early-exit at the first adopted bit)
+//   group_of_rule_[r]                group of rule r, or -1 if inactive
+//   contrib_energy_/contrib_error_   winner-contribution columns; group g's
+//                                    entries start at group_off_[g] + g
+//                                    (no-winner entry first, then one per
+//                                    member position)
+//   winner_pos_/mirror_              incremental cache: current winner per
+//                                    group plus a packed bitset mirror of
+//                                    the synced solution
+//   sel_energy_/sel_error_           full-eval gather columns, summed with
+//                                    simd::SumColumns (AVX2 when the TU is
+//                                    built with it, scalar otherwise)
+//
+// Numerics: the delta path (EvaluateWithFlips / SingleFlipDelta /
+// ApplyFlips) performs the exact same scalar operations in the same order
+// as the legacy kernel, so deltas agree bit-for-bit given the same base.
+// Full Evaluate sums the contribution columns with SIMD lane folding
+// instead of the legacy sequential order, so absolute objectives can
+// differ from the legacy kernel in the last ulps — the differential tests
+// bound this at 1e-9 (documented in DESIGN.md §12).
+//
+// The class is `final` and its delta methods are defined inline here: the
+// hill climber's statically-bound planning loop (hill_climber.cc) calls
+// them devirtualized and inlined, which is where most of the kernel's
+// speedup on BM_PlanSlotHillClimbing comes from.
+
+#ifndef IMCF_CORE_SOA_EVALUATOR_H_
+#define IMCF_CORE_SOA_EVALUATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "core/evaluator.h"
+#include "core/plan_arena.h"
+
+namespace imcf {
+namespace core {
+
+/// The SoA kernel. Borrowed-arena variant: all columns live in `*arena`
+/// and die at the caller's next arena Reset(); the evaluator itself holds
+/// no heap memory. Null arena gives the evaluator a private one.
+class SoaEvaluator final : public Evaluator {
+ public:
+  explicit SoaEvaluator(const SlotProblem* problem,
+                        PlanArena* arena = nullptr);
+
+  /// Flushes accumulated CacheStats (kernel="soa").
+  ~SoaEvaluator() override;
+
+  Objectives Evaluate(const Solution& s) const override;
+  Objectives NoRuleObjectives() const override;
+  Objectives AllRulesObjectives() const override;
+  const char* kernel_name() const override { return "soa"; }
+  const SoaEvaluator* AsSoa() const override { return this; }
+
+  bool IsActive(int rule_index) const override {
+    return rule_index >= 0 && rule_index < n_rules_ &&
+           group_of_rule_[rule_index] >= 0;
+  }
+
+  Objectives EvaluateWithFlips(Solution* s, const Objectives& base,
+                               std::span<const int> flips) const override {
+    // Same algorithm as the legacy kernel, minus the flip-and-revert: the
+    // "after" winner is found by scanning with the flips applied
+    // virtually, so *s is never written.
+    int32_t touched[kMaxTouchedGroups];
+    const int n_touched = CollectTouched(flips, touched);
+    if (n_touched == kMaxTouchedGroups) {
+      return EvaluateFlippedFull(*s, flips);
+    }
+    Objectives out = base;
+    for (int i = 0; i < n_touched; ++i) {
+      const int32_t g = touched[i];
+      const bool fresh = GroupFresh(*s, g);
+      if (fresh) {
+        ++cache_stats_.cache_hits;
+      } else {
+        ++cache_stats_.cache_misses;
+      }
+      const size_t idx =
+          ContribIndex(g, fresh ? winner_pos_[g] : WinnerPos(*s, g));
+      out.energy_kwh -= contrib_energy_[idx];
+      out.error_sum -= contrib_error_[idx];
+    }
+    for (int i = 0; i < n_touched; ++i) {
+      const int32_t g = touched[i];
+      const size_t idx = ContribIndex(g, WinnerPosFlipped(*s, g, flips));
+      out.energy_kwh += contrib_energy_[idx];
+      out.error_sum += contrib_error_[idx];
+    }
+    return out;
+  }
+
+  FlipDelta SingleFlipDelta(const Solution& s,
+                            int rule_index) const override {
+    FlipDelta delta;
+    const int32_t g = group_of_rule_[rule_index];
+    if (g < 0) return delta;  // inactive: nothing changes
+    const bool fresh = GroupFresh(s, g);
+    if (fresh) {
+      ++cache_stats_.cache_hits;
+    } else {
+      ++cache_stats_.cache_misses;
+    }
+    const size_t before =
+        ContribIndex(g, fresh ? winner_pos_[g] : WinnerPos(s, g));
+    const int one[1] = {rule_index};
+    const size_t after =
+        ContribIndex(g, WinnerPosFlipped(s, g, std::span<const int>(one)));
+    delta.before_energy = contrib_energy_[before];
+    delta.before_error = contrib_error_[before];
+    delta.after_energy = contrib_energy_[after];
+    delta.after_error = contrib_error_[after];
+    return delta;
+  }
+
+  void ApplyFlips(Solution* s, std::span<const int> flips) const override {
+    ++cache_stats_.apply_flips;
+    for (int rule_index : flips) s->flip(static_cast<size_t>(rule_index));
+    if (mirror_size_ != static_cast<int64_t>(s->size())) {
+      // The cache was never synchronized with a solution of this shape;
+      // Evaluate() is the designated sync point.
+      Evaluate(*s);
+      return;
+    }
+    int32_t touched[kMaxTouchedGroups];
+    const int n_touched = CollectTouched(flips, touched);
+    if (n_touched == kMaxTouchedGroups) {
+      // More distinct groups than the stack dedup tracks: resync wholesale.
+      Evaluate(*s);
+      return;
+    }
+    for (int i = 0; i < n_touched; ++i) {
+      const int32_t g = touched[i];
+      for (int32_t m = group_off_[g]; m < group_off_[g + 1]; ++m) {
+        const int32_t r = member_rule_[m];
+        const uint64_t bit = uint64_t{1} << (r & 63);
+        if (s->adopted(static_cast<size_t>(r))) {
+          mirror_[r >> 6] |= bit;
+        } else {
+          mirror_[r >> 6] &= ~bit;
+        }
+      }
+      winner_pos_[g] = WinnerPos(*s, g);
+    }
+  }
+
+  /// The arena the columns live in (for tests and capacity reporting).
+  const PlanArena& arena() const { return *arena_; }
+
+ private:
+  /// Mirrors the legacy kernel's 16-group dedup capacity, including its
+  /// degenerate fallback once the cap is reached.
+  static constexpr int kMaxTouchedGroups = 16;
+
+  /// Rebuilds the packed adoption mirror from `s` (SWAR byte-pack on
+  /// little-endian targets, scalar otherwise) and stamps mirror_size_.
+  void SyncMirror(const Solution& s) const;
+
+  /// Index into the contribution columns of group g's entry for winner
+  /// position `pos` (-1 selects the no-winner entry).
+  size_t ContribIndex(int32_t g, int32_t pos) const {
+    return static_cast<size_t>(group_off_[g] + g + 1 + pos);
+  }
+
+  /// Dedups the groups of the active rules in `flips` into `out` (capacity
+  /// kMaxTouchedGroups); returns the count, saturating at the capacity.
+  int CollectTouched(std::span<const int> flips, int32_t* out) const {
+    int n_touched = 0;
+    for (int rule_index : flips) {
+      const int32_t g = group_of_rule_[rule_index];
+      if (g < 0) continue;
+      // Branchless dedup scan: the membership test is data-dependent and
+      // would mispredict; accumulating matches is cheaper than breaking.
+      unsigned seen = 0;
+      for (int i = 0; i < n_touched; ++i) {
+        seen |= static_cast<unsigned>(out[i] == g);
+      }
+      if (seen == 0 && n_touched < kMaxTouchedGroups) out[n_touched++] = g;
+    }
+    return n_touched;
+  }
+
+  /// First adopted member of `g` under `s` (position within the group), or
+  /// -1. Members are ordered by rule_index descending.
+  int32_t WinnerPos(const Solution& s, int32_t g) const {
+    for (int32_t m = group_off_[g]; m < group_off_[g + 1]; ++m) {
+      if (s.adopted(static_cast<size_t>(member_rule_[m]))) {
+        return m - group_off_[g];
+      }
+    }
+    return -1;
+  }
+
+  /// WinnerPos with `flips` applied virtually on top of `s`.
+  int32_t WinnerPosFlipped(const Solution& s, int32_t g,
+                           std::span<const int> flips) const {
+    for (int32_t m = group_off_[g]; m < group_off_[g + 1]; ++m) {
+      const int32_t r = member_rule_[m];
+      // Flip indices are distinct, so at most one entry matches r; an
+      // accumulated branchless membership test avoids the mispredicted
+      // early break that dominated this scan at large flip counts.
+      unsigned toggled = 0;
+      for (int flip : flips) {
+        toggled |= static_cast<unsigned>(flip == r);
+      }
+      if (s.adopted(static_cast<size_t>(r)) ^ (toggled != 0)) {
+        return m - group_off_[g];
+      }
+    }
+    return -1;
+  }
+
+  /// Whether the mirror agrees with `s` on every member bit of `g`.
+  bool GroupFresh(const Solution& s, int32_t g) const {
+    if (mirror_size_ != static_cast<int64_t>(s.size())) return false;
+    for (int32_t m = group_off_[g]; m < group_off_[g + 1]; ++m) {
+      const int32_t r = member_rule_[m];
+      const bool mirrored = (mirror_[r >> 6] >> (r & 63)) & 1;
+      if (mirrored != s.adopted(static_cast<size_t>(r))) return false;
+    }
+    return true;
+  }
+
+  /// Full evaluation of `s` with `flips` applied virtually; cache state is
+  /// left untouched (the degenerate many-groups path).
+  Objectives EvaluateFlippedFull(const Solution& s,
+                                 std::span<const int> flips) const;
+
+  PlanArena* arena_ = nullptr;            // the arena backing the columns
+  std::unique_ptr<PlanArena> owned_arena_;  // set when no arena was lent
+
+  int32_t n_rules_ = 0;
+  int32_t n_groups_ = 0;
+  int32_t n_members_ = 0;
+
+  // Immutable columns (arena storage, built once in the constructor).
+  const int32_t* group_off_ = nullptr;      // [n_groups_ + 1]
+  const int32_t* member_rule_ = nullptr;    // [n_members_]
+  const int32_t* group_of_rule_ = nullptr;  // [max(n_rules_, 1)]
+  const double* contrib_energy_ = nullptr;  // [n_members_ + n_groups_]
+  const double* contrib_error_ = nullptr;   // [n_members_ + n_groups_]
+
+  // Incremental cache + scratch (arena storage, mutated in const methods;
+  // the evaluator is single-threaded by contract).
+  int32_t* winner_pos_ = nullptr;  // [n_groups_]
+  uint64_t* mirror_ = nullptr;     // [ceil(n_rules_ / 64)]
+  double* sel_energy_ = nullptr;   // [n_groups_] full-eval gather column
+  double* sel_error_ = nullptr;    // [n_groups_]
+  /// Size of the solution the mirror was synced against, or -1 before the
+  /// first Evaluate (every group reads as stale until then).
+  mutable int64_t mirror_size_ = -1;
+};
+
+/// Builds the kernel this binary is configured for: SoaEvaluator when
+/// IMCF_SOA_EVAL is on (the default), the legacy SlotEvaluator otherwise.
+/// `arena` backs the SoA columns (ignored by the legacy kernel); null
+/// gives the evaluator private storage.
+std::unique_ptr<Evaluator> MakeSlotEvaluator(const SlotProblem* problem,
+                                             PlanArena* arena = nullptr);
+
+/// Kernel tag MakeSlotEvaluator builds: "soa" or "legacy".
+const char* ConfiguredKernelName();
+
+}  // namespace core
+}  // namespace imcf
+
+#endif  // IMCF_CORE_SOA_EVALUATOR_H_

@@ -185,10 +185,10 @@ std::optional<Response> FleetService::Submit(Request request) {
 }
 
 Status FleetService::ExecutePlan(Tenant& tenant, const Request& request,
-                                 Response* response) {
+                                 core::PlanArena* arena, Response* response) {
   IMCF_ASSIGN_OR_RETURN(
       sim::SimulationReport report,
-      tenant.simulator().Run(request.plan.policy, request.plan.rep));
+      tenant.simulator().Run(request.plan.policy, request.plan.rep, arena));
   response->plan.fce_pct = report.fce_pct;
   response->plan.fe_kwh = report.fe_kwh;
   response->plan.within_budget = report.within_budget;
@@ -241,7 +241,8 @@ Status FleetService::ExecuteQuery(Tenant& tenant, const Request& request,
   return Status::Ok();
 }
 
-Response FleetService::Execute(const QueuedItem& item, SimTime now) {
+Response FleetService::Execute(const QueuedItem& item, SimTime now,
+                               core::PlanArena* arena) {
   const Request& request = item.request;
   Response response;
   response.id = item.id;
@@ -273,7 +274,7 @@ Response FleetService::Execute(const QueuedItem& item, SimTime now) {
         Status work;
         switch (request.kind) {
           case RequestKind::kPlan:
-            work = ExecutePlan(tenant, request, &response);
+            work = ExecutePlan(tenant, request, arena, &response);
             break;
           case RequestKind::kCommand:
             work = ExecuteCommand(tenant, request, &response);
@@ -345,12 +346,29 @@ std::vector<Response> FleetService::Drain(SimTime now) {
     if (!any) break;
   }
 
-  // 4. Fan out on the pool; each item writes only its own response slot.
+  // 4. Fan out on the pool in batched execution units: consecutive
+  // dispatch entries share one PlanArena, so a pass over many tenants
+  // plans against warm evaluator storage instead of cold heap per plan.
+  // Each item still writes only its own response slot and executes
+  // independently, so unit boundaries never change outcomes — only where
+  // the evaluator's memory comes from. With multiple workers the unit size
+  // shrinks so the pool stays saturated.
   const int n = static_cast<int>(dispatch.size());
+  int unit_cap = std::max(1, options_.plan_batch);
+  if (pool_ != nullptr && n > 0) {
+    const int eff_workers = std::max(1, options_.workers);
+    unit_cap = std::max(1, std::min(unit_cap, n / (eff_workers * 2)));
+  }
+  const int n_units = n == 0 ? 0 : (n + unit_cap - 1) / unit_cap;
   std::vector<Response> responses(static_cast<size_t>(n));
-  ParallelFor(pool_.get(), n, [&](int i) {
-    responses[static_cast<size_t>(i)] =
-        Execute(dispatch[static_cast<size_t>(i)], now);
+  ParallelFor(pool_.get(), n_units, [&](int u) {
+    core::PlanArena arena;
+    const int begin = u * unit_cap;
+    const int end = std::min(n, begin + unit_cap);
+    for (int i = begin; i < end; ++i) {
+      responses[static_cast<size_t>(i)] =
+          Execute(dispatch[static_cast<size_t>(i)], now, &arena);
+    }
   });
 
   // 5. Deterministic response order + metrics, on the draining thread.

@@ -40,6 +40,7 @@
 
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "core/plan_arena.h"
 #include "fault/fault_plan.h"
 #include "fault/retry.h"
 #include "obs/metrics.h"
@@ -61,6 +62,14 @@ struct FleetOptions {
   int queue_capacity = 64;
   /// Retry-after hint attached to shed responses, in (virtual) seconds.
   SimTime shed_retry_after_seconds = 60;
+  /// Batched planning: Drain groups up to this many consecutive dispatch
+  /// entries into one execution unit that shares a PlanArena, so a pass
+  /// over many tenants recycles one warm allocation instead of building
+  /// evaluator tables from cold heap per plan. Grouping only changes where
+  /// evaluator memory comes from — each request still executes
+  /// independently, so responses are bit-identical for any batch size or
+  /// worker count (DESIGN.md §12). Values below 1 behave as 1.
+  int plan_batch = 8;
   /// Snapshot directory; empty disables persistence.
   std::string store_dir;
   /// Fault injection for tenant command delivery and weather links; the
@@ -146,12 +155,15 @@ class FleetService {
 
   /// Executes one admitted item at virtual time `now` (deadline check,
   /// tenant lookup, work dispatch). Pure function of (item, now, tenant
-  /// state) — the unit of the determinism contract.
-  Response Execute(const QueuedItem& item, SimTime now);
+  /// state) — the unit of the determinism contract. `arena` backs plan
+  /// evaluator tables; it belongs to the calling execution unit and is
+  /// never shared across threads.
+  Response Execute(const QueuedItem& item, SimTime now,
+                   core::PlanArena* arena);
 
   /// The per-kind work, run with the tenant's mutex held.
   Status ExecutePlan(Tenant& tenant, const Request& request,
-                     Response* response);
+                     core::PlanArena* arena, Response* response);
   Status ExecuteCommand(Tenant& tenant, const Request& request,
                         Response* response);
   Status ExecuteQuery(Tenant& tenant, const Request& request,

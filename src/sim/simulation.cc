@@ -7,6 +7,7 @@
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "core/slot_problem.h"
+#include "core/soa_evaluator.h"
 #include "fault/command_bus.h"
 #include "fault/fallback_weather.h"
 #include "obs/metrics.h"
@@ -161,7 +162,8 @@ Status Simulator::Reconfigure(double savings_fraction,
   return RebuildPlan();
 }
 
-Result<SimulationReport> Simulator::Run(Policy policy, int rep) const {
+Result<SimulationReport> Simulator::Run(Policy policy, int rep,
+                                        core::PlanArena* arena) const {
   if (!prepared_) {
     return Status::FailedPrecondition("call Prepare() before Run()");
   }
@@ -196,6 +198,12 @@ Result<SimulationReport> Simulator::Run(Policy policy, int rep) const {
     case Policy::kIfttt:
       break;  // handled separately below
   }
+
+  // Evaluator tables are rebuilt per slot from this arena; a run-local one
+  // serves solo callers, batched callers lend a longer-lived arena that is
+  // already warm.
+  core::PlanArena local_arena;
+  core::PlanArena* const plan_arena = arena != nullptr ? arena : &local_arena;
 
   Rng rng(MixHash(MixHash(options_.seed, static_cast<uint64_t>(rep)),
                   static_cast<uint64_t>(policy)));
@@ -346,7 +354,12 @@ Result<SimulationReport> Simulator::Run(Policy policy, int rep) const {
     }
     problem.budget_kwh =
         options_.carryover ? slot_budget + carry : slot_budget;
-    core::SlotEvaluator evaluator(&problem);
+    // The arena reset frees the previous slot's tables in place; after the
+    // first slot, evaluator construction allocates nothing.
+    plan_arena->Reset();
+    const std::unique_ptr<core::Evaluator> evaluator_ptr =
+        core::MakeSlotEvaluator(&problem, plan_arena);
+    const core::Evaluator& evaluator = *evaluator_ptr;
 
     // --- Decision: plan (or evaluate recipes) and route commands through
     // the firewall.

@@ -29,6 +29,7 @@
 #include "core/baselines.h"
 #include "core/genetic.h"
 #include "core/hill_climber.h"
+#include "core/plan_arena.h"
 #include "energy/amortization.h"
 #include "energy/budget.h"
 #include "energy/carbon.h"
@@ -152,7 +153,12 @@ class Simulator {
   Status Prepare();
 
   /// Runs one policy once. `rep` seeds the per-repetition random streams.
-  Result<SimulationReport> Run(Policy policy, int rep = 0) const;
+  /// `arena` backs the per-slot evaluator tables (reset before every slot);
+  /// batched callers (fleet drain, cloud controller) lend one arena across
+  /// many runs so evaluator construction stops allocating after warm-up.
+  /// Null uses a run-local arena.
+  Result<SimulationReport> Run(Policy policy, int rep = 0,
+                               core::PlanArena* arena = nullptr) const;
 
   /// Runs `repetitions` independent runs (the paper uses ten). Repetitions
   /// fan out across `threads` workers (0 selects options().threads; 1 is

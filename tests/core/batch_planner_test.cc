@@ -1,0 +1,120 @@
+// BatchPlanner invariants (batch_planner.h): batching changes where the
+// evaluator's memory comes from, never what the planner computes. Every
+// batched outcome must be bit-identical to a solo PlanSlot call with the
+// same rng stream, and the shared arena must stop allocating once warm.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/batch_planner.h"
+#include "core/hill_climber.h"
+#include "core/soa_evaluator.h"
+#include "random_problem.h"
+
+namespace imcf {
+namespace core {
+namespace {
+
+using testutil::RandomProblem;
+
+void ExpectSameOutcome(const PlanOutcome& got, const PlanOutcome& want,
+                       uint64_t seed) {
+  ASSERT_EQ(got.solution, want.solution) << "seed " << seed;
+  EXPECT_EQ(got.objectives.energy_kwh, want.objectives.energy_kwh)
+      << "seed " << seed;
+  EXPECT_EQ(got.objectives.error_sum, want.objectives.error_sum)
+      << "seed " << seed;
+  EXPECT_EQ(got.iterations, want.iterations) << "seed " << seed;
+  EXPECT_EQ(got.feasible, want.feasible) << "seed " << seed;
+  EXPECT_EQ(got.moves_accepted, want.moves_accepted) << "seed " << seed;
+  EXPECT_EQ(got.moves_rejected, want.moves_rejected) << "seed " << seed;
+  EXPECT_EQ(got.repair_drops, want.repair_drops) << "seed " << seed;
+  EXPECT_EQ(got.early_exit, want.early_exit) << "seed " << seed;
+  EXPECT_EQ(got.zero_fallback, want.zero_fallback) << "seed " << seed;
+}
+
+// Solo reference: a freshly built configured evaluator with private
+// storage, planned with the same seed the batch item gets.
+PlanOutcome SoloPlan(const SlotPlanner& planner, const SlotProblem& problem,
+                     uint64_t seed) {
+  const std::unique_ptr<Evaluator> evaluator = MakeSlotEvaluator(&problem);
+  Rng rng(seed);
+  return planner.PlanSlot(*evaluator, &rng);
+}
+
+TEST(BatchPlannerTest, PlanOneBitIdenticalToSolo) {
+  EpOptions options;
+  options.init = InitStrategy::kRandom;
+  const HillClimbingPlanner planner(options);
+  BatchPlanner batch(&planner);
+  Rng problem_rng(0xBA7C41);
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    const SlotProblem problem = RandomProblem(&problem_rng, 2, 12);
+    const PlanOutcome want = SoloPlan(planner, problem, MixHash(seed, 99));
+    Rng rng(MixHash(seed, 99));
+    const PlanOutcome got = batch.PlanOne(problem, &rng);
+    ExpectSameOutcome(got, want, seed);
+  }
+}
+
+TEST(BatchPlannerTest, PlanBatchAlignsOutcomesWithItems) {
+  EpOptions options;
+  options.init = InitStrategy::kRandom;
+  const HillClimbingPlanner planner(options);
+  BatchPlanner batch(&planner);
+
+  Rng problem_rng(0x0B47);
+  std::vector<SlotProblem> problems;
+  for (int i = 0; i < 12; ++i) {
+    problems.push_back(RandomProblem(&problem_rng, 1, 10));
+  }
+  std::vector<Rng> rngs;
+  for (uint64_t i = 0; i < problems.size(); ++i) {
+    rngs.emplace_back(MixHash(0xF1EE7, i));
+  }
+  std::vector<BatchPlanItem> items;
+  for (size_t i = 0; i < problems.size(); ++i) {
+    items.push_back({&problems[i], &rngs[i]});
+  }
+
+  const std::vector<PlanOutcome> outcomes = batch.PlanBatch(items);
+  ASSERT_EQ(outcomes.size(), items.size());
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const PlanOutcome want =
+        SoloPlan(planner, problems[i], MixHash(0xF1EE7, i));
+    ExpectSameOutcome(outcomes[i], want, i);
+  }
+}
+
+TEST(BatchPlannerTest, ArenaStopsGrowingOnceWarm) {
+  const HillClimbingPlanner planner;
+  BatchPlanner batch(&planner);
+  Rng problem_rng(0xAEA0);
+  // All problems the same shape: after the first plan grows the arena, the
+  // rest must be served from retained blocks.
+  const SlotProblem problem = RandomProblem(&problem_rng, 4, 4);
+  Rng rng(1);
+  batch.PlanOne(problem, &rng);
+  const size_t warmed_blocks = batch.arena().block_count();
+  const size_t high_water = batch.arena().high_water_bytes();
+  for (int i = 0; i < 20; ++i) {
+    Rng per_plan(MixHash(2, static_cast<uint64_t>(i)));
+    batch.PlanOne(problem, &per_plan);
+    EXPECT_EQ(batch.arena().block_count(), warmed_blocks) << "plan " << i;
+    EXPECT_EQ(batch.arena().high_water_bytes(), high_water) << "plan " << i;
+  }
+}
+
+TEST(BatchPlannerTest, EmptyBatchYieldsNoOutcomes) {
+  const HillClimbingPlanner planner;
+  BatchPlanner batch(&planner);
+  const std::vector<BatchPlanItem> items;
+  EXPECT_TRUE(batch.PlanBatch(items).empty());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace imcf

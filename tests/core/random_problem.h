@@ -1,0 +1,74 @@
+// Shared random SlotProblem corpus generator for the core differential and
+// property tests. Every test that wants "a thousand structurally diverse
+// slot problems" draws them from here so the corpora stay comparable
+// across suites (and a kernel bug caught by one suite reproduces under the
+// others with the same seed).
+
+#ifndef IMCF_TESTS_CORE_RANDOM_PROBLEM_H_
+#define IMCF_TESTS_CORE_RANDOM_PROBLEM_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/evaluator.h"
+#include "core/hill_climber.h"
+
+namespace imcf {
+namespace core {
+namespace testutil {
+
+/// A random slot problem: 1..max_groups device groups of mixed command
+/// types, each rule assigned to a random group with ~25% of rule slots left
+/// inactive (the MRT positions the firewall pruned before planning).
+inline SlotProblem RandomProblem(Rng* rng, int min_groups = 1,
+                                 int max_groups = 8) {
+  using devices::CommandType;
+  SlotProblem problem;
+  const int n_groups =
+      static_cast<int>(rng->UniformInt(min_groups, max_groups));
+  problem.n_rules = static_cast<int>(rng->UniformInt(n_groups, 4 * n_groups));
+  problem.budget_kwh = rng->UniformDouble(0.5, 10.0);
+  problem.base_energy_kwh = rng->UniformDouble(0.0, 1.0);
+  for (int g = 0; g < n_groups; ++g) {
+    DeviceGroup group;
+    group.type = rng->Bernoulli(0.5) ? CommandType::kSetTemperature
+                                     : CommandType::kSetLight;
+    group.ambient = group.type == CommandType::kSetTemperature
+                        ? rng->UniformDouble(5.0, 30.0)
+                        : rng->UniformDouble(0.0, 80.0);
+    problem.groups.push_back(group);
+  }
+  for (int i = 0; i < problem.n_rules; ++i) {
+    if (rng->Bernoulli(0.25)) continue;  // leave some rules inactive
+    ActiveRule rule;
+    rule.rule_index = i;
+    rule.group = static_cast<int>(rng->UniformInt(0, n_groups - 1));
+    rule.type = problem.groups[static_cast<size_t>(rule.group)].type;
+    rule.desired = rule.type == CommandType::kSetTemperature
+                       ? rng->UniformDouble(16.0, 28.0)
+                       : rng->UniformDouble(10.0, 70.0);
+    rule.energy_kwh = rng->UniformDouble(0.0, 1.5);
+    rule.drop_error = NormalizedError(
+        rule.type, rule.desired,
+        problem.groups[static_cast<size_t>(rule.group)].ambient);
+    problem.active.push_back(rule);
+  }
+  return problem;
+}
+
+/// A random k-opt flip set over the problem's rule indices, k in [1, 8]
+/// (the EP's neighborhood shape).
+inline std::vector<int> RandomFlips(const SlotProblem& problem, Rng* rng) {
+  std::vector<int> flips;
+  const int k = 1 + static_cast<int>(
+                        rng->UniformInt(0, std::min(7, problem.n_rules - 1)));
+  SampleDistinct(problem.n_rules, k, rng, &flips);
+  return flips;
+}
+
+}  // namespace testutil
+}  // namespace core
+}  // namespace imcf
+
+#endif  // IMCF_TESTS_CORE_RANDOM_PROBLEM_H_

@@ -1,0 +1,117 @@
+// Scalar-vs-SIMD equivalence for the simd::SumColumns reduction.
+//
+// This translation unit is compiled with -mavx2 when the toolchain
+// supports it (see tests/CMakeLists.txt), so simd::SumColumns here is the
+// same AVX2 backend the SoA evaluator's TU gets, while SumColumnsScalar is
+// the strict left-to-right reference. In IMCF_SIMD_AVX2=OFF builds the
+// global IMCF_SIMD_FORCE_SCALAR definition collapses both to the scalar
+// backend and the suite degenerates to an exact self-comparison — still a
+// valid (if trivial) run, so no test is skipped in any configuration.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/simd.h"
+
+namespace imcf {
+namespace simd {
+namespace {
+
+// Lane folding reassociates the sum, so the two backends may disagree by a
+// few ulps per element; this bound is far looser than that and far tighter
+// than anything the planner's 1e-9 differential tolerance could mask.
+constexpr double kTol = 1e-9;
+
+TEST(SimdEquivalenceTest, BackendNameIsKnown) {
+  const std::string name = BackendName();
+  EXPECT_TRUE(name == "avx2" || name == "scalar") << name;
+}
+
+TEST(SimdEquivalenceTest, MatchesScalarAcrossSizesAndMagnitudes) {
+  Rng rng(0x51D3);
+  // Sizes straddling every path boundary: the n<4 scalar early-out, the
+  // 4-wide vector loop, and the 1-3 element tail after it.
+  const size_t sizes[] = {0,  1,  2,  3,  4,  5,  6,  7,   8,
+                          15, 16, 63, 64, 65, 100, 128, 1000};
+  for (size_t n : sizes) {
+    for (int trial = 0; trial < 50; ++trial) {
+      std::vector<double> a(n);
+      std::vector<double> b(n);
+      for (size_t i = 0; i < n; ++i) {
+        // Mixed magnitudes and signs make the reassociation error real
+        // rather than structurally zero.
+        a[i] = rng.UniformDouble(-1.0, 1.0) *
+               std::pow(10.0, rng.UniformDouble(-3.0, 3.0));
+        b[i] = rng.UniformDouble(-1.0, 1.0) *
+               std::pow(10.0, rng.UniformDouble(-3.0, 3.0));
+      }
+      double want_a = 0.0;
+      double want_b = 0.0;
+      SumColumnsScalar(a.data(), b.data(), n, &want_a, &want_b);
+      double got_a = 0.0;
+      double got_b = 0.0;
+      SumColumns(a.data(), b.data(), n, &got_a, &got_b);
+      const double scale =
+          1.0 + std::max(std::abs(want_a), std::abs(want_b));
+      ASSERT_NEAR(got_a, want_a, kTol * scale) << "n=" << n;
+      ASSERT_NEAR(got_b, want_b, kTol * scale) << "n=" << n;
+    }
+  }
+}
+
+TEST(SimdEquivalenceTest, TinyColumnsAreBitExact) {
+  // n < 4 takes the scalar early-out on every backend (on AVX2 this also
+  // keeps the YMM upper state clean — see simd.h), so the result is the
+  // exact sequential sum, bit for bit.
+  Rng rng(0xB17);
+  for (size_t n = 0; n < 4; ++n) {
+    for (int trial = 0; trial < 200; ++trial) {
+      double a[4] = {};
+      double b[4] = {};
+      for (size_t i = 0; i < n; ++i) {
+        a[i] = rng.UniformDouble(-1e6, 1e6);
+        b[i] = rng.UniformDouble(-1e6, 1e6);
+      }
+      double want_a = 0.0;
+      double want_b = 0.0;
+      SumColumnsScalar(a, b, n, &want_a, &want_b);
+      double got_a = 0.0;
+      double got_b = 0.0;
+      SumColumns(a, b, n, &got_a, &got_b);
+      EXPECT_EQ(got_a, want_a) << "n=" << n;
+      EXPECT_EQ(got_b, want_b) << "n=" << n;
+    }
+  }
+}
+
+TEST(SimdEquivalenceTest, ExactForIntegerValuedInputs) {
+  // Integer-valued doubles sum exactly in any association order, so both
+  // backends must agree bit-for-bit — this isolates "wrong elements read"
+  // bugs from benign reassociation noise.
+  Rng rng(0x1A7E6E2);
+  const size_t sizes[] = {4, 5, 7, 8, 64, 129, 1000};
+  for (size_t n : sizes) {
+    std::vector<double> a(n);
+    std::vector<double> b(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<double>(static_cast<int>(rng.UniformInt(0, 1000)));
+      b[i] = static_cast<double>(static_cast<int>(rng.UniformInt(0, 1000)));
+    }
+    double want_a = 0.0;
+    double want_b = 0.0;
+    SumColumnsScalar(a.data(), b.data(), n, &want_a, &want_b);
+    double got_a = 0.0;
+    double got_b = 0.0;
+    SumColumns(a.data(), b.data(), n, &got_a, &got_b);
+    EXPECT_EQ(got_a, want_a) << "n=" << n;
+    EXPECT_EQ(got_b, want_b) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace simd
+}  // namespace imcf

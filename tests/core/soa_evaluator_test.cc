@@ -1,0 +1,292 @@
+// Differential tests: the SoA kernel against the legacy SlotEvaluator as
+// oracle, over random problem corpora (tests/core/random_problem.h).
+//
+// Contract being held (soa_evaluator.h, DESIGN.md §12):
+//  * the delta path (EvaluateWithFlips / SingleFlipDelta) performs the same
+//    scalar arithmetic in the same order as the legacy kernel, so given the
+//    same base objectives the results agree BIT-FOR-BIT — asserted with
+//    exact double equality;
+//  * full Evaluate sums with SIMD lane folding, so absolute objectives may
+//    differ from the legacy sequential sum in the final ulps — asserted
+//    within 1e-9;
+//  * both kernels driven by the same planner and rng stream walk the same
+//    trajectory and return identical solutions and counters.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/evaluator.h"
+#include "core/hill_climber.h"
+#include "core/plan_arena.h"
+#include "core/soa_evaluator.h"
+#include "random_problem.h"
+
+namespace imcf {
+namespace core {
+namespace {
+
+using devices::CommandType;
+using testutil::RandomFlips;
+using testutil::RandomProblem;
+
+constexpr double kFullEvalTol = 1e-9;
+
+TEST(SoaEvaluatorTest, FullEvaluateMatchesLegacy) {
+  for (uint64_t seed = 0; seed < 1000; ++seed) {
+    Rng rng(MixHash(0x50AF11ULL, seed));
+    const SlotProblem problem = RandomProblem(&rng, 1, 12);
+    SlotEvaluator legacy(&problem);
+    SoaEvaluator soa(&problem);
+    for (int trial = 0; trial < 4; ++trial) {
+      const Solution s = Solution::Init(static_cast<size_t>(problem.n_rules),
+                                        InitStrategy::kRandom, &rng);
+      const Objectives want = legacy.Evaluate(s);
+      const Objectives got = soa.Evaluate(s);
+      ASSERT_NEAR(got.energy_kwh, want.energy_kwh, kFullEvalTol)
+          << "seed " << seed;
+      ASSERT_NEAR(got.error_sum, want.error_sum, kFullEvalTol)
+          << "seed " << seed;
+    }
+    const Objectives none_want = legacy.NoRuleObjectives();
+    const Objectives none_got = soa.NoRuleObjectives();
+    EXPECT_NEAR(none_got.energy_kwh, none_want.energy_kwh, kFullEvalTol);
+    EXPECT_NEAR(none_got.error_sum, none_want.error_sum, kFullEvalTol);
+    const Objectives all_want = legacy.AllRulesObjectives();
+    const Objectives all_got = soa.AllRulesObjectives();
+    EXPECT_NEAR(all_got.energy_kwh, all_want.energy_kwh, kFullEvalTol);
+    EXPECT_NEAR(all_got.error_sum, all_want.error_sum, kFullEvalTol);
+  }
+}
+
+// Deltas from an identical base must be bit-exact between the kernels:
+// both read the same tabulated contribution values and apply them with the
+// same subtract-then-add order. This is the property that makes the two
+// kernels take identical accept/reject decisions inside the planner.
+TEST(SoaEvaluatorTest, DeltaPathBitExactAgainstLegacy) {
+  for (uint64_t seed = 0; seed < 1000; ++seed) {
+    Rng rng(MixHash(0xB17E8AC7ULL, seed));
+    const SlotProblem problem = RandomProblem(&rng, 1, 12);
+    SlotEvaluator legacy(&problem);
+    SoaEvaluator soa(&problem);
+    Solution s = Solution::Init(static_cast<size_t>(problem.n_rules),
+                                InitStrategy::kRandom, &rng);
+    Solution s_soa = s;
+    // Shared base: the legacy full eval (any common starting point works
+    // for a bit-exactness claim about the *delta* arithmetic).
+    Objectives base = legacy.Evaluate(s);
+    soa.Evaluate(s_soa);  // sync the SoA cache on the same solution
+    for (int move = 0; move < 12; ++move) {
+      const std::vector<int> flips = RandomFlips(problem, &rng);
+      const Objectives want = legacy.EvaluateWithFlips(&s, base, flips);
+      const Objectives got = soa.EvaluateWithFlips(&s_soa, base, flips);
+      ASSERT_EQ(got.energy_kwh, want.energy_kwh)
+          << "seed " << seed << " move " << move;
+      ASSERT_EQ(got.error_sum, want.error_sum)
+          << "seed " << seed << " move " << move;
+
+      if (!flips.empty()) {
+        const Evaluator::FlipDelta dl = legacy.SingleFlipDelta(s, flips[0]);
+        const Evaluator::FlipDelta ds = soa.SingleFlipDelta(s_soa, flips[0]);
+        ASSERT_EQ(ds.before_energy, dl.before_energy) << "seed " << seed;
+        ASSERT_EQ(ds.after_energy, dl.after_energy) << "seed " << seed;
+        ASSERT_EQ(ds.before_error, dl.before_error) << "seed " << seed;
+        ASSERT_EQ(ds.after_error, dl.after_error) << "seed " << seed;
+      }
+
+      if (rng.Bernoulli(0.5)) {
+        legacy.ApplyFlips(&s, flips);
+        soa.ApplyFlips(&s_soa, flips);
+        ASSERT_EQ(s, s_soa) << "seed " << seed;
+        base = want;
+      }
+    }
+  }
+}
+
+// Flip sets spanning more than 16 distinct groups push both kernels onto
+// their degenerate full-rescan path; they must still agree.
+TEST(SoaEvaluatorTest, ManyTouchedGroupsDegenerateMatchesLegacy) {
+  for (uint64_t seed = 0; seed < 300; ++seed) {
+    Rng rng(MixHash(0xDE6E4ULL, seed));
+    // One active rule per group, 17-24 groups, so flipping everything
+    // touches more groups than the kMaxTouchedGroups dedup tracks.
+    const int n_groups = static_cast<int>(rng.UniformInt(17, 24));
+    SlotProblem problem;
+    problem.n_rules = n_groups;
+    problem.budget_kwh = 10.0;
+    for (int g = 0; g < n_groups; ++g) {
+      DeviceGroup group;
+      group.type = (g % 2 == 0) ? CommandType::kSetTemperature
+                                : CommandType::kSetLight;
+      group.ambient = group.type == CommandType::kSetTemperature
+                          ? rng.UniformDouble(5.0, 30.0)
+                          : rng.UniformDouble(0.0, 80.0);
+      problem.groups.push_back(group);
+      ActiveRule rule;
+      rule.rule_index = g;
+      rule.group = g;
+      rule.type = group.type;
+      rule.desired = rule.type == CommandType::kSetTemperature
+                         ? rng.UniformDouble(16.0, 28.0)
+                         : rng.UniformDouble(10.0, 70.0);
+      rule.energy_kwh = rng.UniformDouble(0.0, 1.5);
+      rule.drop_error = NormalizedError(rule.type, rule.desired, group.ambient);
+      problem.active.push_back(rule);
+    }
+    SlotEvaluator legacy(&problem);
+    SoaEvaluator soa(&problem);
+    Solution s = Solution::Init(static_cast<size_t>(problem.n_rules),
+                                InitStrategy::kRandom, &rng);
+    Solution s_soa = s;
+    const Objectives base = legacy.Evaluate(s);
+    soa.Evaluate(s_soa);
+
+    std::vector<int> flips;
+    for (int i = 0; i < problem.n_rules; ++i) flips.push_back(i);
+    const Solution snapshot = s_soa;
+    const Objectives want = legacy.EvaluateWithFlips(&s, base, flips);
+    const Objectives got = soa.EvaluateWithFlips(&s_soa, base, flips);
+    ASSERT_EQ(s_soa, snapshot) << "degenerate path must revert, seed " << seed;
+    // Both sides full-rescan here; the SoA side folds with SIMD, so this
+    // comparison is toleranced like a full evaluation.
+    EXPECT_NEAR(got.energy_kwh, want.energy_kwh, kFullEvalTol)
+        << "seed " << seed;
+    EXPECT_NEAR(got.error_sum, want.error_sum, kFullEvalTol)
+        << "seed " << seed;
+
+    // The wide ApplyFlips resyncs wholesale; the cache must come back
+    // coherent for the next narrow delta.
+    legacy.ApplyFlips(&s, flips);
+    soa.ApplyFlips(&s_soa, flips);
+    ASSERT_EQ(s, s_soa);
+    const Objectives next_base = legacy.Evaluate(s);
+    const std::vector<int> one = {static_cast<int>(
+        rng.UniformInt(0, problem.n_rules - 1))};
+    const Objectives next_want = legacy.EvaluateWithFlips(&s, next_base, one);
+    const Objectives next_got = soa.EvaluateWithFlips(&s_soa, next_base, one);
+    EXPECT_EQ(next_got.energy_kwh, next_want.energy_kwh) << "seed " << seed;
+    EXPECT_EQ(next_got.error_sum, next_want.error_sum) << "seed " << seed;
+  }
+}
+
+// Edge shapes: no active rules at all, and a zero-rule problem.
+TEST(SoaEvaluatorTest, DegenerateProblemShapes) {
+  {
+    SlotProblem empty;
+    empty.n_rules = 0;
+    empty.budget_kwh = 1.0;
+    empty.base_energy_kwh = 0.25;
+    SlotEvaluator legacy(&empty);
+    SoaEvaluator soa(&empty);
+    const Solution s(0);
+    const Objectives want = legacy.Evaluate(s);
+    const Objectives got = soa.Evaluate(s);
+    EXPECT_EQ(got.energy_kwh, want.energy_kwh);
+    EXPECT_EQ(got.error_sum, want.error_sum);
+    EXPECT_FALSE(soa.IsActive(0));
+  }
+  {
+    // Rules exist but the firewall pruned every one: groups present, no
+    // active members.
+    SlotProblem inactive;
+    inactive.n_rules = 6;
+    inactive.budget_kwh = 1.0;
+    DeviceGroup group;
+    group.type = CommandType::kSetTemperature;
+    group.ambient = 15.0;
+    inactive.groups.push_back(group);
+    SlotEvaluator legacy(&inactive);
+    SoaEvaluator soa(&inactive);
+    const Solution s(6, 1);
+    const Objectives want = legacy.Evaluate(s);
+    const Objectives got = soa.Evaluate(s);
+    EXPECT_EQ(got.energy_kwh, want.energy_kwh);
+    EXPECT_EQ(got.error_sum, want.error_sum);
+    for (int r = 0; r < 6; ++r) EXPECT_FALSE(soa.IsActive(r));
+    // Flipping inactive rules is a no-op for the objectives.
+    const std::vector<int> flips = {0, 3, 5};
+    Solution scratch = s;
+    const Objectives delta = soa.EvaluateWithFlips(&scratch, got, flips);
+    EXPECT_EQ(delta.energy_kwh, got.energy_kwh);
+    EXPECT_EQ(delta.error_sum, got.error_sum);
+  }
+}
+
+// The planner invariant the whole PR rests on: the same planner + seed
+// walks the identical trajectory on either kernel.
+TEST(SoaEvaluatorTest, HillClimberTrajectoryIdenticalAcrossKernels) {
+  EpOptions options;
+  options.init = InitStrategy::kRandom;
+  const HillClimbingPlanner planner(options);
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    Rng rng(MixHash(0x7247ECULL, seed));
+    const SlotProblem problem = RandomProblem(&rng, 2, 16);
+    SlotEvaluator legacy(&problem);
+    SoaEvaluator soa(&problem);
+    Rng rng_legacy(MixHash(seed, 1));
+    Rng rng_soa(MixHash(seed, 1));
+    const PlanOutcome want = planner.PlanSlot(legacy, &rng_legacy);
+    const PlanOutcome got = planner.PlanSlot(soa, &rng_soa);
+    ASSERT_EQ(got.solution, want.solution) << "seed " << seed;
+    EXPECT_EQ(got.iterations, want.iterations) << "seed " << seed;
+    EXPECT_EQ(got.moves_accepted, want.moves_accepted) << "seed " << seed;
+    EXPECT_EQ(got.moves_rejected, want.moves_rejected) << "seed " << seed;
+    EXPECT_EQ(got.repair_drops, want.repair_drops) << "seed " << seed;
+    EXPECT_EQ(got.feasible, want.feasible) << "seed " << seed;
+    EXPECT_EQ(got.early_exit, want.early_exit) << "seed " << seed;
+    EXPECT_EQ(got.zero_fallback, want.zero_fallback) << "seed " << seed;
+    // Final objectives come from each kernel's own full Evaluate, so they
+    // are toleranced, not exact.
+    EXPECT_NEAR(got.objectives.energy_kwh, want.objectives.energy_kwh,
+                kFullEvalTol)
+        << "seed " << seed;
+    EXPECT_NEAR(got.objectives.error_sum, want.objectives.error_sum,
+                kFullEvalTol)
+        << "seed " << seed;
+    // Both rngs must have consumed the same number of draws.
+    EXPECT_EQ(rng_soa.Next(), rng_legacy.Next()) << "seed " << seed;
+  }
+}
+
+// The factory respects the build-time kernel selection.
+TEST(SoaEvaluatorTest, FactoryBuildsConfiguredKernel) {
+  SlotProblem problem;
+  problem.n_rules = 2;
+  problem.budget_kwh = 1.0;
+  const std::unique_ptr<Evaluator> evaluator = MakeSlotEvaluator(&problem);
+  EXPECT_STREQ(evaluator->kernel_name(), ConfiguredKernelName());
+#if IMCF_SOA_EVAL
+  EXPECT_STREQ(evaluator->kernel_name(), "soa");
+  EXPECT_NE(evaluator->AsSoa(), nullptr);
+#else
+  EXPECT_STREQ(evaluator->kernel_name(), "legacy");
+  EXPECT_EQ(evaluator->AsSoa(), nullptr);
+#endif
+}
+
+// Borrowed-arena lifetime: reset-then-rebuild reuses the arena blocks and
+// yields an evaluator that still agrees with the oracle.
+TEST(SoaEvaluatorTest, BorrowedArenaRebuildAfterReset) {
+  Rng rng(0xA2E7A);
+  PlanArena arena;
+  for (int round = 0; round < 8; ++round) {
+    arena.Reset();
+    const SlotProblem problem = RandomProblem(&rng, 2, 10);
+    SlotEvaluator legacy(&problem);
+    SoaEvaluator soa(&problem, &arena);
+    EXPECT_GT(arena.allocated_bytes(), 0u);
+    const Solution s = Solution::Init(static_cast<size_t>(problem.n_rules),
+                                      InitStrategy::kRandom, &rng);
+    const Objectives want = legacy.Evaluate(s);
+    const Objectives got = soa.Evaluate(s);
+    EXPECT_NEAR(got.energy_kwh, want.energy_kwh, kFullEvalTol);
+    EXPECT_NEAR(got.error_sum, want.error_sum, kFullEvalTol);
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace imcf
