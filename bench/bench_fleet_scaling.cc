@@ -46,6 +46,13 @@ struct CellResult {
   double p50_ms = 0.0;
   double p99_ms = 0.0;
   double fe_sum_kwh = 0.0;  ///< determinism witness across worker counts
+  /// Cost-ledger totals across all tenants. cpu_ns is a measurement; the
+  /// rest are deterministic int64 sums (the compare_bench exact columns),
+  /// identical across worker counts.
+  double cpu_ns_total = 0.0;
+  int64_t arena_bytes = 0;
+  int64_t flip_evals = 0;
+  int64_t plans_ok = 0;
 };
 
 CellResult RunCell(int tenants, int workers, int hours, int plans_per_tenant) {
@@ -94,6 +101,13 @@ CellResult RunCell(int tenants, int workers, int hours, int plans_per_tenant) {
                          (static_cast<double>(elapsed_ns) / 1e9);
   result.p50_ms = PercentileMs(wall_ns, 50.0);
   result.p99_ms = PercentileMs(wall_ns, 99.0);
+  for (const obs::CostLedger::Row& ledger_row :
+       service.cost_ledger().Snapshot()) {
+    result.cpu_ns_total += static_cast<double>(ledger_row.cost.total_ns());
+    result.arena_bytes += ledger_row.cost.arena_bytes;
+    result.flip_evals += ledger_row.cost.flip_evals;
+    result.plans_ok += ledger_row.cost.plans_ok;
+  }
   return result;
 }
 
@@ -143,23 +157,39 @@ int main() {
   const int hours = quick ? 24 : 24 * 7;
   const int plans_per_tenant = 2;
 
-  std::printf("%-22s %12s %10s %10s %14s\n", "cell", "plans/sec", "p50 ms",
-              "p99 ms", "sum F_E kWh");
+  std::printf("%-22s %12s %10s %10s %14s %10s %12s %10s\n", "cell",
+              "plans/sec", "p50 ms", "p99 ms", "sum F_E kWh", "cpu ms",
+              "arena B", "flips");
   for (int tenants : tenant_counts) {
     for (int workers : worker_counts) {
       const CellResult cell =
           RunCell(tenants, workers, hours, plans_per_tenant);
       const std::string row =
           StrFormat("tenants=%d,workers=%d", tenants, workers);
+      // The per-tenant cost ledger's deterministic columns (arena_bytes,
+      // flip_evals, plans_ok) land in the JSON as exact-match cells: any
+      // cross-worker or cross-run difference is a determinism regression,
+      // not drift (compare_bench.py treats them as exact).
       std::printf(
-          "%-22s %12s %10s %10s %14s\n", row.c_str(),
+          "%-22s %12s %10s %10s %14s %10s %12s %10s\n", row.c_str(),
           report.Scalar("throughput", row, "plans_per_sec",
                         cell.plans_per_sec, 1)
               .c_str(),
           report.Scalar("latency", row, "p50_ms", cell.p50_ms, 2).c_str(),
           report.Scalar("latency", row, "p99_ms", cell.p99_ms, 2).c_str(),
           report.Scalar("determinism", row, "fe_sum_kwh", cell.fe_sum_kwh, 3)
+              .c_str(),
+          report.Scalar("tenant_cost", row, "cpu_ms", cell.cpu_ns_total / 1e6,
+                        2)
+              .c_str(),
+          report.Scalar("tenant_cost", row, "arena_bytes",
+                        static_cast<double>(cell.arena_bytes), 0)
+              .c_str(),
+          report.Scalar("tenant_cost", row, "flip_evals",
+                        static_cast<double>(cell.flip_evals), 0)
               .c_str());
+      report.Scalar("tenant_cost", row, "plans_ok",
+                    static_cast<double>(cell.plans_ok), 0);
     }
   }
 

@@ -14,9 +14,14 @@ Understands two formats, auto-detected per file:
 
 An entry regresses when current > baseline * (1 + threshold); for
 throughput-like cells (units containing "/s" or named *plans_per_sec*)
-the comparison direction flips. Entries present on only one side are
-reported but never fail the run (benchmarks come and go). Exit status is
-1 when any entry regresses beyond the threshold, else 0.
+the comparison direction flips. Deterministic count cells — metrics named
+*_ok, *_bytes or *_evals, e.g. the fleet bench's per-tenant cost columns
+(tenant_cost/*/arena_bytes, flip_evals, plans_ok) — are compared EXACTLY:
+they are integer sums guaranteed bit-identical across runs and worker
+counts, so any difference is a determinism break, not drift. Entries
+present on only one side are reported but never fail the run (benchmarks
+come and go). Exit status is 1 when any entry regresses beyond the
+threshold, else 0.
 
 Baselines are committed from the maintainers' reference machine, so on
 other hardware (CI runners especially) the comparison measures drift, not
@@ -28,8 +33,16 @@ import json
 import sys
 
 
+EXACT_METRIC_SUFFIXES = ("_ok", "_bytes", "_evals")
+
+
+def is_exact_metric(metric):
+    """Deterministic count columns: compared for equality, not drift."""
+    return metric.endswith(EXACT_METRIC_SUFFIXES)
+
+
 def load_entries(path):
-    """Returns ({name: (value, lower_is_better)}, format_tag)."""
+    """Returns ({name: (value, lower_is_better, exact)}, format_tag)."""
     with open(path) as f:
         data = json.load(f)
     entries = {}
@@ -46,7 +59,7 @@ def load_entries(path):
             for suffix in ("_median",):
                 if name.endswith(suffix):
                     name = name[: -len(suffix)]
-            entries[name] = (float(b["real_time"]), True)
+            entries[name] = (float(b["real_time"]), True, False)
         return entries, "google-benchmark"
     if "cells" in data:
         for cell in data["cells"]:
@@ -58,7 +71,8 @@ def load_entries(path):
                 continue
             metric = str(cell.get("metric", ""))
             lower_is_better = "per_sec" not in metric
-            entries[name] = (float(value), lower_is_better)
+            entries[name] = (float(value), lower_is_better,
+                             is_exact_metric(metric))
         return entries, "imcf-report"
     raise ValueError("%s: neither google-benchmark nor imcf Report JSON"
                      % path)
@@ -89,19 +103,24 @@ def main():
             print("%-*s %14.6g %14s %9s" % (width, name, base[name][0],
                                             "(gone)", "-"))
             continue
-        base_value, lower_is_better = base[name]
-        cur_value, _ = cur[name]
+        base_value, lower_is_better, exact = base[name]
+        cur_value = cur[name][0]
         if base_value == 0:
             ratio = float("inf") if cur_value else 1.0
         else:
             ratio = cur_value / base_value
-        worse = ratio > 1.0 + args.threshold if lower_is_better \
-            else ratio < 1.0 - args.threshold
-        better = ratio < 1.0 - args.threshold if lower_is_better \
-            else ratio > 1.0 + args.threshold
+        if exact:
+            # Deterministic columns: equal or broken, no drift allowance.
+            worse = cur_value != base_value
+            better = False
+        else:
+            worse = ratio > 1.0 + args.threshold if lower_is_better \
+                else ratio < 1.0 - args.threshold
+            better = ratio < 1.0 - args.threshold if lower_is_better \
+                else ratio > 1.0 + args.threshold
         flag = ""
         if worse:
-            flag = "  REGRESSED"
+            flag = "  MISMATCH (exact)" if exact else "  REGRESSED"
             regressions.append(name)
         elif better:
             flag = "  improved"

@@ -10,11 +10,22 @@
 // https://ui.perfetto.dev or chrome://tracing and follow one request's
 // serve.submit -> serve.execute -> sim.run -> plan.slot -> ep.search tree.
 //
-//   ./examples/fleet_service [tenants] [workers] [store_dir]
+// With a status port, the live introspection server comes up too:
+//
+//   ./examples/fleet_service 6 4 /tmp/imcf_fleet_demo 8080 60 &
+//   curl http://localhost:8080/statusz
+//   curl http://localhost:8080/tenantz?sort=cpu
+//   curl http://localhost:8080/sloz
+//   curl http://localhost:8080/metrics
+//
+//   ./examples/fleet_service [tenants] [workers] [store_dir] [status_port]
+//                            [serve_seconds]
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 
 #include "common/strings.h"
 #include "serve/fleet_service.h"
@@ -33,11 +44,13 @@ serve::TenantConfig TenantAt(int index) {
   return config;
 }
 
-int Run(int tenants, int workers, const std::string& store_dir) {
+int Run(int tenants, int workers, const std::string& store_dir,
+        int status_port, int serve_seconds) {
   serve::FleetOptions options;
   options.workers = workers;
   options.queue_capacity = 2 * tenants + 8;
   options.store_dir = store_dir;
+  options.status_port = status_port;
   // Observability wiring: log any request slower than 50 ms wall with its
   // collapsed span tree, and auto-dump the flight recorder when a drain
   // sees a shed/deadline-exceeded spike (the planted expiry below trips
@@ -82,6 +95,16 @@ int Run(int tenants, int workers, const std::string& store_dir) {
                 static_cast<long long>(r.plan.commands_issued));
   }
 
+  if (obs::StatusServer* server = (*service)->status_server()) {
+    std::printf("status server: http://localhost:%d  (try /statusz "
+                "/tenantz?sort=cpu /sloz /metrics /tracez)\n",
+                server->port());
+    if (serve_seconds > 0) {
+      std::printf("serving for %d s...\n", serve_seconds);
+      std::this_thread::sleep_for(std::chrono::seconds(serve_seconds));
+    }
+  }
+
   const std::string trace_path = store_dir + "/fleet_trace.json";
   if ((*service)->DumpTrace(trace_path)) {
     std::printf("trace: %s (open in https://ui.perfetto.dev)\n",
@@ -119,12 +142,16 @@ int main(int argc, char** argv) {
   const int workers = argc > 2 ? std::atoi(argv[2]) : 4;
   const std::string store_dir =
       argc > 3 ? argv[3] : std::string("/tmp/imcf_fleet_demo");
+  const int status_port = argc > 4 ? std::atoi(argv[4]) : -1;
+  const int serve_seconds = argc > 5 ? std::atoi(argv[5]) : 0;
   if (tenants <= 0 || workers < 0) {
-    std::fprintf(stderr, "usage: %s [tenants > 0] [workers >= 0] [dir]\n",
+    std::fprintf(stderr,
+                 "usage: %s [tenants > 0] [workers >= 0] [dir] "
+                 "[status_port] [serve_seconds]\n",
                  argv[0]);
     return 1;
   }
   std::printf("fleet service: %d tenants, %d workers, store %s\n", tenants,
               workers, store_dir.c_str());
-  return Run(tenants, workers, store_dir);
+  return Run(tenants, workers, store_dir, status_port, serve_seconds);
 }

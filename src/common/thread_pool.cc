@@ -4,6 +4,8 @@
 #include <atomic>
 #include <utility>
 
+#include "common/strings.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
 
@@ -51,7 +53,13 @@ ThreadPool::ThreadPool(int threads) {
   if (threads <= 0) threads = HardwareThreads();
   workers_.reserve(static_cast<size_t>(threads));
   for (int i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      // Registering the name before any span gives the flight recorder a
+      // labeled lane for this worker (/tracez, Perfetto thread_name).
+      obs::FlightRecorder::Default().SetCurrentThreadName(
+          StrFormat("pool-%d", i));
+      WorkerLoop();
+    });
   }
 }
 

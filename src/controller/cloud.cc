@@ -33,6 +33,9 @@ CloudMetaController::CloudMetaController(CloudOptions options)
   } else {
     owned_registry_ = std::make_unique<serve::TenantRegistry>(
         /*shards=*/4, options_.fault, options_.retry);
+    if (options_.cost_ledger != nullptr) {
+      owned_registry_->set_cost_ledger(options_.cost_ledger);
+    }
     registry_ = owned_registry_.get();
   }
 }

@@ -76,6 +76,11 @@ struct CloudOptions {
   /// owns a private registry built from `fault`/`retry`. When borrowing,
   /// the registry's own fault/retry options govern admitted tenants.
   serve::TenantRegistry* registry = nullptr;
+  /// Cost ledger attached to an owned registry, so standalone CMC runs get
+  /// per-household attribution too (WithTenant is the chokepoint). Ignored
+  /// when `registry` is borrowed — the borrowed registry keeps its own
+  /// ledger. Must outlive the controller.
+  obs::CostLedger* cost_ledger = nullptr;
 };
 
 /// Per-household outcome.

@@ -1,5 +1,8 @@
 #include "core/batch_planner.h"
 
+#include "obs/accounting/cost_ledger.h"
+#include "obs/scoped_timer.h"
+
 namespace imcf {
 namespace core {
 
@@ -7,9 +10,25 @@ BatchPlanner::BatchPlanner(const SlotPlanner* planner) : planner_(planner) {}
 
 PlanOutcome BatchPlanner::PlanOne(const SlotProblem& problem, Rng* rng) {
   arena_.Reset();
+#if IMCF_ACCOUNTING_ENABLED
+  // Cost attribution: charge the ambient tenant scope (if one is open —
+  // benches and solo callers have none, making these near-free) with the
+  // planning wall time and the arena bytes this problem consumed. The
+  // lifetime counter is grouping-independent, so the bytes are identical
+  // however the batch is sliced across workers.
+  const size_t bytes_before = arena_.lifetime_allocated_bytes();
+  const int64_t t0 = obs::ScopedTimer::NowNs();
+#endif
   const std::unique_ptr<Evaluator> evaluator =
       MakeSlotEvaluator(&problem, &arena_);
-  return planner_->PlanSlot(*evaluator, rng);
+  PlanOutcome outcome = planner_->PlanSlot(*evaluator, rng);
+#if IMCF_ACCOUNTING_ENABLED
+  IMCF_COST_ADD_PHASE_NS(obs::CostPhase::kPlan,
+                         obs::ScopedTimer::NowNs() - t0);
+  IMCF_COST_ADD_ARENA_BYTES(
+      static_cast<int64_t>(arena_.lifetime_allocated_bytes() - bytes_before));
+#endif
+  return outcome;
 }
 
 std::vector<PlanOutcome> BatchPlanner::PlanBatch(

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/accounting/cost_ledger.h"
 #include "obs/metrics.h"
 
 namespace imcf {
@@ -69,6 +70,13 @@ void Evaluator::FlushCacheStats(const char* kernel) const {
   if (cache_stats_.apply_flips != 0) {
     family.applies->Increment(cache_stats_.apply_flips);
   }
+  // Per-tenant attribution: both kernels destruct inside the planning
+  // scope, so the thread's ambient cost sink (if any) charges the flip
+  // evaluations to the tenant being planned. Deterministic: these are
+  // pure counts of planner work, independent of worker count.
+  IMCF_COST_ADD_FLIP_EVALS(cache_stats_.cache_hits +
+                           cache_stats_.cache_misses +
+                           cache_stats_.full_evals);
 }
 
 SlotEvaluator::SlotEvaluator(const SlotProblem* problem)

@@ -40,6 +40,7 @@ PlanArena::Block& PlanArena::AddBlock(size_t min_bytes) {
 
 void* PlanArena::AllocateBytes(size_t bytes) {
   allocated_bytes_ += bytes;
+  lifetime_allocated_bytes_ += bytes;
   high_water_bytes_ = std::max(high_water_bytes_, allocated_bytes_);
   const size_t rounded = RoundUp(bytes);
   while (current_ < blocks_.size()) {

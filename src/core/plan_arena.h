@@ -65,6 +65,12 @@ class PlanArena {
   size_t allocated_bytes() const { return allocated_bytes_; }
   /// Largest allocated_bytes() ever observed.
   size_t high_water_bytes() const { return high_water_bytes_; }
+  /// Bytes handed out over the arena's whole life — NOT reset by Reset().
+  /// Deltas of this counter attribute arena traffic to a unit of work
+  /// independently of how work is grouped into passes, which is what the
+  /// cost ledger's determinism contract needs (high_water_bytes depends on
+  /// batch composition; this does not).
+  size_t lifetime_allocated_bytes() const { return lifetime_allocated_bytes_; }
   /// Blocks currently owned (retained across Reset()).
   size_t block_count() const { return blocks_.size(); }
 
@@ -82,6 +88,7 @@ class PlanArena {
   size_t current_ = 0;  ///< index of the block being bumped
   size_t allocated_bytes_ = 0;
   size_t high_water_bytes_ = 0;
+  size_t lifetime_allocated_bytes_ = 0;
 };
 
 }  // namespace core

@@ -128,6 +128,18 @@ std::string LabelBlock(const Labels& labels, const std::string& extra_key = "",
   return out;
 }
 
+/// OpenMetrics exemplar suffix for bucket `i`, or "" when the bucket never
+/// saw a tagged observation — so registries without exemplars export
+/// byte-identical v0.0.4 text.
+std::string ExemplarSuffix(const MetricSnapshot& m, size_t i) {
+  if (i >= m.exemplar_ids.size() || m.exemplar_ids[i] == 0) return "";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), " # {trace_id=\"0x%016llx\"} %s",
+                static_cast<unsigned long long>(m.exemplar_ids[i]),
+                FormatDouble(m.exemplar_values[i]).c_str());
+  return buf;
+}
+
 }  // namespace
 
 std::string ToPrometheusText(const MetricRegistry& registry) {
@@ -146,11 +158,12 @@ std::string ToPrometheusText(const MetricRegistry& registry) {
         cumulative += m.buckets[i];
         out += m.name + "_bucket" +
                LabelBlock(m.labels, "le", FormatDouble(m.bounds[i])) + " " +
-               std::to_string(cumulative) + "\n";
+               std::to_string(cumulative) + ExemplarSuffix(m, i) + "\n";
       }
       cumulative += m.buckets.empty() ? 0 : m.buckets.back();
       out += m.name + "_bucket" + LabelBlock(m.labels, "le", "+Inf") + " " +
-             std::to_string(cumulative) + "\n";
+             std::to_string(cumulative) +
+             ExemplarSuffix(m, m.bounds.size()) + "\n";
       out += m.name + "_sum" + LabelBlock(m.labels) + " " +
              FormatDouble(m.sum) + "\n";
       out += m.name + "_count" + LabelBlock(m.labels) + " " +
@@ -196,6 +209,28 @@ std::string ToJson(const MetricRegistry& registry) {
       w.Key("buckets").BeginArray();
       for (int64_t c : m.buckets) w.Int(c);
       w.EndArray();
+      bool any_exemplar = false;
+      for (uint64_t id : m.exemplar_ids) any_exemplar |= id != 0;
+      if (any_exemplar) {
+        // One entry per exemplar-carrying bucket: `le` names the bucket
+        // ("+Inf" for the overflow bucket), ids render as 0x-hex to match
+        // the trace exports.
+        w.Key("exemplars").BeginArray();
+        for (size_t i = 0; i < m.exemplar_ids.size(); ++i) {
+          if (m.exemplar_ids[i] == 0) continue;
+          char hex[32];
+          std::snprintf(hex, sizeof(hex), "0x%016llx",
+                        static_cast<unsigned long long>(m.exemplar_ids[i]));
+          w.BeginObject();
+          w.Key("le").String(i < m.bounds.size()
+                                 ? FormatDouble(m.bounds[i])
+                                 : "+Inf");
+          w.Key("trace_id").String(hex);
+          w.Key("value").Double(m.exemplar_values[i]);
+          w.EndObject();
+        }
+        w.EndArray();
+      }
     } else {
       w.Key("value").Double(m.value);
     }

@@ -39,6 +39,13 @@ size_t CapacityFromEnv() {
 
 std::atomic<uint64_t> g_next_instance_id{1};
 
+/// The calling thread's registered name, inherited by rings it creates
+/// later (in any recorder instance).
+std::string& CurrentThreadNameSlot() {
+  thread_local std::string name;
+  return name;
+}
+
 }  // namespace
 
 /// One ring slot. Every payload field is a relaxed atomic so seqlock
@@ -70,6 +77,7 @@ struct FlightRecorder::Ring {
   std::unique_ptr<Slot[]> slots;
   const size_t mask;
   const int thread_index;
+  std::string name;  ///< writer's registered name; guarded by recorder mu_
   std::atomic<uint64_t> head{0};  ///< next write position (monotonic)
 };
 
@@ -104,9 +112,26 @@ FlightRecorder::Ring* FlightRecorder::RingForThisThread() {
     rings_.push_back(std::make_unique<Ring>(
         capacity_, static_cast<int>(rings_.size())));
     ring = rings_.back().get();
+    ring->name = CurrentThreadNameSlot();
   }
   cache.push_back(CacheEntry{instance_id_, ring});
   return ring;
+}
+
+void FlightRecorder::SetCurrentThreadName(const std::string& name) {
+  CurrentThreadNameSlot() = name;
+  Ring* ring = RingForThisThread();
+  std::lock_guard<std::mutex> lock(mu_);
+  ring->name = name;
+}
+
+std::vector<std::string> FlightRecorder::thread_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(rings_.size());
+  // Rings are appended in thread_index order, so position == index.
+  for (const auto& ring : rings_) names.push_back(ring->name);
+  return names;
 }
 
 void FlightRecorder::Record(const SpanRecord& record) {
@@ -181,6 +206,7 @@ std::vector<SpanRecord> FlightRecorder::Snapshot() const {
       if (!stable || record.name == nullptr) continue;
       record.detail[kSpanDetailBytes - 1] = '\0';
       record.thread_index = ring->thread_index;
+      record.thread_name = ring->name;
       out.push_back(record);
     }
   }

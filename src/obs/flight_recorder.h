@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 namespace imcf {
@@ -53,6 +54,9 @@ struct SpanRecord {
   int64_t sim_start = 0;
   int64_t sim_end = 0;
   int thread_index = 0;  ///< ring index, stable per writer thread
+  /// Registered name of the writer thread ("" when it never named itself;
+  /// see SetCurrentThreadName). Filled in by Snapshot, not stored per slot.
+  std::string thread_name;
   const char* arg_name = nullptr;  ///< optional numeric annotations
   int64_t arg_value = 0;
   const char* arg2_name = nullptr;
@@ -79,6 +83,18 @@ class FlightRecorder {
   /// Records one span into the calling thread's ring (creating the ring on
   /// first use). Lock-free after the first call per thread.
   void Record(const SpanRecord& record);
+
+  /// Registers a human-readable name ("pool-3", "drain") for the calling
+  /// thread, so dumps label lanes instead of showing bare ring indices.
+  /// Applies to this recorder's ring immediately (creating it if needed)
+  /// and is remembered thread-locally, so rings this thread later creates
+  /// in OTHER recorder instances inherit the name too. Typically called
+  /// once at thread start (the thread pool names its workers).
+  void SetCurrentThreadName(const std::string& name);
+
+  /// Registered writer names indexed by SpanRecord::thread_index ("" for
+  /// threads that never named themselves) — the dump-header lane table.
+  std::vector<std::string> thread_names() const;
 
   /// Best-effort consistent copy of every ring, oldest first within each
   /// ring. Slots under concurrent overwrite are skipped.

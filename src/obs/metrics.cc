@@ -45,13 +45,17 @@ Labels Canonicalize(Labels labels) {
 
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)),
-      buckets_(new std::atomic<int64_t>[bounds_.size() + 1]) {
+      buckets_(new std::atomic<int64_t>[bounds_.size() + 1]),
+      exemplar_ids_(new std::atomic<uint64_t>[bounds_.size() + 1]),
+      exemplar_values_(new std::atomic<double>[bounds_.size() + 1]) {
   for (size_t i = 0; i <= bounds_.size(); ++i) {
     buckets_[i].store(0, std::memory_order_relaxed);
+    exemplar_ids_[i].store(0, std::memory_order_relaxed);
+    exemplar_values_[i].store(0.0, std::memory_order_relaxed);
   }
 }
 
-void Histogram::Observe(double v) {
+void Histogram::Observe(double v, uint64_t exemplar_trace_id) {
   // First bucket with bound >= v; +Inf bucket otherwise. Bucket counts are
   // tiny arrays (<= ~20) so a linear scan beats binary search in practice.
   size_t i = 0;
@@ -59,6 +63,10 @@ void Histogram::Observe(double v) {
   buckets_[i].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   AtomicAddDouble(&sum_, v);
+  if (exemplar_trace_id != 0) {
+    exemplar_ids_[i].store(exemplar_trace_id, std::memory_order_relaxed);
+    exemplar_values_[i].store(v, std::memory_order_relaxed);
+  }
 }
 
 double Histogram::mean() const {
@@ -228,8 +236,12 @@ std::vector<MetricSnapshot> MetricRegistry::Snapshot() const {
           const Histogram& h = *entry.histogram;
           snap.bounds = h.bounds();
           snap.buckets.reserve(snap.bounds.size() + 1);
+          snap.exemplar_ids.reserve(snap.bounds.size() + 1);
+          snap.exemplar_values.reserve(snap.bounds.size() + 1);
           for (size_t i = 0; i <= snap.bounds.size(); ++i) {
             snap.buckets.push_back(h.bucket_count(i));
+            snap.exemplar_ids.push_back(h.exemplar_trace_id(i));
+            snap.exemplar_values.push_back(h.exemplar_value(i));
           }
           snap.count = h.count();
           snap.sum = h.sum();

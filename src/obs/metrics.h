@@ -73,9 +73,20 @@ class Gauge {
 /// Observations land in the first bucket whose upper bound is >= the value
 /// (Prometheus `le` semantics); values above every bound land in the
 /// implicit +Inf bucket.
+///
+/// Each bucket additionally remembers the trace id and value of the last
+/// observation tagged with one (an OpenMetrics *exemplar*), so a scrape of
+/// a latency histogram links straight to a flight-recorder trace that
+/// landed in that bucket. Exemplars are best-effort: the id/value pair is
+/// two relaxed atomics, so a reader racing two writers may pair one
+/// writer's id with the other's value — both are real recent observations
+/// of that bucket, which is all an exemplar promises.
 class Histogram {
  public:
-  void Observe(double v);
+  void Observe(double v) { Observe(v, 0); }
+  /// As Observe(v); additionally records (trace_id, v) as the bucket's
+  /// exemplar when trace_id != 0.
+  void Observe(double v, uint64_t exemplar_trace_id);
 
   int64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
@@ -90,6 +101,15 @@ class Histogram {
     return buckets_[i].load(std::memory_order_relaxed);
   }
 
+  /// Trace id of bucket `i`'s last tagged observation (0 = none yet).
+  uint64_t exemplar_trace_id(size_t i) const {
+    return exemplar_ids_[i].load(std::memory_order_relaxed);
+  }
+  /// Observed value that came with that exemplar.
+  double exemplar_value(size_t i) const {
+    return exemplar_values_[i].load(std::memory_order_relaxed);
+  }
+
   /// Estimated q-quantile (q in [0, 1]) by linear interpolation inside the
   /// target bucket; observations in the +Inf bucket report the largest
   /// finite bound. 0 when empty.
@@ -101,6 +121,8 @@ class Histogram {
 
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<int64_t>[]> buckets_;  // bounds_.size() + 1
+  std::unique_ptr<std::atomic<uint64_t>[]> exemplar_ids_;    // same length
+  std::unique_ptr<std::atomic<double>[]> exemplar_values_;   // same length
   std::atomic<int64_t> count_{0};
   std::atomic<double> sum_{0.0};
 };
@@ -127,6 +149,9 @@ struct MetricSnapshot {
   double value = 0.0;          ///< counter / gauge
   std::vector<double> bounds;  ///< histogram only
   std::vector<int64_t> buckets;
+  /// Per-bucket exemplars, parallel to `buckets` (id 0 = no exemplar).
+  std::vector<uint64_t> exemplar_ids;
+  std::vector<double> exemplar_values;
   int64_t count = 0;
   double sum = 0.0;
 };

@@ -1,0 +1,170 @@
+// Per-tenant SLO burn-rate engine over sliding sim-time windows.
+//
+// An SLO says "at most X% of this tenant's requests may be bad"; the error
+// budget is that X%. The burn rate is how fast the budget is being spent:
+// bad_fraction / budget, so burn 1.0 exhausts the budget exactly at the end
+// of the window and burn 2.0 exhausts it halfway through. Following the
+// multi-window pattern, an alert fires only when BOTH a short window (fast
+// signal) and a long window (sustained, not a blip) burn at or above the
+// threshold — a short spike that already drained out of the long window
+// stays quiet, and a long-dead incident no longer pins the alert.
+//
+// Three objectives per tenant, matching what the fleet actually promises:
+//
+//   * kPlanLatency  — fraction of plan requests slower (wall) than the
+//                     target must stay under 1 - latency_target_quantile.
+//   * kShedRate     — fraction of submissions shed at admission must stay
+//                     under max_shed_rate.
+//   * kDeadlineHit  — fraction of deadline-carrying requests that miss must
+//                     stay under 1 - min_deadline_hit_rate.
+//
+// Windows slide on SIMULATION time (the fleet's drain clock), bucketed into
+// bucket_seconds rings with lazy invalidation: each bucket remembers which
+// absolute bucket index it holds, so a sim-clock jump across any number of
+// boundaries simply orphans stale buckets (they read as zero) instead of
+// requiring an eager sweep. Every bad event carries the request's trace id;
+// the newest one in the window is reported as the alert's exemplar, linking
+// a burning SLO straight to flight-recorder spans.
+//
+// Like the rest of obs, this module is a dependency leaf (std only).
+
+#ifndef IMCF_OBS_SLO_SLO_ENGINE_H_
+#define IMCF_OBS_SLO_SLO_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace imcf {
+namespace obs {
+
+/// Objectives tracked per tenant.
+enum class SloObjective : uint8_t {
+  kPlanLatency = 0,  ///< plan wall latency at the target quantile
+  kShedRate = 1,     ///< admission sheds / submissions
+  kDeadlineHit = 2,  ///< deadline misses / deadline-carrying requests
+};
+
+inline constexpr size_t kNumSloObjectives = 3;
+
+const char* SloObjectiveName(SloObjective objective);
+
+/// Per-tenant objectives and window geometry. The defaults are deliberately
+/// loose (a fleet under test should be quiet); tests and tenants with real
+/// promises tighten them via SloEngine::SetObjectives.
+struct SloOptions {
+  /// kPlanLatency: a plan request is bad if its wall time exceeds this.
+  int64_t plan_latency_ms = 250;
+  /// ...and at most (1 - quantile) of plan requests may be bad.
+  double latency_target_quantile = 0.99;
+  /// kShedRate: budgeted fraction of submissions shed at admission.
+  double max_shed_rate = 0.05;
+  /// kDeadlineHit: required hit rate among deadline-carrying requests.
+  double min_deadline_hit_rate = 0.95;
+  /// Fire when BOTH windows burn at or above this (>= — exactly-at fires).
+  double burn_threshold = 2.0;
+  /// Short (fast) and long (sustained) windows, in sim seconds.
+  int64_t short_window_seconds = 3600;
+  int64_t long_window_seconds = 86400;
+  /// Ring bucket width; must divide into sensibly many buckets per window.
+  int64_t bucket_seconds = 900;
+};
+
+/// One request's worth of SLO-relevant facts, fed once per response (or
+/// once per shed decision, with shed = true and everything else false).
+struct SloEvent {
+  int64_t sim_time = 0;        ///< fleet drain clock (sim seconds)
+  bool shed = false;           ///< rejected at admission
+  bool is_plan = false;        ///< counts toward kPlanLatency
+  int64_t plan_wall_ns = 0;    ///< wall time of the plan, if is_plan
+  bool had_deadline = false;   ///< counts toward kDeadlineHit
+  bool deadline_miss = false;  ///< ...and missed it
+  uint64_t trace_id = 0;       ///< exemplar link into the flight recorder
+};
+
+/// Evaluated state of one (tenant, objective) pair.
+struct BurnStatus {
+  std::string tenant;
+  SloObjective objective = SloObjective::kPlanLatency;
+  double short_burn = 0.0;
+  double long_burn = 0.0;
+  bool firing = false;
+  uint64_t exemplar_trace_id = 0;  ///< newest bad event in the long window
+};
+
+/// The engine: per-tenant bucket rings, evaluated on demand. Observe is a
+/// short mutex hold (once per response — three orders of magnitude cooler
+/// than the planner's inner loops); Evaluate walks every tenant and is meant
+/// for drain-edge checks and the /sloz page.
+class SloEngine {
+ public:
+  explicit SloEngine(SloOptions defaults = {});
+
+  SloEngine(const SloEngine&) = delete;
+  SloEngine& operator=(const SloEngine&) = delete;
+
+  /// Overrides the objectives for one tenant (takes effect on the next
+  /// Observe/Evaluate; existing window contents are kept).
+  void SetObjectives(const std::string& tenant, const SloOptions& options);
+
+  /// Feeds one request's facts into the tenant's windows.
+  void Observe(const std::string& tenant, const SloEvent& event);
+
+  /// Burn state of every (tenant, objective), sorted by tenant then
+  /// objective — deterministic for a given event stream and sim_now.
+  std::vector<BurnStatus> Evaluate(int64_t sim_now) const;
+
+  /// Rising-edge filter over Evaluate: the pairs that are firing now but
+  /// were not firing at the previous NewlyFiring call. Drives the one-shot
+  /// burn dumps (a sustained burn dumps once, not once per drain).
+  std::vector<BurnStatus> NewlyFiring(int64_t sim_now);
+
+  /// The /sloz body: Evaluate rendered as a JSON array.
+  std::string ToJson(int64_t sim_now) const;
+
+  /// Drops all windows and edge state (tests, between bench cells).
+  void Clear();
+
+ private:
+  /// One ring bucket: absolute bucket index + per-objective good/bad
+  /// tallies. A slot whose `index` disagrees with the index the reader or
+  /// writer expects is stale (the clock moved on) and reads as zero.
+  struct Bucket {
+    int64_t index = -1;
+    int64_t good[kNumSloObjectives] = {0, 0, 0};
+    int64_t bad[kNumSloObjectives] = {0, 0, 0};
+    uint64_t exemplar[kNumSloObjectives] = {0, 0, 0};  ///< last bad trace
+  };
+
+  struct Tenant {
+    SloOptions options;
+    std::vector<Bucket> ring;  ///< sized for the long window
+  };
+
+  struct WindowTotals {
+    int64_t good = 0;
+    int64_t bad = 0;
+    uint64_t exemplar = 0;
+    int64_t exemplar_index = -1;  ///< bucket index the exemplar came from
+  };
+
+  Tenant& TenantState(const std::string& id);
+  Bucket& BucketFor(Tenant& tenant, int64_t bucket_index);
+  WindowTotals Sum(const Tenant& tenant, SloObjective objective,
+                   int64_t sim_now, int64_t window_seconds) const;
+  static double Burn(const WindowTotals& totals, double budget);
+
+  SloOptions defaults_;
+  mutable std::mutex mu_;
+  std::map<std::string, Tenant> tenants_;
+  /// (tenant, objective) pairs firing at the last NewlyFiring call.
+  std::set<std::pair<std::string, int>> firing_;
+};
+
+}  // namespace obs
+}  // namespace imcf
+
+#endif  // IMCF_OBS_SLO_SLO_ENGINE_H_

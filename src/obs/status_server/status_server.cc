@@ -1,0 +1,214 @@
+#include "obs/status_server/status_server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/export.h"
+#include "obs/trace_export.h"
+
+namespace imcf {
+namespace obs {
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+/// Reads until the end of the request line (we ignore headers — HTTP/1.0
+/// GET with no body is all we serve). Bounded so a hostile peer cannot make
+/// us buffer forever.
+bool ReadRequestLine(int fd, std::string* line) {
+  char buf[1024];
+  std::string data;
+  while (data.find("\r\n") == std::string::npos && data.size() < 8192) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    data.append(buf, static_cast<size_t>(n));
+  }
+  size_t end = data.find("\r\n");
+  if (end == std::string::npos) return false;
+  *line = data.substr(0, end);
+  return true;
+}
+
+void WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+HttpRequest ParseRequestTarget(const std::string& target) {
+  HttpRequest request;
+  size_t qmark = target.find('?');
+  request.path = target.substr(0, qmark);
+  if (qmark == std::string::npos) return request;
+  std::string query = target.substr(qmark + 1);
+  size_t pos = 0;
+  while (pos <= query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    std::string pair = query.substr(pos, amp - pos);
+    if (!pair.empty()) {
+      size_t eq = pair.find('=');
+      if (eq == std::string::npos) {
+        request.query[pair] = "";
+      } else {
+        request.query[pair.substr(0, eq)] = pair.substr(eq + 1);
+      }
+    }
+    pos = amp + 1;
+  }
+  return request;
+}
+
+StatusServer::~StatusServer() { Stop(); }
+
+void StatusServer::Handle(const std::string& path, HttpHandler handler) {
+  std::lock_guard<std::mutex> lock(handlers_mu_);
+  handlers_[path] = std::move(handler);
+}
+
+bool StatusServer::Start(int port, std::string* error) {
+  if (running_.load(std::memory_order_acquire)) {
+    if (error) *error = "already running";
+    return false;
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error) *error = std::string("bind: ") + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  if (::listen(fd, 16) != 0) {
+    if (error) *error = std::string("listen: ") + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    if (error) *error = std::string("getsockname: ") + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  listen_fd_ = fd;
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  return true;
+}
+
+void StatusServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  port_ = 0;
+}
+
+void StatusServer::Serve() {
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, /*timeout_ms=*/250);
+    if (ready <= 0) continue;  // timeout (re-check running_) or EINTR
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void StatusServer::HandleConnection(int fd) {
+  std::string line;
+  if (!ReadRequestLine(fd, &line)) return;
+
+  // "GET /path?query HTTP/1.0"
+  size_t sp1 = line.find(' ');
+  size_t sp2 = line.find(' ', sp1 == std::string::npos ? sp1 : sp1 + 1);
+  HttpResponse response;
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    response = HttpResponse{400, "text/plain; charset=utf-8",
+                            "malformed request line\n"};
+  } else if (line.substr(0, sp1) != "GET") {
+    response = HttpResponse{405, "text/plain; charset=utf-8", "GET only\n"};
+  } else {
+    HttpRequest request =
+        ParseRequestTarget(line.substr(sp1 + 1, sp2 - sp1 - 1));
+    HttpHandler handler;
+    {
+      std::lock_guard<std::mutex> lock(handlers_mu_);
+      auto it = handlers_.find(request.path);
+      if (it != handlers_.end()) handler = it->second;
+    }
+    if (handler) {
+      response = handler(request);
+    } else {
+      std::string body = "no handler for " + request.path + "\nknown paths:\n";
+      std::lock_guard<std::mutex> lock(handlers_mu_);
+      for (const auto& [path, unused] : handlers_) body += "  " + path + "\n";
+      response = HttpResponse{404, "text/plain; charset=utf-8", body};
+    }
+  }
+
+  std::string head = "HTTP/1.0 " + std::to_string(response.status) + " " +
+                     StatusText(response.status) +
+                     "\r\nContent-Type: " + response.content_type +
+                     "\r\nContent-Length: " +
+                     std::to_string(response.body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  WriteAll(fd, head + response.body);
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RegisterDefaultHandlers(StatusServer* server, MetricRegistry* registry,
+                             FlightRecorder* recorder) {
+  if (registry != nullptr) {
+    server->Handle("/metrics", [registry](const HttpRequest&) {
+      return HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                          ToPrometheusText(*registry)};
+    });
+  }
+  if (recorder != nullptr) {
+    server->Handle("/tracez", [recorder](const HttpRequest&) {
+      return HttpResponse{200, "application/json",
+                          TraceEventJson(recorder->Snapshot())};
+    });
+  }
+}
+
+}  // namespace obs
+}  // namespace imcf

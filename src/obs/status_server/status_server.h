@@ -1,0 +1,110 @@
+// Minimal HTTP/1.0 status server: the fleet's first externally visible
+// surface.
+//
+// Serves hand-registered GET handlers (/metrics, /statusz, /tenantz, /sloz,
+// /tracez) from a single blocking-accept thread. Deliberately primitive —
+// one connection at a time, Connection: close, no keep-alive, no TLS, no
+// request bodies — because its job is operator introspection on a trusted
+// network, not serving traffic; ROADMAP item 1's real network front door
+// will be its own subsystem. Port 0 binds an ephemeral port (tests read it
+// back via port()), and the accept loop polls with a short timeout so
+// Stop() takes effect within ~250 ms without needing a self-connect.
+//
+// POSIX sockets only; like the rest of obs this stays a dependency leaf
+// (std + libc), so errors surface as bool + message rather than
+// common/Status (common already depends on obs).
+
+#ifndef IMCF_OBS_STATUS_SERVER_STATUS_SERVER_H_
+#define IMCF_OBS_STATUS_SERVER_STATUS_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace imcf {
+namespace obs {
+
+/// A parsed GET request: path split from the query string, query decoded
+/// into key -> value (last key wins; no %-unescaping — introspection
+/// parameters are plain tokens like "cpu" or "32").
+struct HttpRequest {
+  std::string path;
+  std::map<std::string, std::string> query;
+};
+
+/// What a handler produces. Body is returned verbatim.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Registered per path; must be thread-safe against the serving thread.
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class StatusServer {
+ public:
+  StatusServer() = default;
+  ~StatusServer();
+
+  StatusServer(const StatusServer&) = delete;
+  StatusServer& operator=(const StatusServer&) = delete;
+
+  /// Registers `handler` for exact-match `path` ("/metrics"). Replaces any
+  /// existing handler. Safe before or after Start.
+  void Handle(const std::string& path, HttpHandler handler);
+
+  /// Binds 0.0.0.0:`port` (0 = ephemeral) and starts the accept thread.
+  /// Returns false with `*error` filled on bind/listen failure.
+  bool Start(int port, std::string* error);
+
+  /// The bound port (valid after a successful Start; 0 otherwise).
+  int port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Stops accepting, joins the serving thread. Idempotent; called by the
+  /// destructor.
+  void Stop();
+
+  /// Requests served since Start (the /statusz counter, and a convenient
+  /// test synchronization point).
+  int64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+
+  std::map<std::string, HttpHandler> handlers_;
+  mutable std::mutex handlers_mu_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<int64_t> requests_served_{0};
+  std::thread thread_;
+};
+
+/// Parses "/tenantz?sort=cpu&k=10" into path + query map.
+HttpRequest ParseRequestTarget(const std::string& target);
+
+class MetricRegistry;
+class FlightRecorder;
+
+/// Registers the obs-level default pages: /metrics (Prometheus text
+/// exposition with exemplars) and /tracez (Chrome trace-event JSON of a
+/// fresh flight-recorder snapshot). Pass null to skip either. The serving
+/// layer adds its own pages (/statusz, /tenantz, /sloz) on top via
+/// serve/introspection.h.
+void RegisterDefaultHandlers(StatusServer* server, MetricRegistry* registry,
+                             FlightRecorder* recorder);
+
+}  // namespace obs
+}  // namespace imcf
+
+#endif  // IMCF_OBS_STATUS_SERVER_STATUS_SERVER_H_

@@ -147,6 +147,24 @@ std::string TraceEventJson(const std::vector<SpanRecord>& records) {
   JsonWriter w;
   w.BeginObject();
   w.Key("traceEvents").BeginArray();
+  // Lane labels first: one Chrome metadata event (ph "M") per writer
+  // thread that registered a name, so Perfetto shows "drain"/"pool-3"
+  // instead of bare numeric tids.
+  std::map<int, std::string> lane_names;
+  for (const SpanRecord& r : records) {
+    if (!r.thread_name.empty()) lane_names[r.thread_index] = r.thread_name;
+  }
+  for (const auto& [tid, name] : lane_names) {
+    w.BeginObject();
+    w.Key("name").String("thread_name");
+    w.Key("ph").String("M");
+    w.Key("pid").Int(1);
+    w.Key("tid").Int(tid);
+    w.Key("args").BeginObject();
+    w.Key("name").String(name);
+    w.EndObject();
+    w.EndObject();
+  }
   for (const SpanRecord* r : sorted) {
     const bool instant = r->wall_end_ns == r->wall_start_ns;
     w.BeginObject();

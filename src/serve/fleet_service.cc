@@ -9,10 +9,12 @@
 #include "common/rng.h"
 #include "common/strings.h"
 #include "fault/command_bus.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
 #include "obs/trace_export.h"
 #include "obs/tracer.h"
+#include "serve/introspection.h"
 
 namespace imcf {
 namespace serve {
@@ -85,6 +87,12 @@ FleetService::FleetService(FleetOptions options)
   registry_ = std::make_unique<TenantRegistry>(options_.shards,
                                                options_.fault,
                                                options_.retry);
+  // The ledger shares the registry's shard geometry, and the registry's
+  // WithTenant chokepoint charges into it; under IMCF_DISABLE_ACCOUNTING
+  // the ledger object exists but nothing ever writes to it.
+  cost_ledger_ = std::make_unique<obs::CostLedger>(options_.shards);
+  registry_->set_cost_ledger(cost_ledger_.get());
+  slo_ = std::make_unique<obs::SloEngine>(options_.slo);
   queues_.reserve(static_cast<size_t>(options_.shards));
   auto& reg = obs::MetricRegistry::Default();
   for (int i = 0; i < options_.shards; ++i) {
@@ -120,6 +128,19 @@ Result<std::unique_ptr<FleetService>> FleetService::Create(
     (void)recovered;
     ServeMetrics::Get().tenants->Set(
         static_cast<double>(service->registry_->size()));
+  }
+  if (service->options_.status_port >= 0) {
+    service->status_server_ = std::make_unique<obs::StatusServer>();
+    obs::RegisterDefaultHandlers(service->status_server_.get(),
+                                 &obs::MetricRegistry::Default(),
+                                 &obs::FlightRecorder::Default());
+    RegisterIntrospectionHandlers(service->status_server_.get(),
+                                  service.get());
+    std::string error;
+    if (!service->status_server_->Start(service->options_.status_port,
+                                        &error)) {
+      return Status::Internal("status server: " + error);
+    }
   }
   return service;
 }
@@ -180,6 +201,15 @@ std::optional<Response> FleetService::Submit(Request request) {
   rejection.outcome = ServeOutcome::kShed;
   rejection.retry_after_seconds = options_.shed_retry_after_seconds;
   metrics.shed_total->Increment();
+#if IMCF_ACCOUNTING_ENABLED
+  // Sheds enter the SLO windows at submission time: they never reach a
+  // drain, so this is the only edge that can see them.
+  obs::SloEvent shed_event;
+  shed_event.sim_time = request.issue_time;
+  shed_event.shed = true;
+  shed_event.trace_id = ServeTraceId(id);
+  slo_->Observe(request.tenant, shed_event);
+#endif
   CountResponse(rejection);
   return rejection;
 }
@@ -221,7 +251,16 @@ Status FleetService::ExecuteCommand(Tenant& tenant, const Request& request,
   // delivery outcomes replay identically at any worker count.
   fault::CommandBus bus(&fault_plan_, options_.retry,
                         &tenant.simulator().registry());
+#if IMCF_ACCOUNTING_ENABLED
+  const int64_t bus_start_ns = obs::ScopedTimer::NowNs();
+#endif
   const fault::Delivery delivery = bus.Deliver(cmd);
+  IMCF_COST_ADD_PHASE_NS(obs::CostPhase::kCommandBus,
+                         obs::ScopedTimer::NowNs() - bus_start_ns);
+  // Faults charged to the tenant: every failed attempt (a delivered
+  // command with N attempts burned N-1 faults; an undelivered one, N).
+  IMCF_COST_ADD_FAULT(delivery.delivered ? delivery.attempts - 1
+                                         : delivery.attempts);
   response->command_delivered = delivery.delivered;
   response->command_attempts = delivery.attempts;
   if (delivery.delivered) tenant.stats().commands_served += 1;
@@ -249,6 +288,7 @@ Response FleetService::Execute(const QueuedItem& item, SimTime now,
   response.tenant = request.tenant;
   response.kind = request.kind;
   response.virtual_latency_seconds = now - request.issue_time;
+  response.had_deadline = request.deadline != 0;
 
   // The worker half of the request's trace: parented on the submit span
   // carried inside the request, so the cross-thread handoff keeps one
@@ -312,6 +352,14 @@ std::vector<Response> FleetService::Drain(SimTime now) {
     for (QueuedItem& item : shard->items) {
       shard_wait_ns_[static_cast<size_t>(item.shard)]->Observe(
           static_cast<double>(drain_start_ns - item.enqueue_ns));
+#if IMCF_ACCOUNTING_ENABLED
+      // Queue wait is charged here because no ScopedCost is open while the
+      // request sits in the queue — the drain is the first point where both
+      // the tenant and the wait are known.
+      cost_ledger_->AddPhaseNs(item.shard, item.request.tenant,
+                               obs::CostPhase::kQueueWait,
+                               drain_start_ns - item.enqueue_ns);
+#endif
       per_tenant[item.request.tenant].push_back(std::move(item));
     }
     shard->items.clear();
@@ -376,6 +424,8 @@ std::vector<Response> FleetService::Drain(SimTime now) {
             [](const Response& a, const Response& b) { return a.id < b.id; });
   for (const Response& response : responses) CountResponse(response);
 
+  last_drain_now_.store(now, std::memory_order_relaxed);
+  FeedSlo(responses, now);
   MaybeDumpSpike(responses);
   LogSlowRequests(responses);
   return responses;
@@ -469,12 +519,107 @@ size_t FleetService::queued() const {
   return n;
 }
 
+std::vector<size_t> FleetService::queue_depths() const {
+  std::vector<size_t> depths;
+  depths.reserve(queues_.size());
+  for (const auto& shard : queues_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    depths.push_back(shard->items.size());
+  }
+  return depths;
+}
+
+void FleetService::FeedSlo(const std::vector<Response>& responses,
+                           SimTime now) {
+#if IMCF_ACCOUNTING_ENABLED
+  for (const Response& response : responses) {
+    if (response.outcome == ServeOutcome::kTenantNotFound ||
+        response.tenant.empty()) {
+      continue;
+    }
+    obs::SloEvent event;
+    event.sim_time = now;
+    event.is_plan = response.kind == RequestKind::kPlan &&
+                    response.outcome == ServeOutcome::kOk;
+    event.plan_wall_ns = response.wall_ns;
+    event.had_deadline = response.had_deadline;
+    event.deadline_miss = response.outcome == ServeOutcome::kDeadlineExceeded;
+    event.trace_id = ServeTraceId(response.id);
+    slo_->Observe(response.tenant, event);
+  }
+  const std::vector<obs::BurnStatus> fresh = slo_->NewlyFiring(now);
+  if (fresh.empty()) return;
+  for (const obs::BurnStatus& burn : fresh) {
+    IMCF_LOG(kWarning) << "SLO burn: tenant=" << burn.tenant << " objective="
+                       << obs::SloObjectiveName(burn.objective)
+                       << " short_burn=" << burn.short_burn << " long_burn="
+                       << burn.long_burn << " exemplar_trace_id=0x"
+                       << StrFormat("%016llx",
+                                    static_cast<unsigned long long>(
+                                        burn.exemplar_trace_id));
+  }
+  if (options_.trace_dump_dir.empty()) return;
+  // A newly burning SLO triggers the same evidence-preservation move as a
+  // shed spike: dump the flight recorder before the rings overwrite it.
+  const int seq = slo_dumps_.fetch_add(1, std::memory_order_relaxed);
+  const std::string path =
+      options_.trace_dump_dir + StrFormat("/trace_slo_%d.json", seq);
+  if (DumpTrace(path)) {
+    IMCF_LOG(kWarning) << "SLO burn: dumped trace to " << path;
+  } else {
+    IMCF_LOG(kWarning) << "SLO burn: failed to write trace to " << path;
+  }
+#else
+  (void)responses;
+  (void)now;
+#endif
+}
+
 void FleetService::CountResponse(const Response& response) {
   const ServeMetrics& metrics = ServeMetrics::Get();
   metrics.responses[static_cast<size_t>(response.outcome)]->Increment();
   if (response.outcome == ServeOutcome::kOk && response.wall_ns > 0) {
-    metrics.latency_ns->Observe(static_cast<double>(response.wall_ns));
+    // The request's trace id rides along as the bucket exemplar, so a
+    // latency bucket on /metrics links straight to a /tracez span tree.
+    metrics.latency_ns->Observe(static_cast<double>(response.wall_ns),
+                                ServeTraceId(response.id));
   }
+#if IMCF_ACCOUNTING_ENABLED
+  // Outcome tallies (the deterministic half of the ledger). Unknown-tenant
+  // responses have no row to charge.
+  if (response.outcome != ServeOutcome::kTenantNotFound &&
+      !response.tenant.empty()) {
+    obs::TenantCost delta;
+    switch (response.outcome) {
+      case ServeOutcome::kOk:
+        switch (response.kind) {
+          case RequestKind::kPlan:
+            delta.plans_ok = 1;
+            break;
+          case RequestKind::kCommand:
+            delta.commands_ok = 1;
+            break;
+          case RequestKind::kQuery:
+            delta.queries_ok = 1;
+            break;
+        }
+        break;
+      case ServeOutcome::kError:
+        delta.errors = 1;
+        break;
+      case ServeOutcome::kShed:
+        delta.sheds = 1;
+        break;
+      case ServeOutcome::kDeadlineExceeded:
+        delta.deadline_misses = 1;
+        break;
+      case ServeOutcome::kTenantNotFound:
+        break;
+    }
+    cost_ledger_->Apply(registry_->ShardOf(response.tenant), response.tenant,
+                        delta);
+  }
+#endif
   if (options_.per_tenant_metrics && !response.tenant.empty()) {
     obs::MetricRegistry::Default()
         .GetCounter("imcf_serve_tenant_responses_total",

@@ -43,7 +43,10 @@
 #include "core/plan_arena.h"
 #include "fault/fault_plan.h"
 #include "fault/retry.h"
+#include "obs/accounting/cost_ledger.h"
 #include "obs/metrics.h"
+#include "obs/slo/slo_engine.h"
+#include "obs/status_server/status_server.h"
 #include "serve/request.h"
 #include "serve/tenant_registry.h"
 #include "storage/table_store.h"
@@ -90,6 +93,16 @@ struct FleetOptions {
   /// `<trace_dump_dir>/trace_spike_<n>.json`. Empty disables.
   std::string trace_dump_dir;
   int spike_dump_threshold = 0;
+  /// Default per-tenant service objectives (plan latency, shed rate,
+  /// deadline hit rate) and burn-rate window geometry. A tenant whose SLO
+  /// starts burning at the configured multi-window threshold triggers the
+  /// same auto-dump machinery as a shed spike
+  /// (`<trace_dump_dir>/trace_slo_<n>.json`).
+  obs::SloOptions slo;
+  /// Live introspection port: -1 disables the status server, 0 binds an
+  /// ephemeral port (tests read it back via status_server()->port()).
+  /// Serves /metrics /statusz /tenantz /sloz /tracez.
+  int status_port = -1;
 };
 
 /// The service.
@@ -130,6 +143,9 @@ class FleetService {
   /// Requests currently queued across all shards.
   size_t queued() const;
 
+  /// Current queue depth per shard (the /statusz skew view).
+  std::vector<size_t> queue_depths() const;
+
   /// Dumps the process flight recorder as Perfetto JSON to `path` (the
   /// on-demand trace sink). Returns false when the file cannot be written.
   bool DumpTrace(const std::string& path) const;
@@ -137,6 +153,23 @@ class FleetService {
   TenantRegistry& registry() { return *registry_; }
   const TenantRegistry& registry() const { return *registry_; }
   const FleetOptions& options() const { return options_; }
+
+  /// Per-tenant cost attribution (who is spending what, by phase). Always
+  /// present; stays empty when built with IMCF_DISABLE_ACCOUNTING.
+  obs::CostLedger& cost_ledger() { return *cost_ledger_; }
+  const obs::CostLedger& cost_ledger() const { return *cost_ledger_; }
+
+  /// Per-tenant SLO burn-rate state (fed once per response at drain time).
+  obs::SloEngine& slo_engine() { return *slo_; }
+  const obs::SloEngine& slo_engine() const { return *slo_; }
+
+  /// The status server, or null when options().status_port == -1.
+  obs::StatusServer* status_server() { return status_server_.get(); }
+
+  /// Virtual time of the most recent Drain (the /sloz evaluation point).
+  SimTime last_drain_time() const {
+    return last_drain_now_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct QueuedItem {
@@ -179,11 +212,18 @@ class FleetService {
   /// threshold, with its collapsed span tree.
   void LogSlowRequests(const std::vector<Response>& responses);
 
+  /// Feeds one drain's responses into the SLO windows and auto-dumps the
+  /// flight recorder on a rising burn edge
+  /// (`<trace_dump_dir>/trace_slo_<n>.json`).
+  void FeedSlo(const std::vector<Response>& responses, SimTime now);
+
   FleetOptions options_;
   std::unique_ptr<TenantRegistry> registry_;
   std::unique_ptr<TableStore> store_;      // null without persistence
   std::unique_ptr<ThreadPool> pool_;       // null when workers == 1
   fault::FaultPlan fault_plan_;
+  std::unique_ptr<obs::CostLedger> cost_ledger_;  // always non-null
+  std::unique_ptr<obs::SloEngine> slo_;           // always non-null
   std::vector<std::unique_ptr<QueueShard>> queues_;
   /// Per-shard instrumentation (satellite of the aggregate gauges in
   /// ServeMetrics): hot-shard skew is visible instead of averaged away.
@@ -193,6 +233,11 @@ class FleetService {
   /// Sheds since the last spike check (drained by Drain's spike detector).
   std::atomic<int64_t> sheds_since_check_{0};
   std::atomic<int> spike_dumps_{0};
+  std::atomic<int> slo_dumps_{0};
+  std::atomic<SimTime> last_drain_now_{0};
+  /// Declared last so its serving thread stops before any state the
+  /// introspection handlers read is torn down.
+  std::unique_ptr<obs::StatusServer> status_server_;  // null when disabled
 };
 
 }  // namespace serve

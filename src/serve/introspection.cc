@@ -1,0 +1,86 @@
+#include "serve/introspection.h"
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/accounting/cost_ledger.h"
+#include "obs/json_writer.h"
+#include "obs/slo/slo_engine.h"
+#include "obs/status_server/status_server.h"
+#include "serve/fleet_service.h"
+
+namespace imcf {
+namespace serve {
+
+namespace {
+
+constexpr const char* kJsonContentType = "application/json; charset=utf-8";
+
+std::string StatuszJson(const FleetService& service,
+                        const obs::StatusServer& server) {
+  const FleetOptions& options = service.options();
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("service").String("imcf-fleet");
+  json.Key("accounting_enabled").Bool(IMCF_ACCOUNTING_ENABLED != 0);
+  json.Key("options").BeginObject();
+  json.Key("shards").Int(options.shards);
+  json.Key("workers").Int(options.workers);
+  json.Key("queue_capacity").Int(options.queue_capacity);
+  json.Key("plan_batch").Int(options.plan_batch);
+  json.Key("status_port").Int(server.port());
+  json.EndObject();
+  json.Key("tenants").Int(static_cast<int64_t>(service.registry().size()));
+  json.Key("queued").Int(static_cast<int64_t>(service.queued()));
+  json.Key("queue_depths").BeginArray();
+  for (size_t depth : service.queue_depths()) {
+    json.Int(static_cast<int64_t>(depth));
+  }
+  json.EndArray();
+  json.Key("last_drain_time").Int(service.last_drain_time());
+  json.Key("status_requests_served").Int(server.requests_served());
+  json.EndObject();
+  return json.str();
+}
+
+/// Parses the "k" query parameter (row cap); absent or malformed reads 0,
+/// which TopK treats as "all tenants".
+size_t ParseK(const obs::HttpRequest& request) {
+  auto it = request.query.find("k");
+  if (it == request.query.end()) return 0;
+  return static_cast<size_t>(std::strtoull(it->second.c_str(), nullptr, 10));
+}
+
+}  // namespace
+
+void RegisterIntrospectionHandlers(obs::StatusServer* server,
+                                   FleetService* service) {
+  if (server == nullptr || service == nullptr) return;
+  server->Handle("/statusz", [service, server](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    response.content_type = kJsonContentType;
+    response.body = StatuszJson(*service, *server);
+    return response;
+  });
+  server->Handle("/tenantz", [service](const obs::HttpRequest& request) {
+    obs::CostSortKey key = obs::CostSortKey::kCpu;
+    auto it = request.query.find("sort");
+    if (it != request.query.end()) key = obs::ParseCostSortKey(it->second);
+    obs::HttpResponse response;
+    response.content_type = kJsonContentType;
+    response.body = service->cost_ledger().ToJson(ParseK(request), key);
+    return response;
+  });
+  server->Handle("/sloz", [service](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    response.content_type = kJsonContentType;
+    // Evaluated at the fleet's clock, not wall time: the burn windows
+    // slide on sim seconds, and the last drain is "now" in that domain.
+    response.body = service->slo_engine().ToJson(service->last_drain_time());
+    return response;
+  });
+}
+
+}  // namespace serve
+}  // namespace imcf

@@ -1,0 +1,38 @@
+// Serve-level introspection pages for the status server.
+//
+// The obs-level defaults (/metrics, /tracez) know nothing about the fleet;
+// this module adds the pages that do:
+//
+//   /statusz            — service vitals: options, tenants, queue depths
+//                         per shard, requests served by the status server.
+//   /tenantz?sort=cpu   — the cost ledger's top-K view (sort = cpu | bytes
+//                         | plans | sheds, k = row cap, 0/absent = all).
+//   /sloz               — per-tenant SLO burn state, evaluated at the most
+//                         recent drain's virtual time.
+//
+// Handlers run on the status server's serving thread while drains run
+// elsewhere, so they only touch thread-safe surfaces (ledger snapshots,
+// SLO evaluation, queue-depth reads) — never bare service internals.
+
+#ifndef IMCF_SERVE_INTROSPECTION_H_
+#define IMCF_SERVE_INTROSPECTION_H_
+
+namespace imcf {
+namespace obs {
+class StatusServer;
+}  // namespace obs
+
+namespace serve {
+
+class FleetService;
+
+/// Registers /statusz, /tenantz and /sloz on `server`, backed by `service`.
+/// The service must outlive the server (FleetService guarantees this by
+/// declaring its server last).
+void RegisterIntrospectionHandlers(obs::StatusServer* server,
+                                   FleetService* service);
+
+}  // namespace serve
+}  // namespace imcf
+
+#endif  // IMCF_SERVE_INTROSPECTION_H_

@@ -123,6 +123,9 @@ struct Response {
   SimTime retry_after_seconds = 0;
   /// now - issue_time at completion, on the sim clock (deterministic).
   SimTime virtual_latency_seconds = 0;
+  /// Whether the request carried a deadline (so SLO accounting can count
+  /// deadline *hits*, not just the misses visible in the outcome).
+  bool had_deadline = false;
   /// Wall execution time of the work item (a measurement; not part of the
   /// determinism contract).
   int64_t wall_ns = 0;

@@ -177,6 +177,10 @@ Status TenantRegistry::WithTenant(const TenantId& id,
   // The span covers the tenant-mutex wait plus `fn`; contention on a hot
   // tenant shows up as serve.execute time spent here before any sim span.
   IMCF_TRACE_SPAN(span, "tenant.with", "serve");
+  // Cost scope BEFORE the tenant mutex: lower layers (sim, planner,
+  // evaluators) accumulate into its thread-local sink while `fn` runs, and
+  // the single ledger flush happens after the mutex is released.
+  IMCF_COST_SCOPE(cost, cost_ledger_, ShardOf(id), id);
   std::lock_guard<std::mutex> lock(tenant->mu_);
   return fn(*tenant);
 }

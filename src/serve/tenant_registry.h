@@ -29,6 +29,7 @@
 #include "common/result.h"
 #include "fault/fault_plan.h"
 #include "fault/retry.h"
+#include "obs/accounting/cost_ledger.h"
 #include "serve/request.h"
 #include "sim/simulation.h"
 #include "storage/table_store.h"
@@ -128,8 +129,17 @@ class TenantRegistry {
 
   /// Runs `fn` with the tenant's mutex held. The shard lock is NOT held
   /// during `fn`, so long work on one tenant never blocks its shard.
+  /// When a cost ledger is attached, `fn` runs inside a ScopedCost charging
+  /// (ShardOf(id), id) — the chokepoint that attributes everything below
+  /// (sim run, planner, evaluators, arena) to the tenant, for every caller
+  /// at once: the fleet drain and the cloud controller alike.
   Status WithTenant(const TenantId& id,
                     const std::function<Status(Tenant&)>& fn);
+
+  /// Attaches the ledger WithTenant charges into (null detaches). Set once
+  /// at service construction, before concurrent drains start.
+  void set_cost_ledger(obs::CostLedger* ledger) { cost_ledger_ = ledger; }
+  obs::CostLedger* cost_ledger() const { return cost_ledger_; }
 
   Result<TenantConfig> GetConfig(const TenantId& id) const;
   Result<TenantStats> GetStats(const TenantId& id) const;
@@ -159,6 +169,7 @@ class TenantRegistry {
   std::vector<std::unique_ptr<Shard>> shards_;
   fault::FaultOptions fault_;
   fault::RetryPolicy retry_;
+  obs::CostLedger* cost_ledger_ = nullptr;  ///< borrowed; may be null
 };
 
 /// Schema of the snapshot table ("tenants").

@@ -1,5 +1,6 @@
 #include "sim/simulation.h"
 
+#include <algorithm>
 #include <chrono>
 #include <optional>
 
@@ -10,6 +11,7 @@
 #include "core/soa_evaluator.h"
 #include "fault/command_bus.h"
 #include "fault/fallback_weather.h"
+#include "obs/accounting/cost_ledger.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
 #include "obs/tracer.h"
@@ -204,6 +206,17 @@ Result<SimulationReport> Simulator::Run(Policy policy, int rep,
   // already warm.
   core::PlanArena local_arena;
   core::PlanArena* const plan_arena = arena != nullptr ? arena : &local_arena;
+
+#if IMCF_ACCOUNTING_ENABLED
+  // Per-tenant cost attribution (no-op unless an ambient ScopedCost is
+  // open, i.e. the run is on behalf of a registry tenant). The run's wall
+  // time splits into kPlan (the planner_seconds accumulator below — the
+  // paper's F_T) and kSim (everything else: scheduling, firewall, ledger);
+  // arena traffic is the lifetime-counter delta, which is independent of
+  // how runs are batched onto workers.
+  const size_t arena_bytes_before = plan_arena->lifetime_allocated_bytes();
+  const int64_t run_start_ns = obs::ScopedTimer::NowNs();
+#endif
 
   Rng rng(MixHash(MixHash(options_.seed, static_cast<uint64_t>(rep)),
                   static_cast<uint64_t>(policy)));
@@ -647,6 +660,16 @@ Result<SimulationReport> Simulator::Run(Policy policy, int rep,
           ? adopted_fraction_sum / static_cast<double>(slots_with_active)
           : 0.0;
   report.co2_kg = co2_g / 1000.0;
+
+#if IMCF_ACCOUNTING_ENABLED
+  const int64_t run_ns = obs::ScopedTimer::NowNs() - run_start_ns;
+  const int64_t plan_ns = static_cast<int64_t>(planner_seconds * 1e9);
+  IMCF_COST_ADD_PHASE_NS(obs::CostPhase::kPlan, plan_ns);
+  IMCF_COST_ADD_PHASE_NS(obs::CostPhase::kSim,
+                         std::max<int64_t>(0, run_ns - plan_ns));
+  IMCF_COST_ADD_ARENA_BYTES(static_cast<int64_t>(
+      plan_arena->lifetime_allocated_bytes() - arena_bytes_before));
+#endif
   return report;
 }
 

@@ -1,0 +1,90 @@
+// The compile-out contract for accounting: with IMCF_DISABLE_ACCOUNTING
+// defined the IMCF_COST_* macros must expand to inert stubs — no ledger
+// writes, no TLS publication, no heap allocation, macro arguments never
+// evaluated. This TU defines the macro itself (the library stays
+// instrumented), which is exactly how a -DIMCF_DISABLE_ACCOUNTING build
+// sees every call site.
+
+#ifndef IMCF_DISABLE_ACCOUNTING  // already global in a disabled build
+#define IMCF_DISABLE_ACCOUNTING
+#endif
+#include "obs/accounting/cost_ledger.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+std::atomic<int64_t> g_news{0};
+}  // namespace
+
+// Binary-wide allocation counter; the zero-allocation assertion measures
+// the delta across a block containing only disabled cost macros.
+void* operator new(std::size_t n) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace imcf {
+namespace obs {
+namespace {
+
+[[maybe_unused]] int64_t MustNotBeCalled() {
+  ADD_FAILURE() << "disabled macro evaluated its arguments";
+  return 0;
+}
+
+TEST(AccountingDisabledTest, FlagReportsDisabled) {
+  EXPECT_EQ(IMCF_ACCOUNTING_ENABLED, 0);
+}
+
+TEST(AccountingDisabledTest, ScopeMacroYieldsInertNoopCost) {
+  CostLedger ledger(1);
+  {
+    IMCF_COST_SCOPE(cost, &ledger, 0, "tenant");
+    EXPECT_FALSE(cost.active());
+    EXPECT_EQ(cost.local(), nullptr);
+  }
+  // Nothing was flushed: the macro never touched the ledger.
+  EXPECT_TRUE(ledger.Snapshot().empty());
+}
+
+TEST(AccountingDisabledTest, AddMacrosDoNotEvaluateArguments) {
+  IMCF_COST_ADD_PHASE_NS(CostPhase::kPlan, MustNotBeCalled());
+  IMCF_COST_ADD_ARENA_BYTES(MustNotBeCalled());
+  IMCF_COST_ADD_FLIP_EVALS(MustNotBeCalled());
+  IMCF_COST_ADD_FAULT(MustNotBeCalled());
+}
+
+TEST(AccountingDisabledTest, DisabledMacrosAllocateNothing) {
+  CostLedger ledger(1);
+  const int64_t before = g_news.load(std::memory_order_relaxed);
+  for (int i = 0; i < 100; ++i) {
+    IMCF_COST_SCOPE(cost, &ledger, 0, "tenant");
+    IMCF_COST_ADD_PHASE_NS(CostPhase::kSim, 123);
+    IMCF_COST_ADD_ARENA_BYTES(456);
+    IMCF_COST_ADD_FLIP_EVALS(7);
+    IMCF_COST_ADD_FAULT(1);
+  }
+  EXPECT_EQ(g_news.load(std::memory_order_relaxed), before);
+}
+
+TEST(AccountingDisabledTest, LibraryClassesStillWork) {
+  // The ledger itself stays linkable and functional (introspection pages
+  // degrade to empty, they do not vanish): direct Apply still lands.
+  CostLedger ledger(1);
+  TenantCost delta;
+  delta.plans_ok = 1;
+  ledger.Apply(0, "t", delta);
+  EXPECT_EQ(ledger.Snapshot().size(), 1u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace imcf

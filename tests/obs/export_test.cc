@@ -60,6 +60,42 @@ TEST(ExportTest, PrometheusTextGolden) {
   delete registry;
 }
 
+TEST(ExportTest, PrometheusExemplarSuffixGolden) {
+  // Tagged observations render the OpenMetrics exemplar suffix on their
+  // bucket line (including +Inf); untagged buckets stay plain v0.0.4, so
+  // the BuildSampleRegistry golden above is unaffected.
+  MetricRegistry registry;
+  Histogram* hist = registry.GetHistogram("imcf_test_latency_ns",
+                                          "Span latency.", {1.0, 2.0});
+  hist->Observe(1.0);
+  hist->Observe(1.5, /*exemplar_trace_id=*/0xABC);
+  hist->Observe(9.0, /*exemplar_trace_id=*/0x1);
+  EXPECT_EQ(
+      ToPrometheusText(registry),
+      "# HELP imcf_test_latency_ns Span latency.\n"
+      "# TYPE imcf_test_latency_ns histogram\n"
+      "imcf_test_latency_ns_bucket{le=\"1\"} 1\n"
+      "imcf_test_latency_ns_bucket{le=\"2\"} 2"
+      " # {trace_id=\"0x0000000000000abc\"} 1.5\n"
+      "imcf_test_latency_ns_bucket{le=\"+Inf\"} 3"
+      " # {trace_id=\"0x0000000000000001\"} 9\n"
+      "imcf_test_latency_ns_sum 11.5\n"
+      "imcf_test_latency_ns_count 3\n");
+}
+
+TEST(ExportTest, JsonExemplarArrayGolden) {
+  MetricRegistry registry;
+  Histogram* hist = registry.GetHistogram("imcf_test_latency_ns",
+                                          "Span latency.", {1.0, 2.0});
+  hist->Observe(1.5, /*exemplar_trace_id=*/0xABC);
+  const std::string json = ToJson(registry);
+  EXPECT_NE(json.find("\"exemplars\":[{\"le\":\"2\","
+                      "\"trace_id\":\"0x0000000000000abc\","
+                      "\"value\":1.5}]"),
+            std::string::npos)
+      << json;
+}
+
 TEST(ExportTest, PrometheusEscapesLabelValues) {
   MetricRegistry registry;
   registry

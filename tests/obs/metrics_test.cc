@@ -116,6 +116,42 @@ TEST(HistogramTest, ObserveUsesLeSemantics) {
   EXPECT_DOUBLE_EQ(hist->mean(), (1.0 + 1.5 + 4.0 + 4.1) / 4.0);
 }
 
+TEST(HistogramTest, ExemplarTagsItsBucketAndLatestWins) {
+  MetricRegistry registry;
+  Histogram* hist = registry.GetHistogram("imcf_test_exemplar", "help",
+                                          {1.0, 2.0, 4.0});
+  hist->Observe(0.5);                                // untagged
+  hist->Observe(1.5, /*exemplar_trace_id=*/0xA);     // le="2"
+  hist->Observe(100.0, /*exemplar_trace_id=*/0xB);   // +Inf
+  EXPECT_EQ(hist->exemplar_trace_id(0), 0u);  // untagged bucket stays bare
+  EXPECT_EQ(hist->exemplar_trace_id(1), 0xAu);
+  EXPECT_DOUBLE_EQ(hist->exemplar_value(1), 1.5);
+  EXPECT_EQ(hist->exemplar_trace_id(3), 0xBu);
+  EXPECT_DOUBLE_EQ(hist->exemplar_value(3), 100.0);
+
+  // The latest tagged observation replaces the bucket's exemplar...
+  hist->Observe(1.8, /*exemplar_trace_id=*/0xC);
+  EXPECT_EQ(hist->exemplar_trace_id(1), 0xCu);
+  EXPECT_DOUBLE_EQ(hist->exemplar_value(1), 1.8);
+  // ...but an untagged one (trace_id 0) never erases it.
+  hist->Observe(1.9);
+  EXPECT_EQ(hist->exemplar_trace_id(1), 0xCu);
+}
+
+TEST(HistogramTest, SnapshotCarriesExemplarsPerBucket) {
+  MetricRegistry registry;
+  Histogram* hist = registry.GetHistogram("imcf_test_exemplar_snap", "help",
+                                          {1.0, 2.0});
+  hist->Observe(1.5, /*exemplar_trace_id=*/0x123);
+  std::vector<MetricSnapshot> snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  ASSERT_EQ(snapshot[0].exemplar_ids.size(), 3u);  // bounds + the +Inf slot
+  EXPECT_EQ(snapshot[0].exemplar_ids[0], 0u);
+  EXPECT_EQ(snapshot[0].exemplar_ids[1], 0x123u);
+  EXPECT_DOUBLE_EQ(snapshot[0].exemplar_values[1], 1.5);
+  EXPECT_EQ(snapshot[0].exemplar_ids[2], 0u);
+}
+
 TEST(HistogramTest, QuantileInterpolatesWithinBucket) {
   MetricRegistry registry;
   Histogram* hist = registry.GetHistogram("imcf_test_quantile", "help",

@@ -1,0 +1,145 @@
+// StatusServer tests: request-target parsing, ephemeral-port binding, and
+// real HTTP round-trips over a loopback socket (the server is plain POSIX
+// sockets, so the test client is too).
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/status_server/status_server.h"
+
+namespace imcf {
+namespace obs {
+namespace {
+
+/// Blocking one-shot HTTP client: sends `request_line` verbatim, returns
+/// the full response (headers + body).
+std::string RawRequest(int port, const std::string& request_line) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string request = request_line + "\r\n\r\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(ParseRequestTargetTest, SplitsPathAndQuery) {
+  HttpRequest request = ParseRequestTarget("/tenantz?sort=cpu&k=10");
+  EXPECT_EQ(request.path, "/tenantz");
+  EXPECT_EQ(request.query.at("sort"), "cpu");
+  EXPECT_EQ(request.query.at("k"), "10");
+}
+
+TEST(ParseRequestTargetTest, NoQueryAndEdgeCases) {
+  EXPECT_EQ(ParseRequestTarget("/metrics").path, "/metrics");
+  EXPECT_TRUE(ParseRequestTarget("/metrics").query.empty());
+  // Valueless keys, empty pairs, duplicate keys (last wins).
+  HttpRequest request = ParseRequestTarget("/p?flag&x=1&&x=2");
+  EXPECT_EQ(request.path, "/p");
+  EXPECT_EQ(request.query.at("flag"), "");
+  EXPECT_EQ(request.query.at("x"), "2");
+}
+
+TEST(StatusServerTest, PortZeroBindsEphemeralPort) {
+  StatusServer server;
+  std::string error;
+  ASSERT_TRUE(server.Start(0, &error)) << error;
+  EXPECT_GT(server.port(), 0);
+  EXPECT_TRUE(server.running());
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(StatusServerTest, ServesRegisteredHandlerWithQuery) {
+  StatusServer server;
+  server.Handle("/echo", [](const HttpRequest& request) {
+    HttpResponse response;
+    response.body = "sort=" + (request.query.count("sort")
+                                   ? request.query.at("sort")
+                                   : "none");
+    return response;
+  });
+  std::string error;
+  ASSERT_TRUE(server.Start(0, &error)) << error;
+
+  const std::string reply =
+      RawRequest(server.port(), "GET /echo?sort=cpu HTTP/1.0");
+  EXPECT_NE(reply.find("HTTP/1.0 200 OK"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("sort=cpu"), std::string::npos) << reply;
+  EXPECT_EQ(server.requests_served(), 1);
+  server.Stop();
+}
+
+TEST(StatusServerTest, UnknownPathIs404ListingKnownPaths) {
+  StatusServer server;
+  server.Handle("/known", [](const HttpRequest&) { return HttpResponse{}; });
+  std::string error;
+  ASSERT_TRUE(server.Start(0, &error)) << error;
+  const std::string reply = RawRequest(server.port(), "GET /nope HTTP/1.0");
+  EXPECT_NE(reply.find("404"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("/known"), std::string::npos) << reply;
+  server.Stop();
+}
+
+TEST(StatusServerTest, NonGetMethodRejected) {
+  StatusServer server;
+  server.Handle("/p", [](const HttpRequest&) { return HttpResponse{}; });
+  std::string error;
+  ASSERT_TRUE(server.Start(0, &error)) << error;
+  const std::string reply = RawRequest(server.port(), "POST /p HTTP/1.0");
+  EXPECT_NE(reply.find("405"), std::string::npos) << reply;
+  server.Stop();
+}
+
+TEST(StatusServerTest, DefaultHandlersServePrometheusMetrics) {
+  MetricRegistry registry;
+  registry.GetCounter("imcf_test_requests_total", "Test counter.")
+      ->Increment(5);
+  StatusServer server;
+  RegisterDefaultHandlers(&server, &registry, /*recorder=*/nullptr);
+  std::string error;
+  ASSERT_TRUE(server.Start(0, &error)) << error;
+  const std::string reply = RawRequest(server.port(), "GET /metrics HTTP/1.0");
+  EXPECT_NE(reply.find("text/plain; version=0.0.4"), std::string::npos)
+      << reply;
+  EXPECT_NE(reply.find("imcf_test_requests_total 5"), std::string::npos)
+      << reply;
+  server.Stop();
+}
+
+TEST(StatusServerTest, StopIsIdempotentAndRestartable) {
+  StatusServer server;
+  std::string error;
+  ASSERT_TRUE(server.Start(0, &error)) << error;
+  const int first_port = server.port();
+  server.Stop();
+  server.Stop();  // second stop is a no-op
+  ASSERT_TRUE(server.Start(0, &error)) << error;
+  EXPECT_GT(server.port(), 0);
+  (void)first_port;
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace imcf

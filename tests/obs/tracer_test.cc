@@ -117,6 +117,50 @@ TEST(TraceExportTest, CompactLineCollapsesIdenticalSiblingRuns) {
   EXPECT_EQ(CompactTraceLine(records, 0x1234), "");
 }
 
+TEST(TraceExportTest, ThreadNameMetadataEventsLeadTheStream) {
+  // Records whose snapshot carried a thread name emit one Chrome metadata
+  // event (ph "M") per lane, ahead of the span events, so Perfetto labels
+  // the lane "pool-1" instead of a bare tid.
+  SpanRecord root = MakeRecord(0xab, 1, 0, "serve.execute", "serve");
+  root.wall_start_ns = 1000;
+  root.wall_end_ns = 2000;
+  root.thread_index = 1;
+  root.thread_name = "pool-1";
+  const std::string json = TraceEventJson({root});
+  const size_t meta = json.find(
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+      "\"args\":{\"name\":\"pool-1\"}}");
+  const size_t span = json.find("\"name\":\"serve.execute\"");
+  ASSERT_NE(meta, std::string::npos) << json;
+  ASSERT_NE(span, std::string::npos) << json;
+  EXPECT_LT(meta, span);
+}
+
+TEST(TraceExportTest, UnnamedThreadsEmitNoMetadata) {
+  // The golden above stays byte-exact because nameless records add nothing.
+  SpanRecord root = MakeRecord(0xab, 1, 0, "serve.execute", "serve");
+  root.wall_start_ns = 1000;
+  root.wall_end_ns = 2000;
+  EXPECT_EQ(TraceEventJson({root}).find("\"ph\":\"M\""), std::string::npos);
+}
+
+TEST(FlightRecorderTest, ThreadNamesFlowIntoSnapshots) {
+  FlightRecorder recorder(64);
+  recorder.SetCurrentThreadName("drain");
+  recorder.Record(MakeRecord(0x5, 1, 0, "s", "test"));
+  const std::vector<SpanRecord> snapshot = recorder.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].thread_name, "drain");
+  const std::vector<std::string> names = recorder.thread_names();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "drain");
+
+  // Renaming is idempotent per thread: the ring keeps the latest name.
+  recorder.SetCurrentThreadName("drain-2");
+  EXPECT_EQ(recorder.Snapshot()[0].thread_name, "drain-2");
+  EXPECT_EQ(recorder.ring_count(), 1u);
+}
+
 TEST(FlightRecorderTest, WraparoundKeepsNewestCapacitySpans) {
   FlightRecorder recorder(64);  // the smallest ring the clamp allows
   EXPECT_EQ(recorder.capacity(), 64u);

@@ -1,0 +1,251 @@
+// Fleet cost-attribution and SLO integration: the ledger's deterministic
+// fields must be bit-identical at 1/4/8 workers (the accounting extension
+// of the fleet determinism contract), phases must land where the work
+// happened, and drains must feed the SLO windows.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "obs/accounting/cost_ledger.h"
+#include "obs/slo/slo_engine.h"
+#include "serve/fleet_service.h"
+#include "trace/dataset.h"
+
+namespace imcf {
+namespace serve {
+namespace {
+
+constexpr int kTenants = 5;
+
+TenantConfig ConfigAt(int index) {
+  TenantConfig config;
+  config.id = StrFormat("t%d", index);
+  config.seed = 500 + static_cast<uint64_t>(index);
+  config.hours = 24;
+  config.appetite = 0.8 + 0.1 * index;
+  return config;
+}
+
+Result<std::unique_ptr<FleetService>> MakeFleet(int workers,
+                                                FleetOptions options = {}) {
+  options.shards = 4;
+  options.workers = workers;
+  auto service = FleetService::Create(std::move(options));
+  if (service.ok()) {
+    for (int i = 0; i < kTenants; ++i) {
+      EXPECT_TRUE((*service)->AddTenant(ConfigAt(i)).ok());
+    }
+  }
+  return service;
+}
+
+/// One mixed workload: plans, a command, a query, and a planted expiry.
+void SubmitWorkload(FleetService& service, SimTime start) {
+  for (int i = 0; i < kTenants; ++i) {
+    Request plan;
+    plan.tenant = StrFormat("t%d", i);
+    plan.kind = RequestKind::kPlan;
+    plan.issue_time = start;
+    plan.plan.policy = sim::Policy::kEnergyPlanner;
+    EXPECT_FALSE(service.Submit(std::move(plan)).has_value());
+  }
+  Request command;
+  command.tenant = "t0";
+  command.kind = RequestKind::kCommand;
+  command.issue_time = start;
+  command.command.value = 21.0;
+  EXPECT_FALSE(service.Submit(std::move(command)).has_value());
+  Request query;
+  query.tenant = "t1";
+  query.kind = RequestKind::kQuery;
+  query.issue_time = start;
+  EXPECT_FALSE(service.Submit(std::move(query)).has_value());
+  Request doomed;
+  doomed.tenant = "t2";
+  doomed.kind = RequestKind::kPlan;
+  doomed.issue_time = start;
+  doomed.deadline = start + 1;  // expires before the drain below
+  EXPECT_FALSE(service.Submit(std::move(doomed)).has_value());
+}
+
+#if IMCF_ACCOUNTING_ENABLED
+
+std::string LedgerWitness(int workers) {
+  auto service = MakeFleet(workers);
+  EXPECT_TRUE(service.ok());
+  const SimTime start = trace::EvaluationStart();
+  SubmitWorkload(**service, start);
+  (void)(*service)->Drain(start + kSecondsPerHour);
+  return (*service)->cost_ledger().CanonicalText();
+}
+
+TEST(FleetAccountingTest, LedgerBitIdenticalAtOneFourEightWorkers) {
+  const std::string serial = LedgerWitness(1);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(LedgerWitness(4), serial);
+  EXPECT_EQ(LedgerWitness(8), serial);
+}
+
+TEST(FleetAccountingTest, OutcomesAndPhasesLandOnTheRightTenants) {
+  auto service = MakeFleet(2);
+  ASSERT_TRUE(service.ok());
+  const SimTime start = trace::EvaluationStart();
+  SubmitWorkload(**service, start);
+  (void)(*service)->Drain(start + kSecondsPerHour);
+
+  std::map<std::string, obs::TenantCost> by_tenant;
+  for (const obs::CostLedger::Row& row :
+       (*service)->cost_ledger().Snapshot()) {
+    by_tenant[row.tenant] = row.cost;
+  }
+  ASSERT_EQ(by_tenant.size(), static_cast<size_t>(kTenants));
+
+  // Every tenant served one plan; t0 also a command, t1 a query, t2 a miss.
+  for (int i = 0; i < kTenants; ++i) {
+    const obs::TenantCost& cost = by_tenant.at(StrFormat("t%d", i));
+    EXPECT_EQ(cost.plans_ok, 1) << "tenant " << i;
+    // A served plan spent time in the planner and the simulator, allocated
+    // arena bytes, and evaluated flips.
+    EXPECT_GT(cost.phase_ns[static_cast<size_t>(obs::CostPhase::kPlan)], 0);
+    EXPECT_GT(cost.phase_ns[static_cast<size_t>(obs::CostPhase::kSim)], 0);
+    EXPECT_GT(cost.phase_ns[static_cast<size_t>(obs::CostPhase::kQueueWait)],
+              0);
+    EXPECT_GT(cost.arena_bytes, 0);
+    EXPECT_GT(cost.flip_evals, 0);
+  }
+  EXPECT_EQ(by_tenant.at("t0").commands_ok, 1);
+  EXPECT_GT(by_tenant.at("t0")
+                .phase_ns[static_cast<size_t>(obs::CostPhase::kCommandBus)],
+            0);
+  EXPECT_EQ(by_tenant.at("t1").queries_ok, 1);
+  EXPECT_EQ(by_tenant.at("t2").deadline_misses, 1);
+  EXPECT_EQ(by_tenant.at("t3").deadline_misses, 0);
+}
+
+TEST(FleetAccountingTest, ShedsAreChargedToTheirTenant) {
+  FleetOptions tight;
+  tight.queue_capacity = 1;
+  auto service = MakeFleet(1, tight);
+  ASSERT_TRUE(service.ok());
+  const SimTime start = trace::EvaluationStart();
+  int sheds = 0;
+  for (int i = 0; i < 6; ++i) {
+    Request request;
+    request.tenant = "t0";
+    request.kind = RequestKind::kQuery;
+    request.issue_time = start;
+    auto immediate = (*service)->Submit(std::move(request));
+    if (immediate.has_value()) {
+      EXPECT_EQ(immediate->outcome, ServeOutcome::kShed);
+      ++sheds;
+    }
+  }
+  ASSERT_GT(sheds, 0);
+  (void)(*service)->Drain(start);
+  int64_t ledger_sheds = 0;
+  for (const obs::CostLedger::Row& row :
+       (*service)->cost_ledger().Snapshot()) {
+    if (row.tenant == "t0") ledger_sheds = row.cost.sheds;
+  }
+  EXPECT_EQ(ledger_sheds, sheds);
+}
+
+TEST(FleetAccountingTest, DrainsFeedSloWindowsAndBurnCanFire) {
+  // A tight deadline-hit SLO plus a planted expiry: the drain's SLO feed
+  // must evaluate to a firing deadline objective.
+  FleetOptions options;
+  options.slo.min_deadline_hit_rate = 0.95;
+  options.slo.burn_threshold = 2.0;
+  auto service = MakeFleet(1, options);
+  ASSERT_TRUE(service.ok());
+  const SimTime start = trace::EvaluationStart();
+  Request doomed;
+  doomed.tenant = "t4";
+  doomed.kind = RequestKind::kPlan;
+  doomed.issue_time = start;
+  doomed.deadline = start + 1;
+  EXPECT_FALSE((*service)->Submit(std::move(doomed)).has_value());
+  const SimTime drain_time = start + kSecondsPerHour;
+  (void)(*service)->Drain(drain_time);
+  EXPECT_EQ((*service)->last_drain_time(), drain_time);
+
+  bool firing = false;
+  for (const obs::BurnStatus& status :
+       (*service)->slo_engine().Evaluate(drain_time)) {
+    if (status.tenant == "t4" &&
+        status.objective == obs::SloObjective::kDeadlineHit) {
+      firing = status.firing;
+      EXPECT_NE(status.exemplar_trace_id, 0u);
+    }
+  }
+  EXPECT_TRUE(firing);
+}
+
+TEST(FleetAccountingTest, TenantNotFoundChargesNoRow) {
+  auto service = MakeFleet(1);
+  ASSERT_TRUE(service.ok());
+  Request request;
+  request.tenant = "nobody";
+  request.kind = RequestKind::kQuery;
+  request.issue_time = trace::EvaluationStart();
+  auto immediate = (*service)->Submit(std::move(request));
+  ASSERT_TRUE(immediate.has_value());
+  EXPECT_EQ(immediate->outcome, ServeOutcome::kTenantNotFound);
+  for (const obs::CostLedger::Row& row :
+       (*service)->cost_ledger().Snapshot()) {
+    EXPECT_NE(row.tenant, "nobody");
+  }
+}
+
+#else  // !IMCF_ACCOUNTING_ENABLED
+
+TEST(FleetAccountingTest, DisabledBuildKeepsLedgerEmpty) {
+  auto service = MakeFleet(2);
+  ASSERT_TRUE(service.ok());
+  const SimTime start = trace::EvaluationStart();
+  SubmitWorkload(**service, start);
+  (void)(*service)->Drain(start + kSecondsPerHour);
+  EXPECT_TRUE((*service)->cost_ledger().Snapshot().empty());
+  EXPECT_TRUE(
+      (*service)->slo_engine().Evaluate((*service)->last_drain_time())
+          .empty());
+}
+
+#endif  // IMCF_ACCOUNTING_ENABLED
+
+TEST(FleetIntrospectionTest, StatusServerServesFleetPages) {
+  FleetOptions options;
+  options.status_port = 0;  // ephemeral
+  auto service = MakeFleet(1, options);
+  ASSERT_TRUE(service.ok());
+  obs::StatusServer* server = (*service)->status_server();
+  ASSERT_NE(server, nullptr);
+  EXPECT_GT(server->port(), 0);
+  // The handlers themselves are exercised through the registered surface
+  // (the HTTP round-trip is covered by obs_status_server_test): here we
+  // pin that the fleet pages produce well-formed bodies.
+  const SimTime start = trace::EvaluationStart();
+  SubmitWorkload(**service, start);
+  (void)(*service)->Drain(start + kSecondsPerHour);
+  const std::string tenantz =
+      (*service)->cost_ledger().ToJson(0, obs::CostSortKey::kCpu);
+  EXPECT_EQ(tenantz.front(), '[');
+  EXPECT_EQ(tenantz.back(), ']');
+  const std::string sloz =
+      (*service)->slo_engine().ToJson((*service)->last_drain_time());
+  EXPECT_NE(sloz.find("\"objectives\""), std::string::npos);
+}
+
+TEST(FleetIntrospectionTest, DisabledPortMeansNoServer) {
+  auto service = MakeFleet(1);  // default status_port = -1
+  ASSERT_TRUE(service.ok());
+  EXPECT_EQ((*service)->status_server(), nullptr);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace imcf
