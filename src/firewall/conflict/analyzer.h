@@ -1,0 +1,110 @@
+// The admission-time conflict pass: one call that runs all three detector
+// classes over a tenant's proposed rule set and returns the ConflictReport
+// the serving layer turns into a kConflictRejected outcome.
+//
+// The analyzer is sharded the same way as TenantRegistry: tenants placed on
+// different shards never share devices, so each shard owns an independent
+// DeviceCommandGraph and there is no global lock on the admission path. It
+// also keeps the last verdict per tenant (admitted or rejected, findings,
+// derived dataflow policy) so the /conflictz status page can render the
+// fleet's conflict posture without re-running any analysis.
+//
+// Detector (c), budget infeasibility, is a *lower bound* argument: the
+// daily energy demanded by necessity rules alone — rules the paper says
+// "should always be executed" and the planner can never drop — is compared
+// against the tenant's per-day budget. If even that floor exceeds the
+// budget, every adoption vector violates it and planning is wasted work;
+// convenience rules are ignored precisely so a feasible-but-tight MRT is
+// never falsely rejected.
+
+#ifndef IMCF_FIREWALL_CONFLICT_ANALYZER_H_
+#define IMCF_FIREWALL_CONFLICT_ANALYZER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "firewall/conflict/conflict_report.h"
+#include "firewall/conflict/dataflow_policy.h"
+#include "firewall/conflict/device_graph.h"
+#include "firewall/conflict/setpoint_analyzer.h"
+#include "rules/meta_rule.h"
+#include "rules/trigger_rule.h"
+
+namespace imcf {
+namespace firewall {
+namespace conflict {
+
+/// Power draw (kW) of executing `rule` during hour-of-day `hour`, supplied
+/// by the caller (the registry derives it from the tenant's device spec so
+/// the firewall layer stays ignorant of energy models).
+using HourlyEnergyFn = std::function<double(const rules::MetaRule&, int hour)>;
+
+struct ConflictOptions {
+  SetpointOptions setpoint;
+};
+
+/// Everything the pass needs to know about one tenant's proposed rules.
+/// Pointers are borrowed for the duration of Analyze only.
+struct TenantRuleSet {
+  const rules::MetaRuleTable* mrt = nullptr;
+  const rules::TriggerRuleTable* ifttt = nullptr;
+  double budget_kwh = 0.0;  ///< total budget; <= 0 skips detector (c)
+  int period_days = 0;      ///< budget horizon; <= 0 skips detector (c)
+  int units = 1;            ///< building units (graph node range)
+  HourlyEnergyFn hourly_energy;  ///< null skips detector (c)
+};
+
+/// Command edges contributed by `ifttt`: one per cross-kind trigger rule
+/// per unit (see device_graph.h for the model). Exposed for the bench and
+/// the differential tests.
+std::vector<CommandEdge> DeriveCommandEdges(
+    const rules::TriggerRuleTable& ifttt, int units);
+
+/// Runs the three detectors; thread-safe across shards and within a shard.
+class ConflictAnalyzer {
+ public:
+  explicit ConflictAnalyzer(int shards, ConflictOptions options = {});
+
+  /// Analyzes `tenant`'s rule set against shard-local state. An ok() report
+  /// leaves the tenant's command edges installed in the shard graph; a
+  /// rejection leaves the graph exactly as before the call. Also records
+  /// the verdict (and derived dataflow policy) for /conflictz.
+  ConflictReport Analyze(int shard, const std::string& tenant,
+                         const TenantRuleSet& rule_set);
+
+  /// Drops the tenant's graph edges and verdict (tenant eviction).
+  void Forget(int shard, const std::string& tenant);
+
+  /// Last derived dataflow policy for `tenant` (empty policy if unknown).
+  DataflowPolicy PolicyFor(const std::string& tenant) const;
+
+  /// The /conflictz document: per-tenant verdicts plus fleet totals.
+  std::string ToJson() const;
+
+  const ConflictOptions& options() const { return options_; }
+
+ private:
+  struct Verdict {
+    bool admitted = false;
+    int64_t checks = 0;  ///< times this tenant's rule set was analyzed
+    ConflictReport last_report;
+    DataflowPolicy policy;
+  };
+
+  ConflictOptions options_;
+  std::vector<std::unique_ptr<DeviceCommandGraph>> graphs_;  // per shard
+
+  mutable std::mutex verdicts_mu_;
+  std::map<std::string, Verdict> verdicts_;
+};
+
+}  // namespace conflict
+}  // namespace firewall
+}  // namespace imcf
+
+#endif  // IMCF_FIREWALL_CONFLICT_ANALYZER_H_

@@ -1,0 +1,45 @@
+#include "firewall/conflict/conflict_report.h"
+
+#include "common/strings.h"
+
+namespace imcf {
+namespace firewall {
+namespace conflict {
+
+const char* ConflictClassName(ConflictClass cls) {
+  switch (cls) {
+    case ConflictClass::kContradictorySetpoint:
+      return "contradictory_setpoint";
+    case ConflictClass::kCommandCycle:
+      return "command_cycle";
+    case ConflictClass::kBudgetInfeasible:
+      return "budget_infeasible";
+  }
+  return "?";
+}
+
+void ConflictReport::Add(ConflictFinding finding) {
+  by_class[static_cast<size_t>(finding.cls)] += 1;
+  findings.push_back(std::move(finding));
+}
+
+std::string ConflictReport::Summary() const {
+  if (ok()) {
+    return StrFormat("no conflicts (%lld rules analyzed)",
+                     static_cast<long long>(rules_analyzed));
+  }
+  std::string out;
+  for (size_t c = 0; c < kNumConflictClasses; ++c) {
+    if (by_class[c] == 0) continue;
+    if (!out.empty()) out += ", ";
+    out += StrFormat("%lld %s", static_cast<long long>(by_class[c]),
+                     ConflictClassName(static_cast<ConflictClass>(c)));
+  }
+  out += StrFormat(" (%lld rules analyzed)",
+                   static_cast<long long>(rules_analyzed));
+  return out;
+}
+
+}  // namespace conflict
+}  // namespace firewall
+}  // namespace imcf

@@ -1,0 +1,88 @@
+// Typed result of the admission-time rule-set analysis pass.
+//
+// The meta-control firewall mediates *commands*, but until this subsystem
+// it trusted the rule sets it was handed. IoTC² (PAPERS.md) frames conflict
+// detection in large-scale IoT rule sets as a structural analysis problem;
+// this header is the vocabulary the three detector classes share:
+//
+//   kContradictorySetpoint — one tenant drives the same device during the
+//       same daily window toward setpoints far enough apart that no
+//       schedule can honour both (setpoint_analyzer.h).
+//   kCommandCycle — tenants' trigger rules close a command loop through
+//       shared devices: actuating A changes a sensor field a rule of
+//       another tenant triggers on, commanding B, and so on back to A
+//       (device_graph.h).
+//   kBudgetInfeasible — the rules the planner can never drop (necessity
+//       rules) already exceed the tenant's energy budget, so every
+//       adoption vector violates it (analyzer.h).
+//
+// A ConflictReport is what TenantRegistry/FleetService turn into the
+// kConflictRejected admission outcome; it is deliberately plain data so
+// the serving layer can render it into metrics, the cost ledger, traces
+// and the /conflictz page without re-running the analysis.
+
+#ifndef IMCF_FIREWALL_CONFLICT_CONFLICT_REPORT_H_
+#define IMCF_FIREWALL_CONFLICT_CONFLICT_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace imcf {
+namespace firewall {
+namespace conflict {
+
+/// The three detector classes of the admission pass.
+enum class ConflictClass : uint8_t {
+  kContradictorySetpoint = 0,
+  kCommandCycle = 1,
+  kBudgetInfeasible = 2,
+};
+
+inline constexpr size_t kNumConflictClasses = 3;
+
+/// Stable metric/JSON label ("contradictory_setpoint", "command_cycle",
+/// "budget_infeasible").
+const char* ConflictClassName(ConflictClass cls);
+
+/// One detected conflict.
+struct ConflictFinding {
+  ConflictClass cls = ConflictClass::kContradictorySetpoint;
+  int rule_a = -1;           ///< offending rule id (when rule-scoped)
+  int rule_b = -1;           ///< the other rule of the pair, or -1
+  /// For command cycles: the tenant owning the edge that closes the loop
+  /// (the conflict is *inter*-tenant; this names the counterparty).
+  std::string other_tenant;
+  /// Class-specific magnitude: setpoint gap (°C / light %), cycle length
+  /// in edges, or kWh/day of budget overrun.
+  double severity = 0.0;
+  std::string description;  ///< human-readable summary
+};
+
+/// The verdict for one tenant's proposed rule set.
+struct ConflictReport {
+  std::string tenant;
+  int64_t rules_analyzed = 0;  ///< MRT rows + trigger rules scanned
+  std::vector<ConflictFinding> findings;
+  int64_t by_class[kNumConflictClasses] = {0, 0, 0};
+
+  /// Appends a finding and maintains the per-class tallies.
+  void Add(ConflictFinding finding);
+
+  /// An empty report admits the tenant.
+  bool ok() const { return findings.empty(); }
+
+  int64_t CountOf(ConflictClass cls) const {
+    return by_class[static_cast<size_t>(cls)];
+  }
+
+  /// One line for logs / Status messages: "2 contradictory_setpoint,
+  /// 1 command_cycle (9 rules analyzed)"; "no conflicts" when ok.
+  std::string Summary() const;
+};
+
+}  // namespace conflict
+}  // namespace firewall
+}  // namespace imcf
+
+#endif  // IMCF_FIREWALL_CONFLICT_CONFLICT_REPORT_H_

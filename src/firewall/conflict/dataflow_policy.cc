@@ -1,0 +1,94 @@
+#include "firewall/conflict/dataflow_policy.h"
+
+namespace imcf {
+namespace firewall {
+namespace conflict {
+
+namespace {
+
+// Fields the closed-loop control path reads when executing an action of
+// this kind: an HVAC setpoint compares indoor against outdoor temperature;
+// a light setpoint dims against ambient light and daylight.
+uint32_t ActionFields(rules::RuleAction action) {
+  switch (action) {
+    case rules::RuleAction::kSetTemperature:
+      return kFieldAmbientTemp | kFieldOutdoorTemp;
+    case rules::RuleAction::kSetLight:
+      return kFieldAmbientLight | kFieldDaylight;
+    case rules::RuleAction::kSetKwhLimit:
+      return 0;
+  }
+  return 0;
+}
+
+uint32_t TriggerFields(rules::TriggerField field) {
+  switch (field) {
+    case rules::TriggerField::kSeason:
+      return kFieldSeason;
+    case rules::TriggerField::kWeather:
+      return kFieldSky;
+    case rules::TriggerField::kTemperature:
+      return kFieldAmbientTemp;
+    case rules::TriggerField::kLightLevel:
+      return kFieldAmbientLight;
+    case rules::TriggerField::kDoor:
+      return kFieldDoor;
+  }
+  return 0;
+}
+
+}  // namespace
+
+DataflowPolicy DerivePolicy(const rules::MetaRuleTable& mrt,
+                            const rules::TriggerRuleTable& ifttt) {
+  DataflowPolicy policy;
+  for (const rules::MetaRule& rule : mrt.rules()) {
+    if (rule.action == rules::RuleAction::kSetKwhLimit) continue;
+    policy.fields |= kFieldTime;  // daily windows read the clock
+    policy.fields |= ActionFields(rule.action);
+  }
+  for (const rules::TriggerRule& rule : ifttt.rules()) {
+    policy.fields |= TriggerFields(rule.field);
+    policy.fields |= ActionFields(rule.action);
+  }
+  return policy;
+}
+
+rules::EvaluationContext FilterContext(const rules::EvaluationContext& ctx,
+                                       const DataflowPolicy& policy) {
+  rules::EvaluationContext out;  // defaults == redacted
+  if (policy.Allows(kFieldTime)) out.time = ctx.time;
+  if (policy.Allows(kFieldSeason)) out.weather.season = ctx.weather.season;
+  if (policy.Allows(kFieldSky)) out.weather.sky = ctx.weather.sky;
+  if (policy.Allows(kFieldOutdoorTemp)) {
+    out.weather.outdoor_temp_c = ctx.weather.outdoor_temp_c;
+    out.weather.outdoor_daily_mean_c = ctx.weather.outdoor_daily_mean_c;
+  }
+  if (policy.Allows(kFieldDaylight)) {
+    out.weather.daylight = ctx.weather.daylight;
+    out.weather.day_length_hours = ctx.weather.day_length_hours;
+  } else {
+    out.weather.day_length_hours = 0;  // default is 12; redact fully
+  }
+  if (policy.Allows(kFieldAmbientTemp)) out.ambient_temp_c = ctx.ambient_temp_c;
+  if (policy.Allows(kFieldAmbientLight)) {
+    out.ambient_light_pct = ctx.ambient_light_pct;
+  }
+  if (policy.Allows(kFieldDoor)) out.door_open = ctx.door_open;
+  return out;
+}
+
+std::vector<std::string> DataflowFieldList(const DataflowPolicy& policy) {
+  static const char* kNames[] = {"time",     "season",       "sky",
+                                 "outdoor_temp", "daylight", "ambient_temp",
+                                 "ambient_light", "door"};
+  std::vector<std::string> out;
+  for (int bit = 0; bit < 8; ++bit) {
+    if (policy.fields & (1u << bit)) out.push_back(kNames[bit]);
+  }
+  return out;
+}
+
+}  // namespace conflict
+}  // namespace firewall
+}  // namespace imcf

@@ -1,0 +1,70 @@
+// Per-tenant dataflow policy: forward only the context fields the tenant's
+// rules actually consume.
+//
+// PFirewall's observation (PAPERS.md) is that a smart-home platform should
+// not see every sensor reading — only the minimal dataflow its automations
+// need. The same holds inside this fleet: a tenant whose rules never
+// mention the door has no business reading door state through the query
+// API. DerivePolicy computes, from the active MRT and IFTTT tables, the
+// exact field set the rule evaluators touch; FilterContext then blanks
+// everything else before a context snapshot leaves the serving layer.
+//
+// Derivation is conservative in the tenant's favour (an MRT actuation rule
+// needs the clock for its window; a SetTemperature action implies the
+// closed-loop controller reads indoor + outdoor temperature) and strict
+// everywhere else — fields no rule consumes are zeroed, not passed through.
+
+#ifndef IMCF_FIREWALL_CONFLICT_DATAFLOW_POLICY_H_
+#define IMCF_FIREWALL_CONFLICT_DATAFLOW_POLICY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rules/context.h"
+#include "rules/meta_rule.h"
+#include "rules/trigger_rule.h"
+
+namespace imcf {
+namespace firewall {
+namespace conflict {
+
+/// Bit per field of rules::EvaluationContext (weather sub-fields split to
+/// the granularity the trigger rules distinguish).
+enum ContextField : uint32_t {
+  kFieldTime = 1u << 0,          ///< clock / rule windows
+  kFieldSeason = 1u << 1,        ///< weather.season
+  kFieldSky = 1u << 2,           ///< weather.sky
+  kFieldOutdoorTemp = 1u << 3,   ///< weather.outdoor_temp_c (+ daily mean)
+  kFieldDaylight = 1u << 4,      ///< weather.daylight (+ day length)
+  kFieldAmbientTemp = 1u << 5,   ///< indoor temperature
+  kFieldAmbientLight = 1u << 6,  ///< indoor light level
+  kFieldDoor = 1u << 7,          ///< door open/closed
+};
+
+/// The set of context fields one tenant's rules may observe.
+struct DataflowPolicy {
+  uint32_t fields = 0;
+
+  bool Allows(ContextField field) const { return (fields & field) != 0; }
+};
+
+/// Field set consumed by the union of `mrt` and `ifttt`.
+DataflowPolicy DerivePolicy(const rules::MetaRuleTable& mrt,
+                            const rules::TriggerRuleTable& ifttt);
+
+/// Returns `ctx` with every field the policy does not allow reset to its
+/// default-constructed value (the query API's redaction step).
+rules::EvaluationContext FilterContext(const rules::EvaluationContext& ctx,
+                                       const DataflowPolicy& policy);
+
+/// Stable field names for /conflictz JSON, in bit order ("time", "season",
+/// "sky", "outdoor_temp", "daylight", "ambient_temp", "ambient_light",
+/// "door").
+std::vector<std::string> DataflowFieldList(const DataflowPolicy& policy);
+
+}  // namespace conflict
+}  // namespace firewall
+}  // namespace imcf
+
+#endif  // IMCF_FIREWALL_CONFLICT_DATAFLOW_POLICY_H_

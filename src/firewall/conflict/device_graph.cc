@@ -1,0 +1,167 @@
+#include "firewall/conflict/device_graph.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/strings.h"
+
+namespace imcf {
+namespace firewall {
+namespace conflict {
+
+int DeviceNode(int unit, devices::DeviceKind kind) {
+  return unit * 2 + (kind == devices::DeviceKind::kHvac ? 0 : 1);
+}
+
+std::string NodeName(int node) {
+  return StrFormat("unit%d/%s", node / 2, (node % 2 == 0) ? "hvac" : "light");
+}
+
+namespace {
+
+using Neighbor = std::pair<int, std::string>;
+
+void InsertSorted(std::vector<Neighbor>* list, Neighbor entry) {
+  list->insert(std::lower_bound(list->begin(), list->end(), entry),
+               std::move(entry));
+}
+
+}  // namespace
+
+bool DeviceCommandGraph::FindForeignPathLocked(
+    int start, int goal, const std::string& tenant,
+    std::string* foreign_owner, int* path_len) const {
+  // BFS over (node, seen-foreign-edge) states: 2N states, so the walk is
+  // linear in the graph and — because adjacency lists are kept sorted —
+  // fully deterministic.
+  struct State {
+    int node;
+    bool foreign;
+    std::string owner;  ///< owner of the first foreign edge on the path
+    int depth;
+  };
+  std::map<int, uint8_t> visited;  // bit 0: plain, bit 1: foreign
+  std::deque<State> queue;
+  queue.push_back(State{start, false, std::string(), 0});
+  visited[start] = 1;
+  while (!queue.empty()) {
+    State state = std::move(queue.front());
+    queue.pop_front();
+    if (state.node == goal && state.foreign) {
+      *foreign_owner = state.owner;
+      *path_len = state.depth;
+      return true;
+    }
+    auto adj = adjacency_.find(state.node);
+    if (adj == adjacency_.end()) continue;
+    for (const Neighbor& edge : adj->second) {
+      const bool edge_foreign = edge.second != tenant;
+      const bool next_foreign = state.foreign || edge_foreign;
+      const uint8_t bit = next_foreign ? 2 : 1;
+      uint8_t& seen = visited[edge.first];
+      if (seen & bit) continue;
+      seen |= bit;
+      queue.push_back(State{edge.first, next_foreign,
+                            state.foreign ? state.owner
+                            : edge_foreign ? edge.second
+                                           : std::string(),
+                            state.depth + 1});
+    }
+  }
+  return false;
+}
+
+std::vector<ConflictFinding> DeviceCommandGraph::TryInstall(
+    const std::string& tenant, const std::vector<CommandEdge>& edges) {
+  std::lock_guard<std::mutex> lock(mu_);
+
+  // Replace semantics: drop the tenant's previous edges first, remembering
+  // them so a rejected update leaves the old rule set installed.
+  std::vector<CommandEdge> previous;
+  auto prev_it = by_tenant_.find(tenant);
+  if (prev_it != by_tenant_.end()) previous = prev_it->second;
+  RemoveLocked(tenant);
+
+  for (const CommandEdge& edge : edges) {
+    InsertSorted(&adjacency_[edge.from], Neighbor{edge.to, tenant});
+  }
+  by_tenant_[tenant] = edges;
+
+  std::vector<ConflictFinding> findings;
+  std::vector<std::pair<int, int>> flagged;  // dedup per (from, to)
+  for (const CommandEdge& edge : edges) {
+    const std::pair<int, int> key{edge.from, edge.to};
+    if (std::find(flagged.begin(), flagged.end(), key) != flagged.end()) {
+      continue;
+    }
+    std::string foreign_owner;
+    int path_len = 0;
+    if (!FindForeignPathLocked(edge.to, edge.from, tenant, &foreign_owner,
+                               &path_len)) {
+      continue;
+    }
+    flagged.push_back(key);
+    ConflictFinding finding;
+    finding.cls = ConflictClass::kCommandCycle;
+    finding.other_tenant = foreign_owner;
+    finding.severity = path_len + 1;  // cycle length: path + the new edge
+    finding.description = StrFormat(
+        "command edge %s -> %s closes a cycle through rules of tenant '%s'",
+        NodeName(edge.from).c_str(), NodeName(edge.to).c_str(),
+        foreign_owner.c_str());
+    findings.push_back(std::move(finding));
+  }
+
+  if (!findings.empty()) {
+    RemoveLocked(tenant);
+    if (!previous.empty()) {
+      for (const CommandEdge& edge : previous) {
+        InsertSorted(&adjacency_[edge.from], Neighbor{edge.to, tenant});
+      }
+      by_tenant_[tenant] = std::move(previous);
+    }
+  }
+  return findings;
+}
+
+void DeviceCommandGraph::Remove(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RemoveLocked(tenant);
+}
+
+std::vector<CommandEdge> DeviceCommandGraph::EdgesOf(
+    const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_tenant_.find(tenant);
+  return it == by_tenant_.end() ? std::vector<CommandEdge>() : it->second;
+}
+
+void DeviceCommandGraph::RemoveLocked(const std::string& tenant) {
+  auto it = by_tenant_.find(tenant);
+  if (it == by_tenant_.end()) return;
+  for (const CommandEdge& edge : it->second) {
+    auto adj = adjacency_.find(edge.from);
+    if (adj == adjacency_.end()) continue;
+    auto pos = std::find(adj->second.begin(), adj->second.end(),
+                         Neighbor{edge.to, tenant});
+    if (pos != adj->second.end()) adj->second.erase(pos);
+    if (adj->second.empty()) adjacency_.erase(adj);
+  }
+  by_tenant_.erase(it);
+}
+
+size_t DeviceCommandGraph::edge_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& entry : by_tenant_) total += entry.second.size();
+  return total;
+}
+
+size_t DeviceCommandGraph::tenant_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return by_tenant_.size();
+}
+
+}  // namespace conflict
+}  // namespace firewall
+}  // namespace imcf

@@ -1,0 +1,98 @@
+// Detector class (b): inter-tenant command cycles through shared devices.
+//
+// A trigger rule that reads one sensor kind and actuates the other closes
+// half of a feedback loop: "IF temperature > 24 THEN SetLight 0" means the
+// HVAC's output can command the lights. When *another* tenant on the same
+// shard wires the reverse half ("IF light < 10 THEN SetTemperature 26"),
+// the two rule sets form a command cycle neither tenant can see alone —
+// every actuation by one perturbs the field the other triggers on, and the
+// fleet oscillates. IoTC² models this as reachability over a device
+// interaction graph; this is the per-shard incarnation:
+//
+//   node  = (unit, device kind) — the shared physical device
+//   edge  = a cross-kind trigger rule of some tenant: source node is the
+//           device whose output the trigger field observes, destination is
+//           the device the action commands. Same-kind rules (temperature
+//           trigger → SetTemperature) are stabilizing feedback and are
+//           deliberately NOT edges.
+//
+// TryInstall is transactional: a tenant's edges are added tentatively and
+// rolled back if they close a cycle that spans ≥ 2 tenants, so a rejected
+// admission leaves the graph exactly as it was. Intra-tenant loops are the
+// tenant's own business (and the firewall chain already rate-limits them);
+// only *inter*-tenant cycles reject.
+
+#ifndef IMCF_FIREWALL_CONFLICT_DEVICE_GRAPH_H_
+#define IMCF_FIREWALL_CONFLICT_DEVICE_GRAPH_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "devices/device.h"
+#include "firewall/conflict/conflict_report.h"
+
+namespace imcf {
+namespace firewall {
+namespace conflict {
+
+/// Graph node id for a shared device: unit * 2 + kind ordinal.
+int DeviceNode(int unit, devices::DeviceKind kind);
+
+/// Debug name for a node: "unit3/hvac", "unit0/light".
+std::string NodeName(int node);
+
+/// One directed command edge contributed by a tenant's rule set.
+struct CommandEdge {
+  int from = 0;  ///< device whose output the trigger observes
+  int to = 0;    ///< device the action commands
+};
+
+/// Per-shard directed multigraph of command edges, keyed by owning tenant.
+/// Thread-safe; every mutation is transactional (all-or-nothing).
+class DeviceCommandGraph {
+ public:
+  /// Tentatively adds `edges` for `tenant`. If any new edge closes a cycle
+  /// that involves at least one edge owned by a *different* tenant, all of
+  /// `tenant`'s edges are rolled back and one finding per offending edge
+  /// (deduplicated, deterministic order) is returned. An empty result means
+  /// the edges are installed. Re-installing an already-present tenant first
+  /// removes its previous edges (Replace semantics).
+  std::vector<ConflictFinding> TryInstall(
+      const std::string& tenant, const std::vector<CommandEdge>& edges);
+
+  /// Removes every edge owned by `tenant` (no-op if absent).
+  void Remove(const std::string& tenant);
+
+  /// The edges currently installed for `tenant` (empty if absent). Lets the
+  /// analyzer restore a tenant's previous edges when an update is rejected
+  /// for a non-cycle reason after the graph was already swapped.
+  std::vector<CommandEdge> EdgesOf(const std::string& tenant) const;
+
+  size_t edge_count() const;
+  size_t tenant_count() const;
+
+ private:
+  // Walks from `start` looking for `goal`, tracking whether the path used
+  // an edge owned by someone other than `tenant`. Returns the owner of the
+  // first foreign edge on a closing path, or nullopt when no inter-tenant
+  // path exists. Caller holds mu_.
+  bool FindForeignPathLocked(int start, int goal, const std::string& tenant,
+                             std::string* foreign_owner, int* path_len) const;
+
+  void RemoveLocked(const std::string& tenant);
+
+  mutable std::mutex mu_;
+  // node -> outgoing (neighbor, owning tenant), kept sorted for
+  // deterministic traversal.
+  std::map<int, std::vector<std::pair<int, std::string>>> adjacency_;
+  std::map<std::string, std::vector<CommandEdge>> by_tenant_;
+};
+
+}  // namespace conflict
+}  // namespace firewall
+}  // namespace imcf
+
+#endif  // IMCF_FIREWALL_CONFLICT_DEVICE_GRAPH_H_

@@ -1,0 +1,85 @@
+#include "firewall/conflict/setpoint_analyzer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/strings.h"
+#include "rules/conflict.h"
+
+namespace imcf {
+namespace firewall {
+namespace conflict {
+
+namespace {
+
+struct Keyed {
+  int64_t key;  ///< unit * 2 + kind (kHvac = 0, kLight = 1)
+  const rules::MetaRule* rule;
+};
+
+int64_t BucketKey(const rules::MetaRule& rule) {
+  const int kind =
+      rule.TargetKind() == devices::DeviceKind::kHvac ? 0 : 1;
+  return static_cast<int64_t>(rule.unit) * 2 + kind;
+}
+
+}  // namespace
+
+int64_t FindContradictorySetpoints(const rules::MetaRuleTable& table,
+                                   const SetpointOptions& options,
+                                   ConflictReport* report) {
+  // Gather actuation rows (necessity rules actuate too — a necessity rule
+  // contradicting a convenience one is still a contradiction the planner
+  // cannot resolve by dropping the necessity side).
+  std::vector<Keyed> keyed;
+  keyed.reserve(table.size());
+  for (const rules::MetaRule& rule : table.rules()) {
+    if (rule.action == rules::RuleAction::kSetKwhLimit) continue;
+    keyed.push_back(Keyed{BucketKey(rule), &rule});
+  }
+  const int64_t scanned = static_cast<int64_t>(keyed.size());
+
+  // Bucket by (unit, kind); ids are already insertion-ordered within the
+  // table, and a stable sort on the key alone preserves that order, so the
+  // pairwise walk below visits pairs deterministically.
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const Keyed& a, const Keyed& b) { return a.key < b.key; });
+
+  size_t found = 0;
+  for (size_t lo = 0; lo < keyed.size() && found < options.max_findings;) {
+    size_t hi = lo + 1;
+    while (hi < keyed.size() && keyed[hi].key == keyed[lo].key) ++hi;
+    const bool is_hvac = (keyed[lo].key & 1) == 0;
+    const double gap_threshold =
+        is_hvac ? options.temperature_gap_c : options.light_gap_pct;
+    for (size_t i = lo; i < hi && found < options.max_findings; ++i) {
+      const rules::MetaRule& a = *keyed[i].rule;
+      for (size_t j = i + 1; j < hi && found < options.max_findings; ++j) {
+        const rules::MetaRule& b = *keyed[j].rule;
+        const double gap = std::fabs(a.value - b.value);
+        if (gap < gap_threshold) continue;
+        const int overlap = rules::WindowOverlapMinutes(a.window, b.window);
+        if (overlap < options.min_overlap_minutes) continue;
+        ConflictFinding finding;
+        finding.cls = ConflictClass::kContradictorySetpoint;
+        finding.rule_a = a.id;
+        finding.rule_b = b.id;
+        finding.severity = gap;
+        finding.description = StrFormat(
+            "'%s' (%g) and '%s' (%g) contradict on unit %d %s for %d "
+            "min/day (gap %g >= %g)",
+            a.description.c_str(), a.value, b.description.c_str(), b.value,
+            a.unit, is_hvac ? "hvac" : "light", overlap, gap, gap_threshold);
+        report->Add(std::move(finding));
+        ++found;
+      }
+    }
+    lo = hi;
+  }
+  return scanned;
+}
+
+}  // namespace conflict
+}  // namespace firewall
+}  // namespace imcf

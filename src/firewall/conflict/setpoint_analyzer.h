@@ -1,0 +1,57 @@
+// Detector class (a): intra-tenant contradictory setpoints.
+//
+// Two actuation rules of the same tenant targeting the same (unit, device
+// kind) with overlapping daily windows and setpoints far enough apart are
+// *contradictory*: whichever wins, the loser's comfort intent is violated
+// for the whole overlap, and the paper's last-writer-wins arbitration hides
+// the bug from the user. The existing rules::FindWindowConflicts surfaces
+// every pairwise clash for offline lint reports; this analyzer is the
+// admission-gate variant:
+//
+//   * thresholded — stock datasets legitimately contain small overlaps and
+//     small gaps (VariedMrt shifts windows by up to ±60·variation minutes
+//     and perturbs values within the clamp ranges), so only overlaps of at
+//     least `min_overlap_minutes` with a per-kind value gap above
+//     `temperature_gap_c` / `light_gap_pct` reject a tenant;
+//   * near-linear — rules are bucketed by (unit, kind) before the pairwise
+//     sweep, so a million-rule corpus (bench_conflict_detection) costs
+//     O(n log n) + O(Σ bucket²) with 3-row buckets in practice, not O(n²);
+//   * bounded — the scan stops after `max_findings` findings; an admission
+//     verdict needs evidence, not an exhaustive list.
+
+#ifndef IMCF_FIREWALL_CONFLICT_SETPOINT_ANALYZER_H_
+#define IMCF_FIREWALL_CONFLICT_SETPOINT_ANALYZER_H_
+
+#include <cstdint>
+
+#include "firewall/conflict/conflict_report.h"
+#include "rules/meta_rule.h"
+
+namespace imcf {
+namespace firewall {
+namespace conflict {
+
+/// Rejection thresholds. Defaults are calibrated so every stock dataset
+/// (flat / house / dorms at their Table II variations) admits: VariedMrt
+/// window shifts produce at most 60 minutes of overlap at variation 1.0,
+/// comfortably under the 120-minute floor.
+struct SetpointOptions {
+  int min_overlap_minutes = 120;  ///< daily overlap below this is benign
+  double temperature_gap_c = 6.0; ///< HVAC setpoint gap that contradicts
+  double light_gap_pct = 50.0;    ///< light level gap that contradicts
+  size_t max_findings = 16;       ///< stop scanning after this many
+};
+
+/// Scans every actuation rule of `table` (convenience and necessity rows;
+/// kWh-limit rows are budget configuration, not setpoints) and appends one
+/// finding per contradictory pair to `report`. Returns the number of rules
+/// scanned. Deterministic: buckets iterate in (unit, kind, id) order.
+int64_t FindContradictorySetpoints(const rules::MetaRuleTable& table,
+                                   const SetpointOptions& options,
+                                   ConflictReport* report);
+
+}  // namespace conflict
+}  // namespace firewall
+}  // namespace imcf
+
+#endif  // IMCF_FIREWALL_CONFLICT_SETPOINT_ANALYZER_H_

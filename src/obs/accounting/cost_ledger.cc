@@ -40,6 +40,8 @@ const char* CostPhaseName(CostPhase phase) {
       return "sim";
     case CostPhase::kCommandBus:
       return "command_bus";
+    case CostPhase::kConflict:
+      return "conflict";
   }
   return "unknown";
 }
@@ -51,10 +53,12 @@ TenantCost& TenantCost::operator+=(const TenantCost& other) {
   plans_ok += other.plans_ok;
   commands_ok += other.commands_ok;
   queries_ok += other.queries_ok;
+  mrt_updates_ok += other.mrt_updates_ok;
   errors += other.errors;
   sheds += other.sheds;
   deadline_misses += other.deadline_misses;
   faults += other.faults;
+  conflict_rejections += other.conflict_rejections;
   return *this;
 }
 
@@ -125,21 +129,24 @@ std::string CostLedger::CanonicalText() const {
   // CanonicalTraceText masks span timings.
   std::string out;
   for (const Row& row : Snapshot()) {
-    char line[256];
+    char line[320];
     std::snprintf(line, sizeof(line),
                   "%s arena_bytes=%lld flip_evals=%lld plans_ok=%lld "
-                  "commands_ok=%lld queries_ok=%lld errors=%lld sheds=%lld "
-                  "deadline_misses=%lld faults=%lld\n",
+                  "commands_ok=%lld queries_ok=%lld mrt_updates_ok=%lld "
+                  "errors=%lld sheds=%lld deadline_misses=%lld faults=%lld "
+                  "conflict_rejections=%lld\n",
                   row.tenant.c_str(),
                   static_cast<long long>(row.cost.arena_bytes),
                   static_cast<long long>(row.cost.flip_evals),
                   static_cast<long long>(row.cost.plans_ok),
                   static_cast<long long>(row.cost.commands_ok),
                   static_cast<long long>(row.cost.queries_ok),
+                  static_cast<long long>(row.cost.mrt_updates_ok),
                   static_cast<long long>(row.cost.errors),
                   static_cast<long long>(row.cost.sheds),
                   static_cast<long long>(row.cost.deadline_misses),
-                  static_cast<long long>(row.cost.faults));
+                  static_cast<long long>(row.cost.faults),
+                  static_cast<long long>(row.cost.conflict_rejections));
     out += line;
   }
   return out;
@@ -163,10 +170,12 @@ std::string CostLedger::ToJson(size_t k, CostSortKey key) const {
     w.Key("plans_ok").Int(row.cost.plans_ok);
     w.Key("commands_ok").Int(row.cost.commands_ok);
     w.Key("queries_ok").Int(row.cost.queries_ok);
+    w.Key("mrt_updates_ok").Int(row.cost.mrt_updates_ok);
     w.Key("errors").Int(row.cost.errors);
     w.Key("sheds").Int(row.cost.sheds);
     w.Key("deadline_misses").Int(row.cost.deadline_misses);
     w.Key("faults").Int(row.cost.faults);
+    w.Key("conflict_rejections").Int(row.cost.conflict_rejections);
     w.EndObject();
   }
   w.EndArray();

@@ -46,9 +46,10 @@ enum class CostPhase : uint8_t {
   kPlan = 1,        ///< planner search (ep.search / PlanSlot)
   kSim = 2,         ///< simulation outside the planner (sim.run remainder)
   kCommandBus = 3,  ///< fault-gated command delivery
+  kConflict = 4,    ///< admission/update conflict analysis
 };
 
-inline constexpr size_t kNumCostPhases = 4;
+inline constexpr size_t kNumCostPhases = 5;
 
 const char* CostPhaseName(CostPhase phase);
 
@@ -56,16 +57,18 @@ const char* CostPhaseName(CostPhase phase);
 /// a sum, so merging shard ledgers or per-request deltas is `+=` per field
 /// and order-independent (all-int64 keeps merges bit-exact).
 struct TenantCost {
-  int64_t phase_ns[kNumCostPhases] = {0, 0, 0, 0};  ///< wall measurements
+  int64_t phase_ns[kNumCostPhases] = {};  ///< wall measurements
   int64_t arena_bytes = 0;     ///< PlanArena bytes allocated on behalf
   int64_t flip_evals = 0;      ///< evaluator flip/full evaluations
   int64_t plans_ok = 0;        ///< plan requests served successfully
   int64_t commands_ok = 0;     ///< commands delivered
   int64_t queries_ok = 0;      ///< queries served
+  int64_t mrt_updates_ok = 0;  ///< MRT updates accepted by the conflict pass
   int64_t errors = 0;          ///< kError outcomes
   int64_t sheds = 0;           ///< admission rejections charged to the tenant
   int64_t deadline_misses = 0; ///< kDeadlineExceeded outcomes
   int64_t faults = 0;          ///< injected-fault encounters (bus retries etc.)
+  int64_t conflict_rejections = 0;  ///< kConflictRejected verdicts
 
   TenantCost& operator+=(const TenantCost& other);
 

@@ -31,30 +31,52 @@ const char* StatusText(int status) {
   }
 }
 
+/// Hard cap on the buffered request line. A peer that sends this much
+/// without a CRLF gets a 400, not an ever-growing buffer.
+constexpr size_t kMaxRequestLineBytes = 8192;
+
+enum class ReadResult {
+  kOk,       ///< *line holds the request line (without the CRLF)
+  kClosed,   ///< peer closed or errored before finishing a line
+  kTooLong,  ///< peer exceeded kMaxRequestLineBytes without a CRLF
+};
+
 /// Reads until the end of the request line (we ignore headers — HTTP/1.0
-/// GET with no body is all we serve). Bounded so a hostile peer cannot make
-/// us buffer forever.
-bool ReadRequestLine(int fd, std::string* line) {
+/// GET with no body is all we serve). A signal landing mid-recv restarts
+/// the read instead of dropping the connection; the three outcomes are
+/// distinguished so the caller can answer a flooding peer with a 400.
+ReadResult ReadRequestLine(int fd, std::string* line) {
   char buf[1024];
   std::string data;
-  while (data.find("\r\n") == std::string::npos && data.size() < 8192) {
+  while (data.find("\r\n") == std::string::npos) {
+    if (data.size() >= kMaxRequestLineBytes) return ReadResult::kTooLong;
     ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) return false;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ReadResult::kClosed;
+    }
+    if (n == 0) return ReadResult::kClosed;
     data.append(buf, static_cast<size_t>(n));
   }
-  size_t end = data.find("\r\n");
-  if (end == std::string::npos) return false;
-  *line = data.substr(0, end);
-  return true;
+  *line = data.substr(0, data.find("\r\n"));
+  return ReadResult::kOk;
 }
 
-void WriteAll(int fd, const std::string& data) {
+/// Writes all of `data`, restarting on EINTR and surviving short sends (a
+/// small socket buffer or a slow reader makes partial writes routine, not
+/// exceptional). Returns false once the peer is gone.
+bool WriteAll(int fd, const std::string& data) {
   size_t off = 0;
   while (off < data.size()) {
     ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
-    if (n <= 0) return;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
     off += static_cast<size_t>(n);
   }
+  return true;
 }
 
 }  // namespace
@@ -154,13 +176,17 @@ void StatusServer::Serve() {
 
 void StatusServer::HandleConnection(int fd) {
   std::string line;
-  if (!ReadRequestLine(fd, &line)) return;
+  const ReadResult read = ReadRequestLine(fd, &line);
+  if (read == ReadResult::kClosed) return;
 
   // "GET /path?query HTTP/1.0"
   size_t sp1 = line.find(' ');
   size_t sp2 = line.find(' ', sp1 == std::string::npos ? sp1 : sp1 + 1);
   HttpResponse response;
-  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+  if (read == ReadResult::kTooLong) {
+    response = HttpResponse{400, "text/plain; charset=utf-8",
+                            "request line too long\n"};
+  } else if (sp1 == std::string::npos || sp2 == std::string::npos) {
     response = HttpResponse{400, "text/plain; charset=utf-8",
                             "malformed request line\n"};
   } else if (line.substr(0, sp1) != "GET") {
@@ -190,7 +216,7 @@ void StatusServer::HandleConnection(int fd) {
                      "\r\nContent-Length: " +
                      std::to_string(response.body.size()) +
                      "\r\nConnection: close\r\n\r\n";
-  WriteAll(fd, head + response.body);
+  (void)WriteAll(fd, head + response.body);
   requests_served_.fetch_add(1, std::memory_order_relaxed);
 }
 

@@ -9,6 +9,8 @@
 #include "common/rng.h"
 #include "common/strings.h"
 #include "fault/command_bus.h"
+#include "firewall/conflict/conflict_report.h"
+#include "firewall/conflict/dataflow_policy.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
@@ -24,7 +26,7 @@ namespace {
 /// Serve instrumentation, resolved once (ISSUE: per-outcome serve metrics,
 /// queue depth gauge, admission rejections, end-to-end latency).
 struct ServeMetrics {
-  obs::Counter* requests[3];
+  obs::Counter* requests[kNumRequestKinds];
   obs::Counter* responses[kNumServeOutcomes];
   obs::Counter* shed_total;
   obs::Gauge* queue_depth;
@@ -35,7 +37,7 @@ struct ServeMetrics {
     static const ServeMetrics* m = [] {
       auto& reg = obs::MetricRegistry::Default();
       auto* sm = new ServeMetrics();
-      for (int k = 0; k < 3; ++k) {
+      for (int k = 0; k < static_cast<int>(kNumRequestKinds); ++k) {
         sm->requests[k] = reg.GetCounter(
             "imcf_serve_requests_total", "Requests submitted, by kind",
             {{"kind", RequestKindName(static_cast<RequestKind>(k))}});
@@ -178,6 +180,7 @@ std::optional<Response> FleetService::Submit(Request request) {
   const int shard_index = registry_->ShardOf(request.tenant);
   QueueShard& shard = *queues_[static_cast<size_t>(shard_index)];
   bool queued_item = false;
+  SimTime retry_after = options_.shed_retry_after_seconds;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     if (shard.items.size() <
@@ -186,6 +189,21 @@ std::optional<Response> FleetService::Submit(Request request) {
                                        obs::ScopedTimer::NowNs(),
                                        std::move(request)});
       queued_item = true;
+    } else if (shard.drain_items > 0 && shard.drain_gap > 0) {
+      // Scale the retry-after hint by the shard's observed drain rate: the
+      // estimated sim-time this backlog needs to clear, rounded up, bounded
+      // to [base/4, base*8] so a noisy rate estimate can neither tell the
+      // submitter "come back immediately" nor park it forever. Integer
+      // sim-time arithmetic over drain history that is itself deterministic,
+      // so shed hints replay bit-identically at any worker count.
+      const SimTime base = options_.shed_retry_after_seconds;
+      const SimTime depth = static_cast<SimTime>(shard.items.size());
+      const SimTime estimate =
+          (depth * shard.drain_gap + shard.drain_items - 1) /
+          shard.drain_items;
+      const SimTime lo = std::max<SimTime>(1, base / 4);
+      const SimTime hi = base * 8;
+      retry_after = std::min(hi, std::max(lo, estimate));
     }
   }
   if (queued_item) {
@@ -199,7 +217,7 @@ std::optional<Response> FleetService::Submit(Request request) {
                    shard_index);
   sheds_since_check_.fetch_add(1, std::memory_order_relaxed);
   rejection.outcome = ServeOutcome::kShed;
-  rejection.retry_after_seconds = options_.shed_retry_after_seconds;
+  rejection.retry_after_seconds = retry_after;
   metrics.shed_total->Increment();
 #if IMCF_ACCOUNTING_ENABLED
   // Sheds enter the SLO windows at submission time: they never reach a
@@ -269,7 +287,30 @@ Status FleetService::ExecuteCommand(Tenant& tenant, const Request& request,
 
 Status FleetService::ExecuteQuery(Tenant& tenant, const Request& request,
                                   Response* response) {
-  (void)request;
+  if (request.query.kind == QueryKind::kContext) {
+    // Context queries answer through the tenant's dataflow policy: only
+    // the fields its own rule set references leave the firewall; the rest
+    // stay at their zero defaults (PFirewall-style minimal forwarding).
+    IMCF_ASSIGN_OR_RETURN(
+        rules::EvaluationContext raw,
+        tenant.simulator().ContextAt(request.issue_time, request.query.unit));
+    const firewall::conflict::DataflowPolicy& policy =
+        tenant.dataflow_policy();
+    const rules::EvaluationContext filtered =
+        firewall::conflict::FilterContext(raw, policy);
+    ContextView& view = response->context;
+    view.fields = policy.fields;
+    view.time = filtered.time;
+    view.season = static_cast<int>(filtered.weather.season);
+    view.sky = static_cast<int>(filtered.weather.sky);
+    view.outdoor_temp_c = filtered.weather.outdoor_temp_c;
+    view.daylight = filtered.weather.daylight;
+    view.ambient_temp_c = filtered.ambient_temp_c;
+    view.ambient_light_pct = filtered.ambient_light_pct;
+    view.door_open = filtered.door_open;
+    tenant.stats().queries_served += 1;
+    return Status::Ok();
+  }
   TenantStatus& status = response->tenant_status;
   status.plans_served = tenant.stats().plans_served;
   status.commands_served = tenant.stats().commands_served;
@@ -278,6 +319,23 @@ Status FleetService::ExecuteQuery(Tenant& tenant, const Request& request,
   status.units = tenant.simulator().options().spec.units;
   tenant.stats().queries_served += 1;
   return Status::Ok();
+}
+
+Status FleetService::ExecuteMrtUpdate(Tenant& tenant, const Request& request,
+                                      Response* response) {
+  firewall::conflict::ConflictReport report;
+  const Status applied =
+      registry_->ApplyMrtUpdate(tenant, request.mrt_update, &report);
+  if (applied.ok()) return Status::Ok();
+  if (!report.ok()) {
+    // The conflict pass vetoed the new rule set: a first-class outcome, not
+    // an error. The tenant keeps serving its previous rules; the status
+    // carries the finding summary back to the submitter.
+    response->outcome = ServeOutcome::kConflictRejected;
+    response->status = applied;
+    return Status::Ok();
+  }
+  return applied;  // build/config failure -> kError
 }
 
 Response FleetService::Execute(const QueuedItem& item, SimTime now,
@@ -322,9 +380,16 @@ Response FleetService::Execute(const QueuedItem& item, SimTime now,
           case RequestKind::kQuery:
             work = ExecuteQuery(tenant, request, &response);
             break;
+          case RequestKind::kMrtUpdate:
+            work = ExecuteMrtUpdate(tenant, request, &response);
+            break;
         }
         if (work.ok()) {
-          response.outcome = ServeOutcome::kOk;
+          // ExecuteMrtUpdate sets kConflictRejected itself; every other
+          // clean completion is kOk.
+          if (response.outcome != ServeOutcome::kConflictRejected) {
+            response.outcome = ServeOutcome::kOk;
+          }
         } else {
           response.outcome = ServeOutcome::kError;
           response.status = work;
@@ -349,6 +414,15 @@ std::vector<Response> FleetService::Drain(SimTime now) {
   std::map<TenantId, std::vector<QueuedItem>> per_tenant;
   for (const auto& shard : queues_) {
     std::lock_guard<std::mutex> lock(shard->mu);
+    // Drain-rate bookkeeping for the shed path's retry-after hint: a
+    // non-empty drain with an elapsed sim-time gap records (items, gap).
+    // Pure sim-clock state, so hints stay deterministic.
+    if (!shard->items.empty() && shard->last_drain_now != 0 &&
+        now > shard->last_drain_now) {
+      shard->drain_gap = now - shard->last_drain_now;
+      shard->drain_items = static_cast<int64_t>(shard->items.size());
+    }
+    shard->last_drain_now = now;
     for (QueuedItem& item : shard->items) {
       shard_wait_ns_[static_cast<size_t>(item.shard)]->Observe(
           static_cast<double>(drain_start_ns - item.enqueue_ns));
@@ -602,6 +676,11 @@ void FleetService::CountResponse(const Response& response) {
           case RequestKind::kQuery:
             delta.queries_ok = 1;
             break;
+          case RequestKind::kMrtUpdate:
+            // Accepted rule-set swap. Deliberately NOT plans_ok: the ledger
+            // witness separates serving plans from mutating rule sets.
+            delta.mrt_updates_ok = 1;
+            break;
         }
         break;
       case ServeOutcome::kError:
@@ -612,6 +691,10 @@ void FleetService::CountResponse(const Response& response) {
         break;
       case ServeOutcome::kDeadlineExceeded:
         delta.deadline_misses = 1;
+        break;
+      case ServeOutcome::kConflictRejected:
+        // A vetoed update is never charged as applied work of any kind.
+        delta.conflict_rejections = 1;
         break;
       case ServeOutcome::kTenantNotFound:
         break;

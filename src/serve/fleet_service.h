@@ -63,7 +63,11 @@ struct FleetOptions {
   int workers = 1;
   /// Bounded queue capacity per shard; a submit beyond it is shed.
   int queue_capacity = 64;
-  /// Retry-after hint attached to shed responses, in (virtual) seconds.
+  /// Base retry-after hint attached to shed responses, in (virtual)
+  /// seconds. When the shedding shard has an observed drain rate, the hint
+  /// scales to the estimated time the current backlog needs to drain,
+  /// clamped to [base/4, base*8] (sim-time arithmetic only, so the hint is
+  /// part of the determinism contract). Without history the base applies.
   SimTime shed_retry_after_seconds = 60;
   /// Batched planning: Drain groups up to this many consecutive dispatch
   /// entries into one execution unit that shares a PlanArena, so a pass
@@ -182,6 +186,14 @@ class FleetService {
   struct QueueShard {
     mutable std::mutex mu;
     std::deque<QueuedItem> items;
+    /// Observed drain rate (guarded by mu, maintained by Drain): the last
+    /// drain's virtual time, and how many items the previous non-empty
+    /// drain moved over what sim-time gap. Submit's shed path scales its
+    /// retry-after hint by items/gap — all sim-clock integers, so shed
+    /// hints replay bit-identically at any worker count.
+    SimTime last_drain_now = 0;
+    SimTime drain_gap = 0;
+    int64_t drain_items = 0;
   };
 
   explicit FleetService(FleetOptions options);
@@ -201,6 +213,8 @@ class FleetService {
                         Response* response);
   Status ExecuteQuery(Tenant& tenant, const Request& request,
                       Response* response);
+  Status ExecuteMrtUpdate(Tenant& tenant, const Request& request,
+                          Response* response);
 
   void CountResponse(const Response& response);
   void UpdateQueueDepthGauge();

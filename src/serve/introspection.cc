@@ -52,6 +52,31 @@ size_t ParseK(const obs::HttpRequest& request) {
   return static_cast<size_t>(std::strtoull(it->second.c_str(), nullptr, 10));
 }
 
+obs::HttpResponse BadRequest(const std::string& message) {
+  obs::HttpResponse response;
+  response.status = 400;
+  response.body = message + "\n";
+  return response;
+}
+
+/// Strict /tenantz parameter validation: a typo'd sort key or a garbage row
+/// cap gets a 400 with the valid forms spelled out, not a silently
+/// defaulted page the operator mistakes for the one they asked for.
+/// ParseCostSortKey / ParseK keep their lenient defaults for library
+/// callers; the strictness lives at the HTTP edge.
+bool ValidTenantzSort(const std::string& value) {
+  return value == "cpu" || value == "bytes" || value == "plans" ||
+         value == "sheds";
+}
+
+bool ValidTenantzK(const std::string& value) {
+  if (value.empty() || value.size() > 9) return false;  // bounded, no sign
+  for (char c : value) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 void RegisterIntrospectionHandlers(obs::StatusServer* server,
@@ -66,10 +91,27 @@ void RegisterIntrospectionHandlers(obs::StatusServer* server,
   server->Handle("/tenantz", [service](const obs::HttpRequest& request) {
     obs::CostSortKey key = obs::CostSortKey::kCpu;
     auto it = request.query.find("sort");
-    if (it != request.query.end()) key = obs::ParseCostSortKey(it->second);
+    if (it != request.query.end()) {
+      if (!ValidTenantzSort(it->second)) {
+        return BadRequest("bad sort parameter '" + it->second +
+                          "': want sort=cpu|bytes|plans|sheds");
+      }
+      key = obs::ParseCostSortKey(it->second);
+    }
+    auto kit = request.query.find("k");
+    if (kit != request.query.end() && !ValidTenantzK(kit->second)) {
+      return BadRequest("bad k parameter '" + kit->second +
+                        "': want a small non-negative integer");
+    }
     obs::HttpResponse response;
     response.content_type = kJsonContentType;
     response.body = service->cost_ledger().ToJson(ParseK(request), key);
+    return response;
+  });
+  server->Handle("/conflictz", [service](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    response.content_type = kJsonContentType;
+    response.body = service->registry().conflict_analyzer().ToJson();
     return response;
   });
   server->Handle("/sloz", [service](const obs::HttpRequest&) {

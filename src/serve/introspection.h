@@ -7,8 +7,13 @@
 //                         per shard, requests served by the status server.
 //   /tenantz?sort=cpu   — the cost ledger's top-K view (sort = cpu | bytes
 //                         | plans | sheds, k = row cap, 0/absent = all).
+//                         Unknown sort values and malformed k get a 400,
+//                         not a silently defaulted page.
 //   /sloz               — per-tenant SLO burn state, evaluated at the most
 //                         recent drain's virtual time.
+//   /conflictz          — per-tenant conflict-firewall verdicts: last
+//                         analysis outcome, findings by class, dataflow
+//                         policy fields.
 //
 // Handlers run on the status server's serving thread while drains run
 // elsewhere, so they only touch thread-safe surfaces (ledger snapshots,
@@ -26,7 +31,8 @@ namespace serve {
 
 class FleetService;
 
-/// Registers /statusz, /tenantz and /sloz on `server`, backed by `service`.
+/// Registers /statusz, /tenantz, /sloz and /conflictz on `server`, backed
+/// by `service`.
 /// The service must outlive the server (FleetService guarantees this by
 /// declaring its server last).
 void RegisterIntrospectionHandlers(obs::StatusServer* server,

@@ -19,11 +19,13 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "common/time.h"
 #include "devices/device.h"
 #include "obs/tracer.h"
+#include "rules/trigger_rule.h"
 #include "sim/simulation.h"
 
 namespace imcf {
@@ -33,7 +35,15 @@ namespace serve {
 using TenantId = std::string;
 
 /// What a request asks the fleet to do.
-enum class RequestKind : uint8_t { kPlan = 0, kCommand = 1, kQuery = 2 };
+enum class RequestKind : uint8_t {
+  kPlan = 0,
+  kCommand = 1,
+  kQuery = 2,
+  kMrtUpdate = 3,  ///< swap the tenant's rule set (conflict-gated)
+};
+
+/// Number of RequestKind values (for per-kind tallies).
+inline constexpr size_t kNumRequestKinds = 4;
 
 const char* RequestKindName(RequestKind kind);
 
@@ -44,10 +54,11 @@ enum class ServeOutcome : uint8_t {
   kDeadlineExceeded = 2,  ///< expired before a worker reached it
   kTenantNotFound = 3,    ///< unknown tenant id
   kError = 4,             ///< execution failed (see Response::status)
+  kConflictRejected = 5,  ///< the conflict pass vetoed the rule set
 };
 
 /// Number of ServeOutcome values (for per-outcome tallies).
-inline constexpr size_t kNumServeOutcomes = 5;
+inline constexpr size_t kNumServeOutcomes = 6;
 
 const char* ServeOutcomeName(ServeOutcome outcome);
 
@@ -69,10 +80,27 @@ struct CommandRequest {
 };
 
 /// Query work: read-only tenant state.
-enum class QueryKind : uint8_t { kStatus = 0 };
+enum class QueryKind : uint8_t {
+  kStatus = 0,
+  kContext = 1,  ///< one unit's environment snapshot, dataflow-filtered
+};
 
 struct QueryRequest {
   QueryKind kind = QueryKind::kStatus;
+  int unit = 0;  ///< kContext: which unit's snapshot
+};
+
+/// MRT-update work: re-derive the tenant's rule set with the overridden
+/// knobs and swap it in — but only if the conflict pass admits the result.
+/// Sentinel values mean "keep the tenant's current setting".
+struct MrtUpdateRequest {
+  uint64_t seed = 0;          ///< 0: keep current seed
+  double mrt_variation = -1;  ///< < 0: keep current variation
+  double budget_kwh = -1;     ///< < 0: keep; 0: dataset default
+  /// When set_recipes is true, extra_recipes replaces the tenant's extra
+  /// IFTTT rows (appended after the stock Table III recipes).
+  bool set_recipes = false;
+  std::vector<rules::TriggerRule> extra_recipes;
 };
 
 /// One unit of fleet work. Exactly the member named by `kind` is consulted.
@@ -91,6 +119,7 @@ struct Request {
   PlanRequest plan;
   CommandRequest command;
   QueryRequest query;
+  MrtUpdateRequest mrt_update;
 };
 
 /// Plan metrics carried back on a successful plan response (the paper's
@@ -110,6 +139,21 @@ struct TenantStatus {
   double budget_kwh = 0.0;
   int devices = 0;
   int units = 0;
+};
+
+/// One unit's environment snapshot, redacted to the tenant's dataflow
+/// policy (kQuery/kContext responses). `fields` echoes which bits survived
+/// the filter (firewall::conflict::ContextField values).
+struct ContextView {
+  uint32_t fields = 0;
+  SimTime time = 0;
+  int season = 0;  ///< weather::Season ordinal
+  int sky = 0;     ///< weather::Sky ordinal
+  double outdoor_temp_c = 0.0;
+  double daylight = 0.0;
+  double ambient_temp_c = 0.0;
+  double ambient_light_pct = 0.0;
+  bool door_open = false;
 };
 
 /// The service's answer to one request.
@@ -133,6 +177,7 @@ struct Response {
   bool command_delivered = false;  ///< kCommand
   int command_attempts = 0;        ///< kCommand
   TenantStatus tenant_status;      ///< kQuery
+  ContextView context;             ///< kQuery/kContext
 };
 
 }  // namespace serve

@@ -1,9 +1,11 @@
 #include "serve/tenant_registry.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/strings.h"
+#include "firewall/conflict/dataflow_policy.h"
 #include "obs/tracer.h"
 
 namespace imcf {
@@ -17,6 +19,8 @@ const char* RequestKindName(RequestKind kind) {
       return "command";
     case RequestKind::kQuery:
       return "query";
+    case RequestKind::kMrtUpdate:
+      return "mrt_update";
   }
   return "?";
 }
@@ -33,6 +37,8 @@ const char* ServeOutcomeName(ServeOutcome outcome) {
       return "tenant_not_found";
     case ServeOutcome::kError:
       return "error";
+    case ServeOutcome::kConflictRejected:
+      return "conflict_rejected";
   }
   return "?";
 }
@@ -65,7 +71,9 @@ Result<trace::DatasetSpec> SpecForConfig(const TenantConfig& config) {
 
 TenantRegistry::TenantRegistry(int shards, fault::FaultOptions fault,
                                fault::RetryPolicy retry)
-    : fault_(fault), retry_(retry) {
+    : fault_(fault),
+      retry_(retry),
+      conflict_analyzer_(shards < 1 ? 1 : shards) {
   if (shards < 1) shards = 1;
   shards_.reserve(static_cast<size_t>(shards));
   for (int i = 0; i < shards; ++i) {
@@ -103,14 +111,8 @@ Status TenantRegistry::Admit(const TenantConfig& config) {
   return AdmitWithSpec(config, std::move(spec));
 }
 
-Status TenantRegistry::AdmitWithSpec(const TenantConfig& config,
-                                     trace::DatasetSpec spec) {
-  if (config.id.empty()) {
-    return Status::InvalidArgument("tenant id must not be empty");
-  }
-  if (Find(config.id) != nullptr) {
-    return Status::AlreadyExists("tenant exists: " + config.id);
-  }
+sim::SimulationOptions TenantRegistry::BuildSimOptions(
+    const TenantConfig& config, trace::DatasetSpec spec) const {
   sim::SimulationOptions options;
   options.spec = std::move(spec);
   options.start =
@@ -121,12 +123,123 @@ Status TenantRegistry::AdmitWithSpec(const TenantConfig& config,
   options.seed = config.seed;
   options.fault = fault_;
   options.retry = retry_;
-  auto simulator = std::make_unique<sim::Simulator>(options);
+  options.ifttt_extra = config.extra_recipes;
+  return options;
+}
+
+firewall::conflict::ConflictReport TenantRegistry::AnalyzeRuleSet(
+    const TenantConfig& config, const trace::DatasetSpec& spec,
+    const sim::Simulator& simulator) {
+  // Lower-bound power draw of executing one rule, from the tenant's device
+  // spec: the HVAC's circulation fan runs whenever a setpoint executes,
+  // and a light at `value`% draws at least half its dimmed power over the
+  // window (duty-cycle floor). Deliberately conservative so a feasible MRT
+  // is never rejected.
+  firewall::conflict::TenantRuleSet rule_set;
+  rule_set.mrt = &simulator.mrt();
+  rule_set.ifttt = &simulator.ifttt();
+  rule_set.budget_kwh = simulator.total_budget_kwh();
+  const int hours = simulator.options().hours != 0 ? simulator.options().hours
+                                                   : 365 * 24;
+  rule_set.period_days = hours >= 24 ? hours / 24 : 1;
+  rule_set.units = spec.units;
+  const double fan_kw = spec.hvac.fan_kw;
+  const double light_kw = spec.light.max_power_kw;
+  rule_set.hourly_energy = [fan_kw, light_kw](const rules::MetaRule& rule,
+                                              int /*hour*/) {
+    if (rule.action == rules::RuleAction::kSetTemperature) return fan_kw;
+    return light_kw * (rule.value / 100.0) * 0.5;
+  };
+  return conflict_analyzer_.Analyze(ShardOf(config.id), config.id, rule_set);
+}
+
+Status TenantRegistry::AdmitWithSpec(const TenantConfig& config,
+                                     trace::DatasetSpec spec) {
+  if (config.id.empty()) {
+    return Status::InvalidArgument("tenant id must not be empty");
+  }
+  if (Find(config.id) != nullptr) {
+    return Status::AlreadyExists("tenant exists: " + config.id);
+  }
+  auto simulator =
+      std::make_unique<sim::Simulator>(BuildSimOptions(config, spec));
   // Prepare outside all locks: it builds the ambient series, the expensive
   // part, and touches no shared state.
   IMCF_RETURN_IF_ERROR(simulator->Prepare());
+
+  // Conflict gate: the rule set must clear all three detectors before the
+  // tenant becomes visible. Analysis time is attributed to the tenant's
+  // own ledger row (kConflict phase) — a hostile tenant pays for its own
+  // rejections — and the span lands on the admission trace.
+  firewall::conflict::ConflictReport report;
+  {
+    IMCF_TRACE_SPAN(span, "conflict.admission", "serve");
+    IMCF_COST_SCOPE(cost, cost_ledger_, ShardOf(config.id), config.id);
+    // maybe_unused: the disabled-accounting IMCF_COST_ADD_PHASE_NS
+    // swallows its arguments without evaluating them.
+    [[maybe_unused]] const auto t0 = std::chrono::steady_clock::now();
+    report = AnalyzeRuleSet(config, spec, *simulator);
+    IMCF_COST_ADD_PHASE_NS(
+        obs::CostPhase::kConflict,
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    span.Arg("findings", static_cast<int64_t>(report.findings.size()));
+    if (!report.ok()) {
+      if (cost.local() != nullptr) cost.local()->conflict_rejections += 1;
+    }
+  }
+  if (!report.ok()) {
+    return Status::FailedPrecondition("conflict: " + report.Summary());
+  }
+
   auto tenant = std::make_shared<Tenant>(config, std::move(simulator));
-  return AdmitPrepared(config.id, std::move(tenant));
+  tenant->policy_ = firewall::conflict::DerivePolicy(
+      tenant->simulator().mrt(), tenant->simulator().ifttt());
+  Status admitted = AdmitPrepared(config.id, std::move(tenant));
+  if (!admitted.ok()) {
+    // Lost an admission race: drop the edges the analysis installed.
+    conflict_analyzer_.Forget(ShardOf(config.id), config.id);
+  }
+  return admitted;
+}
+
+Status TenantRegistry::ApplyMrtUpdate(
+    Tenant& tenant, const MrtUpdateRequest& update,
+    firewall::conflict::ConflictReport* report) {
+  TenantConfig config = tenant.config_;
+  if (update.seed != 0) config.seed = update.seed;
+  if (update.mrt_variation >= 0.0) config.mrt_variation = update.mrt_variation;
+  if (update.budget_kwh >= 0.0) config.budget_kwh = update.budget_kwh;
+  if (update.set_recipes) config.extra_recipes = update.extra_recipes;
+
+  IMCF_ASSIGN_OR_RETURN(trace::DatasetSpec spec, SpecForConfig(config));
+  auto simulator =
+      std::make_unique<sim::Simulator>(BuildSimOptions(config, spec));
+  IMCF_RETURN_IF_ERROR(simulator->Prepare());
+
+  IMCF_TRACE_SPAN(span, "conflict.update", "serve");
+  [[maybe_unused]] const auto t0 = std::chrono::steady_clock::now();
+  firewall::conflict::ConflictReport local = AnalyzeRuleSet(config, spec,
+                                                            *simulator);
+  IMCF_COST_ADD_PHASE_NS(
+      obs::CostPhase::kConflict,
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  span.Arg("findings", static_cast<int64_t>(local.findings.size()));
+  if (report != nullptr) *report = local;
+  if (!local.ok()) {
+    // The analyzer restored the previously-admitted edges; the tenant
+    // keeps its current rule set.
+    return Status::FailedPrecondition("conflict: " + local.Summary());
+  }
+
+  tenant.config_ = std::move(config);
+  tenant.simulator_ = std::move(simulator);
+  tenant.policy_ = firewall::conflict::DerivePolicy(
+      tenant.simulator_->mrt(), tenant.simulator_->ifttt());
+  return Status::Ok();
 }
 
 Status TenantRegistry::RestoreStats(const TenantId& id,
@@ -138,11 +251,15 @@ Status TenantRegistry::RestoreStats(const TenantId& id,
 }
 
 Status TenantRegistry::Remove(const TenantId& id) {
-  Shard& shard = *shards_[static_cast<size_t>(ShardOf(id))];
-  std::lock_guard<std::mutex> lock(shard.mu);
-  if (shard.tenants.erase(id) == 0) {
-    return Status::NotFound("no such tenant: " + id);
+  {
+    Shard& shard = *shards_[static_cast<size_t>(ShardOf(id))];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.tenants.erase(id) == 0) {
+      return Status::NotFound("no such tenant: " + id);
+    }
   }
+  // Evicted tenants stop contributing command edges (and /conflictz rows).
+  conflict_analyzer_.Forget(ShardOf(id), id);
   return Status::Ok();
 }
 
@@ -188,7 +305,8 @@ Status TenantRegistry::WithTenant(const TenantId& id,
 Result<TenantConfig> TenantRegistry::GetConfig(const TenantId& id) const {
   std::shared_ptr<Tenant> tenant = Find(id);
   if (tenant == nullptr) return Status::NotFound("no such tenant: " + id);
-  // The config is immutable after admission; no tenant lock needed.
+  // MRT updates mutate the config in place, so reads take the tenant lock.
+  std::lock_guard<std::mutex> lock(tenant->mu_);
   return tenant->config();
 }
 
@@ -230,10 +348,11 @@ Status TenantRegistry::Save(TableStore* store) const {
   for (const TenantId& id : TenantIds()) {
     std::shared_ptr<Tenant> tenant = Find(id);
     if (tenant == nullptr) continue;  // removed since listing
-    TenantConfig config = tenant->config();
+    TenantConfig config;
     TenantStats stats;
     {
       std::lock_guard<std::mutex> lock(tenant->mu_);
+      config = tenant->config();
       stats = tenant->stats();
     }
     IMCF_RETURN_IF_ERROR(table->Insert(

@@ -29,6 +29,7 @@
 #include "common/result.h"
 #include "fault/fault_plan.h"
 #include "fault/retry.h"
+#include "firewall/conflict/analyzer.h"
 #include "obs/accounting/cost_ledger.h"
 #include "serve/request.h"
 #include "sim/simulation.h"
@@ -52,6 +53,11 @@ struct TenantConfig {
   /// Device sizing multiplier (the DefaultNeighborhood "appetite"):
   /// scales HVAC kW/°C and light max power.
   double appetite = 1.0;
+  /// Tenant-submitted IFTTT recipes appended after the stock Table III
+  /// rows. Vetted by the conflict pass at admission and on every MRT
+  /// update; NOT persisted in the snapshot table (a restarted fleet
+  /// re-admits the stock rule set and tenants resubmit).
+  std::vector<rules::TriggerRule> extra_recipes;
 };
 
 /// Serving counters, persisted with the config so a restarted service
@@ -82,12 +88,20 @@ class Tenant {
   TenantStats& stats() { return stats_; }
   const TenantStats& stats() const { return stats_; }
 
+  /// The dataflow policy derived from the active rule set (PFirewall-style
+  /// field redaction for context queries). Maintained by the registry on
+  /// admission and on accepted MRT updates.
+  const firewall::conflict::DataflowPolicy& dataflow_policy() const {
+    return policy_;
+  }
+
  private:
   friend class TenantRegistry;
 
   TenantConfig config_;
   std::unique_ptr<sim::Simulator> simulator_;
   TenantStats stats_;
+  firewall::conflict::DataflowPolicy policy_;
   std::mutex mu_;  ///< serializes work on this tenant
 };
 
@@ -144,6 +158,23 @@ class TenantRegistry {
   Result<TenantConfig> GetConfig(const TenantId& id) const;
   Result<TenantStats> GetStats(const TenantId& id) const;
 
+  /// Rebuilds `tenant`'s rule set with the update's overrides, runs the
+  /// conflict pass on the result and — only if it admits — swaps the new
+  /// simulator in and refreshes the dataflow policy. On rejection the
+  /// tenant keeps its current rule set, the verdict lands in `report`, and
+  /// the returned status is FailedPrecondition. Caller must hold the
+  /// tenant's mutex (i.e. call from inside WithTenant).
+  Status ApplyMrtUpdate(Tenant& tenant, const MrtUpdateRequest& update,
+                        firewall::conflict::ConflictReport* report);
+
+  /// The admission-time conflict pass (also serves /conflictz).
+  firewall::conflict::ConflictAnalyzer& conflict_analyzer() {
+    return conflict_analyzer_;
+  }
+  const firewall::conflict::ConflictAnalyzer& conflict_analyzer() const {
+    return conflict_analyzer_;
+  }
+
   /// Rewrites the `tenants` snapshot table from the current fleet (config
   /// + stats per tenant, sorted by id).
   Status Save(TableStore* store) const;
@@ -166,10 +197,21 @@ class TenantRegistry {
 
   Status AdmitPrepared(const TenantId& id, std::shared_ptr<Tenant> tenant);
 
+  /// Builds the SimulationOptions a (config, spec) pair describes — shared
+  /// by admission and the MRT-update rebuild so both paths stay identical.
+  sim::SimulationOptions BuildSimOptions(const TenantConfig& config,
+                                         trace::DatasetSpec spec) const;
+
+  /// Runs the conflict pass over a prepared simulator's rule set.
+  firewall::conflict::ConflictReport AnalyzeRuleSet(
+      const TenantConfig& config, const trace::DatasetSpec& spec,
+      const sim::Simulator& simulator);
+
   std::vector<std::unique_ptr<Shard>> shards_;
   fault::FaultOptions fault_;
   fault::RetryPolicy retry_;
   obs::CostLedger* cost_ledger_ = nullptr;  ///< borrowed; may be null
+  firewall::conflict::ConflictAnalyzer conflict_analyzer_;
 };
 
 /// Schema of the snapshot table ("tenants").

@@ -91,6 +91,9 @@ Status Simulator::Prepare() {
   mrt_ = rules::VariedMrt(spec.units, spec.mrt_variation,
                           MixHash(options_.seed, spec.seed));
   ifttt_ = rules::FlatIfttt();
+  for (const rules::TriggerRule& rule : options_.ifttt_extra) {
+    ifttt_.Add(rule);
+  }
 
   // Devices: one split unit and one luminaire per building unit.
   for (int u = 0; u < spec.units; ++u) {
@@ -152,6 +155,27 @@ Status Simulator::SetBudget(double budget_kwh) {
   }
   options_.budget_kwh = budget_kwh;
   return RebuildPlan();
+}
+
+Result<rules::EvaluationContext> Simulator::ContextAt(SimTime t,
+                                                      int unit) const {
+  if (!prepared_) {
+    return Status::FailedPrecondition("call Prepare() before ContextAt()");
+  }
+  if (unit < 0 || unit >= options_.spec.units) {
+    return Status::OutOfRange(StrFormat("unit %d out of range", unit));
+  }
+  int hour = static_cast<int>((t - start_) / kSecondsPerHour);
+  if (hour < 0) hour = 0;
+  if (hour >= hours_) hour = hours_ - 1;
+  rules::EvaluationContext ctx;
+  ctx.time = t;
+  ctx.weather = weather_->At(t);
+  ctx.ambient_temp_c = ambient_->temp(unit, hour);
+  ctx.ambient_light_pct = ambient_->light(unit, hour);
+  ctx.door_open =
+      unit_ambient_models_[static_cast<size_t>(unit)].DoorOpen(t);
+  return ctx;
 }
 
 Status Simulator::Reconfigure(double savings_fraction,

@@ -77,6 +77,10 @@ struct SimulationOptions {
   /// applets firing in table order with later writers winning — the
   /// energy-oblivious behaviour the paper's baseline captures.
   rules::MatchPolicy ifttt_policy = rules::MatchPolicy::kLastMatch;
+  /// Extra IFTTT recipes appended after the stock Table III rows (the
+  /// fleet's MRT-update path installs tenant-submitted recipes here; the
+  /// conflict pass vets them before a simulator is built).
+  std::vector<rules::TriggerRule> ifttt_extra;
   /// Bank unused slot budget for later slots (net metering: "energy excess
   /// on a sunny day can be used at later stages within a yearly cycle").
   /// Without banking, a flat hourly constraint can never fund the night
@@ -189,6 +193,12 @@ class Simulator {
   /// Replaces the total budget (cloud allocation) without rebuilding the
   /// ambient series.
   Status SetBudget(double budget_kwh);
+
+  /// Environment snapshot for one unit at instant `t` (clean weather, no
+  /// fault degradation): what a context query observes before the serving
+  /// layer applies the tenant's dataflow policy. Requires Prepare(); `t` is
+  /// clamped to the simulation span for the ambient series lookup.
+  Result<rules::EvaluationContext> ContextAt(SimTime t, int unit) const;
 
   const rules::MetaRuleTable& mrt() const { return mrt_; }
   const rules::TriggerRuleTable& ifttt() const { return ifttt_; }

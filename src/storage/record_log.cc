@@ -1,5 +1,9 @@
 #include "storage/record_log.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstring>
 
 #include "common/crc32.h"
@@ -8,6 +12,12 @@
 namespace imcf {
 
 namespace {
+
+/// The test-only sync observer (see SetSyncObserverForTest).
+std::function<Status(const std::string&, bool)>& SyncObserver() {
+  static std::function<Status(const std::string&, bool)> observer;
+  return observer;
+}
 
 void PutFixed32(std::string* dst, uint32_t v) {
   char buf[4];
@@ -69,6 +79,19 @@ Status RecordLogWriter::Flush() {
   return Status::Ok();
 }
 
+Status RecordLogWriter::Sync() {
+  if (file_ == nullptr) return Status::FailedPrecondition("log not open");
+  if (std::fflush(file_) != 0) return Status::IOError("flush failed: " + path_);
+  if (SyncObserver()) {
+    IMCF_RETURN_IF_ERROR(SyncObserver()(path_, /*is_directory=*/false));
+  }
+  if (::fsync(::fileno(file_)) != 0) {
+    return Status::IOError("fsync failed: " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
 Status RecordLogWriter::Close() {
   if (file_ == nullptr) return Status::Ok();
   const bool ok = std::fflush(file_) == 0;
@@ -76,6 +99,31 @@ Status RecordLogWriter::Close() {
   file_ = nullptr;
   if (!ok) return Status::IOError("close failed: " + path_);
   return Status::Ok();
+}
+
+Status SyncDirectory(const std::string& dir_path) {
+  if (SyncObserver()) {
+    IMCF_RETURN_IF_ERROR(SyncObserver()(dir_path, /*is_directory=*/true));
+  }
+  const int fd = ::open(dir_path.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IOError("cannot open directory for sync: " + dir_path +
+                           ": " + std::strerror(errno));
+  }
+  const bool ok = ::fsync(fd) == 0;
+  const int saved_errno = errno;
+  ::close(fd);
+  if (!ok) {
+    return Status::IOError("directory fsync failed: " + dir_path + ": " +
+                           std::strerror(saved_errno));
+  }
+  return Status::Ok();
+}
+
+void SetSyncObserverForTest(
+    std::function<Status(const std::string& path, bool is_directory)>
+        observer) {
+  SyncObserver() = std::move(observer);
 }
 
 Result<std::vector<std::string>> RecordLogReader::ReadAll(

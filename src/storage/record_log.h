@@ -13,6 +13,7 @@
 #define IMCF_STORAGE_RECORD_LOG_H_
 
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -39,6 +40,12 @@ class RecordLogWriter {
   /// Flushes buffered data.
   Status Flush();
 
+  /// Flushes buffered data AND forces it to stable storage (fsync). Flush
+  /// alone hands bytes to the OS; only Sync survives a power cut. Callers
+  /// that rename this file into place must Sync it first, or the rename can
+  /// publish a name pointing at unwritten blocks.
+  Status Sync();
+
   /// Flushes and closes; further appends fail.
   Status Close();
 
@@ -48,6 +55,19 @@ class RecordLogWriter {
   std::FILE* file_ = nullptr;
   std::string path_;
 };
+
+/// Fsyncs a directory, making previously-renamed entries in it durable. A
+/// rename is only crash-safe once the parent directory's own metadata has
+/// reached disk — syncing the file alone pins the bytes, not the name.
+Status SyncDirectory(const std::string& dir_path);
+
+/// Test hook observing (and optionally fault-injecting) every sync.
+/// Called with (path, is_directory) before the real fsync; a non-OK return
+/// is propagated without syncing. Pass nullptr to reset. Not thread-safe —
+/// set it from a quiesced test only.
+void SetSyncObserverForTest(
+    std::function<Status(const std::string& path, bool is_directory)>
+        observer);
 
 /// Reads back all intact records of a log.
 class RecordLogReader {

@@ -221,12 +221,22 @@ Status Table::Compact() {
     for (const Row& row : rows_) {
       IMCF_RETURN_IF_ERROR(tmp.Append(EncodeRow(schema_, row)));
     }
+    // Sync BEFORE the rename: renaming an unsynced temp file can publish
+    // the table's name pointing at blocks that never reached disk, turning
+    // a crash into a truncated-to-empty table.
+    IMCF_RETURN_IF_ERROR(tmp.Sync());
     IMCF_RETURN_IF_ERROR(tmp.Close());
   }
   IMCF_RETURN_IF_ERROR(log_.Close());
   if (std::rename(tmp_path.c_str(), log_path_.c_str()) != 0) {
     return Status::IOError("cannot rename compacted log: " + log_path_);
   }
+  // And sync the parent directory AFTER: the rename itself is directory
+  // metadata, durable only once the directory inode is.
+  const size_t slash = log_path_.find_last_of('/');
+  const std::string parent =
+      slash == std::string::npos ? std::string(".") : log_path_.substr(0, slash);
+  IMCF_RETURN_IF_ERROR(SyncDirectory(parent));
   stale_records_ = 0;
   return log_.Open(log_path_);
 }

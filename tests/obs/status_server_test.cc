@@ -127,6 +127,61 @@ TEST(StatusServerTest, DefaultHandlersServePrometheusMetrics) {
   server.Stop();
 }
 
+TEST(StatusServerTest, ServesRequestArrivingOneByteAtATime) {
+  // A trickling client forces short reads on the server: every recv
+  // delivers one byte, so the request line is assembled across many reads
+  // rather than arriving whole. The server must still parse and answer it.
+  StatusServer server;
+  server.Handle("/slow", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "trickled";
+    return response;
+  });
+  std::string error;
+  ASSERT_TRUE(server.Start(0, &error)) << error;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server.port()));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string request = "GET /slow HTTP/1.0\r\n\r\n";
+  for (char c : request) {
+    // MSG_NOSIGNAL: the server answers and closes as soon as the request
+    // line is complete, which may race our trailing bytes into EPIPE.
+    if (::send(fd, &c, 1, MSG_NOSIGNAL) != 1) break;
+  }
+  std::string reply;
+  char buffer[64];
+  ssize_t n;
+  // Read the response in 1-byte chunks too, exercising short writes on the
+  // server side (its send fills our tiny reads incrementally).
+  while ((n = ::recv(fd, buffer, 1, 0)) > 0) {
+    reply.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(reply.find("HTTP/1.0 200 OK"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("trickled"), std::string::npos) << reply;
+  server.Stop();
+}
+
+TEST(StatusServerTest, OversizedRequestLineGets400) {
+  // A request line that never terminates within the cap must be answered
+  // with a 400, not buffered forever or silently dropped.
+  StatusServer server;
+  server.Handle("/p", [](const HttpRequest&) { return HttpResponse{}; });
+  std::string error;
+  ASSERT_TRUE(server.Start(0, &error)) << error;
+  const std::string reply = RawRequest(
+      server.port(), "GET /" + std::string(10000, 'a') + " HTTP/1.0");
+  EXPECT_NE(reply.find("400"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("request line too long"), std::string::npos) << reply;
+  server.Stop();
+}
+
 TEST(StatusServerTest, StopIsIdempotentAndRestartable) {
   StatusServer server;
   std::string error;

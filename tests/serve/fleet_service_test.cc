@@ -104,6 +104,48 @@ TEST_F(FleetServiceTest, FullQueueShedsWithRetryAfter) {
   EXPECT_FALSE((*service)->Submit(PlanReq("a", 2)).has_value());
 }
 
+TEST_F(FleetServiceTest, ShedRetryAfterScalesWithObservedDrainRate) {
+  FleetOptions options;
+  options.shards = 1;
+  options.queue_capacity = 4;
+  options.shed_retry_after_seconds = 90;
+  auto service = FleetService::Create(options);
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE((*service)->AddTenant(FastConfig("a")).ok());
+  const SimTime t0 = trace::EvaluationStart();
+
+  // First drain only establishes the clock: no rate observation yet.
+  ASSERT_FALSE((*service)->Submit(PlanReq("a", 0)).has_value());
+  ASSERT_FALSE((*service)->Submit(PlanReq("a", 1)).has_value());
+  EXPECT_EQ((*service)->Drain(t0).size(), 2u);
+
+  // Second drain 100 sim-seconds later clears 2 items: 50 s/item observed.
+  ASSERT_FALSE((*service)->Submit(PlanReq("a", 2)).has_value());
+  ASSERT_FALSE((*service)->Submit(PlanReq("a", 3)).has_value());
+  EXPECT_EQ((*service)->Drain(t0 + 100).size(), 2u);
+
+  // Overflow with 4 queued: estimate = ceil(4 * 100 / 2) = 200 s, which
+  // replaces the static 90 s hint.
+  for (int rep = 4; rep < 8; ++rep) {
+    ASSERT_FALSE((*service)->Submit(PlanReq("a", rep)).has_value());
+  }
+  auto shed = (*service)->Submit(PlanReq("a", 8));
+  ASSERT_TRUE(shed.has_value());
+  EXPECT_EQ(shed->outcome, ServeOutcome::kShed);
+  EXPECT_EQ(shed->retry_after_seconds, 200);
+
+  // A glacial drain saturates at the 8x-base ceiling instead of telling
+  // clients to come back in a sim-week.
+  EXPECT_EQ((*service)->Drain(t0 + 100 + 1000000).size(), 4u);
+  for (int rep = 9; rep < 13; ++rep) {
+    ASSERT_FALSE((*service)->Submit(PlanReq("a", rep)).has_value());
+  }
+  shed = (*service)->Submit(PlanReq("a", 13));
+  ASSERT_TRUE(shed.has_value());
+  EXPECT_EQ(shed->outcome, ServeOutcome::kShed);
+  EXPECT_EQ(shed->retry_after_seconds, 90 * 8);
+}
+
 TEST_F(FleetServiceTest, ExpiredDeadlineSkipsExecution) {
   auto service = FleetService::Create(FleetOptions{});
   ASSERT_TRUE(service.ok());

@@ -208,6 +208,109 @@ TEST_F(TableStoreTest, MarkerBasedTruncateRecoversAcrossReopen) {
   EXPECT_EQ(table->stale_records(), 2u);  // dead row + marker, until compact
 }
 
+/// Installs a sync observer for the test's lifetime and always resets it,
+/// so an ASSERT in one test can't leak fault injection into the next.
+class SyncObserverGuard {
+ public:
+  explicit SyncObserverGuard(
+      std::function<Status(const std::string&, bool)> observer) {
+    SetSyncObserverForTest(std::move(observer));
+  }
+  ~SyncObserverGuard() { SetSyncObserverForTest(nullptr); }
+};
+
+TEST_F(TableStoreTest, CompactionSyncsTempFileThenDirectory) {
+  auto store = TableStore::Open(dir_);
+  Table* table = (*store)->CreateTable(RuleSchema()).value();
+  table->set_compaction_threshold(0);
+  ASSERT_TRUE(table->Insert({std::string("x"), 1.0, int64_t{0}}).ok());
+  ASSERT_TRUE(table->Truncate().ok());
+  ASSERT_TRUE(table->Insert({std::string("y"), 2.0, int64_t{1}}).ok());
+
+  struct Event {
+    std::string path;
+    bool is_directory;
+  };
+  std::vector<Event> events;
+  SyncObserverGuard guard([&](const std::string& path, bool is_directory) {
+    events.push_back({path, is_directory});
+    return Status::Ok();
+  });
+  ASSERT_TRUE(table->Compact().ok());
+
+  // The rename barrier: the temp file's data reaches disk before the
+  // rename, and the directory entry after it.
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].path, dir_ + "/rules.tlog.compacting");
+  EXPECT_FALSE(events[0].is_directory);
+  EXPECT_EQ(events[1].path, dir_);
+  EXPECT_TRUE(events[1].is_directory);
+}
+
+TEST_F(TableStoreTest, FailedTempFileSyncAbortsCompaction) {
+  auto store = TableStore::Open(dir_);
+  Table* table = (*store)->CreateTable(RuleSchema()).value();
+  table->set_compaction_threshold(0);
+  ASSERT_TRUE(table->Insert({std::string("x"), 1.0, int64_t{0}}).ok());
+  ASSERT_TRUE(table->Truncate().ok());
+  ASSERT_TRUE(table->Insert({std::string("y"), 2.0, int64_t{1}}).ok());
+
+  SyncObserverGuard guard([&](const std::string&, bool is_directory) {
+    return is_directory ? Status::Ok()
+                        : Status::IOError("injected fsync failure");
+  });
+  const Status compacted = table->Compact();
+  ASSERT_FALSE(compacted.ok());
+  EXPECT_NE(compacted.message().find("injected"), std::string::npos);
+  // The live log was never replaced: the stale counter still reflects the
+  // uncompacted state and the data survives a reopen.
+  EXPECT_GT(table->stale_records(), 0u);
+}
+
+TEST_F(TableStoreTest, FailedDirectorySyncSurfacesAsError) {
+  auto store = TableStore::Open(dir_);
+  Table* table = (*store)->CreateTable(RuleSchema()).value();
+  table->set_compaction_threshold(0);
+  ASSERT_TRUE(table->Insert({std::string("x"), 1.0, int64_t{0}}).ok());
+  ASSERT_TRUE(table->Truncate().ok());
+  ASSERT_TRUE(table->Insert({std::string("y"), 2.0, int64_t{1}}).ok());
+
+  SyncObserverGuard guard([&](const std::string&, bool is_directory) {
+    return is_directory ? Status::IOError("injected dirsync failure")
+                        : Status::Ok();
+  });
+  const Status compacted = table->Compact();
+  ASSERT_FALSE(compacted.ok());
+  EXPECT_NE(compacted.message().find("injected"), std::string::npos);
+}
+
+TEST_F(TableStoreTest, ReopenAfterFailedTempSyncSeesOldData) {
+  // A compaction aborted by a temp-file sync failure must leave the
+  // on-disk log byte-for-byte reusable: reopen and read everything back.
+  {
+    auto store = TableStore::Open(dir_);
+    Table* table = (*store)->CreateTable(RuleSchema()).value();
+    table->set_compaction_threshold(0);
+    ASSERT_TRUE(table->Insert({std::string("old"), 1.0, int64_t{0}}).ok());
+    ASSERT_TRUE(table->Truncate().ok());
+    ASSERT_TRUE(table->Insert({std::string("live"), 2.0, int64_t{1}}).ok());
+    ASSERT_TRUE(table->Flush().ok());
+    SyncObserverGuard guard([&](const std::string&, bool) {
+      return Status::IOError("injected fsync failure");
+    });
+    ASSERT_FALSE(table->Compact().ok());
+  }
+  auto store = TableStore::Open(dir_);
+  Table* table = (*store)->OpenOrCreateTable(RuleSchema()).value();
+  ASSERT_EQ(table->size(), 1u);
+  EXPECT_EQ(std::get<std::string>(table->rows()[0][0]), "live");
+  // And a retried compaction (fault cleared) succeeds from that state.
+  table->set_compaction_threshold(0);
+  ASSERT_TRUE(table->Compact().ok());
+  EXPECT_EQ(table->stale_records(), 0u);
+  ASSERT_EQ(table->size(), 1u);
+}
+
 TEST_F(TableStoreTest, SchemaColumnIndex) {
   const TableSchema schema = RuleSchema();
   EXPECT_EQ(schema.ColumnIndex("description"), 0);
