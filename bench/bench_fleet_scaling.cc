@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <vector>
 
 #include "bench_util.h"
@@ -15,6 +16,7 @@
 #include "common/strings.h"
 #include "obs/scoped_timer.h"
 #include "serve/fleet_service.h"
+#include "serve/tenant_table.h"
 
 namespace imcf {
 namespace {
@@ -141,6 +143,56 @@ double ShedRate(int tenants, int offered_per_tenant, int capacity) {
   return static_cast<double>(shed) / static_cast<double>(offered);
 }
 
+/// Tenant-directory microbench: robin-hood TenantTable vs the std::map it
+/// replaced, on the registry's hot operation (lookup by id, hit and miss
+/// mixed). Values are null tenant shells — this times the directory, not
+/// the tenants.
+struct LookupResult {
+  double table_ns = 0.0;
+  double map_ns = 0.0;
+};
+
+LookupResult TenantLookup(int entries, int lookups) {
+  serve::TenantTable table;
+  std::map<serve::TenantId, std::shared_ptr<serve::Tenant>> reference;
+  for (int i = 0; i < entries; ++i) {
+    const serve::TenantId id = StrFormat("home%06d", i);
+    table.Insert(id, nullptr);
+    reference.emplace(id, nullptr);
+  }
+  // Half the probes hit, half miss (ids past the populated range): the
+  // miss path is where robin-hood's early exit earns its keep.
+  std::vector<serve::TenantId> probes;
+  probes.reserve(static_cast<size_t>(lookups));
+  Rng rng(MixHash(kSeed, static_cast<uint64_t>(entries)));
+  for (int i = 0; i < lookups; ++i) {
+    probes.push_back(StrFormat(
+        "home%06d", static_cast<int>(rng.UniformInt(0, 2 * entries - 1))));
+  }
+
+  LookupResult result;
+  int64_t table_hits = 0;
+  const int64_t t0 = obs::ScopedTimer::NowNs();
+  for (const serve::TenantId& id : probes) {
+    if (table.Contains(id)) ++table_hits;
+  }
+  const int64_t t1 = obs::ScopedTimer::NowNs();
+  int64_t map_hits = 0;
+  for (const serve::TenantId& id : probes) {
+    if (reference.find(id) != reference.end()) ++map_hits;
+  }
+  const int64_t t2 = obs::ScopedTimer::NowNs();
+  if (table_hits != map_hits) {
+    std::fprintf(stderr, "lookup mismatch: table=%lld map=%lld\n",
+                 static_cast<long long>(table_hits),
+                 static_cast<long long>(map_hits));
+    std::exit(1);
+  }
+  result.table_ns = static_cast<double>(t1 - t0) / lookups;
+  result.map_ns = static_cast<double>(t2 - t1) / lookups;
+  return result;
+}
+
 }  // namespace
 }  // namespace imcf
 
@@ -199,6 +251,25 @@ int main() {
               report.Scalar("admission", "capacity=8,offered=32", "shed_rate",
                             shed_rate, 3)
                   .c_str());
+
+  // Tenant-directory microbench (ISSUE 10 satellite): the robin-hood
+  // TenantTable must not regress against the std::map shard index it
+  // replaced on the registry's hot lookup path.
+  std::printf("\n%-22s %18s %18s\n", "tenant lookup", "table ns/lookup",
+              "map ns/lookup");
+  const std::vector<int> directory_sizes =
+      quick ? std::vector<int>{4096} : std::vector<int>{4096, 262144};
+  for (int entries : directory_sizes) {
+    const LookupResult lookup = TenantLookup(entries, /*lookups=*/1'000'000);
+    const std::string row = StrFormat("entries=%d", entries);
+    std::printf("%-22s %18s %18s\n", row.c_str(),
+                report.Scalar("tenant_lookup", row, "table_ns_per_lookup",
+                              lookup.table_ns, 1)
+                    .c_str(),
+                report.Scalar("tenant_lookup", row, "map_ns_per_lookup",
+                              lookup.map_ns, 1)
+                    .c_str());
+  }
   report.WriteIfRequested();
   return 0;
 }

@@ -18,16 +18,25 @@
 //   curl http://localhost:8080/sloz
 //   curl http://localhost:8080/metrics
 //
-//   ./examples/fleet_service [tenants] [workers] [store_dir] [status_port]
-//                            [serve_seconds]
+// With --wire-port, the binary wire front door comes up as well and the
+// service keeps draining network requests during the serve window:
+//
+//   ./examples/fleet_service --wire-port 0 6 4 /tmp/imcf_fleet_demo 8080 60 &
+//   ./examples/wire_client <printed wire port>
+//
+//   ./examples/fleet_service [--wire-port N] [tenants] [workers] [store_dir]
+//                            [status_port] [serve_seconds]
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/strings.h"
+#include "net/server.h"
 #include "serve/fleet_service.h"
 #include "trace/dataset.h"
 
@@ -45,7 +54,7 @@ serve::TenantConfig TenantAt(int index) {
 }
 
 int Run(int tenants, int workers, const std::string& store_dir,
-        int status_port, int serve_seconds) {
+        int status_port, int serve_seconds, int wire_port) {
   serve::FleetOptions options;
   options.workers = workers;
   options.queue_capacity = 2 * tenants + 8;
@@ -95,14 +104,45 @@ int Run(int tenants, int workers, const std::string& store_dir,
                 static_cast<long long>(r.plan.commands_issued));
   }
 
+  // The wire front door is declared after the service on purpose: C++
+  // destroys it first, so even on an early-exit path the epoll thread has
+  // drained its queued requests before the tenant registry goes away.
+  // It also only starts after the in-process demo drain above — while it
+  // runs, the server is the fleet's sole drainer (see net/server.h).
+  std::unique_ptr<net::WireServer> wire;
+  if (wire_port >= 0) {
+    net::WireServerOptions wire_options;
+    wire_options.port = wire_port;
+    auto started = net::WireServer::Start(service->get(), wire_options);
+    if (!started.ok()) {
+      std::fprintf(stderr, "wire server failed: %s\n",
+                   started.status().ToString().c_str());
+      return 1;
+    }
+    wire = std::move(*started);
+    // Parseable by the CI smoke job: keep the "wire port: " prefix.
+    std::printf("wire port: %d\n", wire->port());
+    std::fflush(stdout);
+  }
+
   if (obs::StatusServer* server = (*service)->status_server()) {
     std::printf("status server: http://localhost:%d  (try /statusz "
                 "/tenantz?sort=cpu /sloz /metrics /tracez)\n",
                 server->port());
-    if (serve_seconds > 0) {
-      std::printf("serving for %d s...\n", serve_seconds);
-      std::this_thread::sleep_for(std::chrono::seconds(serve_seconds));
-    }
+  }
+  if ((wire != nullptr || (*service)->status_server() != nullptr) &&
+      serve_seconds > 0) {
+    std::printf("serving for %d s...\n", serve_seconds);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::seconds(serve_seconds));
+  }
+
+  // Stop the front door before the service: its Stop() runs one final
+  // drain through the still-live registry and flushes replies.
+  if (wire != nullptr) {
+    std::printf("wire server: %lld frames served\n",
+                static_cast<long long>(wire->frames_received()));
+    wire.reset();
   }
 
   const std::string trace_path = store_dir + "/fleet_trace.json";
@@ -138,20 +178,31 @@ int Run(int tenants, int workers, const std::string& store_dir,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int tenants = argc > 1 ? std::atoi(argv[1]) : 6;
-  const int workers = argc > 2 ? std::atoi(argv[2]) : 4;
+  // Pull the one flag out first; everything else stays positional.
+  int wire_port = -1;
+  std::vector<char*> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--wire-port") == 0 && i + 1 < argc) {
+      wire_port = std::atoi(argv[++i]);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  const int tenants = args.size() > 0 ? std::atoi(args[0]) : 6;
+  const int workers = args.size() > 1 ? std::atoi(args[1]) : 4;
   const std::string store_dir =
-      argc > 3 ? argv[3] : std::string("/tmp/imcf_fleet_demo");
-  const int status_port = argc > 4 ? std::atoi(argv[4]) : -1;
-  const int serve_seconds = argc > 5 ? std::atoi(argv[5]) : 0;
+      args.size() > 2 ? args[2] : std::string("/tmp/imcf_fleet_demo");
+  const int status_port = args.size() > 3 ? std::atoi(args[3]) : -1;
+  const int serve_seconds = args.size() > 4 ? std::atoi(args[4]) : 0;
   if (tenants <= 0 || workers < 0) {
     std::fprintf(stderr,
-                 "usage: %s [tenants > 0] [workers >= 0] [dir] "
-                 "[status_port] [serve_seconds]\n",
+                 "usage: %s [--wire-port N] [tenants > 0] [workers >= 0] "
+                 "[dir] [status_port] [serve_seconds]\n",
                  argv[0]);
     return 1;
   }
   std::printf("fleet service: %d tenants, %d workers, store %s\n", tenants,
               workers, store_dir.c_str());
-  return Run(tenants, workers, store_dir, status_port, serve_seconds);
+  return Run(tenants, workers, store_dir, status_port, serve_seconds,
+             wire_port);
 }

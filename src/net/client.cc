@@ -1,0 +1,128 @@
+#include "net/client.h"
+
+#include <utility>
+
+#include "net/socket_util.h"
+
+namespace imcf {
+namespace net {
+
+WireClient::WireClient(int fd, WireClientOptions options)
+    : fd_(fd), options_(options) {}
+
+Result<std::unique_ptr<WireClient>> WireClient::Connect(
+    int port, WireClientOptions options) {
+  std::string error;
+  const int fd = ConnectLoopback(port, &error);
+  if (fd < 0) return Status::IOError("wire client: " + error);
+  return std::unique_ptr<WireClient>(new WireClient(fd, options));
+}
+
+WireClient::~WireClient() { CloseSocket(); }
+
+void WireClient::CloseSocket() {
+  if (fd_ >= 0) {
+    CloseQuietly(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<uint64_t> WireClient::Send(const serve::Request& request) {
+  if (fd_ < 0) return Status::IOError("wire client: not connected");
+  const uint64_t client_id = next_client_id_++;
+  std::string payload;
+  EncodeRequestPayload(client_id, request, &payload);
+  const std::string frame = EncodeFrame(FrameType::kRequest, payload);
+  if (!SendAll(fd_, frame.data(), frame.size())) {
+    CloseSocket();
+    return Status::IOError("wire client: send failed");
+  }
+  return client_id;
+}
+
+bool WireClient::SendBytes(std::string_view bytes) {
+  if (fd_ < 0) return false;
+  if (!SendAll(fd_, bytes.data(), bytes.size())) {
+    CloseSocket();
+    return false;
+  }
+  return true;
+}
+
+Result<Frame> WireClient::NextFrame() {
+  if (fd_ < 0) return Status::IOError("wire client: not connected");
+  while (true) {
+    Result<std::optional<Frame>> next = reader_.Next();
+    if (!next.ok()) {
+      CloseSocket();
+      return next.status();
+    }
+    if (next->has_value()) return std::move(**next);
+    char buf[16 * 1024];
+    const ssize_t got = RecvSome(fd_, buf, sizeof(buf));
+    if (got < 0) {
+      CloseSocket();
+      return Status::IOError("wire client: recv failed");
+    }
+    if (got == 0) {
+      CloseSocket();
+      return Status::IOError("wire client: connection closed by server");
+    }
+    if (!reader_.Feed(std::string_view(buf, static_cast<size_t>(got)))) {
+      CloseSocket();
+      return Status::IOError("wire client: unframed server bytes");
+    }
+  }
+}
+
+Result<WireResponse> WireClient::Receive() {
+  IMCF_ASSIGN_OR_RETURN(Frame frame, NextFrame());
+  switch (frame.type) {
+    case FrameType::kResponse:
+      return DecodeResponsePayload(frame.payload);
+    case FrameType::kShed:
+      return DecodeShedPayload(frame.payload);
+    case FrameType::kError: {
+      // An in-band rejection: surface the server's status to the caller.
+      Result<WireResponse> decoded = DecodeErrorPayload(frame.payload);
+      if (!decoded.ok()) {
+        CloseSocket();
+        return decoded.status();
+      }
+      return Status::InvalidArgument("wire server rejected request: " +
+                                     decoded->response.status.message());
+    }
+    case FrameType::kRequest:
+      break;
+  }
+  CloseSocket();
+  return Status::IOError("wire client: unexpected frame type from server");
+}
+
+Result<serve::Response> WireClient::Call(serve::Request request) {
+  for (int attempt = 0; /* exits via return */; ++attempt) {
+    IMCF_ASSIGN_OR_RETURN(const uint64_t client_id, Send(request));
+    IMCF_ASSIGN_OR_RETURN(WireResponse reply, Receive());
+    if (reply.client_id != client_id) {
+      CloseSocket();
+      return Status::Internal("wire client: correlation id mismatch");
+    }
+    if (reply.response.outcome != serve::ServeOutcome::kShed ||
+        attempt >= options_.max_shed_retries) {
+      return std::move(reply.response);
+    }
+    // Honour the backpressure hint in virtual time: the retried request
+    // is issued retry_after seconds later, exactly as a live submitter
+    // sleeping that long would reissue it.
+    SimTime step = reply.response.retry_after_seconds;
+    if (step <= 0) step = 1;
+    request.issue_time += step;
+    if (request.deadline > 0 && request.issue_time > request.deadline) {
+      // The hint pushes past the deadline; retrying cannot succeed.
+      return std::move(reply.response);
+    }
+  }
+}
+
+}  // namespace net
+}  // namespace imcf

@@ -1,0 +1,96 @@
+// WireClient: a blocking client for the fleet wire protocol.
+//
+// Connects over loopback TCP, speaks the framed binary protocol defined
+// in wire.h, and exposes three levels of API:
+//
+//   Call(request)         — one request, one reply, with automatic retry
+//                           on SHED: the client honours the server's
+//                           retry_after hint by advancing the request's
+//                           issue_time (virtual time — no wall sleep) and
+//                           resubmitting, up to max_shed_retries.
+//   Send(request) /       — explicit pipelining: queue any number of
+//   Receive()               requests on the socket, then collect replies.
+//                           Correlation ids tie replies to requests, so
+//                           replies may be consumed in any order of
+//                           arrival.
+//   SendBytes(raw)        — raw bytes on the socket, bypassing the frame
+//                           encoder. Exists so hostile-input tests can
+//                           send truncated, corrupted or garbage streams
+//                           through the public client.
+//
+// The client is intentionally blocking and single-threaded: it is a test
+// and tooling surface (differential tests, benches, the example driver),
+// not a production SDK.
+
+#ifndef IMCF_NET_CLIENT_H_
+#define IMCF_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "common/result.h"
+#include "net/wire.h"
+#include "serve/request.h"
+
+namespace imcf {
+namespace net {
+
+struct WireClientOptions {
+  /// How many times Call() resubmits after a SHED reply before giving up
+  /// and returning the shed response to the caller.
+  int max_shed_retries = 3;
+};
+
+class WireClient {
+ public:
+  /// Connects to the wire server on loopback.
+  static Result<std::unique_ptr<WireClient>> Connect(
+      int port, WireClientOptions options = {});
+
+  ~WireClient();
+
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  /// One round trip. On a SHED reply, advances issue_time by the server's
+  /// retry_after hint and resubmits (max_shed_retries times); the final
+  /// reply — success, error outcome, or still-shed — is returned. An
+  /// in-band kError frame surfaces as a non-ok Status, as do transport
+  /// failures (connection closed, malformed server bytes).
+  Result<serve::Response> Call(serve::Request request);
+
+  /// Pipelining: queues one request on the socket and returns its
+  /// correlation id without waiting for the reply.
+  Result<uint64_t> Send(const serve::Request& request);
+
+  /// Receives the next reply frame (kResponse or kShed), blocking until
+  /// one arrives. Pairs with Send via WireResponse::client_id.
+  Result<WireResponse> Receive();
+
+  /// Writes raw bytes to the socket, bypassing the frame encoder. Hostile
+  /// -input test surface. Returns false when the socket rejects the write.
+  bool SendBytes(std::string_view bytes);
+
+  /// True while the socket is open. Transport errors close it.
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  WireClient(int fd, WireClientOptions options);
+
+  /// Reads from the socket until the reader yields a frame. A clean peer
+  /// close or malformed bytes poison the client (fd closes).
+  Result<Frame> NextFrame();
+
+  void CloseSocket();
+
+  int fd_ = -1;
+  WireClientOptions options_;
+  FrameReader reader_;
+  uint64_t next_client_id_ = 1;
+};
+
+}  // namespace net
+}  // namespace imcf
+
+#endif  // IMCF_NET_CLIENT_H_

@@ -1,0 +1,164 @@
+// WireServer: the epoll-based non-blocking network front door of the
+// FleetService.
+//
+// One serving thread runs the whole front end — accept, per-connection
+// frame reassembly, request decode, admission, drain, response encode,
+// buffered writes — against non-blocking sockets multiplexed by epoll.
+// Heavy work (planning) still happens inside FleetService::Drain, which
+// fans out on the service's worker pool; the epoll thread only moves
+// bytes and frames. The serving pipeline per loop iteration:
+//
+//   1. epoll_wait: readable connections are drained into their
+//      FrameReaders; every complete kRequest frame is decoded (strictly,
+//      bounded — see wire.h) and submitted to the service.
+//        - admission shed  -> immediate wire-level kShed reply carrying
+//          the service's deterministic retry_after hint (backpressure is
+//          an answer, not a dropped byte)
+//        - immediate reject (unknown tenant) -> kResponse
+//        - queued          -> the request id is remembered against the
+//          connection for the drain step
+//        - malformed payload in a checksum-valid frame -> kError reply,
+//          connection stays (the stream is still aligned)
+//        - frame-level corruption (bad magic / version / length /
+//          checksum) -> best-effort kError, then close: a misaligned
+//          binary stream cannot be resynced
+//   2. if any requests are queued, FleetService::Drain(now) runs at the
+//      high-water issue time observed on the wire; responses are routed
+//      back to their connections as kResponse frames.
+//   3. pending write buffers flush as far as EAGAIN allows (EPOLLOUT is
+//      armed only while a buffer is non-empty); a connection whose buffer
+//      exceeds the cap — a reader slower than its own request rate — is
+//      closed rather than buffered without bound.
+//   4. connections idle longer than idle_timeout_ms are closed.
+//
+// While the server is running it must be the fleet's only drainer:
+// Drain() hands each response to whichever caller drained it, so a
+// concurrent in-process Drain would swallow wire responses (and vice
+// versa). Submit-side use of the in-process API remains safe.
+//
+// Stop() (and the destructor) performs a clean drain: stops accepting,
+// executes one final Drain for everything still queued, flushes write
+// buffers best-effort, then closes every connection.
+
+#ifndef IMCF_NET_SERVER_H_
+#define IMCF_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+#include "net/wire.h"
+#include "serve/fleet_service.h"
+
+namespace imcf {
+namespace net {
+
+struct WireServerOptions {
+  /// TCP port to listen on; 0 binds an ephemeral port (read back via
+  /// port()).
+  int port = 0;
+  /// Connections idle (no bytes in either direction) longer than this are
+  /// closed. <= 0 disables the sweep.
+  int idle_timeout_ms = 30'000;
+  /// epoll_wait timeout: bounds Stop() latency and the idle-sweep period.
+  int epoll_wait_ms = 50;
+  /// Accepted connections beyond this are closed immediately.
+  int max_connections = 1024;
+  /// A connection whose pending write buffer exceeds this is closed.
+  size_t max_write_buffer_bytes = 4u << 20;
+};
+
+class WireServer {
+ public:
+  /// Binds, starts the serving thread. `service` must outlive the server.
+  static Result<std::unique_ptr<WireServer>> Start(
+      serve::FleetService* service, WireServerOptions options);
+
+  ~WireServer();
+
+  WireServer(const WireServer&) = delete;
+  WireServer& operator=(const WireServer&) = delete;
+
+  /// The bound port (ephemeral readback when options.port == 0).
+  int port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Stops accepting, drains queued wire requests through the service,
+  /// flushes what the sockets will take, closes everything, joins the
+  /// serving thread. Idempotent; called by the destructor.
+  void Stop();
+
+  /// Connections currently open (test/introspection surface).
+  int64_t open_connections() const {
+    return open_connections_.load(std::memory_order_relaxed);
+  }
+  /// Frames decoded off the wire since Start.
+  int64_t frames_received() const {
+    return frames_received_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    uint64_t gen = 0;  ///< distinguishes fd reuse in the pending map
+    FrameReader reader;
+    std::string outbuf;     ///< encoded frames not yet accepted by send()
+    size_t out_off = 0;     ///< flushed prefix of outbuf
+    int64_t last_active_ms = 0;
+    bool close_after_flush = false;
+    bool epollout_armed = false;
+  };
+
+  /// Where a queued request's response must go.
+  struct PendingReply {
+    int fd = -1;
+    uint64_t gen = 0;
+    uint64_t client_id = 0;
+  };
+
+  WireServer(serve::FleetService* service, WireServerOptions options);
+
+  void Serve();
+  void AcceptReady(int64_t now_ms);
+  void ReadReady(Connection& conn, int64_t now_ms);
+  /// Decodes and submits one checksum-valid frame.
+  void HandleFrame(Connection& conn, const Frame& frame);
+  /// Runs one Drain over everything queued and routes the responses.
+  void DrainPending();
+  void QueueFrame(Connection& conn, FrameType type, std::string_view payload);
+  /// Writes outbuf as far as the socket allows; arms/disarms EPOLLOUT.
+  void FlushWrites(Connection& conn);
+  /// Flushes every connection with queued output (iterator-safe).
+  void FlushAll();
+  void CloseConnection(int fd);
+  void SweepIdle(int64_t now_ms);
+
+  serve::FleetService* service_;  ///< borrowed
+  WireServerOptions options_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+
+  // Everything below is touched only by the serving thread.
+  std::map<int, Connection> connections_;
+  std::map<uint64_t, PendingReply> pending_;  ///< service id -> connection
+  uint64_t next_gen_ = 1;
+  /// High-water issue time observed on the wire: the virtual `now` the
+  /// front door drains at. Requests never execute before their issue time.
+  SimTime now_ = 0;
+
+  std::atomic<int64_t> open_connections_{0};
+  std::atomic<int64_t> frames_received_{0};
+};
+
+}  // namespace net
+}  // namespace imcf
+
+#endif  // IMCF_NET_SERVER_H_

@@ -1,0 +1,106 @@
+#include "net/socket_util.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace imcf {
+namespace net {
+
+int BindListen(int port, int backlog, int* bound_port, std::string* error) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error) *error = std::string("bind: ") + std::strerror(errno);
+    CloseQuietly(fd);
+    return -1;
+  }
+  if (::listen(fd, backlog) != 0) {
+    if (error) *error = std::string("listen: ") + std::strerror(errno);
+    CloseQuietly(fd);
+    return -1;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    if (error) *error = std::string("getsockname: ") + std::strerror(errno);
+    CloseQuietly(fd);
+    return -1;
+  }
+  if (bound_port) *bound_port = static_cast<int>(ntohs(addr.sin_port));
+  return fd;
+}
+
+int ConnectLoopback(int port, std::string* error) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    if (error) *error = std::string("connect: ") + std::strerror(errno);
+    CloseQuietly(fd);
+    return -1;
+  }
+  return fd;
+}
+
+ssize_t RecvSome(int fd, void* buf, size_t n) {
+  ssize_t got;
+  do {
+    got = ::recv(fd, buf, n, 0);
+  } while (got < 0 && errno == EINTR);
+  return got;
+}
+
+bool SendAll(int fd, const void* data, size_t n) {
+  const char* p = static_cast<const char*>(data);
+  size_t off = 0;
+  while (off < n) {
+    ssize_t sent = ::send(fd, p + off, n - off, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (sent == 0) return false;
+    off += static_cast<size_t>(sent);
+  }
+  return true;
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void CloseQuietly(int fd) {
+  const int saved = errno;
+  ::close(fd);
+  errno = saved;
+}
+
+}  // namespace net
+}  // namespace imcf

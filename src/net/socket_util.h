@@ -1,0 +1,53 @@
+// Shared POSIX socket plumbing for the repo's two network surfaces: the
+// obs status server (HTTP introspection) and the net wire server (the
+// binary fleet front door). Both need the same four pieces — bind/listen
+// with ephemeral-port readback, EINTR-restarted receives, short-write-safe
+// sends, and non-blocking mode — and duplicating the loops is exactly how
+// one of them ends up with the EINTR bug the other already fixed.
+//
+// Deliberately a dependency leaf (std + libc only): obs sits below common
+// in the layering, so errors surface as int/bool + message string rather
+// than common/Status. The net layer proper (wire/server/client) wraps
+// these into Status at its own boundary.
+
+#ifndef IMCF_NET_SOCKET_UTIL_H_
+#define IMCF_NET_SOCKET_UTIL_H_
+
+#include <cstddef>
+#include <string>
+
+#include <sys/types.h>
+
+namespace imcf {
+namespace net {
+
+/// Creates a TCP socket bound to 0.0.0.0:`port` (0 = ephemeral) and
+/// listening with `backlog`. On success returns the fd and writes the
+/// actually-bound port (the ephemeral readback) to *bound_port. On failure
+/// returns -1 with *error describing the failing call.
+int BindListen(int port, int backlog, int* bound_port, std::string* error);
+
+/// Blocking connect to 127.0.0.1:`port`. Returns the fd, or -1 with
+/// *error filled.
+int ConnectLoopback(int port, std::string* error);
+
+/// recv() restarted on EINTR. Returns >0 (bytes), 0 (peer closed) or -1
+/// (error other than EINTR).
+ssize_t RecvSome(int fd, void* buf, size_t n);
+
+/// Sends all of [data, data+n), restarting on EINTR and continuing over
+/// short writes (a small socket buffer or slow reader makes partial sends
+/// routine, not exceptional). MSG_NOSIGNAL so a dead peer surfaces as an
+/// error, never SIGPIPE. Returns false once the peer is gone.
+bool SendAll(int fd, const void* data, size_t n);
+
+/// Puts `fd` into non-blocking mode. Returns false on fcntl failure.
+bool SetNonBlocking(int fd);
+
+/// close() that preserves errno (for error-path cleanup).
+void CloseQuietly(int fd);
+
+}  // namespace net
+}  // namespace imcf
+
+#endif  // IMCF_NET_SOCKET_UTIL_H_

@@ -1,0 +1,421 @@
+#include "net/wire.h"
+
+#include "common/crc32.h"
+#include "storage/coding.h"
+
+namespace imcf {
+namespace net {
+
+namespace {
+
+/// Reads one varint and range-checks it into a uint8-backed enum value.
+Result<uint8_t> ReadEnum(Decoder* dec, uint64_t limit, const char* what) {
+  IMCF_ASSIGN_OR_RETURN(uint64_t raw, dec->ReadVarint64());
+  if (raw >= limit) {
+    return Status::InvalidArgument(std::string("wire: bad ") + what);
+  }
+  return static_cast<uint8_t>(raw);
+}
+
+Result<std::string> ReadCappedString(Decoder* dec, size_t cap,
+                                     const char* what) {
+  IMCF_ASSIGN_OR_RETURN(std::string_view s, ReadLengthPrefixed(dec));
+  if (s.size() > cap) {
+    return Status::InvalidArgument(std::string("wire: oversized ") + what);
+  }
+  return std::string(s);
+}
+
+void PutBool(std::string* out, bool v) {
+  PutVarint64(out, v ? 1 : 0);
+}
+
+Result<bool> ReadBool(Decoder* dec, const char* what) {
+  IMCF_ASSIGN_OR_RETURN(uint8_t v, ReadEnum(dec, 2, what));
+  return v != 0;
+}
+
+void EncodeRecipe(const rules::TriggerRule& rule, std::string* out) {
+  PutVarint64(out, static_cast<uint64_t>(rule.field));
+  PutVarint64(out, static_cast<uint64_t>(rule.op));
+  PutDouble(out, rule.threshold);
+  PutVarint64(out, static_cast<uint64_t>(rule.season));
+  PutVarint64(out, static_cast<uint64_t>(rule.sky));
+  PutBool(out, rule.door_open);
+  PutVarint64(out, static_cast<uint64_t>(rule.action));
+  PutDouble(out, rule.action_value);
+}
+
+Result<rules::TriggerRule> DecodeRecipe(Decoder* dec) {
+  rules::TriggerRule rule;
+  IMCF_ASSIGN_OR_RETURN(uint8_t field, ReadEnum(dec, 5, "recipe field"));
+  rule.field = static_cast<rules::TriggerField>(field);
+  IMCF_ASSIGN_OR_RETURN(uint8_t op, ReadEnum(dec, 3, "recipe op"));
+  rule.op = static_cast<rules::TriggerOp>(op);
+  IMCF_ASSIGN_OR_RETURN(rule.threshold, ReadDouble(dec));
+  IMCF_ASSIGN_OR_RETURN(uint8_t season, ReadEnum(dec, 4, "recipe season"));
+  rule.season = static_cast<weather::Season>(season);
+  IMCF_ASSIGN_OR_RETURN(uint8_t sky, ReadEnum(dec, 2, "recipe sky"));
+  rule.sky = static_cast<weather::Sky>(sky);
+  IMCF_ASSIGN_OR_RETURN(rule.door_open, ReadBool(dec, "recipe door"));
+  IMCF_ASSIGN_OR_RETURN(uint8_t action, ReadEnum(dec, 3, "recipe action"));
+  rule.action = static_cast<rules::RuleAction>(action);
+  IMCF_ASSIGN_OR_RETURN(rule.action_value, ReadDouble(dec));
+  return rule;
+}
+
+Status RejectTrailing(const Decoder& dec, const char* what) {
+  if (!dec.empty()) {
+    return Status::InvalidArgument(std::string("wire: trailing bytes after ") +
+                                   what);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  std::string frame;
+  frame.reserve(kWireHeaderBytes + payload.size() + kWireTrailerBytes);
+  frame.push_back(static_cast<char>(kWireMagic0));
+  frame.push_back(static_cast<char>(kWireMagic1));
+  frame.push_back(static_cast<char>(kWireVersion));
+  frame.push_back(static_cast<char>(type));
+  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+  frame.append(payload.data(), payload.size());
+  const uint32_t crc = Crc32c(0, frame.data(), frame.size());
+  PutFixed32(&frame, MaskCrc(crc));
+  return frame;
+}
+
+void EncodeRequestPayload(uint64_t client_id, const serve::Request& request,
+                          std::string* out) {
+  PutVarint64(out, client_id);
+  PutLengthPrefixed(out, request.tenant);
+  PutVarint64(out, static_cast<uint64_t>(request.kind));
+  PutVarintSigned64(out, request.issue_time);
+  PutVarintSigned64(out, request.deadline);
+  switch (request.kind) {
+    case serve::RequestKind::kPlan:
+      PutVarint64(out, static_cast<uint64_t>(request.plan.policy));
+      PutVarintSigned64(out, request.plan.rep);
+      break;
+    case serve::RequestKind::kCommand:
+      PutVarintSigned64(out, request.command.unit);
+      PutVarint64(out, static_cast<uint64_t>(request.command.type));
+      PutDouble(out, request.command.value);
+      PutVarintSigned64(out, request.command.time);
+      break;
+    case serve::RequestKind::kQuery:
+      PutVarint64(out, static_cast<uint64_t>(request.query.kind));
+      PutVarintSigned64(out, request.query.unit);
+      break;
+    case serve::RequestKind::kMrtUpdate: {
+      const serve::MrtUpdateRequest& u = request.mrt_update;
+      PutVarint64(out, u.seed);
+      PutDouble(out, u.mrt_variation);
+      PutDouble(out, u.budget_kwh);
+      PutBool(out, u.set_recipes);
+      PutVarint64(out, static_cast<uint64_t>(u.extra_recipes.size()));
+      for (const rules::TriggerRule& rule : u.extra_recipes) {
+        EncodeRecipe(rule, out);
+      }
+      break;
+    }
+  }
+}
+
+Result<WireRequest> DecodeRequestPayload(std::string_view payload) {
+  Decoder dec(payload);
+  WireRequest wire;
+  IMCF_ASSIGN_OR_RETURN(wire.client_id, dec.ReadVarint64());
+  IMCF_ASSIGN_OR_RETURN(
+      wire.request.tenant,
+      ReadCappedString(&dec, kMaxTenantBytes, "tenant id"));
+  IMCF_ASSIGN_OR_RETURN(
+      uint8_t kind, ReadEnum(&dec, serve::kNumRequestKinds, "request kind"));
+  wire.request.kind = static_cast<serve::RequestKind>(kind);
+  IMCF_ASSIGN_OR_RETURN(wire.request.issue_time, dec.ReadVarintSigned64());
+  IMCF_ASSIGN_OR_RETURN(wire.request.deadline, dec.ReadVarintSigned64());
+  switch (wire.request.kind) {
+    case serve::RequestKind::kPlan: {
+      IMCF_ASSIGN_OR_RETURN(uint8_t policy, ReadEnum(&dec, 6, "plan policy"));
+      wire.request.plan.policy = static_cast<sim::Policy>(policy);
+      IMCF_ASSIGN_OR_RETURN(int64_t rep, dec.ReadVarintSigned64());
+      wire.request.plan.rep = static_cast<int>(rep);
+      break;
+    }
+    case serve::RequestKind::kCommand: {
+      IMCF_ASSIGN_OR_RETURN(int64_t unit, dec.ReadVarintSigned64());
+      wire.request.command.unit = static_cast<int>(unit);
+      IMCF_ASSIGN_OR_RETURN(uint8_t type, ReadEnum(&dec, 3, "command type"));
+      wire.request.command.type = static_cast<devices::CommandType>(type);
+      IMCF_ASSIGN_OR_RETURN(wire.request.command.value, ReadDouble(&dec));
+      IMCF_ASSIGN_OR_RETURN(wire.request.command.time,
+                            dec.ReadVarintSigned64());
+      break;
+    }
+    case serve::RequestKind::kQuery: {
+      IMCF_ASSIGN_OR_RETURN(uint8_t qkind, ReadEnum(&dec, 2, "query kind"));
+      wire.request.query.kind = static_cast<serve::QueryKind>(qkind);
+      IMCF_ASSIGN_OR_RETURN(int64_t unit, dec.ReadVarintSigned64());
+      wire.request.query.unit = static_cast<int>(unit);
+      break;
+    }
+    case serve::RequestKind::kMrtUpdate: {
+      serve::MrtUpdateRequest& u = wire.request.mrt_update;
+      IMCF_ASSIGN_OR_RETURN(u.seed, dec.ReadVarint64());
+      IMCF_ASSIGN_OR_RETURN(u.mrt_variation, ReadDouble(&dec));
+      IMCF_ASSIGN_OR_RETURN(u.budget_kwh, ReadDouble(&dec));
+      IMCF_ASSIGN_OR_RETURN(u.set_recipes, ReadBool(&dec, "set_recipes"));
+      IMCF_ASSIGN_OR_RETURN(uint64_t n, dec.ReadVarint64());
+      if (n > kMaxRecipes) {
+        return Status::InvalidArgument("wire: too many recipes");
+      }
+      u.extra_recipes.reserve(static_cast<size_t>(n));
+      for (uint64_t i = 0; i < n; ++i) {
+        IMCF_ASSIGN_OR_RETURN(rules::TriggerRule rule, DecodeRecipe(&dec));
+        u.extra_recipes.push_back(rule);
+      }
+      break;
+    }
+  }
+  IMCF_RETURN_IF_ERROR(RejectTrailing(dec, "request"));
+  return wire;
+}
+
+void EncodeResponsePayload(uint64_t client_id,
+                           const serve::Response& response,
+                           std::string* out) {
+  PutVarint64(out, client_id);
+  PutVarint64(out, response.id);
+  PutLengthPrefixed(out, response.tenant);
+  PutVarint64(out, static_cast<uint64_t>(response.kind));
+  PutVarint64(out, static_cast<uint64_t>(response.outcome));
+  PutVarint64(out, static_cast<uint64_t>(response.status.code()));
+  std::string_view message = response.status.message();
+  if (message.size() > kMaxMessageBytes) {
+    message = message.substr(0, kMaxMessageBytes);
+  }
+  PutLengthPrefixed(out, message);
+  PutVarintSigned64(out, response.retry_after_seconds);
+  PutVarintSigned64(out, response.virtual_latency_seconds);
+  PutBool(out, response.had_deadline);
+  PutVarintSigned64(out, response.wall_ns);
+  switch (response.kind) {
+    case serve::RequestKind::kPlan:
+      PutDouble(out, response.plan.fce_pct);
+      PutDouble(out, response.plan.fe_kwh);
+      PutBool(out, response.plan.within_budget);
+      PutVarintSigned64(out, response.plan.commands_issued);
+      PutVarintSigned64(out, response.plan.commands_dropped);
+      break;
+    case serve::RequestKind::kCommand:
+      PutBool(out, response.command_delivered);
+      PutVarintSigned64(out, response.command_attempts);
+      break;
+    case serve::RequestKind::kQuery: {
+      const serve::TenantStatus& s = response.tenant_status;
+      PutVarintSigned64(out, s.plans_served);
+      PutVarintSigned64(out, s.commands_served);
+      PutDouble(out, s.budget_kwh);
+      PutVarintSigned64(out, s.devices);
+      PutVarintSigned64(out, s.units);
+      const serve::ContextView& c = response.context;
+      PutVarint64(out, c.fields);
+      PutVarintSigned64(out, c.time);
+      PutVarintSigned64(out, c.season);
+      PutVarintSigned64(out, c.sky);
+      PutDouble(out, c.outdoor_temp_c);
+      PutDouble(out, c.daylight);
+      PutDouble(out, c.ambient_temp_c);
+      PutDouble(out, c.ambient_light_pct);
+      PutBool(out, c.door_open);
+      break;
+    }
+    case serve::RequestKind::kMrtUpdate:
+      break;  // outcome + status carry everything
+  }
+}
+
+Result<WireResponse> DecodeResponsePayload(std::string_view payload) {
+  Decoder dec(payload);
+  WireResponse wire;
+  serve::Response& r = wire.response;
+  IMCF_ASSIGN_OR_RETURN(wire.client_id, dec.ReadVarint64());
+  IMCF_ASSIGN_OR_RETURN(r.id, dec.ReadVarint64());
+  IMCF_ASSIGN_OR_RETURN(r.tenant,
+                        ReadCappedString(&dec, kMaxTenantBytes, "tenant id"));
+  IMCF_ASSIGN_OR_RETURN(
+      uint8_t kind, ReadEnum(&dec, serve::kNumRequestKinds, "response kind"));
+  r.kind = static_cast<serve::RequestKind>(kind);
+  IMCF_ASSIGN_OR_RETURN(
+      uint8_t outcome,
+      ReadEnum(&dec, serve::kNumServeOutcomes, "response outcome"));
+  r.outcome = static_cast<serve::ServeOutcome>(outcome);
+  IMCF_ASSIGN_OR_RETURN(uint8_t code, ReadEnum(&dec, 10, "status code"));
+  IMCF_ASSIGN_OR_RETURN(
+      std::string message,
+      ReadCappedString(&dec, kMaxMessageBytes, "status message"));
+  r.status = Status(static_cast<StatusCode>(code), std::move(message));
+  IMCF_ASSIGN_OR_RETURN(r.retry_after_seconds, dec.ReadVarintSigned64());
+  IMCF_ASSIGN_OR_RETURN(r.virtual_latency_seconds, dec.ReadVarintSigned64());
+  IMCF_ASSIGN_OR_RETURN(r.had_deadline, ReadBool(&dec, "had_deadline"));
+  IMCF_ASSIGN_OR_RETURN(r.wall_ns, dec.ReadVarintSigned64());
+  switch (r.kind) {
+    case serve::RequestKind::kPlan: {
+      IMCF_ASSIGN_OR_RETURN(r.plan.fce_pct, ReadDouble(&dec));
+      IMCF_ASSIGN_OR_RETURN(r.plan.fe_kwh, ReadDouble(&dec));
+      IMCF_ASSIGN_OR_RETURN(r.plan.within_budget,
+                            ReadBool(&dec, "within_budget"));
+      IMCF_ASSIGN_OR_RETURN(r.plan.commands_issued, dec.ReadVarintSigned64());
+      IMCF_ASSIGN_OR_RETURN(r.plan.commands_dropped,
+                            dec.ReadVarintSigned64());
+      break;
+    }
+    case serve::RequestKind::kCommand: {
+      IMCF_ASSIGN_OR_RETURN(r.command_delivered, ReadBool(&dec, "delivered"));
+      IMCF_ASSIGN_OR_RETURN(int64_t attempts, dec.ReadVarintSigned64());
+      r.command_attempts = static_cast<int>(attempts);
+      break;
+    }
+    case serve::RequestKind::kQuery: {
+      serve::TenantStatus& s = r.tenant_status;
+      IMCF_ASSIGN_OR_RETURN(s.plans_served, dec.ReadVarintSigned64());
+      IMCF_ASSIGN_OR_RETURN(s.commands_served, dec.ReadVarintSigned64());
+      IMCF_ASSIGN_OR_RETURN(s.budget_kwh, ReadDouble(&dec));
+      IMCF_ASSIGN_OR_RETURN(int64_t devices, dec.ReadVarintSigned64());
+      s.devices = static_cast<int>(devices);
+      IMCF_ASSIGN_OR_RETURN(int64_t units, dec.ReadVarintSigned64());
+      s.units = static_cast<int>(units);
+      serve::ContextView& c = r.context;
+      IMCF_ASSIGN_OR_RETURN(uint64_t fields, dec.ReadVarint64());
+      c.fields = static_cast<uint32_t>(fields);
+      IMCF_ASSIGN_OR_RETURN(c.time, dec.ReadVarintSigned64());
+      IMCF_ASSIGN_OR_RETURN(int64_t season, dec.ReadVarintSigned64());
+      c.season = static_cast<int>(season);
+      IMCF_ASSIGN_OR_RETURN(int64_t sky, dec.ReadVarintSigned64());
+      c.sky = static_cast<int>(sky);
+      IMCF_ASSIGN_OR_RETURN(c.outdoor_temp_c, ReadDouble(&dec));
+      IMCF_ASSIGN_OR_RETURN(c.daylight, ReadDouble(&dec));
+      IMCF_ASSIGN_OR_RETURN(c.ambient_temp_c, ReadDouble(&dec));
+      IMCF_ASSIGN_OR_RETURN(c.ambient_light_pct, ReadDouble(&dec));
+      IMCF_ASSIGN_OR_RETURN(c.door_open, ReadBool(&dec, "door_open"));
+      break;
+    }
+    case serve::RequestKind::kMrtUpdate:
+      break;
+  }
+  IMCF_RETURN_IF_ERROR(RejectTrailing(dec, "response"));
+  return wire;
+}
+
+void EncodeShedPayload(uint64_t client_id, SimTime retry_after_seconds,
+                       std::string* out) {
+  PutVarint64(out, client_id);
+  PutVarintSigned64(out, retry_after_seconds);
+}
+
+Result<WireResponse> DecodeShedPayload(std::string_view payload) {
+  Decoder dec(payload);
+  WireResponse wire;
+  IMCF_ASSIGN_OR_RETURN(wire.client_id, dec.ReadVarint64());
+  IMCF_ASSIGN_OR_RETURN(wire.response.retry_after_seconds,
+                        dec.ReadVarintSigned64());
+  IMCF_RETURN_IF_ERROR(RejectTrailing(dec, "shed"));
+  wire.response.outcome = serve::ServeOutcome::kShed;
+  return wire;
+}
+
+void EncodeErrorPayload(uint64_t client_id, const Status& status,
+                        std::string* out) {
+  PutVarint64(out, client_id);
+  PutVarint64(out, static_cast<uint64_t>(status.code()));
+  std::string_view message = status.message();
+  if (message.size() > kMaxMessageBytes) {
+    message = message.substr(0, kMaxMessageBytes);
+  }
+  PutLengthPrefixed(out, message);
+}
+
+Result<WireResponse> DecodeErrorPayload(std::string_view payload) {
+  Decoder dec(payload);
+  WireResponse wire;
+  IMCF_ASSIGN_OR_RETURN(wire.client_id, dec.ReadVarint64());
+  IMCF_ASSIGN_OR_RETURN(uint8_t code, ReadEnum(&dec, 10, "status code"));
+  IMCF_ASSIGN_OR_RETURN(
+      std::string message,
+      ReadCappedString(&dec, kMaxMessageBytes, "status message"));
+  IMCF_RETURN_IF_ERROR(RejectTrailing(dec, "error"));
+  wire.response.outcome = serve::ServeOutcome::kError;
+  wire.response.status = Status(static_cast<StatusCode>(code),
+                                std::move(message));
+  return wire;
+}
+
+bool FrameReader::Feed(std::string_view data) {
+  if (poisoned_) return false;
+  // Compact lazily: drop consumed prefix once it dominates the buffer.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data.data(), data.size());
+  const size_t max_frame =
+      kWireHeaderBytes + kMaxPayloadBytes + kWireTrailerBytes;
+  if (buffer_.size() - consumed_ > max_frame) {
+    // More unparsed bytes than any one legal frame: the peer is flooding
+    // or desynchronized; either way the connection is done.
+    poisoned_ = true;
+    return false;
+  }
+  return true;
+}
+
+Result<std::optional<Frame>> FrameReader::Next() {
+  if (poisoned_) {
+    return Status::InvalidArgument("wire: stream poisoned");
+  }
+  const std::string_view data =
+      std::string_view(buffer_).substr(consumed_);
+  if (data.size() < kWireHeaderBytes) return std::optional<Frame>();
+  if (static_cast<uint8_t>(data[0]) != kWireMagic0 ||
+      static_cast<uint8_t>(data[1]) != kWireMagic1) {
+    poisoned_ = true;
+    return Status::InvalidArgument("wire: bad magic");
+  }
+  if (static_cast<uint8_t>(data[2]) != kWireVersion) {
+    poisoned_ = true;
+    return Status::InvalidArgument("wire: unsupported version");
+  }
+  const uint8_t type = static_cast<uint8_t>(data[3]);
+  if (type < static_cast<uint8_t>(FrameType::kRequest) ||
+      type > static_cast<uint8_t>(FrameType::kError)) {
+    poisoned_ = true;
+    return Status::InvalidArgument("wire: unknown frame type");
+  }
+  const uint32_t payload_len = GetFixed32(data.data() + 4);
+  if (payload_len > kMaxPayloadBytes) {
+    poisoned_ = true;
+    return Status::InvalidArgument("wire: oversized payload length");
+  }
+  const size_t total =
+      kWireHeaderBytes + static_cast<size_t>(payload_len) + kWireTrailerBytes;
+  if (data.size() < total) return std::optional<Frame>();
+  const uint32_t stored =
+      UnmaskCrc(GetFixed32(data.data() + total - kWireTrailerBytes));
+  const uint32_t actual =
+      Crc32c(0, data.data(), total - kWireTrailerBytes);
+  if (stored != actual) {
+    poisoned_ = true;
+    return Status::Corruption("wire: checksum mismatch");
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.payload.assign(data.data() + kWireHeaderBytes, payload_len);
+  consumed_ += total;
+  return std::optional<Frame>(std::move(frame));
+}
+
+}  // namespace net
+}  // namespace imcf

@@ -1,0 +1,152 @@
+// The fleet wire protocol: a compact length-prefixed binary framing of the
+// serve layer's typed Request/Response vocabulary.
+//
+// The in-process FleetService API is a function call; the ROADMAP's north
+// star is a service fronting millions of homes, and PFirewall-style
+// mediation only means anything behind a real wire. This header defines
+// that wire: a versioned frame header, varint-encoded payload fields (the
+// storage layer's LEB128/zigzag coding, reused), a masked CRC32C trailer,
+// and strictly bounded decoding that returns Status — never crashes, never
+// over-reads — on any malformed input.
+//
+// Frame layout (all integers little-endian):
+//
+//   offset  size  field
+//   0       2     magic 0x49 0x57 ("IW")
+//   2       1     version (kWireVersion = 1)
+//   3       1     frame type (FrameType)
+//   4       4     payload length N (fixed32; N <= kMaxPayloadBytes)
+//   8       N     payload (varint fields, see Encode*/Decode*)
+//   8+N     4     masked CRC32C of bytes [0, 8+N) (fixed32)
+//
+// Frame types:
+//   kRequest   client -> server; payload = correlation id + serve::Request
+//   kResponse  server -> client; payload = correlation id + serve::Response
+//   kShed      server -> client; admission control rejected the request —
+//              payload = correlation id + retry_after seconds. A dedicated
+//              type so backpressure replies stay tiny and a client can
+//              switch on the frame type before decoding anything else.
+//   kError     server -> client; the peer's bytes were understood as a
+//              frame but rejected (payload decode failure, unknown kind).
+//              Carries the correlation id when one was recovered, plus a
+//              status code and message. Frame-level corruption (bad magic
+//              / version / checksum / oversized length) is NOT answerable
+//              in-band — the stream may be misaligned — so the connection
+//              closes after a best-effort kError with id 0.
+//
+// Decoding rules: every length is bounds-checked before use, strings are
+// capped (kMaxTenantBytes, kMaxMessageBytes), enums are range-checked, and
+// a payload with trailing bytes is rejected — a frame decodes to exactly
+// one value or to a Status.
+
+#ifndef IMCF_NET_WIRE_H_
+#define IMCF_NET_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "serve/request.h"
+
+namespace imcf {
+namespace net {
+
+inline constexpr uint8_t kWireMagic0 = 0x49;  // 'I'
+inline constexpr uint8_t kWireMagic1 = 0x57;  // 'W'
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kWireHeaderBytes = 8;
+inline constexpr size_t kWireTrailerBytes = 4;
+/// Hard cap on one frame's payload. A length prefix above this is rejected
+/// before any allocation, so a hostile 4 GiB prefix costs nothing.
+inline constexpr size_t kMaxPayloadBytes = 1u << 20;
+/// Caps on embedded strings and repeated fields.
+inline constexpr size_t kMaxTenantBytes = 256;
+inline constexpr size_t kMaxMessageBytes = 4096;
+inline constexpr size_t kMaxRecipes = 1024;
+
+enum class FrameType : uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+  kShed = 3,
+  kError = 4,
+};
+
+/// One decoded frame: the type tag plus its raw payload bytes.
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  std::string payload;
+};
+
+/// Wraps `payload` in a header + checksum trailer.
+std::string EncodeFrame(FrameType type, std::string_view payload);
+
+/// A request as it travels the wire: the client's correlation id (echoed
+/// verbatim on the reply — the pipelining key) plus the serve request.
+struct WireRequest {
+  uint64_t client_id = 0;
+  serve::Request request;
+};
+
+/// A reply as it travels the wire. For kShed frames only client_id,
+/// outcome and retry_after_seconds are populated.
+struct WireResponse {
+  uint64_t client_id = 0;
+  serve::Response response;
+};
+
+/// Payload codecs (payload only — wrap with EncodeFrame to put on the
+/// wire). Encoders append to *out; decoders consume the exact payload.
+void EncodeRequestPayload(uint64_t client_id, const serve::Request& request,
+                          std::string* out);
+Result<WireRequest> DecodeRequestPayload(std::string_view payload);
+
+void EncodeResponsePayload(uint64_t client_id,
+                           const serve::Response& response, std::string* out);
+Result<WireResponse> DecodeResponsePayload(std::string_view payload);
+
+/// kShed payload: client_id + retry_after.
+void EncodeShedPayload(uint64_t client_id, SimTime retry_after_seconds,
+                       std::string* out);
+Result<WireResponse> DecodeShedPayload(std::string_view payload);
+
+/// kError payload: client_id (0 = unknown), status code, capped message.
+void EncodeErrorPayload(uint64_t client_id, const Status& status,
+                        std::string* out);
+Result<WireResponse> DecodeErrorPayload(std::string_view payload);
+
+/// Incremental frame reassembly over a byte stream. Feed() whatever the
+/// socket produced (any fragmentation, down to one byte at a time); Next()
+/// pops complete frames. The first malformed header or checksum poisons
+/// the reader permanently — a misaligned binary stream cannot be resynced,
+/// so the owning connection must close.
+class FrameReader {
+ public:
+  /// Appends raw bytes from the stream. Returns false (and poisons the
+  /// reader) when the buffered-but-unparsed data would exceed one maximal
+  /// frame — a peer that streams garbage without ever completing a frame
+  /// is cut off at a bounded cost.
+  bool Feed(std::string_view data);
+
+  /// Pops the next complete frame: a Frame, std::nullopt when more bytes
+  /// are needed, or Status on malformed input (bad magic / version /
+  /// unknown type / oversized length / checksum mismatch).
+  Result<std::optional<Frame>> Next();
+
+  /// True once a malformed frame (or a Feed overflow) was seen.
+  bool poisoned() const { return poisoned_; }
+
+  /// Bytes buffered but not yet consumed by Next().
+  size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  size_t consumed_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace net
+}  // namespace imcf
+
+#endif  // IMCF_NET_WIRE_H_

@@ -1,14 +1,9 @@
 #include "obs/status_server/status_server.h"
 
-#include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
-#include <unistd.h>
 
-#include <cerrno>
-#include <cstring>
-
+#include "net/socket_util.h"
 #include "obs/export.h"
 #include "obs/trace_export.h"
 
@@ -42,41 +37,20 @@ enum class ReadResult {
 };
 
 /// Reads until the end of the request line (we ignore headers — HTTP/1.0
-/// GET with no body is all we serve). A signal landing mid-recv restarts
-/// the read instead of dropping the connection; the three outcomes are
-/// distinguished so the caller can answer a flooding peer with a 400.
+/// GET with no body is all we serve). Built on net::RecvSome, which
+/// restarts on EINTR; the three outcomes are distinguished so the caller
+/// can answer a flooding peer with a 400.
 ReadResult ReadRequestLine(int fd, std::string* line) {
   char buf[1024];
   std::string data;
   while (data.find("\r\n") == std::string::npos) {
     if (data.size() >= kMaxRequestLineBytes) return ReadResult::kTooLong;
-    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return ReadResult::kClosed;
-    }
-    if (n == 0) return ReadResult::kClosed;
+    ssize_t n = net::RecvSome(fd, buf, sizeof(buf));
+    if (n <= 0) return ReadResult::kClosed;
     data.append(buf, static_cast<size_t>(n));
   }
   *line = data.substr(0, data.find("\r\n"));
   return ReadResult::kOk;
-}
-
-/// Writes all of `data`, restarting on EINTR and surviving short sends (a
-/// small socket buffer or a slow reader makes partial writes routine, not
-/// exceptional). Returns false once the peer is gone.
-bool WriteAll(int fd, const std::string& data) {
-  size_t off = 0;
-  while (off < data.size()) {
-    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    if (n == 0) return false;
-    off += static_cast<size_t>(n);
-  }
-  return true;
 }
 
 }  // namespace
@@ -117,36 +91,9 @@ bool StatusServer::Start(int port, std::string* error) {
     if (error) *error = "already running";
     return false;
   }
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    if (error) *error = std::string("socket: ") + std::strerror(errno);
-    return false;
-  }
-  int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_ANY);
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    if (error) *error = std::string("bind: ") + std::strerror(errno);
-    ::close(fd);
-    return false;
-  }
-  if (::listen(fd, 16) != 0) {
-    if (error) *error = std::string("listen: ") + std::strerror(errno);
-    ::close(fd);
-    return false;
-  }
-  socklen_t len = sizeof(addr);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
-    if (error) *error = std::string("getsockname: ") + std::strerror(errno);
-    ::close(fd);
-    return false;
-  }
+  const int fd = net::BindListen(port, /*backlog=*/16, &port_, error);
+  if (fd < 0) return false;
   listen_fd_ = fd;
-  port_ = static_cast<int>(ntohs(addr.sin_port));
   running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { Serve(); });
   return true;
@@ -156,7 +103,7 @@ void StatusServer::Stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   if (thread_.joinable()) thread_.join();
   if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
+    net::CloseQuietly(listen_fd_);
     listen_fd_ = -1;
   }
   port_ = 0;
@@ -170,7 +117,7 @@ void StatusServer::Serve() {
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
     HandleConnection(fd);
-    ::close(fd);
+    net::CloseQuietly(fd);
   }
 }
 
@@ -216,7 +163,8 @@ void StatusServer::HandleConnection(int fd) {
                      "\r\nContent-Length: " +
                      std::to_string(response.body.size()) +
                      "\r\nConnection: close\r\n\r\n";
-  (void)WriteAll(fd, head + response.body);
+  const std::string reply = head + response.body;
+  (void)net::SendAll(fd, reply.data(), reply.size());
   requests_served_.fetch_add(1, std::memory_order_relaxed);
 }
 

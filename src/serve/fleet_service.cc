@@ -153,9 +153,19 @@ Status FleetService::AddTenant(const TenantConfig& config) {
   return Status::Ok();
 }
 
+uint64_t FleetService::TraceIdFor(uint64_t request_id) {
+  return ServeTraceId(request_id);
+}
+
 std::optional<Response> FleetService::Submit(Request request) {
+  return Submit(std::move(request), /*assigned_id=*/nullptr);
+}
+
+std::optional<Response> FleetService::Submit(Request request,
+                                             uint64_t* assigned_id) {
   const ServeMetrics& metrics = ServeMetrics::Get();
   const uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  if (assigned_id != nullptr) *assigned_id = id;
   metrics.requests[static_cast<int>(request.kind)]->Increment();
 
   // The request's trace root. The id-derived trace id makes the span tree

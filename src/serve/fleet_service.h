@@ -129,6 +129,16 @@ class FleetService {
   /// admission rejected it (kShed / kTenantNotFound).
   std::optional<Response> Submit(Request request);
 
+  /// The deterministic trace id minted for a request id: every span and
+  /// event of one request shares it. Exposed so network front ends can
+  /// root their transport spans (net.send) in the request's own tree.
+  static uint64_t TraceIdFor(uint64_t request_id);
+
+  /// Submit variant that also reports the request id assigned at admission
+  /// (the id the eventual Drain response carries). Network front ends use
+  /// it to correlate queued requests back to their connections.
+  std::optional<Response> Submit(Request request, uint64_t* assigned_id);
+
   /// Executes every queued request at virtual time `now` and returns their
   /// responses sorted by request id. Requests whose deadline lies before
   /// `now` complete as kDeadlineExceeded without executing.

@@ -91,18 +91,16 @@ int TenantRegistry::ShardOf(const TenantId& id) const {
 std::shared_ptr<Tenant> TenantRegistry::Find(const TenantId& id) const {
   const Shard& shard = *shards_[static_cast<size_t>(ShardOf(id))];
   std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.tenants.find(id);
-  return it == shard.tenants.end() ? nullptr : it->second;
+  return shard.tenants.Find(id);
 }
 
 Status TenantRegistry::AdmitPrepared(const TenantId& id,
                                      std::shared_ptr<Tenant> tenant) {
   Shard& shard = *shards_[static_cast<size_t>(ShardOf(id))];
   std::lock_guard<std::mutex> lock(shard.mu);
-  if (shard.tenants.count(id) > 0) {
+  if (!shard.tenants.Insert(id, std::move(tenant))) {
     return Status::AlreadyExists("tenant exists: " + id);
   }
-  shard.tenants[id] = std::move(tenant);
   return Status::Ok();
 }
 
@@ -254,7 +252,7 @@ Status TenantRegistry::Remove(const TenantId& id) {
   {
     Shard& shard = *shards_[static_cast<size_t>(ShardOf(id))];
     std::lock_guard<std::mutex> lock(shard.mu);
-    if (shard.tenants.erase(id) == 0) {
+    if (!shard.tenants.Erase(id)) {
       return Status::NotFound("no such tenant: " + id);
     }
   }
@@ -281,7 +279,10 @@ std::vector<TenantId> TenantRegistry::TenantIds() const {
   ids.reserve(size());
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    for (const auto& [id, _] : shard->tenants) ids.push_back(id);
+    shard->tenants.ForEach(
+        [&ids](const TenantId& id, const std::shared_ptr<Tenant>&) {
+          ids.push_back(id);
+        });
   }
   std::sort(ids.begin(), ids.end());
   return ids;

@@ -32,6 +32,7 @@
 #include "firewall/conflict/analyzer.h"
 #include "obs/accounting/cost_ledger.h"
 #include "serve/request.h"
+#include "serve/tenant_table.h"
 #include "sim/simulation.h"
 #include "storage/table_store.h"
 
@@ -189,7 +190,9 @@ class TenantRegistry {
  private:
   struct Shard {
     mutable std::mutex mu;
-    std::map<TenantId, std::shared_ptr<Tenant>> tenants;
+    /// Open-addressing directory (see tenant_table.h): flat-array probing
+    /// sized for fleets far beyond what a node-based map serves well.
+    TenantTable tenants;
   };
 
   /// Looks up a tenant under its shard lock only.

@@ -1,0 +1,416 @@
+// WireServer tests: a real TCP client round-trips every request kind
+// through the epoll front door and the outcomes are compared field by
+// field against the in-process API (the differential contract: the wire
+// adds transport, never semantics). Then the hostile-input suite drives
+// the server with truncated, corrupted and garbage streams — every case
+// must end in a clean error reply or connection close, never a crash or
+// hang (the sanitizer CI jobs run these under ASan/UBSan).
+
+#include "net/server.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "net/socket_util.h"
+#include "net/wire.h"
+#include "storage/coding.h"
+#include "trace/dataset.h"
+
+namespace imcf {
+namespace net {
+namespace {
+
+serve::TenantConfig FastConfig(const std::string& id) {
+  serve::TenantConfig config;
+  config.id = id;
+  config.hours = 24;
+  return config;
+}
+
+serve::Request PlanReq(const std::string& tenant, int rep = 0) {
+  serve::Request request;
+  request.tenant = tenant;
+  request.kind = serve::RequestKind::kPlan;
+  request.issue_time = trace::EvaluationStart();
+  request.plan.policy = sim::Policy::kEnergyPlanner;
+  request.plan.rep = rep;
+  return request;
+}
+
+serve::Request CommandReq(const std::string& tenant) {
+  serve::Request request;
+  request.tenant = tenant;
+  request.kind = serve::RequestKind::kCommand;
+  request.issue_time = trace::EvaluationStart();
+  request.command.unit = 0;
+  request.command.type = devices::CommandType::kSetTemperature;
+  request.command.value = 21.0;
+  return request;
+}
+
+serve::Request QueryReq(const std::string& tenant) {
+  serve::Request request;
+  request.tenant = tenant;
+  request.kind = serve::RequestKind::kQuery;
+  request.issue_time = trace::EvaluationStart();
+  return request;
+}
+
+serve::Request MrtReq(const std::string& tenant) {
+  serve::Request request;
+  request.tenant = tenant;
+  request.kind = serve::RequestKind::kMrtUpdate;
+  request.issue_time = trace::EvaluationStart();
+  request.mrt_update.seed = 7;
+  return request;
+}
+
+/// The transport-independent slice of a response: everything except the
+/// wall-clock measurement.
+void ExpectSameResponse(const serve::Response& wire,
+                        const serve::Response& local) {
+  EXPECT_EQ(wire.id, local.id);
+  EXPECT_EQ(wire.tenant, local.tenant);
+  EXPECT_EQ(wire.kind, local.kind);
+  EXPECT_EQ(wire.outcome, local.outcome);
+  EXPECT_EQ(wire.status.code(), local.status.code());
+  EXPECT_EQ(wire.retry_after_seconds, local.retry_after_seconds);
+  EXPECT_EQ(wire.virtual_latency_seconds, local.virtual_latency_seconds);
+  EXPECT_EQ(wire.had_deadline, local.had_deadline);
+  EXPECT_DOUBLE_EQ(wire.plan.fce_pct, local.plan.fce_pct);
+  EXPECT_DOUBLE_EQ(wire.plan.fe_kwh, local.plan.fe_kwh);
+  EXPECT_EQ(wire.plan.within_budget, local.plan.within_budget);
+  EXPECT_EQ(wire.plan.commands_issued, local.plan.commands_issued);
+  EXPECT_EQ(wire.plan.commands_dropped, local.plan.commands_dropped);
+  EXPECT_EQ(wire.command_delivered, local.command_delivered);
+  EXPECT_EQ(wire.command_attempts, local.command_attempts);
+  EXPECT_EQ(wire.tenant_status.plans_served, local.tenant_status.plans_served);
+  EXPECT_EQ(wire.tenant_status.commands_served,
+            local.tenant_status.commands_served);
+  EXPECT_DOUBLE_EQ(wire.tenant_status.budget_kwh,
+                   local.tenant_status.budget_kwh);
+  EXPECT_EQ(wire.tenant_status.devices, local.tenant_status.devices);
+  EXPECT_EQ(wire.tenant_status.units, local.tenant_status.units);
+  EXPECT_EQ(wire.context.fields, local.context.fields);
+}
+
+class WireServerTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<serve::FleetService> MakeService() {
+    auto service = serve::FleetService::Create(serve::FleetOptions{});
+    EXPECT_TRUE(service.ok());
+    EXPECT_TRUE((*service)->AddTenant(FastConfig("a")).ok());
+    return std::move(*service);
+  }
+
+  std::unique_ptr<WireServer> MakeServer(serve::FleetService* service,
+                                         WireServerOptions options = {}) {
+    auto server = WireServer::Start(service, options);
+    EXPECT_TRUE(server.ok()) << server.status();
+    return std::move(*server);
+  }
+};
+
+TEST_F(WireServerTest, DifferentialAllFourKindsMatchInProcess) {
+  // Two identical fleets: one behind the wire, one driven in-process.
+  auto wire_service = MakeService();
+  auto local_service = MakeService();
+  auto server = MakeServer(wire_service.get());
+
+  auto client = WireClient::Connect(server->port());
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  const serve::Request requests[] = {PlanReq("a"), CommandReq("a"),
+                                     QueryReq("a"), MrtReq("a"),
+                                     PlanReq("ghost")};
+  for (const serve::Request& request : requests) {
+    auto over_wire = (*client)->Call(request);
+    ASSERT_TRUE(over_wire.ok()) << over_wire.status();
+    serve::Response local =
+        local_service->Call(request, request.issue_time);
+    ExpectSameResponse(*over_wire, local);
+  }
+  EXPECT_EQ(server->frames_received(), 5);
+}
+
+TEST_F(WireServerTest, PipelinedRequestsComeBackCorrelated) {
+  auto service = MakeService();
+  auto server = MakeServer(service.get());
+  auto client = WireClient::Connect(server->port());
+  ASSERT_TRUE(client.ok());
+
+  std::vector<uint64_t> ids;
+  for (int rep = 0; rep < 4; ++rep) {
+    auto id = (*client)->Send(PlanReq("a", rep));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  std::vector<uint64_t> seen;
+  for (int i = 0; i < 4; ++i) {
+    auto reply = (*client)->Receive();
+    ASSERT_TRUE(reply.ok()) << reply.status();
+    EXPECT_EQ(reply->response.outcome, serve::ServeOutcome::kOk);
+    seen.push_back(reply->client_id);
+  }
+  // Responses drain id-sorted, which here matches send order.
+  EXPECT_EQ(seen, ids);
+}
+
+TEST_F(WireServerTest, ShedComesBackAsWireLevelReply) {
+  serve::FleetOptions options;
+  options.shards = 1;
+  options.queue_capacity = 1;
+  auto service = serve::FleetService::Create(options);
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE((*service)->AddTenant(FastConfig("a")).ok());
+  auto server = MakeServer(service->get());
+
+  auto client = WireClient::Connect(server->port());
+  ASSERT_TRUE(client.ok());
+
+  // Two requests in one segment land in the same read batch, before the
+  // between-batch drain can free the queue: the first fills the
+  // capacity-1 queue, the second sheds at admission.
+  std::string burst;
+  for (uint64_t id = 1; id <= 2; ++id) {
+    std::string payload;
+    EncodeRequestPayload(id, PlanReq("a", static_cast<int>(id)), &payload);
+    burst += EncodeFrame(FrameType::kRequest, payload);
+  }
+  ASSERT_TRUE((*client)->SendBytes(burst));
+
+  // The shed reply is queued at admission, so it arrives first.
+  auto shed = (*client)->Receive();
+  ASSERT_TRUE(shed.ok()) << shed.status();
+  EXPECT_EQ(shed->client_id, 2u);
+  EXPECT_EQ(shed->response.outcome, serve::ServeOutcome::kShed);
+  EXPECT_GT(shed->response.retry_after_seconds, 0);
+
+  auto ok = (*client)->Receive();
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_EQ(ok->client_id, 1u);
+  EXPECT_EQ(ok->response.outcome, serve::ServeOutcome::kOk);
+}
+
+TEST_F(WireServerTest, CallRetriesShedInVirtualTime) {
+  // A hand-rolled frame-level server: shed twice, then answer. This pins
+  // down the client's retry contract exactly — each resubmission advances
+  // issue_time by the server's retry_after hint (virtual time, no wall
+  // sleep) and the final reply is surfaced.
+  std::string error;
+  int port = 0;
+  const int listen_fd = BindListen(0, /*backlog=*/4, &port, &error);
+  ASSERT_GE(listen_fd, 0) << error;
+
+  std::vector<SimTime> observed_issue_times;
+  std::thread fake_server([&] {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    ASSERT_GE(fd, 0);
+    FrameReader reader;
+    char buf[4096];
+    int served = 0;
+    while (served < 3) {
+      auto next = reader.Next();
+      ASSERT_TRUE(next.ok());
+      if (!next->has_value()) {
+        const ssize_t got = RecvSome(fd, buf, sizeof(buf));
+        ASSERT_GT(got, 0);
+        ASSERT_TRUE(
+            reader.Feed(std::string_view(buf, static_cast<size_t>(got))));
+        continue;
+      }
+      auto request = DecodeRequestPayload((*next)->payload);
+      ASSERT_TRUE(request.ok());
+      observed_issue_times.push_back(request->request.issue_time);
+      std::string payload;
+      std::string frame;
+      if (served < 2) {
+        EncodeShedPayload(request->client_id, /*retry_after=*/30, &payload);
+        frame = EncodeFrame(FrameType::kShed, payload);
+      } else {
+        serve::Response response;
+        response.kind = request->request.kind;
+        response.outcome = serve::ServeOutcome::kOk;
+        EncodeResponsePayload(request->client_id, response, &payload);
+        frame = EncodeFrame(FrameType::kResponse, payload);
+      }
+      ASSERT_TRUE(SendAll(fd, frame.data(), frame.size()));
+      ++served;
+    }
+    CloseQuietly(fd);
+  });
+
+  auto client = WireClient::Connect(port);
+  ASSERT_TRUE(client.ok());
+  serve::Request request = PlanReq("a");
+  request.issue_time = 1000;
+  auto reply = (*client)->Call(request);
+  fake_server.join();
+  CloseQuietly(listen_fd);
+
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply->outcome, serve::ServeOutcome::kOk);
+  EXPECT_EQ(observed_issue_times,
+            (std::vector<SimTime>{1000, 1030, 1060}));
+}
+
+TEST_F(WireServerTest, MalformedPayloadGetsErrorReplyConnectionSurvives) {
+  auto service = MakeService();
+  auto server = MakeServer(service.get());
+  auto client = WireClient::Connect(server->port());
+  ASSERT_TRUE(client.ok());
+
+  // A checksum-valid frame whose payload decodes to an unknown kind.
+  std::string payload;
+  PutVarint64(&payload, 1);
+  PutLengthPrefixed(&payload, "a");
+  PutVarint64(&payload, 99);  // kind out of range
+  ASSERT_TRUE(
+      (*client)->SendBytes(EncodeFrame(FrameType::kRequest, payload)));
+  auto reply = (*client)->Receive();
+  EXPECT_FALSE(reply.ok());  // surfaces the server's kError
+  // The stream is still CRC-aligned, so the connection survives and a
+  // well-formed request afterwards succeeds.
+  auto ok = (*client)->Call(PlanReq("a"));
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_EQ(ok->outcome, serve::ServeOutcome::kOk);
+}
+
+TEST_F(WireServerTest, GarbageStreamClosesConnection) {
+  auto service = MakeService();
+  auto server = MakeServer(service.get());
+  auto client = WireClient::Connect(server->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->SendBytes("GET / HTTP/1.0\r\n\r\n"));
+  // The server answers with a best-effort error frame and closes; either
+  // way Receive must return (no hang) with a non-ok status eventually.
+  auto reply = (*client)->Receive();
+  EXPECT_FALSE(reply.ok());
+}
+
+TEST_F(WireServerTest, CorruptedChecksumClosesConnection) {
+  auto service = MakeService();
+  auto server = MakeServer(service.get());
+  auto client = WireClient::Connect(server->port());
+  ASSERT_TRUE(client.ok());
+  std::string payload;
+  EncodeRequestPayload(1, PlanReq("a"), &payload);
+  std::string frame = EncodeFrame(FrameType::kRequest, payload);
+  frame[frame.size() - 2] ^= 0x10;
+  ASSERT_TRUE((*client)->SendBytes(frame));
+  auto reply = (*client)->Receive();
+  EXPECT_FALSE(reply.ok());
+}
+
+TEST_F(WireServerTest, OneByteAtATimeClientStillServed) {
+  auto service = MakeService();
+  auto server = MakeServer(service.get());
+  auto client = WireClient::Connect(server->port());
+  ASSERT_TRUE(client.ok());
+  std::string payload;
+  EncodeRequestPayload(55, QueryReq("a"), &payload);
+  const std::string frame = EncodeFrame(FrameType::kRequest, payload);
+  for (size_t i = 0; i < frame.size(); ++i) {
+    ASSERT_TRUE((*client)->SendBytes(frame.substr(i, 1)));
+  }
+  auto reply = (*client)->Receive();
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply->client_id, 55u);
+  EXPECT_EQ(reply->response.outcome, serve::ServeOutcome::kOk);
+}
+
+TEST_F(WireServerTest, TruncatedFrameThenDisconnectLeavesServerHealthy) {
+  auto service = MakeService();
+  auto server = MakeServer(service.get());
+  {
+    auto client = WireClient::Connect(server->port());
+    ASSERT_TRUE(client.ok());
+    std::string payload;
+    EncodeRequestPayload(1, PlanReq("a"), &payload);
+    const std::string frame = EncodeFrame(FrameType::kRequest, payload);
+    ASSERT_TRUE((*client)->SendBytes(frame.substr(0, frame.size() / 2)));
+    // Destructor closes the socket with the frame incomplete.
+  }
+  // The server survives and serves the next client.
+  auto client = WireClient::Connect(server->port());
+  ASSERT_TRUE(client.ok());
+  auto ok = (*client)->Call(PlanReq("a"));
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_EQ(ok->outcome, serve::ServeOutcome::kOk);
+}
+
+TEST_F(WireServerTest, IdleConnectionsAreSweptOut) {
+  auto service = MakeService();
+  WireServerOptions options;
+  options.idle_timeout_ms = 100;
+  options.epoll_wait_ms = 20;
+  auto server = MakeServer(service.get(), options);
+  auto client = WireClient::Connect(server->port());
+  ASSERT_TRUE(client.ok());
+  // An idle client is closed by the sweep; Receive observes the close.
+  auto reply = (*client)->Receive();
+  EXPECT_FALSE(reply.ok());
+  for (int i = 0; i < 100 && server->open_connections() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server->open_connections(), 0);
+}
+
+TEST_F(WireServerTest, StopDrainsQueuedRequests) {
+  auto service = MakeService();
+  auto server = MakeServer(service.get());
+  auto client = WireClient::Connect(server->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->Send(PlanReq("a")).ok());
+  // Wait until the serving thread has actually admitted the frame, so the
+  // stop exercises the clean-drain path rather than a pre-read exit.
+  for (int i = 0; i < 500 && server->frames_received() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_GE(server->frames_received(), 1);
+  server->Stop();
+  // Whatever the wire admitted was executed by the clean drain: either
+  // the reply reached the socket before the close, or the service shows
+  // zero queued work.
+  EXPECT_EQ(service->queued(), 0u);
+}
+
+TEST_F(WireServerTest, StartStopStartReusesService) {
+  auto service = MakeService();
+  auto first = MakeServer(service.get());
+  const int first_port = first->port();
+  {
+    auto client = WireClient::Connect(first_port);
+    ASSERT_TRUE(client.ok());
+    auto reply = (*client)->Call(QueryReq("a"));
+    ASSERT_TRUE(reply.ok());
+  }
+  first->Stop();
+  EXPECT_FALSE(first->running());
+
+  // A second front door over the same fleet: state carried across.
+  auto second = MakeServer(service.get());
+  auto client = WireClient::Connect(second->port());
+  ASSERT_TRUE(client.ok());
+  auto reply = (*client)->Call(QueryReq("a"));
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply->outcome, serve::ServeOutcome::kOk);
+}
+
+TEST_F(WireServerTest, StopIsIdempotent) {
+  auto service = MakeService();
+  auto server = MakeServer(service.get());
+  server->Stop();
+  server->Stop();
+  EXPECT_FALSE(server->running());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace imcf

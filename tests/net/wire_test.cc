@@ -1,0 +1,358 @@
+// Wire codec tests: round trips for every payload type, then hostile
+// input — truncation, oversized length prefixes, corrupted checksums,
+// unknown enums, garbage and trailing bytes. Every malformed input must
+// come back as a Status (or poisoned reader), never a crash or over-read;
+// the sanitizer CI jobs run these with ASan/UBSan active.
+
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "serve/request.h"
+#include "storage/coding.h"
+
+namespace imcf {
+namespace net {
+namespace {
+
+serve::Request PlanRequest() {
+  serve::Request request;
+  request.tenant = "house-7";
+  request.kind = serve::RequestKind::kPlan;
+  request.issue_time = 1'600'000'000;
+  request.deadline = 1'600'003'600;
+  request.plan.policy = sim::Policy::kEnergyPlanner;
+  request.plan.rep = 3;
+  return request;
+}
+
+serve::Request MrtUpdateRequest() {
+  serve::Request request;
+  request.tenant = "house-9";
+  request.kind = serve::RequestKind::kMrtUpdate;
+  request.issue_time = 42;
+  request.mrt_update.seed = 99;
+  request.mrt_update.mrt_variation = 0.25;
+  request.mrt_update.budget_kwh = 1234.5;
+  request.mrt_update.set_recipes = true;
+  rules::TriggerRule rule;
+  rule.field = rules::TriggerField::kTemperature;
+  rule.op = rules::TriggerOp::kLessThan;
+  rule.threshold = 5.0;
+  rule.action = rules::RuleAction::kSetTemperature;
+  rule.action_value = 22.0;
+  request.mrt_update.extra_recipes.push_back(rule);
+  return request;
+}
+
+std::string FrameFor(const serve::Request& request, uint64_t client_id) {
+  std::string payload;
+  EncodeRequestPayload(client_id, request, &payload);
+  return EncodeFrame(FrameType::kRequest, payload);
+}
+
+TEST(WireCodec, RequestRoundTripAllKinds) {
+  serve::Request requests[4];
+  requests[0] = PlanRequest();
+
+  requests[1].tenant = "house-8";
+  requests[1].kind = serve::RequestKind::kCommand;
+  requests[1].issue_time = -5;  // signed times survive
+  requests[1].command.unit = 2;
+  requests[1].command.type = devices::CommandType::kSetLight;
+  requests[1].command.value = 0.5;
+  requests[1].command.time = 77;
+
+  requests[2].tenant = "h";
+  requests[2].kind = serve::RequestKind::kQuery;
+  requests[2].query.kind = serve::QueryKind::kContext;
+  requests[2].query.unit = 1;
+
+  requests[3] = MrtUpdateRequest();
+
+  for (const serve::Request& request : requests) {
+    std::string payload;
+    EncodeRequestPayload(17, request, &payload);
+    auto decoded = DecodeRequestPayload(payload);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(decoded->client_id, 17u);
+    EXPECT_EQ(decoded->request.tenant, request.tenant);
+    EXPECT_EQ(decoded->request.kind, request.kind);
+    EXPECT_EQ(decoded->request.issue_time, request.issue_time);
+    EXPECT_EQ(decoded->request.deadline, request.deadline);
+  }
+
+  auto mrt = DecodeRequestPayload([&] {
+    std::string payload;
+    EncodeRequestPayload(1, requests[3], &payload);
+    return payload;
+  }());
+  ASSERT_TRUE(mrt.ok());
+  EXPECT_EQ(mrt->request.mrt_update.seed, 99u);
+  EXPECT_DOUBLE_EQ(mrt->request.mrt_update.budget_kwh, 1234.5);
+  ASSERT_EQ(mrt->request.mrt_update.extra_recipes.size(), 1u);
+  EXPECT_EQ(mrt->request.mrt_update.extra_recipes[0].action,
+            rules::RuleAction::kSetTemperature);
+}
+
+TEST(WireCodec, ResponseRoundTrip) {
+  serve::Response response;
+  response.id = 41;
+  response.tenant = "house-7";
+  response.kind = serve::RequestKind::kPlan;
+  response.outcome = serve::ServeOutcome::kOk;
+  response.virtual_latency_seconds = 3600;
+  response.had_deadline = true;
+  response.wall_ns = 123456;
+  response.plan.fce_pct = 87.5;
+  response.plan.fe_kwh = 1200.25;
+  response.plan.within_budget = true;
+  response.plan.commands_issued = 10;
+  response.plan.commands_dropped = 2;
+
+  std::string payload;
+  EncodeResponsePayload(9, response, &payload);
+  auto decoded = DecodeResponsePayload(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->client_id, 9u);
+  EXPECT_EQ(decoded->response.id, 41u);
+  EXPECT_EQ(decoded->response.outcome, serve::ServeOutcome::kOk);
+  EXPECT_DOUBLE_EQ(decoded->response.plan.fce_pct, 87.5);
+  EXPECT_DOUBLE_EQ(decoded->response.plan.fe_kwh, 1200.25);
+  EXPECT_TRUE(decoded->response.plan.within_budget);
+  EXPECT_EQ(decoded->response.plan.commands_issued, 10);
+  EXPECT_TRUE(decoded->response.had_deadline);
+}
+
+TEST(WireCodec, ErrorStatusRoundTrip) {
+  serve::Response response;
+  response.kind = serve::RequestKind::kCommand;
+  response.outcome = serve::ServeOutcome::kError;
+  response.status = Status::NotFound("no such unit");
+  std::string payload;
+  EncodeResponsePayload(3, response, &payload);
+  auto decoded = DecodeResponsePayload(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->response.status.IsNotFound());
+  EXPECT_EQ(decoded->response.status.message(), "no such unit");
+}
+
+TEST(WireCodec, ShedAndErrorPayloads) {
+  std::string shed;
+  EncodeShedPayload(5, 120, &shed);
+  auto decoded_shed = DecodeShedPayload(shed);
+  ASSERT_TRUE(decoded_shed.ok());
+  EXPECT_EQ(decoded_shed->client_id, 5u);
+  EXPECT_EQ(decoded_shed->response.outcome, serve::ServeOutcome::kShed);
+  EXPECT_EQ(decoded_shed->response.retry_after_seconds, 120);
+
+  std::string error;
+  EncodeErrorPayload(7, Status::InvalidArgument("bad kind"), &error);
+  auto decoded_error = DecodeErrorPayload(error);
+  ASSERT_TRUE(decoded_error.ok());
+  EXPECT_EQ(decoded_error->client_id, 7u);
+  EXPECT_TRUE(decoded_error->response.status.IsInvalidArgument());
+}
+
+TEST(WireCodec, TruncatedPayloadRejected) {
+  std::string payload;
+  EncodeRequestPayload(17, PlanRequest(), &payload);
+  // Every proper prefix must decode to an error, never crash or over-read.
+  for (size_t len = 0; len < payload.size(); ++len) {
+    auto decoded =
+        DecodeRequestPayload(std::string_view(payload).substr(0, len));
+    EXPECT_FALSE(decoded.ok()) << "prefix length " << len;
+  }
+}
+
+TEST(WireCodec, TrailingBytesRejected) {
+  std::string payload;
+  EncodeRequestPayload(17, PlanRequest(), &payload);
+  payload.push_back('\0');
+  EXPECT_FALSE(DecodeRequestPayload(payload).ok());
+}
+
+TEST(WireCodec, UnknownRequestKindRejected) {
+  std::string payload;
+  PutVarint64(&payload, 1);           // client id
+  PutLengthPrefixed(&payload, "t");   // tenant
+  PutVarint64(&payload, 200);         // kind far out of range
+  EXPECT_FALSE(DecodeRequestPayload(payload).ok());
+}
+
+TEST(WireCodec, OversizedTenantRejected) {
+  std::string payload;
+  PutVarint64(&payload, 1);
+  PutLengthPrefixed(&payload, std::string(kMaxTenantBytes + 1, 'x'));
+  PutVarint64(&payload, 0);
+  EXPECT_FALSE(DecodeRequestPayload(payload).ok());
+}
+
+TEST(WireCodec, HugeRecipeCountRejectedBeforeAllocation) {
+  serve::Request request = MrtUpdateRequest();
+  request.mrt_update.extra_recipes.clear();
+  std::string payload;
+  EncodeRequestPayload(1, request, &payload);
+  // Rewrite the recipe count (last varint before the empty recipe list)
+  // by re-encoding the prefix by hand.
+  std::string hostile;
+  PutVarint64(&hostile, 1);
+  PutLengthPrefixed(&hostile, request.tenant);
+  PutVarint64(&hostile, static_cast<uint64_t>(request.kind));
+  PutVarintSigned64(&hostile, request.issue_time);
+  PutVarintSigned64(&hostile, request.deadline);
+  PutVarint64(&hostile, request.mrt_update.seed);
+  PutDouble(&hostile, request.mrt_update.mrt_variation);
+  PutDouble(&hostile, request.mrt_update.budget_kwh);
+  PutVarint64(&hostile, 1);  // set_recipes
+  PutVarint64(&hostile, (1ull << 62));  // absurd recipe count, no bytes
+  auto decoded = DecodeRequestPayload(hostile);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsInvalidArgument());
+}
+
+TEST(FrameReaderTest, RoundTripOneByteAtATime) {
+  const std::string frame = FrameFor(PlanRequest(), 23);
+  FrameReader reader;
+  for (size_t i = 0; i < frame.size(); ++i) {
+    ASSERT_TRUE(reader.Feed(frame.substr(i, 1)));
+    auto next = reader.Next();
+    ASSERT_TRUE(next.ok());
+    if (i + 1 < frame.size()) {
+      EXPECT_FALSE(next->has_value()) << "frame completed early at " << i;
+    } else {
+      ASSERT_TRUE(next->has_value());
+      EXPECT_EQ((*next)->type, FrameType::kRequest);
+      auto decoded = DecodeRequestPayload((*next)->payload);
+      ASSERT_TRUE(decoded.ok());
+      EXPECT_EQ(decoded->client_id, 23u);
+    }
+  }
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FrameReaderTest, PipelinedFramesInOneFeed) {
+  const std::string a = FrameFor(PlanRequest(), 1);
+  const std::string b = FrameFor(MrtUpdateRequest(), 2);
+  FrameReader reader;
+  ASSERT_TRUE(reader.Feed(a + b));
+  auto first = reader.Next();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->has_value());
+  auto second = reader.Next();
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(second->has_value());
+  auto third = reader.Next();
+  ASSERT_TRUE(third.ok());
+  EXPECT_FALSE(third->has_value());
+}
+
+TEST(FrameReaderTest, BadMagicPoisons) {
+  std::string frame = FrameFor(PlanRequest(), 1);
+  frame[0] = 'X';
+  FrameReader reader;
+  ASSERT_TRUE(reader.Feed(frame));
+  auto next = reader.Next();
+  ASSERT_FALSE(next.ok());
+  EXPECT_TRUE(reader.poisoned());
+  // Poisoned readers stay poisoned: even good bytes are refused.
+  EXPECT_FALSE(reader.Feed(FrameFor(PlanRequest(), 2)));
+  EXPECT_FALSE(reader.Next().ok());
+}
+
+TEST(FrameReaderTest, BadVersionPoisons) {
+  std::string frame = FrameFor(PlanRequest(), 1);
+  frame[2] = 9;
+  FrameReader reader;
+  ASSERT_TRUE(reader.Feed(frame));
+  EXPECT_FALSE(reader.Next().ok());
+  EXPECT_TRUE(reader.poisoned());
+}
+
+TEST(FrameReaderTest, UnknownFrameTypePoisons) {
+  std::string frame = FrameFor(PlanRequest(), 1);
+  frame[3] = 0x7f;
+  FrameReader reader;
+  ASSERT_TRUE(reader.Feed(frame));
+  EXPECT_FALSE(reader.Next().ok());
+  EXPECT_TRUE(reader.poisoned());
+}
+
+TEST(FrameReaderTest, OversizedLengthPrefixRejectedBeforeBuffering) {
+  // A header claiming a 4 GiB payload must be rejected from the 8 header
+  // bytes alone — no waiting, no allocation.
+  std::string header;
+  header.push_back(static_cast<char>(kWireMagic0));
+  header.push_back(static_cast<char>(kWireMagic1));
+  header.push_back(static_cast<char>(kWireVersion));
+  header.push_back(static_cast<char>(FrameType::kRequest));
+  PutFixed32(&header, 0xFFFFFFFFu);
+  FrameReader reader;
+  ASSERT_TRUE(reader.Feed(header));
+  auto next = reader.Next();
+  ASSERT_FALSE(next.ok());
+  EXPECT_TRUE(next.status().IsInvalidArgument());
+  EXPECT_TRUE(reader.poisoned());
+}
+
+TEST(FrameReaderTest, CorruptedChecksumPoisons) {
+  std::string frame = FrameFor(PlanRequest(), 1);
+  frame[frame.size() - 1] ^= 0x01;
+  FrameReader reader;
+  ASSERT_TRUE(reader.Feed(frame));
+  auto next = reader.Next();
+  ASSERT_FALSE(next.ok());
+  EXPECT_TRUE(next.status().IsCorruption());
+}
+
+TEST(FrameReaderTest, FlippedPayloadByteFailsChecksum) {
+  std::string frame = FrameFor(PlanRequest(), 1);
+  frame[kWireHeaderBytes] ^= 0x40;
+  FrameReader reader;
+  ASSERT_TRUE(reader.Feed(frame));
+  EXPECT_FALSE(reader.Next().ok());
+}
+
+TEST(FrameReaderTest, GarbageFloodIsBoundedAndPoisons) {
+  // Garbage that never frames: Feed refuses more than one maximal frame
+  // of unparsed bytes, so a flooding peer costs bounded memory.
+  FrameReader reader;
+  const std::string junk(1 << 16, 'Z');
+  bool accepted = true;
+  size_t fed = 0;
+  while (accepted && fed < (kMaxPayloadBytes * 4)) {
+    accepted = reader.Feed(junk);
+    fed += junk.size();
+  }
+  EXPECT_FALSE(accepted);
+  EXPECT_TRUE(reader.poisoned());
+  EXPECT_LE(fed, kMaxPayloadBytes + (1 << 17) + kWireHeaderBytes +
+                     kWireTrailerBytes);
+}
+
+TEST(FrameReaderTest, GarbageMidStreamPoisonsAfterGoodFrame) {
+  const std::string good = FrameFor(PlanRequest(), 1);
+  FrameReader reader;
+  ASSERT_TRUE(reader.Feed(good + "not a frame at all"));
+  auto first = reader.Next();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->has_value());
+  // The garbage after the good frame fails at the magic check.
+  EXPECT_FALSE(reader.Next().ok());
+  EXPECT_TRUE(reader.poisoned());
+}
+
+TEST(FrameReaderTest, EmptyPayloadFrame) {
+  const std::string frame = EncodeFrame(FrameType::kShed, "");
+  FrameReader reader;
+  ASSERT_TRUE(reader.Feed(frame));
+  auto next = reader.Next();
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(next->has_value());
+  EXPECT_EQ((*next)->type, FrameType::kShed);
+  EXPECT_TRUE((*next)->payload.empty());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace imcf

@@ -1,0 +1,114 @@
+// TenantTable tests: the open-addressing shard directory must behave
+// exactly like the std::map it replaced — same membership answers under
+// insert/erase churn — while keeping robin-hood invariants (no tombstone
+// decay, growth preserves every entry).
+
+#include "serve/tenant_table.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/tenant_registry.h"
+
+namespace imcf {
+namespace serve {
+namespace {
+
+/// A tenant shell (no simulator) — the table stores pointers, it never
+/// runs them.
+std::shared_ptr<Tenant> Shell(const std::string& id) {
+  TenantConfig config;
+  config.id = id;
+  return std::make_shared<Tenant>(config, nullptr);
+}
+
+TEST(TenantTableTest, InsertFindErase) {
+  TenantTable table;
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.Find("a"), nullptr);
+
+  auto a = Shell("a");
+  EXPECT_TRUE(table.Insert("a", a));
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.Find("a"), a);  // pointer identity, not a copy
+  EXPECT_TRUE(table.Contains("a"));
+  EXPECT_FALSE(table.Contains("b"));
+
+  EXPECT_FALSE(table.Insert("a", Shell("a")));  // duplicate refused
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.Find("a"), a);  // original value kept
+
+  EXPECT_TRUE(table.Erase("a"));
+  EXPECT_FALSE(table.Erase("a"));
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.Find("a"), nullptr);
+}
+
+TEST(TenantTableTest, GrowthPreservesEveryEntry) {
+  TenantTable table;
+  constexpr int kCount = 10'000;
+  for (int i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(table.Insert("tenant-" + std::to_string(i), Shell("t")));
+  }
+  EXPECT_EQ(table.size(), static_cast<size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_TRUE(table.Contains("tenant-" + std::to_string(i))) << i;
+  }
+  EXPECT_FALSE(table.Contains("tenant-" + std::to_string(kCount)));
+  // Power-of-two capacity, load kept under 7/8.
+  EXPECT_EQ(table.capacity() & (table.capacity() - 1), 0u);
+  EXPECT_GE(table.capacity() * 7, table.size() * 8);
+}
+
+TEST(TenantTableTest, ChurnMatchesMapSemantics) {
+  // Deterministic interleaved insert/erase; membership must track a
+  // std::map move for move. Erasing exercises backward-shift deletion on
+  // every probe-chain shape the hash produces.
+  TenantTable table;
+  std::map<std::string, int> reference;
+  auto key = [](int i) { return "unit-" + std::to_string(i * 7919 % 997); };
+  for (int round = 0; round < 5000; ++round) {
+    const std::string k = key(round);
+    if (round % 3 == 2) {
+      EXPECT_EQ(table.Erase(k), reference.erase(k) > 0) << k;
+    } else {
+      const bool inserted = reference.emplace(k, round).second;
+      EXPECT_EQ(table.Insert(k, Shell(k)), inserted) << k;
+    }
+    ASSERT_EQ(table.size(), reference.size());
+  }
+  for (const auto& [k, unused] : reference) {
+    EXPECT_TRUE(table.Contains(k)) << k;
+  }
+  std::vector<std::string> seen;
+  table.ForEach([&seen](const TenantId& id,
+                        const std::shared_ptr<Tenant>&) {
+    seen.push_back(id);
+  });
+  EXPECT_EQ(seen.size(), reference.size());
+  std::sort(seen.begin(), seen.end());
+  EXPECT_TRUE(std::adjacent_find(seen.begin(), seen.end()) == seen.end());
+}
+
+TEST(TenantTableTest, RegistryStillAnswersMembershipThroughTable) {
+  // The registry integration: Admit/Contains/Remove ride on the table.
+  TenantRegistry registry(4);
+  TenantConfig config;
+  config.id = "house-1";
+  config.hours = 24;
+  ASSERT_TRUE(registry.Admit(config).ok());
+  EXPECT_TRUE(registry.Contains("house-1"));
+  EXPECT_FALSE(registry.Contains("house-2"));
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_TRUE(registry.Remove("house-1").ok());
+  EXPECT_FALSE(registry.Contains("house-1"));
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace imcf
